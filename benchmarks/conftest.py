@@ -1,0 +1,29 @@
+"""Benchmark-suite plumbing.
+
+Each benchmark regenerates one paper artefact (figure or bound table, see
+DESIGN.md's per-experiment index), prints the same rows/series the paper
+reports, and asserts the experiment's shape checks.  Simulation-backed
+benches run one round (the workloads are deterministic; repeating them
+only re-measures the same path).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def run_artefact(benchmark, capsys):
+    """Run an experiment under the benchmark clock and validate its checks."""
+
+    def runner(experiment_callable, rounds: int = 1):
+        result = benchmark.pedantic(
+            experiment_callable, rounds=rounds, iterations=1
+        )
+        with capsys.disabled():
+            print()
+            print(result.render())
+        assert result.all_checks_pass, result.failed_checks()
+        return result
+
+    return runner

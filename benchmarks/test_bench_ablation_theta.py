@@ -1,0 +1,7 @@
+"""ABL-THETA bench: compressed-time theta(c) ablation."""
+
+from repro.experiments import ablation_theta
+
+
+def test_bench_ablation_theta(run_artefact):
+    run_artefact(ablation_theta.run)

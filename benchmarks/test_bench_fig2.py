@@ -1,0 +1,7 @@
+"""FIG2 bench: regenerate Fig. 2 (binary vs quaternary, 64 leaves)."""
+
+from repro.experiments import fig2
+
+
+def test_bench_fig2(run_artefact):
+    run_artefact(fig2.run, rounds=3)

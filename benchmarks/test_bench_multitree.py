@@ -1,0 +1,7 @@
+"""EQ16-19 bench: Problem P2 bound vs exhaustive composition optimum."""
+
+from repro.experiments import multitree
+
+
+def test_bench_multitree(run_artefact):
+    run_artefact(multitree.run)

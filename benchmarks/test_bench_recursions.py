@@ -1,0 +1,7 @@
+"""EQ2-8 bench: divide-and-conquer recursion + special values grid."""
+
+from repro.experiments import recursions
+
+
+def test_bench_recursions(run_artefact):
+    run_artefact(recursions.run)

@@ -1,0 +1,95 @@
+"""CSMA/DDCR on a bus internal to an ATM switch (section 3.2 / section 5).
+
+The second target technology of the paper: a physically tiny broadcast bus
+whose slot time is a few bit times, carrying fixed-size 53-byte cells.
+Because x is ~1000x smaller than on a LAN, tree-search slots are almost
+free and the feasibility region is dominated by pure transmission time.
+
+The script contrasts the *same* cell workload on the ATM bus profile and
+on Gigabit Ethernet: identical protocol, radically different search
+overhead — reproducing the paper's argument for why the DDCR analysis
+carries to switch fabrics.
+
+Run:  python examples/atm_switch.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis.metrics import summarize
+from repro.analysis.report import format_table
+from repro.core.feasibility import check_feasibility
+from repro.experiments.harness import (
+    build_simulation,
+    ddcr_factory,
+    default_ddcr_config,
+)
+from repro.model.workloads import uniform_problem
+from repro.net.phy import ATM_BUS, GIGABIT_ETHERNET
+
+MS = 1_000_000
+CELL_BITS = 424  # 53-byte ATM cell
+
+
+def main() -> None:
+    # Sixteen port cards pushing cell bursts across the fabric bus.
+    # Note the short horizon: with a 4-bit slot the ATM bus simulates
+    # ~250k channel rounds per simulated millisecond.
+    problem = uniform_problem(
+        z=16,
+        length=CELL_BITS,
+        deadline=250_000,
+        a=4,
+        w=250_000,
+        static_m=2,
+        nu=2,
+    )
+    rows = []
+    for medium in (ATM_BUS, GIGABIT_ETHERNET):
+        config = default_ddcr_config(problem, medium)
+        trees = config.tree_parameters()
+        report = check_feasibility(problem, medium, trees)
+        result = build_simulation(
+            problem, medium, ddcr_factory(config)
+        ).run(1 * MS)
+        metrics = summarize(result)
+        worst = report.worst
+        search_bits = medium.slot_time * (
+            worst.search_slots_static + worst.search_slots_time
+        )
+        rows.append(
+            [
+                medium.name,
+                medium.slot_time,
+                report.feasible,
+                round(worst.bound / MS, 4),
+                f"{search_bits / worst.bound:.1%}",
+                metrics.delivered,
+                metrics.misses,
+                round(metrics.utilization, 3),
+            ]
+        )
+    print(
+        format_table(
+            [
+                "medium",
+                "slot (bits)",
+                "fc_ok",
+                "B_DDCR (ms)",
+                "search share",
+                "delivered",
+                "misses",
+                "util",
+            ],
+            rows,
+            title="Identical cell workload: ATM fabric bus vs Gigabit LAN",
+        )
+    )
+    print(
+        "\nsmall slot time makes collision-resolution nearly free on the "
+        "fabric bus:\nthe B_DDCR budget is almost entirely cell "
+        "transmission time."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+"""Watch CSMA/DDCR resolve a burst, slot by slot.
+
+Renders the channel activity strip for a synchronized four-station burst:
+the entry collision, the time tree descent, the nested static tree search
+that untangles the shared deadline class, and the transmissions — then the
+same burst again with 5% channel noise injected, showing the protocol
+absorbing corrupted slots without losing consistency.
+
+Legend: ``.`` silence, ``X`` collision, ``!`` corrupted slot, digits are
+transmitting stations.
+
+Run:  python examples/channel_timeline.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import render_timeline
+from repro.core.search_cost import worst_case_placement, xi_exact
+from repro.model.message import DensityBound, MessageClass
+from repro.model.problem import HRTDMProblem
+from repro.model.source import SourceSpec
+from repro.net.network import NetworkSimulation
+from repro.net.phy import ideal_medium
+from repro.protocols.ddcr import DDCRConfig, DDCRProtocol
+
+
+def build() -> tuple[HRTDMProblem, DDCRConfig]:
+    placement = worst_case_placement(4, 8, 2)
+    sources = tuple(
+        SourceSpec(
+            source_id=i,
+            message_classes=(
+                MessageClass(
+                    name=f"burst-{i}",
+                    length=2_000,
+                    deadline=600_000,
+                    bound=DensityBound(a=1, w=2_000_000),
+                ),
+            ),
+            static_indices=(index,),
+        )
+        for i, index in enumerate(placement)
+    )
+    problem = HRTDMProblem(sources=sources, static_q=8, static_m=2)
+    config = DDCRConfig(
+        time_f=16,
+        time_m=2,
+        class_width=600_000,
+        static_q=8,
+        static_m=2,
+        theta_factor=1.0,
+    )
+    return problem, config
+
+
+def run_once(noise_rate: float) -> str:
+    problem, config = build()
+    simulation = NetworkSimulation(
+        problem,
+        ideal_medium(slot_time=64),
+        protocol_factory=lambda source: DDCRProtocol(config),
+        trace=True,
+        check_consistency=True,
+        noise_rate=noise_rate,
+        noise_seed=3,
+    )
+    result = simulation.run(horizon=80_000)
+    mac = result.stations[0].mac
+    lines = [render_timeline(result.trace, width=80)]
+    if mac.sts_records:
+        record = mac.sts_records[0]
+        lines.append(
+            f"static tree search: {record.wasted_slots} wasted slots "
+            f"(analytic worst case xi(4, 8) = {xi_exact(4, 8, 2)}), "
+            f"{record.successes} messages"
+        )
+    return "\n".join(lines)
+
+
+def main() -> None:
+    print("clean channel:")
+    print(run_once(noise_rate=0.0))
+    print()
+    print("with 5% common-mode noise:")
+    print(run_once(noise_rate=0.05))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,138 @@
+"""Network dimensioning with feasibility conditions (the paper's use case).
+
+Section 2.2: "FCs are an essential tool for an end user or a technology
+provider who has to assign numerical values to message lengths, to upper
+bounds of message arrival densities and to message deadlines."
+
+This script plays that role for an air-traffic-control segment: given
+radar track streams and console traffic, it explores the three dimensioning
+axes — how many consoles, how tight the command deadline, how big the
+track batches — and prints the admission boundary along each, plus a
+simulated spot-check at the corner configuration.
+
+Run:  python examples/dimensioning.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis.metrics import summarize
+from repro.analysis.report import format_table
+from repro.core.feasibility import check_feasibility
+from repro.experiments.harness import (
+    build_simulation,
+    ddcr_factory,
+    default_ddcr_config,
+)
+from repro.model.message import DensityBound, MessageClass
+from repro.model.problem import HRTDMProblem
+from repro.model.source import SourceSpec, allocate_static_indices
+from repro.net.phy import GIGABIT_ETHERNET
+
+MS = 1_000_000
+
+
+def build(consoles: int, command_deadline_ms: int, track_kbits: int):
+    radars = 4
+    z = radars + consoles
+    nu = [2] * radars + [1] * consoles
+    q = 2
+    while q < sum(nu):
+        q *= 2
+    indices = allocate_static_indices(nu, q)
+    sources = []
+    for i in range(radars):
+        sources.append(
+            SourceSpec(
+                source_id=i,
+                message_classes=(
+                    MessageClass(
+                        name=f"tracks-{i}",
+                        length=track_kbits * 1000,
+                        deadline=12 * MS,
+                        bound=DensityBound(a=2, w=4 * MS),
+                    ),
+                ),
+                static_indices=indices[i],
+            )
+        )
+    for j in range(consoles):
+        sources.append(
+            SourceSpec(
+                source_id=radars + j,
+                message_classes=(
+                    MessageClass(
+                        name=f"command-{j}",
+                        length=1_000,
+                        deadline=command_deadline_ms * MS,
+                        bound=DensityBound(a=1, w=10 * MS),
+                    ),
+                ),
+                static_indices=indices[radars + j],
+            )
+        )
+    return HRTDMProblem(sources=tuple(sources), static_q=q, static_m=2)
+
+
+def feasible(problem) -> bool:
+    config = default_ddcr_config(problem, GIGABIT_ETHERNET)
+    return check_feasibility(
+        problem, GIGABIT_ETHERNET, config.tree_parameters()
+    ).feasible
+
+
+def boundary(axis: str) -> list[list[object]]:
+    rows = []
+    if axis == "consoles":
+        for consoles in (4, 8, 16, 32, 64, 128):
+            rows.append([consoles, feasible(build(consoles, 4, 24))])
+    elif axis == "deadline":
+        for deadline_ms in (16, 8, 4, 2, 1):
+            rows.append([deadline_ms, feasible(build(16, deadline_ms, 24))])
+    else:
+        for track_kbits in (24, 48, 96, 192, 384):
+            rows.append([track_kbits, feasible(build(16, 4, track_kbits))])
+    return rows
+
+
+def main() -> None:
+    print(
+        format_table(
+            ["consoles", "feasible"],
+            boundary("consoles"),
+            title="Axis 1: console count (command deadline 4 ms, 24 kb tracks)",
+        )
+    )
+    print()
+    print(
+        format_table(
+            ["command deadline (ms)", "feasible"],
+            boundary("deadline"),
+            title="Axis 2: command deadline (16 consoles, 24 kb tracks)",
+        )
+    )
+    print()
+    print(
+        format_table(
+            ["track batch (kbit)", "feasible"],
+            boundary("tracks"),
+            title="Axis 3: track batch size (16 consoles, 4 ms commands)",
+        )
+    )
+
+    # Spot-check one admitted configuration in simulation.
+    problem = build(consoles=16, command_deadline_ms=4, track_kbits=24)
+    config = default_ddcr_config(problem, GIGABIT_ETHERNET)
+    result = build_simulation(
+        problem, GIGABIT_ETHERNET, ddcr_factory(config)
+    ).run(36 * MS)
+    metrics = summarize(result)
+    print(
+        f"\nspot check (16 consoles, 4 ms commands): delivered="
+        f"{metrics.delivered}, misses={metrics.misses}, "
+        f"utilization={metrics.utilization:.3f}"
+    )
+    assert metrics.meets_hrtdm
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,198 @@
+"""Full stack: application tasks -> OS scheduler -> HRTDM bounds -> CSMA/DDCR.
+
+Section 2.2's argument, end to end.  Periodic application tasks on each
+host would *naively* be declared as periodic message sources — but run
+them through a preemptive fixed-priority CPU and the emission instants
+jitter, violating the naive (a=1, w=period) bound.  This script:
+
+1. simulates each host's task set and measures the emission traces;
+2. shows the naive periodic bound is VIOLATED by the actual traces while
+   the jitter-aware analytic bound (the unimodal arbitrary declaration)
+   covers them;
+3. feeds the safe bounds into the feasibility conditions, and
+4. replays the *actual emission traces* through the CSMA/DDCR network
+   simulation: zero misses, latencies within B_DDCR.
+
+Run:  python examples/full_stack.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis.bounds import check_latency_bounds
+from repro.analysis.metrics import summarize
+from repro.analysis.report import format_table
+from repro.core.feasibility import check_feasibility
+from repro.host import TaskSpec, analytic_bound, empirical_bound, simulate_host
+from repro.model.arrival import TraceArrivals
+from repro.model.message import DensityBound, MessageClass
+from repro.model.problem import HRTDMProblem
+from repro.model.source import SourceSpec, allocate_static_indices
+from repro.net.network import NetworkSimulation
+from repro.net.phy import GIGABIT_ETHERNET
+from repro.protocols.ddcr import DDCRConfig, DDCRProtocol
+
+MS = 1_000_000
+HORIZON = 60 * MS
+WINDOW = 4 * MS
+
+
+def host_tasks(host_id: int) -> list[TaskSpec]:
+    """Each host runs a control task, a telemetry task and a bulk logger."""
+
+    def cls(name: str, length: int, deadline: int, a: int) -> MessageClass:
+        return MessageClass(
+            name=f"{name}-{host_id}",
+            length=length,
+            deadline=deadline,
+            bound=DensityBound(a=a, w=WINDOW),
+        )
+
+    return [
+        TaskSpec(
+            name=f"control-{host_id}",
+            period=4 * MS,
+            offset=host_id * 137_000,
+            bcet=100_000,
+            wcet=600_000,
+            priority=0,
+            message_class=cls("control", 1_000, 4 * MS, a=2),
+        ),
+        TaskSpec(
+            name=f"telemetry-{host_id}",
+            period=2 * MS,
+            offset=host_id * 61_000,
+            bcet=50_000,
+            wcet=400_000,
+            priority=1,
+            message_class=cls("telemetry", 4_000, 6 * MS, a=3),
+        ),
+        TaskSpec(
+            name=f"bulk-{host_id}",
+            period=8 * MS,
+            offset=0,
+            bcet=500_000,
+            wcet=2_000_000,
+            priority=2,
+            message_class=cls("bulk", 16_000, 20 * MS, a=2),
+        ),
+    ]
+
+
+def main() -> None:
+    hosts = 4
+    schedules = {
+        host_id: simulate_host(host_tasks(host_id), HORIZON, seed=host_id)
+        for host_id in range(hosts)
+    }
+
+    # 1-2: naive periodic declaration vs measured emissions.
+    rows = []
+    naive_violations = 0
+    for host_id in range(hosts):
+        for task in host_tasks(host_id):
+            trace = schedules[host_id].emission_trace(task.name)
+            naive = DensityBound(a=1, w=task.period)
+            jitter = schedules[host_id].jitter(task.name)
+            safe = analytic_bound(task, jitter, WINDOW)
+            tight = empirical_bound(trace, WINDOW)
+            naive_ok = naive.admits(trace)
+            naive_violations += not naive_ok
+            if host_id == 0:
+                rows.append(
+                    [
+                        task.name,
+                        len(trace),
+                        round(jitter / MS, 3),
+                        "yes" if naive_ok else "VIOLATED",
+                        f"a={tight.a}",
+                        f"a={safe.a}",
+                    ]
+                )
+    print(
+        format_table(
+            ["task (host 0)", "emissions", "jitter (ms)",
+             "naive periodic ok?", "measured bound", "declared bound"],
+            rows,
+            title="What the OS stack does to 'periodic' messages",
+        )
+    )
+    print(
+        f"\nnaive periodic declarations violated on "
+        f"{naive_violations}/{hosts * 3} task instances — "
+        "hence the unimodal arbitrary model.\n"
+    )
+
+    # 3: build the HRTDM instance from the *declared* (safe) bounds.
+    allocations = allocate_static_indices([2] * hosts, q=8)
+    sources = []
+    for host_id in range(hosts):
+        classes = []
+        for task in host_tasks(host_id):
+            jitter = schedules[host_id].jitter(task.name)
+            safe = analytic_bound(task, jitter, WINDOW)
+            base = task.message_class
+            classes.append(
+                MessageClass(
+                    name=base.name,
+                    length=base.length,
+                    deadline=base.deadline,
+                    bound=safe,
+                )
+            )
+        sources.append(
+            SourceSpec(
+                source_id=host_id,
+                message_classes=tuple(classes),
+                static_indices=allocations[host_id],
+            )
+        )
+    problem = HRTDMProblem(sources=tuple(sources), static_q=8, static_m=2)
+    config = DDCRConfig(
+        time_f=64,
+        time_m=4,
+        class_width=max(GIGABIT_ETHERNET.slot_time, 2 * 20 * MS // 64),
+        static_q=8,
+        static_m=2,
+        alpha=2 * GIGABIT_ETHERNET.slot_time,
+        theta_factor=1.0,
+    )
+    report = check_feasibility(
+        problem, GIGABIT_ETHERNET, config.tree_parameters()
+    )
+    print(
+        f"feasibility with declared bounds: "
+        f"{'FEASIBLE' if report.feasible else 'INFEASIBLE'} "
+        f"(binding class {report.worst.class_name}, "
+        f"slack {report.worst.slack / MS:.2f} ms)\n"
+    )
+
+    # 4: replay the actual emission traces through the network.
+    arrivals = {}
+    for host_id in range(hosts):
+        for task in host_tasks(host_id):
+            arrivals[task.message_class.name] = TraceArrivals(
+                trace=tuple(schedules[host_id].emission_trace(task.name))
+            )
+    simulation = NetworkSimulation(
+        problem,
+        GIGABIT_ETHERNET,
+        protocol_factory=lambda source: DDCRProtocol(config),
+        arrivals=arrivals,
+        check_consistency=True,
+    )
+    result = simulation.run(HORIZON)
+    metrics = summarize(result)
+    _, latency_checks = check_latency_bounds(
+        result, problem, GIGABIT_ETHERNET, config.tree_parameters()
+    )
+    print(
+        f"network replay of real emissions: delivered={metrics.delivered}, "
+        f"misses={metrics.misses}, "
+        f"worst bound usage="
+        f"{max(check.tightness for check in latency_checks):.1%}"
+    )
+    assert report.feasible and metrics.meets_hrtdm
+
+
+if __name__ == "__main__":
+    main()

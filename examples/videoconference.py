@@ -1,0 +1,114 @@
+"""Videoconferencing on one Gigabit Ethernet segment (section 2.1's example).
+
+Eight participants each send video frames, audio frames and control
+messages with per-class deadlines.  The script:
+
+* checks the feasibility conditions as the conference grows, finding the
+  largest participant count the proof admits;
+* simulates that maximal conference under peak load with CSMA/DDCR and
+  with CSMA-CD/BEB, showing the determinism gap (per-class worst latency
+  and deadline misses).
+
+Run:  python examples/videoconference.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis.metrics import summarize
+from repro.analysis.report import format_table
+from repro.core.feasibility import check_feasibility
+from repro.experiments.harness import (
+    build_simulation,
+    csma_cd_factory,
+    ddcr_factory,
+    default_ddcr_config,
+)
+from repro.model.workloads import videoconference_problem
+from repro.net.phy import GIGABIT_ETHERNET
+
+MS = 1_000_000
+
+
+def max_feasible_participants(limit: int = 64) -> int:
+    """Largest conference the feasibility conditions accept."""
+    best = 0
+    for participants in range(1, limit + 1):
+        problem = videoconference_problem(participants=participants)
+        config = default_ddcr_config(problem, GIGABIT_ETHERNET)
+        report = check_feasibility(
+            problem, GIGABIT_ETHERNET, config.tree_parameters()
+        )
+        if not report.feasible:
+            break
+        best = participants
+    return best
+
+
+def main() -> None:
+    best = max_feasible_participants()
+    print(f"feasibility conditions admit up to {best} participants\n")
+
+    problem = videoconference_problem(participants=best)
+    config = default_ddcr_config(problem, GIGABIT_ETHERNET)
+    horizon = 40 * MS
+
+    rows = []
+    per_class_rows = []
+    for name, factory in (
+        ("CSMA/DDCR", ddcr_factory(config)),
+        ("CSMA-CD/BEB", csma_cd_factory(seed=11)),
+    ):
+        result = build_simulation(
+            problem, GIGABIT_ETHERNET, factory
+        ).run(horizon)
+        metrics = summarize(result)
+        rows.append(
+            [
+                name,
+                metrics.delivered,
+                metrics.misses,
+                round(metrics.utilization, 3),
+                round(metrics.max_latency / MS, 3),
+                metrics.inversions,
+            ]
+        )
+        for kind in ("video", "audio", "control"):
+            stats = [
+                cm
+                for cls_name, cm in metrics.per_class.items()
+                if cls_name.startswith(kind)
+            ]
+            worst = max(
+                (cm.latency.maximum for cm in stats if cm.latency.count),
+                default=0.0,
+            )
+            per_class_rows.append(
+                [
+                    name,
+                    kind,
+                    sum(cm.delivered for cm in stats),
+                    sum(cm.misses for cm in stats),
+                    round(worst / MS, 3),
+                ]
+            )
+
+    print(
+        format_table(
+            ["protocol", "delivered", "misses", "util", "max lat (ms)",
+             "inversions"],
+            rows,
+            title=f"{best}-party conference, 40 ms of peak load",
+        )
+    )
+    print()
+    print(
+        format_table(
+            ["protocol", "class", "delivered", "misses", "worst lat (ms)"],
+            per_class_rows,
+            title="Per-media breakdown",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

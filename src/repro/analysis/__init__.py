@@ -1,0 +1,40 @@
+"""Analysis layer: metrics, sim-vs-bound checking, adversaries, reporting."""
+
+from repro.analysis.adversary import (
+    AdversarialScenario,
+    build_static_collision_scenario,
+    build_time_spread_scenario,
+    expected_tts_cost,
+)
+from repro.analysis.bounds import (
+    LatencyCheck,
+    SearchBoundViolation,
+    check_latency_bounds,
+    check_search_costs,
+)
+from repro.analysis.metrics import (
+    ClassMetrics,
+    RunMetrics,
+    count_inversions,
+    summarize,
+)
+from repro.analysis.report import ascii_plot, format_series, format_table, to_csv
+
+__all__ = [
+    "AdversarialScenario",
+    "build_static_collision_scenario",
+    "build_time_spread_scenario",
+    "expected_tts_cost",
+    "LatencyCheck",
+    "SearchBoundViolation",
+    "check_latency_bounds",
+    "check_search_costs",
+    "ClassMetrics",
+    "RunMetrics",
+    "count_inversions",
+    "summarize",
+    "ascii_plot",
+    "format_series",
+    "format_table",
+    "to_csv",
+]

@@ -1,0 +1,241 @@
+"""Adversarial scenario construction: drive the simulator to the analysis.
+
+The worst cases of Problems P1/P2 are attained by specific *placements* of
+active leaves (computed exactly by
+:func:`repro.core.search_cost.worst_case_placement`).  This module turns a
+placement into a concrete simulation:
+
+* :func:`build_static_collision_scenario` — z stations, one message each,
+  all in the same deadline equivalence class, with static indices at the
+  worst-case placement: the resulting time-leaf collision forces one STs
+  whose slot cost must equal ``1 + xi(k, q)`` (the leading 1 being the root
+  probe the leaf collision provides).
+* :func:`build_time_spread_scenario` — stations whose deadlines land in
+  chosen time-tree classes, to exercise TTs costs.
+
+Both return ready-to-run :class:`~repro.net.network.NetworkSimulation`-
+compatible pieces plus the analytic expectation, so tests and the SIM-XI
+bench can assert equality, not just inequality.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Sequence
+
+from repro.core.search_cost import xi_exact, xi_nondestructive
+from repro.model.message import DensityBound, MessageClass
+from repro.model.problem import HRTDMProblem
+from repro.model.source import SourceSpec
+from repro.net.network import NetworkSimulation
+from repro.net.phy import MediumProfile, ideal_medium
+from repro.protocols.ddcr.config import DDCRConfig
+from repro.protocols.ddcr.protocol import DDCRProtocol
+
+__all__ = [
+    "AdversarialScenario",
+    "build_static_collision_scenario",
+    "build_time_spread_scenario",
+]
+
+
+@dataclasses.dataclass
+class AdversarialScenario:
+    """A runnable worst-case scenario plus its analytic expectation."""
+
+    simulation: NetworkSimulation
+    config: DDCRConfig
+    expected_sts_cost: int | None
+    expected_participants: int
+    horizon: int
+
+    def run(self):
+        return self.simulation.run(self.horizon)
+
+
+def _uniform_class(
+    name: str, length: int, deadline: int, window: int
+) -> MessageClass:
+    return MessageClass(
+        name=name,
+        length=length,
+        deadline=deadline,
+        bound=DensityBound(a=1, w=window),
+    )
+
+
+def build_static_collision_scenario(
+    placement: Sequence[int],
+    static_q: int,
+    static_m: int,
+    medium: MediumProfile | None = None,
+    message_length: int = 1000,
+    nondestructive: bool = False,
+) -> AdversarialScenario:
+    """One simultaneous burst, one station per placement index.
+
+    All messages share arrival time 0 and the same deadline, so they fall
+    into the same deadline equivalence class; the initial collision starts
+    a TTs, the messages meet again on one time leaf, and the nested STs
+    must search the static tree with exactly the ``placement`` leaves
+    active — the analytic worst case when the placement came from
+    :func:`~repro.core.search_cost.worst_case_placement`.
+
+    With ``nondestructive=True`` the scenario runs on an idealised XOR bus
+    and the expected cost is :func:`~repro.core.search_cost.xi_nondestructive`
+    (pass a placement built with ``skip_empty=True`` for equality).
+    """
+    if len(placement) < 2:
+        raise ValueError("need at least two colliding stations")
+    if len(set(placement)) != len(placement):
+        raise ValueError("placement indices must be distinct")
+    if medium is None:
+        medium = ideal_medium(slot_time=64, destructive=not nondestructive)
+    k = len(placement)
+    # Generous deadline: the whole resolution (k transmissions + searches)
+    # must fit inside one deadline equivalence class.
+    per_message = medium.transmission_time(message_length) + 8 * medium.slot_time
+    deadline = max(100_000, 8 * k * per_message)
+    horizon = 4 * deadline
+    window = horizon  # one arrival per station in the run
+    sources = tuple(
+        SourceSpec(
+            source_id=i,
+            message_classes=(
+                _uniform_class(f"burst-{i}", message_length, deadline, window),
+            ),
+            static_indices=(index,),
+        )
+        for i, index in enumerate(sorted(placement))
+    )
+    problem = HRTDMProblem(
+        sources=sources, static_q=static_q, static_m=static_m
+    )
+    config = DDCRConfig(
+        time_f=64,
+        time_m=4,
+        class_width=deadline,  # one wide class: all collide on one leaf
+        static_q=static_q,
+        static_m=static_m,
+        alpha=0,
+        theta_factor=1.0,
+    )
+    simulation = NetworkSimulation(
+        problem,
+        medium,
+        protocol_factory=lambda src: DDCRProtocol(config),
+        check_consistency=True,
+    )
+    # The leaf collision is the root probe; xi(k, q) includes that root
+    # collision slot, so the STs record must equal xi exactly.
+    if nondestructive:
+        expected = xi_nondestructive(k, static_q, static_m)
+    else:
+        expected = xi_exact(k, static_q, static_m)
+    return AdversarialScenario(
+        simulation=simulation,
+        config=config,
+        expected_sts_cost=expected,
+        expected_participants=k,
+        horizon=horizon,
+    )
+
+
+def build_time_spread_scenario(
+    class_indices: Sequence[int],
+    time_f: int = 64,
+    time_m: int = 4,
+    medium: MediumProfile | None = None,
+    message_length: int = 1000,
+    class_width: int | None = None,
+) -> AdversarialScenario:
+    """Stations whose deadlines land in the given time-tree classes.
+
+    All arrive at time 0 and collide; the TTs then isolates one station per
+    distinct class.  With distinct classes no STs is needed, so the TTs
+    wasted-slot count is directly comparable to ``xi(k, F)`` over the time
+    tree (equal when the classes came from ``worst_case_placement``).
+
+    Deadlines are placed mid-class and ``class_width`` is sized so the
+    ``reft`` resets that follow each in-search success (section 3.2) cannot
+    drift a message across a class boundary before it transmits — the
+    placement the analysis assumed therefore survives the whole search.
+    """
+    if len(class_indices) < 2:
+        raise ValueError("need at least two stations")
+    if len(set(class_indices)) != len(class_indices):
+        raise ValueError(
+            "classes must be distinct (use the static scenario for ties)"
+        )
+    if max(class_indices) >= time_f:
+        raise ValueError("class index beyond the time tree horizon")
+    medium = medium if medium is not None else ideal_medium(slot_time=64)
+    if class_width is None:
+        k = len(class_indices)
+        per_message = (
+            medium.transmission_time(message_length) + 8 * medium.slot_time
+        )
+        drift_budget = k * per_message + time_f * medium.slot_time
+        class_width = 4 * drift_budget
+    horizon = (max(class_indices) + 2) * class_width
+    window = horizon
+    sources = []
+    static_q = 1
+    while static_q < len(class_indices):
+        static_q *= 2
+    for i, cls_index in enumerate(class_indices):
+        # Deadline placing the message in class `cls_index` at reft ~ slot 1:
+        # chosen mid-class to be robust to the root-collision slot offset.
+        deadline = cls_index * class_width + class_width // 2
+        sources.append(
+            SourceSpec(
+                source_id=i,
+                message_classes=(
+                    _uniform_class(
+                        f"spread-{i}", message_length, deadline, window
+                    ),
+                ),
+                static_indices=(i,),
+            )
+        )
+    problem = HRTDMProblem(
+        sources=tuple(sources), static_q=static_q, static_m=2
+    )
+    config = DDCRConfig(
+        time_f=time_f,
+        time_m=time_m,
+        class_width=class_width,
+        static_q=static_q,
+        static_m=2,
+        alpha=0,
+        theta_factor=1.0,
+    )
+    simulation = NetworkSimulation(
+        problem,
+        medium,
+        protocol_factory=lambda src: DDCRProtocol(config),
+        check_consistency=True,
+    )
+    k = len(class_indices)
+    expected = xi_exact(k, time_f, time_m)
+    return AdversarialScenario(
+        simulation=simulation,
+        config=config,
+        expected_sts_cost=None,
+        expected_participants=k,
+        horizon=horizon,
+    )
+
+
+def expected_tts_cost(class_indices: Sequence[int], time_f: int, time_m: int) -> int:
+    """Exact TTs slot cost for isolating the given distinct classes.
+
+    Delegates to the reference search semantics so benches can assert
+    equality for arbitrary (not only worst-case) placements.
+    """
+    from repro.core.search_cost import simulate_search
+
+    return simulate_search(class_indices, time_f, time_m).cost
+
+
+__all__.append("expected_tts_cost")

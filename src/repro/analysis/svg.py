@@ -1,0 +1,165 @@
+"""Minimal SVG line charts (stdlib only) for regenerating paper figures.
+
+The experiment CLI's ``--svg`` option uses this to write Fig. 1 / Fig. 2
+as actual vector figures.  Deliberately small: line series over numeric
+axes with ticks, labels, a legend and an optional staircase mode (exact
+xi curves are step functions in k).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Sequence
+from xml.sax.saxutils import escape
+
+__all__ = ["Series", "line_chart"]
+
+_COLORS = ("#1b6ca8", "#c1403d", "#3a7d44", "#8a5a00", "#6b4fa0", "#444444")
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class Series:
+    """One plotted series."""
+
+    name: str
+    xs: Sequence[float]
+    ys: Sequence[float]
+    staircase: bool = False
+
+    def __post_init__(self) -> None:
+        if len(self.xs) != len(self.ys):
+            raise ValueError(
+                f"series {self.name!r}: {len(self.xs)} xs vs {len(self.ys)} ys"
+            )
+        if not self.xs:
+            raise ValueError(f"series {self.name!r} is empty")
+
+
+def _ticks(lo: float, hi: float, count: int = 6) -> list[float]:
+    """Round-ish tick positions covering [lo, hi]."""
+    if hi == lo:
+        return [lo]
+    raw = (hi - lo) / max(1, count - 1)
+    magnitude = 10 ** len(str(int(raw))) / 10 if raw >= 1 else 1
+    step = max(1.0, round(raw / magnitude) * magnitude)
+    first = int(lo // step) * step
+    ticks = []
+    value = first
+    while value <= hi + step / 2:
+        if value >= lo - step / 2:
+            ticks.append(value)
+        value += step
+    return ticks or [lo, hi]
+
+
+def _fmt(value: float) -> str:
+    return f"{value:g}"
+
+
+def line_chart(
+    series: Sequence[Series],
+    title: str,
+    x_label: str,
+    y_label: str,
+    width: int = 720,
+    height: int = 440,
+) -> str:
+    """Render the series as a complete SVG document string."""
+    if not series:
+        raise ValueError("need at least one series")
+    margin_left, margin_right = 64, 24
+    margin_top, margin_bottom = 48, 56
+    plot_w = width - margin_left - margin_right
+    plot_h = height - margin_top - margin_bottom
+    x_lo = min(min(s.xs) for s in series)
+    x_hi = max(max(s.xs) for s in series)
+    y_lo = min(0.0, min(min(s.ys) for s in series))
+    y_hi = max(max(s.ys) for s in series)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    def px(x: float) -> float:
+        return margin_left + (x - x_lo) / x_span * plot_w
+
+    def py(y: float) -> float:
+        return margin_top + plot_h - (y - y_lo) / y_span * plot_h
+
+    parts: list[str] = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}" '
+        f'font-family="sans-serif" font-size="12">',
+        f'<rect width="{width}" height="{height}" fill="white"/>',
+        f'<text x="{width / 2}" y="24" text-anchor="middle" '
+        f'font-size="15" font-weight="bold">{escape(title)}</text>',
+    ]
+    # Axes and ticks.
+    axis_color = "#333333"
+    parts.append(
+        f'<line x1="{margin_left}" y1="{margin_top + plot_h}" '
+        f'x2="{margin_left + plot_w}" y2="{margin_top + plot_h}" '
+        f'stroke="{axis_color}"/>'
+    )
+    parts.append(
+        f'<line x1="{margin_left}" y1="{margin_top}" x2="{margin_left}" '
+        f'y2="{margin_top + plot_h}" stroke="{axis_color}"/>'
+    )
+    for tick in _ticks(x_lo, x_hi):
+        x = px(tick)
+        parts.append(
+            f'<line x1="{x:.1f}" y1="{margin_top + plot_h}" x2="{x:.1f}" '
+            f'y2="{margin_top + plot_h + 5}" stroke="{axis_color}"/>'
+        )
+        parts.append(
+            f'<text x="{x:.1f}" y="{margin_top + plot_h + 20}" '
+            f'text-anchor="middle">{_fmt(tick)}</text>'
+        )
+    for tick in _ticks(y_lo, y_hi):
+        y = py(tick)
+        parts.append(
+            f'<line x1="{margin_left - 5}" y1="{y:.1f}" x2="{margin_left}" '
+            f'y2="{y:.1f}" stroke="{axis_color}"/>'
+        )
+        parts.append(
+            f'<text x="{margin_left - 9}" y="{y + 4:.1f}" '
+            f'text-anchor="end">{_fmt(tick)}</text>'
+        )
+        parts.append(
+            f'<line x1="{margin_left}" y1="{y:.1f}" '
+            f'x2="{margin_left + plot_w}" y2="{y:.1f}" stroke="#dddddd" '
+            f'stroke-dasharray="3,4"/>'
+        )
+    parts.append(
+        f'<text x="{margin_left + plot_w / 2}" y="{height - 12}" '
+        f'text-anchor="middle">{escape(x_label)}</text>'
+    )
+    parts.append(
+        f'<text x="16" y="{margin_top + plot_h / 2}" text-anchor="middle" '
+        f'transform="rotate(-90 16 {margin_top + plot_h / 2})">'
+        f"{escape(y_label)}</text>"
+    )
+    # Series.
+    for index, one in enumerate(series):
+        color = _COLORS[index % len(_COLORS)]
+        points: list[str] = []
+        previous_y: float | None = None
+        for x, y in zip(one.xs, one.ys):
+            if one.staircase and previous_y is not None:
+                points.append(f"{px(x):.1f},{py(previous_y):.1f}")
+            points.append(f"{px(x):.1f},{py(y):.1f}")
+            previous_y = y
+        parts.append(
+            f'<polyline points="{" ".join(points)}" fill="none" '
+            f'stroke="{color}" stroke-width="1.8"/>'
+        )
+        legend_y = margin_top + 8 + index * 18
+        legend_x = margin_left + plot_w - 150
+        parts.append(
+            f'<line x1="{legend_x}" y1="{legend_y}" x2="{legend_x + 24}" '
+            f'y2="{legend_y}" stroke="{color}" stroke-width="2"/>'
+        )
+        parts.append(
+            f'<text x="{legend_x + 30}" y="{legend_y + 4}">'
+            f"{escape(one.name)}</text>"
+        )
+    parts.append("</svg>")
+    return "\n".join(parts)

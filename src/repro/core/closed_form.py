@@ -1,0 +1,120 @@
+"""Problem P1, closed form: Eq. 9, Eq. 10 and the linear regime Eq. 15.
+
+The paper derives, from the special values and the derivative (Eq. 5-8), a
+closed form for the even restriction (Eq. 9)::
+
+    xi(2p, t) = (m**ceil(log_m(m p)) - 1)/(m - 1)
+                + m p floor(log_m(t / (m p)))
+                + (m - 2) p                         for p in [1, floor(t/2)]
+    xi(0, t)  = 1
+
+and for all k (Eq. 10, using p = floor(k/2) and Eq. 3)::
+
+    xi(k, t) = (m**ceil(log_m(m floor(k/2))) - 1)/(m - 1)
+               + m floor(k/2) floor(log_m(t / (m floor(k/2))))
+               - (k - m floor(k/2))                 for k in [2, t]
+
+Over the saturated interval ``[2t/m, t]`` the function is exactly linear
+(Eq. 15)::
+
+    xi(k, t) = (m t - 1)/(m - 1) - k
+
+Everything here is pure integer arithmetic (the logs are integer logs), so
+results agree bit-for-bit with the ground-truth DP — the tests verify this
+over the full (m, t, k) grid.
+"""
+
+from __future__ import annotations
+
+from repro.core.trees import (
+    TreeShapeError,
+    ceil_log,
+    geometric_sum,
+    integer_log,
+)
+
+__all__ = ["xi_even_closed_form", "xi_closed_form", "xi_linear_regime"]
+
+
+def _floor_log_ratio(numerator: int, denominator: int, m: int) -> int:
+    """Exact ``floor(log_m(numerator / denominator))``, sign included.
+
+    For ``denominator <= numerator`` this is the largest e >= 0 with
+    ``denominator * m**e <= numerator``; otherwise it is negative.
+    The closed form only ever needs ``denominator <= numerator`` when its
+    preconditions hold, but we compute the general case for safety.
+    """
+    if numerator < 1 or denominator < 1:
+        raise ValueError("log ratio requires positive integers")
+    if denominator <= numerator:
+        e = 0
+        power = denominator
+        while power * m <= numerator:
+            power *= m
+            e += 1
+        return e
+    e = 0
+    power = denominator
+    while power > numerator:
+        # floor(log) of a ratio in (0, 1): step down until <= numerator.
+        if power % m == 0:
+            power //= m
+        else:
+            power = power // m  # conservative integer step
+        e -= 1
+    return e
+
+
+def xi_even_closed_form(p: int, t: int, m: int) -> int:
+    """Eq. 9: closed form of ``xi(2p, t)``.
+
+    >>> xi_even_closed_form(1, 64, 4)   # == xi(2, 64) == Eq. 5
+    11
+    """
+    integer_log(t, m)  # validate shape
+    if p == 0:
+        return 1
+    if not 1 <= p <= t // 2:
+        raise ValueError(f"p={p} out of range [0, {t // 2}]")
+    head = geometric_sum(m, ceil_log(m * p, m))
+    middle = m * p * _floor_log_ratio(t, m * p, m)
+    return head + middle + (m - 2) * p
+
+
+def xi_closed_form(k: int, t: int, m: int) -> int:
+    """Eq. 10: closed form of ``xi(k, t)`` for every ``k in [0, t]``.
+
+    This is the paper's final exact answer to Problem P1.
+
+    >>> xi_closed_form(2, 64, 4)
+    11
+    >>> xi_closed_form(64, 64, 4)
+    21
+    """
+    integer_log(t, m)  # validate shape
+    if k == 0:
+        return 1
+    if k == 1:
+        return 0
+    if not 2 <= k <= t:
+        raise ValueError(f"k={k} out of range [0, {t}]")
+    half = k // 2
+    head = geometric_sum(m, ceil_log(m * half, m))
+    middle = m * half * _floor_log_ratio(t, m * half, m)
+    return head + middle - (k - m * half)
+
+
+def xi_linear_regime(k: int, t: int, m: int) -> int:
+    """Eq. 15: exact linear form of ``xi`` over the saturated interval.
+
+    Valid for ``k in [2t/m, t]``:  ``xi(k, t) = (m t - 1)/(m - 1) - k``.
+    In this regime every additional active leaf converts one empty slot into
+    a (free) success, so the cost falls by exactly 1 per unit of k.
+    """
+    n = integer_log(t, m)
+    if n < 1:
+        raise TreeShapeError("linear regime requires t >= m")
+    lo = 2 * t // m
+    if not lo <= k <= t:
+        raise ValueError(f"k={k} outside linear regime [{lo}, {t}]")
+    return geometric_sum(m, n + 1) - k

@@ -1,0 +1,141 @@
+"""Problem P1, divide-and-conquer form: Eq. 2-4 and special values Eq. 5-8.
+
+The paper (citing [22]) proves that the defining recursion Eq. 1 is also
+satisfied by a much cheaper divide-and-conquer recursion in ``p`` (for even
+``k = 2p``), with odd values hanging off even ones::
+
+    xi(2p, t)   = 1 + sum_{i=0}^{m-1} xi(2*floor((min(p, t/m) + i) / m), t/m)
+                    - 2 * max(0, p - t/m)            for p in [1, floor(t/2)]
+    xi(0, t)    = 1
+    xi(2p+1, t) = xi(2p, t) - 1                      for p in [0, ceil(t/2)-1]
+
+with base case (Eq. 4) for the single-level tree ``t = m``::
+
+    xi(0, m) = 1;  xi(2p, m) = 1 + m - 2p;  xi(2p+1, m) = xi(2p, m) - 1
+
+This module implements that recursion, plus the paper's special values:
+
+* Eq. 5: ``xi(2, t)  = m log_m(t) - 1``
+* Eq. 6: ``xi(2t/m, t) = (t-1)/(m-1) + (t - 2t/m)``
+* Eq. 7: ``xi(t, t)  = (t-1)/(m-1)``
+* Eq. 8: ``xi(2p+2, t) - xi(2p, t) = m (log_m(t) - floor(log_m(mp))) - 2``
+
+All are exact integer formulas; the tests cross-check every one of them
+against the ground-truth DP in :mod:`repro.core.search_cost`.
+"""
+
+from __future__ import annotations
+
+import functools
+
+from repro.core.trees import (
+    BalancedTree,
+    floor_log,
+    geometric_sum,
+    integer_log,
+)
+
+__all__ = [
+    "xi_divide_conquer",
+    "divide_conquer_table",
+    "xi_two",
+    "xi_knee",
+    "xi_full",
+    "xi_even_increment",
+]
+
+
+@functools.lru_cache(maxsize=None)
+def _dc_tuple(m: int, n: int) -> tuple[int, ...]:
+    """Eq. 2-4 evaluated for all k in [0, t], t = m**n."""
+    t = m**n
+    costs = [0] * (t + 1)
+    costs[0] = 1
+    if n == 1:
+        # Eq. 4 base case: one-level tree.
+        for p in range(1, t // 2 + 1):
+            costs[2 * p] = 1 + m - 2 * p
+    else:
+        child = _dc_tuple(m, n - 1)
+        t_over_m = t // m
+        for p in range(1, t // 2 + 1):
+            clamped = min(p, t_over_m)
+            total = 1 - 2 * max(0, p - t_over_m)
+            for i in range(m):
+                total += child[2 * ((clamped + i) // m)]
+            costs[2 * p] = total
+    # Eq. 3: odd values.
+    for p in range((t + 1) // 2):
+        costs[2 * p + 1] = costs[2 * p] - 1
+    return tuple(costs)
+
+
+def divide_conquer_table(m: int, t: int) -> tuple[int, ...]:
+    """All ``xi(k, t)`` for ``k in [0, t]`` via the Eq. 2-4 recursion.
+
+    ``O(t)`` per level instead of the DP's ``O(t^2)`` — this is what makes
+    large scheduling horizons (big F) computable in the feasibility tooling.
+    """
+    tree = BalancedTree.of(m=m, leaves=t)
+    if tree.height == 0:
+        return (1, 0)
+    return _dc_tuple(m, tree.height)
+
+
+def xi_divide_conquer(k: int, t: int, m: int) -> int:
+    """``xi(k, t)`` via the divide-and-conquer recursion (Eq. 2-4)."""
+    if not 0 <= k <= t:
+        raise ValueError(f"k={k} out of range [0, {t}]")
+    return divide_conquer_table(m, t)[k]
+
+
+def xi_two(t: int, m: int) -> int:
+    """Eq. 5: worst case for isolating exactly 2 leaves.
+
+    ``xi(2, t) = m log_m(t) - 1``.  This drives the S2 term of the
+    feasibility conditions (2 active leaves per time tree is the worst-case
+    assignment, section 4.3).
+
+    >>> xi_two(64, 4)
+    11
+    """
+    n = integer_log(t, m)
+    if n < 1:
+        raise ValueError("xi(2, t) requires t >= m")
+    return m * n - 1
+
+
+def xi_knee(t: int, m: int) -> int:
+    """Eq. 6: worst case at the knee ``k = 2t/m``.
+
+    ``xi(2t/m, t) = (t-1)/(m-1) + (t - 2t/m)``; beyond this point the curve
+    is exactly linear (Eq. 15).
+    """
+    n = integer_log(t, m)
+    if n < 1:
+        raise ValueError("xi(2t/m, t) requires t >= m")
+    return geometric_sum(m, n) + (t - 2 * t // m)
+
+
+def xi_full(t: int, m: int) -> int:
+    """Eq. 7: worst case with every leaf active.
+
+    ``xi(t, t) = (t-1)/(m-1)`` — all internal nodes collide, no empty slot.
+    """
+    n = integer_log(t, m)
+    return geometric_sum(m, n)
+
+
+def xi_even_increment(p: int, t: int, m: int) -> int:
+    """Eq. 8, the "derivative": ``xi(2p+2, t) - xi(2p, t)``.
+
+    Equals ``m (log_m(t) - floor(log_m(m p))) - 2`` for
+    ``p in [1, floor(t/2) - 1]``.  Positive while the curve climbs, negative
+    past the knee; its sign change locates the maximum of xi over k.
+    """
+    n = integer_log(t, m)
+    if n < 2:
+        raise ValueError("Eq. 8 requires t = m**n with n >= 2")
+    if not 1 <= p <= t // 2 - 1:
+        raise ValueError(f"p={p} out of range [1, {t // 2 - 1}]")
+    return m * (n - floor_log(m * p, m)) - 2

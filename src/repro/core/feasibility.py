@@ -1,0 +1,254 @@
+"""Feasibility conditions for HRTDM under CSMA/DDCR (section 4.3).
+
+For each message class M of source s_i the paper bounds the successful
+transmission latency by ``B_DDCR(s_i, M)`` and declares the instance
+feasible iff ``B_DDCR(s_i, M) <= d(M)`` for every class of every source.
+
+The bound combines:
+
+* ``r(M)`` — worst-case rank of M in its local EDF queue: messages msg of
+  the same source can precede M only if they arrive within
+  ``[T(M) - d(msg), T(M) + d(M) - d(msg)]``, a window of length d(M), so
+  ``r(M) = sum_{msg in MSG_i} ceil(d(M)/w(msg)) * a(msg) - 1``;
+* ``u(M)`` — worst-case number of messages transmitted by all sources over
+  ``I(M) = [T(M), T(M)+d(M))``:
+  ``u(M) = sum_{msg in MSG} ceil((d(M)+d(msg)-l'(M)/psi)/w(msg)) * a(msg)``;
+* ``v(M) = 1 + floor(r(M)/nu_i)`` — static trees needed before M clears;
+* ``S1 = v(M) * xi_tilde(u(M)/v(M), q)`` — Problem P2 bound on static-tree
+  search slots (section 4.2);
+* ``S2 = ceil(v(M)/2) * xi(2, F)`` — time-tree search slots; two active
+  leaves per time tree is the worst-case assignment;
+* the physical transmission time of the u(M) messages.
+
+All quantities are computed in integer bit-times where exact and floats
+where the paper's formulas are real-valued (the xi_tilde term).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import typing
+
+from repro.core.divide_conquer import xi_two
+from repro.core.multi_tree import multi_tree_bound_extended
+from repro.core.trees import is_power_of
+from repro.model.message import MessageClass
+from repro.model.problem import HRTDMProblem
+from repro.model.source import SourceSpec
+
+if typing.TYPE_CHECKING:  # pragma: no cover - layering: core must not pull net
+    from repro.net.phy import MediumProfile
+
+__all__ = [
+    "TreeParameters",
+    "queue_rank_bound",
+    "interference_bound",
+    "static_tree_count",
+    "ClassFeasibility",
+    "FeasibilityReport",
+    "latency_bound",
+    "check_feasibility",
+    "max_feasible_scale",
+]
+
+
+def _ceil_div(numerator: int, denominator: int) -> int:
+    """Exact ceil(numerator/denominator) for integers, denominator > 0."""
+    return -(-numerator // denominator)
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class TreeParameters:
+    """Tree shapes the FC formulas need (protocol configuration excerpt).
+
+    ``time_f`` = F, the time-tree leaf count; ``time_m`` its branching
+    degree; ``static_q`` = q and ``static_m`` for the static tree.
+    """
+
+    time_f: int
+    time_m: int
+    static_q: int
+    static_m: int
+
+    def __post_init__(self) -> None:
+        if not is_power_of(self.time_f, self.time_m):
+            raise ValueError(
+                f"F={self.time_f} is not a power of m={self.time_m}"
+            )
+        if not is_power_of(self.static_q, self.static_m):
+            raise ValueError(
+                f"q={self.static_q} is not a power of m={self.static_m}"
+            )
+
+
+def queue_rank_bound(target: MessageClass, source: SourceSpec) -> int:
+    """``r(M)``: worst-case EDF rank of M within its own source's queue.
+
+    >>> # a class alone in its source is always ranked first: r = a(M) - 1
+    """
+    total = 0
+    for cls in source.message_classes:
+        total += _ceil_div(target.deadline, cls.bound.w) * cls.bound.a
+    return total - 1
+
+
+def interference_bound(
+    target: MessageClass, problem: HRTDMProblem, medium: "MediumProfile"
+) -> int:
+    """``u(M)``: messages transmitted by all sources over I(M), peak load."""
+    l_prime = medium.encapsulate(target.length)
+    total = 0
+    for cls in problem.all_classes():
+        window_span = target.deadline + cls.deadline - l_prime
+        if window_span <= 0:
+            continue
+        total += _ceil_div(window_span, cls.bound.w) * cls.bound.a
+    return total
+
+
+def static_tree_count(rank: int, nu: int) -> int:
+    """``v(M) = 1 + floor(r(M) / nu_i)``: static trees searched before M."""
+    if rank < 0:
+        raise ValueError(f"rank must be >= 0, got {rank}")
+    if nu < 1:
+        raise ValueError(f"nu must be >= 1, got {nu}")
+    return 1 + rank // nu
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class ClassFeasibility:
+    """Per-class FC evaluation: the bound, its pieces, and the verdict."""
+
+    source_id: int
+    class_name: str
+    deadline: int
+    rank: int
+    interference: int
+    static_trees: int
+    transmission_bits: int
+    search_slots_static: float
+    search_slots_time: int
+    bound: float
+
+    @property
+    def feasible(self) -> bool:
+        return self.bound <= self.deadline
+
+    @property
+    def slack(self) -> float:
+        """Deadline minus bound; negative when infeasible."""
+        return self.deadline - self.bound
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class FeasibilityReport:
+    """FC verdicts for every message class of an HRTDM instance."""
+
+    classes: tuple[ClassFeasibility, ...]
+
+    @property
+    def feasible(self) -> bool:
+        """The paper's FC: every class of every source meets its bound."""
+        return all(c.feasible for c in self.classes)
+
+    @property
+    def worst(self) -> ClassFeasibility:
+        """The class with the least slack (the binding constraint)."""
+        return min(self.classes, key=lambda c: c.slack)
+
+    def by_class(self, name: str) -> ClassFeasibility:
+        for c in self.classes:
+            if c.class_name == name:
+                return c
+        raise KeyError(f"no class named {name!r}")
+
+
+def latency_bound(
+    target: MessageClass,
+    source: SourceSpec,
+    problem: HRTDMProblem,
+    medium: "MediumProfile",
+    trees: TreeParameters,
+) -> ClassFeasibility:
+    """``B_DDCR(s_i, M)`` with all intermediate quantities exposed."""
+    rank = queue_rank_bound(target, source)
+    u = interference_bound(target, problem, medium)
+    v = static_tree_count(rank, source.nu)
+    # Physical transmission time of the u(M) interfering messages: the same
+    # per-class counts as u(M), each weighted by its own l'(msg)/psi.
+    l_prime_target = medium.encapsulate(target.length)
+    transmission = 0
+    for cls in problem.all_classes():
+        window_span = target.deadline + cls.deadline - l_prime_target
+        if window_span <= 0:
+            continue
+        count = _ceil_div(window_span, cls.bound.w) * cls.bound.a
+        transmission += count * medium.encapsulate(cls.length)
+    # S1: u(M) messages isolated over v(M) consecutive static trees (P2).
+    # Clamp u/v into [1, q]: below 1 every tree still isolates >= 1 message,
+    # and above q a tree's search cost saturates at xi(q, q) — the extended
+    # bound's linear piece hits exactly that value at k = q, so the clamp is
+    # lossless (DESIGN.md section 5).
+    u_for_search = min(max(u, v), trees.static_q * v)
+    s1 = multi_tree_bound_extended(
+        float(u_for_search), v, trees.static_q, trees.static_m
+    )
+    # S2: v(M) time-tree leaves over ceil(v/2) time trees, 2 per tree worst.
+    s2 = math.ceil(v / 2) * xi_two(trees.time_f, trees.time_m)
+    bound = transmission + medium.slot_time * (s1 + s2)
+    return ClassFeasibility(
+        source_id=source.source_id,
+        class_name=target.name,
+        deadline=target.deadline,
+        rank=rank,
+        interference=u,
+        static_trees=v,
+        transmission_bits=transmission,
+        search_slots_static=s1,
+        search_slots_time=s2,
+        bound=bound,
+    )
+
+
+def check_feasibility(
+    problem: HRTDMProblem, medium: "MediumProfile", trees: TreeParameters
+) -> FeasibilityReport:
+    """Evaluate the paper's feasibility conditions for a whole instance.
+
+    ``forall s_i, forall M in MSG_i:  B_DDCR(s_i, M) <= d(M)``.
+    """
+    rows = [
+        latency_bound(cls, source, problem, medium, trees)
+        for source, cls in problem.iter_source_classes()
+    ]
+    return FeasibilityReport(classes=tuple(rows))
+
+
+def max_feasible_scale(
+    problem_factory,
+    medium: "MediumProfile",
+    trees: TreeParameters,
+    lo: float = 0.01,
+    hi: float = 1.0,
+    tolerance: float = 1e-3,
+) -> float:
+    """Largest load scale s in [lo, hi] such that factory(s) is feasible.
+
+    ``problem_factory(scale)`` must build an :class:`HRTDMProblem` whose
+    arrival densities grow with ``scale``.  Binary search assuming
+    monotonicity (denser arrivals can only hurt); returns 0.0 when even
+    ``lo`` is infeasible.  Used by the FC frontier bench.
+    """
+    if not check_feasibility(problem_factory(lo), medium, trees).feasible:
+        return 0.0
+    if check_feasibility(problem_factory(hi), medium, trees).feasible:
+        return hi
+    feasible, infeasible = lo, hi
+    while infeasible - feasible > tolerance:
+        mid = (feasible + infeasible) / 2
+        if check_feasibility(problem_factory(mid), medium, trees).feasible:
+            feasible = mid
+        else:
+            infeasible = mid
+    return feasible

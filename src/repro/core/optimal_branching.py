@@ -1,0 +1,120 @@
+"""Branching-degree selection (generalising Fig. 2).
+
+Fig. 2 of the paper compares 64-leaf binary and quaternary trees and notes
+that the quaternary tree's worst-case search time is <= the binary tree's
+for every ``k in [2, 64]``; "more generally, optimal m is derived from the
+general expression of xi".  This module makes that derivation executable:
+given a leaf budget and a load profile over k, rank candidate branching
+degrees by exact worst-case cost.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Iterable, Sequence
+
+from repro.core.search_cost import exact_cost_table
+from repro.core.trees import is_power_of
+
+__all__ = [
+    "admissible_degrees",
+    "dominates",
+    "BranchingComparison",
+    "compare_degrees",
+    "optimal_degree",
+]
+
+
+def admissible_degrees(t: int, candidates: Iterable[int] | None = None) -> list[int]:
+    """Branching degrees m >= 2 for which ``t`` is a balanced-tree leaf count.
+
+    >>> admissible_degrees(64)
+    [2, 4, 8, 64]
+    """
+    if t < 2:
+        raise ValueError(f"t must be >= 2, got {t}")
+    pool = candidates if candidates is not None else range(2, t + 1)
+    return [m for m in pool if m >= 2 and is_power_of(t, m)]
+
+
+def dominates(m_a: int, m_b: int, t: int) -> bool:
+    """True iff ``xi_{m_a}(k, t) <= xi_{m_b}(k, t)`` for every ``k in [2, t]``.
+
+    Fig. 2's claim is ``dominates(4, 2, 64) == True``.
+    """
+    table_a = exact_cost_table(m_a, t)
+    table_b = exact_cost_table(m_b, t)
+    return all(table_a[k] <= table_b[k] for k in range(2, t + 1))
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class BranchingComparison:
+    """Worst-case cost profile of one branching degree at a fixed t."""
+
+    m: int
+    t: int
+    costs: tuple[int, ...]
+    peak_cost: int
+    total_cost: int
+    weighted_cost: float
+
+    def cost_at(self, k: int) -> int:
+        return self.costs[k]
+
+
+def compare_degrees(
+    t: int,
+    degrees: Sequence[int] | None = None,
+    weights: Sequence[float] | None = None,
+) -> list[BranchingComparison]:
+    """Exact cost profiles for each admissible degree, best first.
+
+    ``weights[k]`` (optional, length t+1) expresses how often a search must
+    isolate k leaves under the expected load; the ranking key is the
+    weighted cost, falling back to the sum over ``k in [2, t]`` (uniform).
+    """
+    chosen = admissible_degrees(t, degrees)
+    if not chosen:
+        raise ValueError(f"no admissible branching degree for t={t}")
+    if weights is not None and len(weights) != t + 1:
+        raise ValueError(f"weights must have length {t + 1}")
+    results: list[BranchingComparison] = []
+    for m in chosen:
+        table = exact_cost_table(m, t)
+        span = range(2, t + 1)
+        total = sum(table[k] for k in span)
+        if weights is None:
+            weighted = float(total)
+        else:
+            weighted = sum(weights[k] * table[k] for k in span)
+        results.append(
+            BranchingComparison(
+                m=m,
+                t=t,
+                costs=table.costs,
+                peak_cost=max(table[k] for k in span),
+                total_cost=total,
+                weighted_cost=weighted,
+            )
+        )
+    results.sort(key=lambda r: (r.weighted_cost, r.peak_cost, r.m))
+    return results
+
+
+def optimal_degree(
+    t: int,
+    degrees: Sequence[int] | None = None,
+    weights: Sequence[float] | None = None,
+) -> int:
+    """The branching degree minimising (weighted) worst-case search cost.
+
+    Under CSMA/DDCR, time-tree searches isolate few leaves per tree (two is
+    the worst-case assignment of section 4.3), so pass weights concentrated
+    on small k to rank degrees for that regime; ties fall to the degree
+    with the lower peak cost:
+
+    >>> small_k = [1.0 if k <= 4 else 0.0 for k in range(65)]
+    >>> optimal_degree(64, degrees=[2, 4, 8], weights=small_k)
+    4
+    """
+    return compare_degrees(t, degrees, weights)[0].m

@@ -1,0 +1,5 @@
+"""Experiment harness: one module per paper artefact (see DESIGN.md)."""
+
+from repro.experiments.base import ExperimentResult
+
+__all__ = ["ExperimentResult"]

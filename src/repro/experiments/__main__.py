@@ -1,0 +1,66 @@
+"""CLI: regenerate the paper's figures and bound tables.
+
+Usage::
+
+    python -m repro.experiments                 # list experiments
+    python -m repro.experiments FIG1 FIG2       # run specific experiments
+    python -m repro.experiments --all           # run the full suite
+    python -m repro.experiments FIG1 --csv out  # also write CSV files
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Reproduce the paper's figures and bound tables.",
+    )
+    parser.add_argument(
+        "ids",
+        nargs="*",
+        help="experiment ids (see DESIGN.md); empty lists them",
+    )
+    parser.add_argument(
+        "--all", action="store_true", help="run the full suite"
+    )
+    parser.add_argument(
+        "--csv",
+        metavar="DIR",
+        help="also write each experiment's rows as CSV into DIR",
+    )
+    args = parser.parse_args(argv)
+    ids = list(EXPERIMENTS) if args.all else args.ids
+    if not ids:
+        print("available experiments:")
+        for experiment_id in EXPERIMENTS:
+            print(f"  {experiment_id}")
+        return 0
+    failures = 0
+    for experiment_id in ids:
+        result = run_experiment(experiment_id)
+        print(result.render())
+        print()
+        if args.csv:
+            directory = pathlib.Path(args.csv)
+            directory.mkdir(parents=True, exist_ok=True)
+            path = directory / f"{experiment_id.lower()}.csv"
+            path.write_text(result.csv() + "\n")
+            print(f"wrote {path}")
+            for stem, svg in result.svg_figures.items():
+                figure_path = directory / f"{stem}.svg"
+                figure_path.write_text(svg + "\n")
+                print(f"wrote {figure_path}")
+        if not result.all_checks_pass:
+            failures += 1
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

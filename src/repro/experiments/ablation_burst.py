@@ -1,0 +1,108 @@
+"""ABL-BURST — ablation: half-duplex GigE packet bursting (section 5).
+
+Section 5 argues CSMA/DDCR composes with 802.3z packet bursting: after a
+success a station may keep the channel and transmit further EDF-ranked
+messages up to a burst budget.  Sweep the budget on a workload where each
+source queues several messages per window, and measure both sides of the
+deal:
+
+* fewer contentions per delivered message (bursts amortise the tree
+  searches) -> lower worst-case latency and higher goodput at equal load;
+* a longer non-preemptable channel hold -> other sources' urgent messages
+  can be overtaken (deadline inversions may rise).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.metrics import summarize
+from repro.experiments.base import ExperimentResult
+from repro.experiments.harness import build_simulation, ddcr_factory
+from repro.model.workloads import uniform_problem
+from repro.net.phy import GIGABIT_ETHERNET, MediumProfile
+from repro.protocols.ddcr.config import DDCRConfig
+
+__all__ = ["run", "DEFAULT_BURST_LIMITS"]
+
+_MS = 1_000_000
+
+#: Burst budgets in DL-PDU bits (0 = bursting off; 65536 = 8 KiB, 802.3z).
+DEFAULT_BURST_LIMITS: tuple[int, ...] = (0, 16_384, 65_536)
+
+
+def run(
+    burst_limits: tuple[int, ...] = DEFAULT_BURST_LIMITS,
+    medium: MediumProfile = GIGABIT_ETHERNET,
+    horizon: int = 24 * _MS,
+) -> ExperimentResult:
+    """Sweep the burst budget on a multi-message-per-window workload."""
+    problem = uniform_problem(
+        z=8, length=4_000, deadline=6 * _MS, a=4, w=4 * _MS, nu=1
+    )
+
+    def config_for(burst_limit: int) -> DDCRConfig:
+        return DDCRConfig(
+            time_f=64,
+            time_m=4,
+            class_width=max(medium.slot_time, 2 * 6 * _MS // 64),
+            static_q=problem.static_q,
+            static_m=problem.static_m,
+            alpha=2 * medium.slot_time,
+            theta_factor=1.0,
+            burst_limit=burst_limit,
+        )
+
+    rows: list[list[object]] = []
+    checks: dict[str, bool] = {}
+    contention_by_limit: dict[int, int] = {}
+    latency_by_limit: dict[int, int] = {}
+    for burst_limit in burst_limits:
+        result = build_simulation(
+            problem,
+            medium,
+            ddcr_factory(config_for(burst_limit)),
+            check_consistency=True,
+        ).run(horizon)
+        metrics = summarize(result)
+        # Collisions are the contention signal; silence slots are dominated
+        # by the protocol's perpetual empty-TTs loop, which is horizon-
+        # bound and identical across burst settings.
+        contention = result.stats.collision_slots
+        contention_by_limit[burst_limit] = contention
+        latency_by_limit[burst_limit] = metrics.max_latency
+        rows.append(
+            [
+                burst_limit,
+                metrics.delivered,
+                metrics.misses,
+                result.stats.collision_slots,
+                round(metrics.utilization, 4),
+                metrics.max_latency,
+                metrics.inversions,
+            ]
+        )
+        checks[f"burst={burst_limit}: no deadline misses"] = (
+            metrics.meets_hrtdm
+        )
+    off = burst_limits[0]
+    biggest = burst_limits[-1]
+    checks["bursting reduces collision slots"] = (
+        contention_by_limit[biggest] < contention_by_limit[off]
+    )
+    checks["bursting improves worst latency"] = (
+        latency_by_limit[biggest] < latency_by_limit[off]
+    )
+    return ExperimentResult(
+        experiment_id="ABL-BURST",
+        title="Ablation: 802.3z packet bursting on top of CSMA/DDCR",
+        headers=[
+            "burst_bits",
+            "delivered",
+            "misses",
+            "collision_slots",
+            "util",
+            "max_latency",
+            "inversions",
+        ],
+        rows=rows,
+        checks=checks,
+    )

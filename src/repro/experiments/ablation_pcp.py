@@ -1,0 +1,121 @@
+"""ABL-PCP — ablation: deadlines through the 802.1p priority field.
+
+Section 5 proposes passing message deadlines to the CSMA/DDCR layer "via
+the standard conformant priority field" (IEEE 802.1Q/802.1p).  The field
+is 3 bits, so the MAC sees the deadline quantised onto an 8-class
+logarithmic grid.  This experiment runs the same heterogeneous workload
+with exact deadlines and with the quantised view, and measures the cost
+of standards conformance:
+
+* the hard guarantee must survive — quantisation only *merges* deadline
+  classes, never inverts them, and the representative is the band's upper
+  edge, so a feasible instance stays on time;
+* the loss of resolution shows up (if anywhere) as extra time-leaf ties
+  resolved by static searches and as deadline inversions between
+  messages whose exact deadlines differ inside one priority band.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.metrics import summarize
+from repro.experiments.base import ExperimentResult
+from repro.experiments.harness import build_simulation, ddcr_factory
+from repro.model.workloads import videoconference_problem
+from repro.net.dot1q import DEFAULT_PRIORITY_MAP
+from repro.net.phy import GIGABIT_ETHERNET, MediumProfile
+from repro.protocols.ddcr.config import DDCRConfig
+
+__all__ = ["run"]
+
+_MS = 1_000_000
+
+
+def run(
+    medium: MediumProfile = GIGABIT_ETHERNET,
+    horizon: int = 24 * _MS,
+) -> ExperimentResult:
+    """Exact vs 802.1p-quantised deadlines on the videoconference mix."""
+    problem = videoconference_problem(participants=6)
+    max_deadline = max(cls.deadline for cls in problem.all_classes())
+
+    def config_for(use_map: bool) -> DDCRConfig:
+        return DDCRConfig(
+            time_f=64,
+            time_m=4,
+            class_width=max(medium.slot_time, 2 * max_deadline // 64),
+            static_q=problem.static_q,
+            static_m=problem.static_m,
+            alpha=2 * medium.slot_time,
+            theta_factor=1.0,
+            priority_map=DEFAULT_PRIORITY_MAP if use_map else None,
+        )
+
+    rows: list[list[object]] = []
+    checks: dict[str, bool] = {}
+    results = {}
+    for label, use_map in (("exact deadlines", False), ("802.1p field", True)):
+        result = build_simulation(
+            problem,
+            medium,
+            ddcr_factory(config_for(use_map)),
+            check_consistency=True,
+        ).run(horizon)
+        metrics = summarize(result)
+        sts_runs = len(result.stations[0].mac.sts_records)
+        results[label] = (metrics, sts_runs)
+        rows.append(
+            [
+                label,
+                metrics.delivered,
+                metrics.misses,
+                metrics.inversions,
+                sts_runs,
+                metrics.max_latency,
+                round(metrics.utilization, 4),
+            ]
+        )
+    exact_metrics, exact_sts = results["exact deadlines"]
+    pcp_metrics, pcp_sts = results["802.1p field"]
+    checks["hard guarantee survives quantisation"] = pcp_metrics.misses == 0
+    checks["exact baseline misses nothing"] = exact_metrics.misses == 0
+    checks["identical goodput"] = (
+        pcp_metrics.delivered == exact_metrics.delivered
+    )
+    checks["quantisation never loses messages"] = (
+        pcp_metrics.delivered == exact_metrics.delivered
+    )
+    del exact_sts, pcp_sts  # reported in the table; run-level tie counts
+    # depend on timing dynamics, so only the static merge is asserted:
+    pcp_by_class = DEFAULT_PRIORITY_MAP.classes_used(problem.all_classes())
+    checks["the 3-bit field merges distinct deadline classes"] = any(
+        len(names) > 1 for names in pcp_by_class.values()
+    )
+    checks["quantisation never inverts deadline order"] = (
+        DEFAULT_PRIORITY_MAP.preserves_order(
+            [cls.deadline for cls in problem.all_classes()]
+        )
+    )
+    result = ExperimentResult(
+        experiment_id="ABL-PCP",
+        title="Ablation: deadlines via the 3-bit 802.1p priority field",
+        headers=[
+            "mac view",
+            "delivered",
+            "misses",
+            "inversions",
+            "sts_runs",
+            "max_latency",
+            "util",
+        ],
+        rows=rows,
+        checks=checks,
+    )
+    merged = {
+        pcp: names for pcp, names in pcp_by_class.items() if len(names) > 1
+    }
+    result.notes.append(
+        f"priority classes used: "
+        f"{sorted(pcp_by_class)} — bands merging several message classes: "
+        f"{ {p: len(n) for p, n in merged.items()} }"
+    )
+    return result

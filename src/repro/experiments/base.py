@@ -1,0 +1,56 @@
+"""Common shape for experiment modules.
+
+Every experiment in DESIGN.md's per-experiment index is a function
+returning an :class:`ExperimentResult`: an id, headers + rows (the same
+rows/series the paper's figure or bound shows), free-form notes, and a
+``checks`` dict of named boolean assertions capturing the *shape* the
+paper claims (who wins, where the bound sits).  Benches print
+``result.render()`` and assert ``result.all_checks_pass``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Sequence
+
+from repro.analysis.report import format_table, to_csv
+
+__all__ = ["ExperimentResult"]
+
+
+@dataclasses.dataclass
+class ExperimentResult:
+    """Output of one experiment run."""
+
+    experiment_id: str
+    title: str
+    headers: Sequence[str]
+    rows: list[Sequence[object]]
+    checks: dict[str, bool] = dataclasses.field(default_factory=dict)
+    notes: list[str] = dataclasses.field(default_factory=list)
+    #: Optional vector renderings keyed by file stem (e.g. {"fig1": "<svg…"}).
+    svg_figures: dict[str, str] = dataclasses.field(default_factory=dict)
+
+    @property
+    def all_checks_pass(self) -> bool:
+        return all(self.checks.values())
+
+    def failed_checks(self) -> list[str]:
+        return [name for name, ok in self.checks.items() if not ok]
+
+    def render(self) -> str:
+        """Human-readable report: table + checks + notes."""
+        parts = [
+            f"== {self.experiment_id}: {self.title} ==",
+            format_table(self.headers, self.rows),
+        ]
+        if self.checks:
+            parts.append("checks:")
+            for name, ok in self.checks.items():
+                parts.append(f"  [{'PASS' if ok else 'FAIL'}] {name}")
+        for note in self.notes:
+            parts.append(f"note: {note}")
+        return "\n".join(parts)
+
+    def csv(self) -> str:
+        return to_csv(self.headers, self.rows)

@@ -1,0 +1,74 @@
+"""EQ9-10, EQ15 — the closed form of xi over the full (m, t, k) grid.
+
+Asserts bit-for-bit equality between the paper's closed forms and the
+ground-truth DP on Eq. 1: Eq. 9 (even restriction), Eq. 10 (all k), and
+Eq. 15 (the exact linear regime over ``[2t/m, t]``).  For the smallest
+shapes the DP itself is cross-checked against brute-force enumeration of
+every leaf placement (executable proof that the recursion models the
+search).
+"""
+
+from __future__ import annotations
+
+from repro.core.closed_form import (
+    xi_closed_form,
+    xi_even_closed_form,
+    xi_linear_regime,
+)
+from repro.core.search_cost import exact_cost_table, xi_bruteforce
+from repro.experiments.base import ExperimentResult
+
+__all__ = ["run", "DEFAULT_SHAPES", "BRUTE_SHAPES"]
+
+DEFAULT_SHAPES: tuple[tuple[int, int], ...] = (
+    (2, 4),
+    (2, 32),
+    (2, 256),
+    (2, 1024),
+    (3, 27),
+    (3, 243),
+    (4, 64),
+    (4, 1024),
+    (5, 125),
+    (6, 216),
+    (8, 512),
+)
+
+#: Shapes small enough for exhaustive placement enumeration.
+BRUTE_SHAPES: tuple[tuple[int, int], ...] = ((2, 8), (2, 16), (3, 9), (4, 16))
+
+
+def run(
+    shapes: tuple[tuple[int, int], ...] = DEFAULT_SHAPES,
+    brute_shapes: tuple[tuple[int, int], ...] = BRUTE_SHAPES,
+) -> ExperimentResult:
+    """Validate Eq. 9, Eq. 10 and Eq. 15 across the grid."""
+    rows: list[list[object]] = []
+    checks: dict[str, bool] = {}
+    for m, t in shapes:
+        dp = exact_cost_table(m, t)
+        eq10 = all(xi_closed_form(k, t, m) == dp[k] for k in range(t + 1))
+        eq9 = all(
+            xi_even_closed_form(p, t, m) == dp[2 * p]
+            for p in range(t // 2 + 1)
+        )
+        eq15 = all(
+            xi_linear_regime(k, t, m) == dp[k]
+            for k in range(2 * t // m, t + 1)
+        )
+        rows.append([m, t, eq9, eq10, eq15])
+        checks[f"m={m} t={t} closed forms"] = eq9 and eq10 and eq15
+    for m, t in brute_shapes:
+        dp = exact_cost_table(m, t)
+        brute_ok = all(
+            xi_bruteforce(k, t, m) == dp[k] for k in range(t + 1)
+        )
+        rows.append([m, t, "brute", brute_ok, ""])
+        checks[f"m={m} t={t} DP == exhaustive search"] = brute_ok
+    return ExperimentResult(
+        experiment_id="EQ9-10-15",
+        title="Closed forms of xi vs ground-truth DP (and exhaustive search)",
+        headers=["m", "t", "eq9", "eq10", "eq15"],
+        rows=rows,
+        checks=checks,
+    )

@@ -1,0 +1,95 @@
+"""EXT-NOISE — failure injection: common-mode slot corruption.
+
+Section 3.1 motivates broadcast busses partly by the "interesting
+fault-tolerant properties" of the protocols that share them.  This
+experiment injects common-mode noise (a slot is garbled into a collision
+seen identically by every station, destroying any frame on the wire) at
+increasing rates and measures each protocol's degradation.
+
+Shape claims:
+
+* the deterministic protocols (DDCR, DCR, TDMA) stay *consistent* — the
+  lockstep invariant holds at every noise rate (asserted slot by slot) —
+  and keep delivering, with latency degrading gracefully;
+* DDCR still misses nothing at moderate noise on a feasible instance
+  (the FC slack absorbs retransmissions);
+* noise costs BEB the most: its backoff doubles on every corrupted
+  attempt, so its worst latency grows fastest.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.metrics import summarize
+from repro.experiments.base import ExperimentResult
+from repro.experiments.harness import PROTOCOL_FACTORIES
+from repro.model.workloads import uniform_problem
+from repro.net.network import NetworkSimulation
+from repro.net.phy import GIGABIT_ETHERNET, MediumProfile
+
+__all__ = ["run", "DEFAULT_NOISE_RATES"]
+
+_MS = 1_000_000
+
+DEFAULT_NOISE_RATES: tuple[float, ...] = (0.0, 0.01, 0.05, 0.15)
+
+
+def run(
+    noise_rates: tuple[float, ...] = DEFAULT_NOISE_RATES,
+    medium: MediumProfile = GIGABIT_ETHERNET,
+    horizon: int = 24 * _MS,
+    seed: int = 5,
+) -> ExperimentResult:
+    """Noise sweep across the protocol comparison set."""
+    problem = uniform_problem(
+        z=8, length=8_000, deadline=12 * _MS, a=1, w=4 * _MS
+    )
+    rows: list[list[object]] = []
+    checks: dict[str, bool] = {}
+    ddcr_misses: dict[float, int] = {}
+    for rate in noise_rates:
+        for name, factory in PROTOCOL_FACTORIES(problem, medium, seed).items():
+            simulation = NetworkSimulation(
+                problem,
+                medium,
+                protocol_factory=factory,
+                check_consistency=name != "CSMA-CD/BEB",
+                noise_rate=rate,
+                noise_seed=seed,
+            )
+            result = simulation.run(horizon)
+            metrics = summarize(result)
+            if name == "CSMA/DDCR":
+                ddcr_misses[rate] = metrics.misses
+            rows.append(
+                [
+                    name,
+                    rate,
+                    result.stats.corrupted_slots,
+                    metrics.delivered,
+                    metrics.misses,
+                    metrics.max_latency,
+                    round(metrics.utilization, 4),
+                ]
+            )
+    checks["DDCR misses nothing up to 5% noise"] = all(
+        ddcr_misses[rate] == 0 for rate in noise_rates if rate <= 0.05
+    )
+    checks["lockstep held at every noise rate"] = True  # asserted per slot
+    checks["noise actually injected"] = any(
+        row[2] > 0 for row in rows if row[1] > 0
+    )
+    return ExperimentResult(
+        experiment_id="EXT-NOISE",
+        title="Failure injection: common-mode slot corruption sweep",
+        headers=[
+            "protocol",
+            "noise",
+            "corrupted",
+            "delivered",
+            "misses",
+            "max_latency",
+            "util",
+        ],
+        rows=rows,
+        checks=checks,
+    )

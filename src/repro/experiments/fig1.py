@@ -1,0 +1,106 @@
+"""FIG1 — Fig. 1 of the paper: worst-case search times for a 64-leaf
+balanced quaternary tree.
+
+The figure plots, over ``k in [0, 64]``, the exact worst-case search time
+``xi(k, 64)`` (a staircase) together with the concave asymptotic tight
+upper bound ``xi_tilde`` (Eq. 11) over ``[2, 2t/m]`` and the exact linear
+regime (Eq. 15) beyond the knee.  Shape claims reproduced:
+
+* ``xi_tilde >= xi`` on ``[2, 2t/m]`` with equality at ``k = 2 * 4**i``;
+* the curve peaks near the knee ``k = 2t/m = 32`` and then falls with
+  slope exactly -1 (Eq. 15);
+* end values match Eq. 5 (k=2) and Eq. 7 (k=t).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import ascii_plot
+from repro.core.asymptotic import touch_points, xi_tilde
+from repro.core.closed_form import xi_linear_regime
+from repro.core.divide_conquer import xi_full, xi_two
+from repro.core.search_cost import exact_cost_table
+from repro.experiments.base import ExperimentResult
+
+__all__ = ["run", "M", "T"]
+
+M = 4
+T = 64
+
+
+def run(m: int = M, t: int = T) -> ExperimentResult:
+    """Regenerate Fig. 1's series for a t-leaf balanced m-ary tree."""
+    table = exact_cost_table(m, t)
+    knee = 2 * t // m
+    rows: list[list[object]] = []
+    for k in range(t + 1):
+        tilde = xi_tilde(k, t, m) if 2 <= k <= knee else None
+        linear = xi_linear_regime(k, t, m) if k >= knee else None
+        rows.append(
+            [
+                k,
+                table[k],
+                "" if tilde is None else round(tilde, 3),
+                "" if linear is None else linear,
+            ]
+        )
+    checks = {
+        "xi_tilde dominates xi on [2, 2t/m]": all(
+            xi_tilde(k, t, m) >= table[k] - 1e-9 for k in range(2, knee + 1)
+        ),
+        "equality at touch points k = 2 m^i": all(
+            abs(xi_tilde(k, t, m) - table[k]) < 1e-9
+            for k in touch_points(t, m)
+            if k <= knee
+        ),
+        "Eq. 15 exact on [2t/m, t]": all(
+            xi_linear_regime(k, t, m) == table[k] for k in range(knee, t + 1)
+        ),
+        "Eq. 5 end value at k=2": table[2] == xi_two(t, m),
+        "Eq. 7 end value at k=t": table[t] == xi_full(t, m),
+        "unit slope beyond the knee": all(
+            table[k] - table[k + 1] == 1 for k in range(knee, t)
+        ),
+    }
+    ks = list(range(2, t + 1))
+    plot = ascii_plot(
+        {
+            "xi": (ks, [table[k] for k in ks]),
+            "xi_tilde": (
+                list(range(2, knee + 1)),
+                [xi_tilde(k, t, m) for k in range(2, knee + 1)],
+            ),
+        }
+    )
+    result = ExperimentResult(
+        experiment_id="FIG1",
+        title=(
+            f"Worst-case search times for a {t}-leaf balanced "
+            f"{m}-ary tree (paper Fig. 1)"
+        ),
+        headers=["k", "xi_exact", "xi_tilde", "eq15_linear"],
+        rows=rows,
+        checks=checks,
+    )
+    result.notes.append("\n" + plot)
+    from repro.analysis.svg import Series, line_chart
+
+    tilde_ks = list(range(2, knee + 1))
+    result.svg_figures["fig1"] = line_chart(
+        [
+            Series(
+                name="xi (exact)",
+                xs=ks,
+                ys=[table[k] for k in ks],
+                staircase=True,
+            ),
+            Series(
+                name="xi_tilde (Eq. 11)",
+                xs=tilde_ks,
+                ys=[xi_tilde(k, t, m) for k in tilde_ks],
+            ),
+        ],
+        title=f"Fig. 1 — worst-case search times, {t}-leaf {m}-ary tree",
+        x_label="k (active leaves)",
+        y_label="search time (slots)",
+    )
+    return result

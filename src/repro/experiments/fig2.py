@@ -1,0 +1,79 @@
+"""FIG2 — Fig. 2 of the paper: 64-leaf binary vs quaternary trees.
+
+The figure overlays the exact worst-case search times ``xi(k, 64)`` for
+``m = 2`` and ``m = 4`` and observes that the quaternary curve is less
+than or equal to the binary curve for every ``k in [2, 64]`` — better
+algorithmic efficiency at equal leaf count.  We reproduce the two series,
+the pointwise dominance claim, and the generalisation hook ("optimal m is
+derived from the general expression of xi").
+"""
+
+from __future__ import annotations
+
+from repro.analysis.report import ascii_plot
+from repro.core.optimal_branching import dominates
+from repro.core.search_cost import exact_cost_table
+from repro.experiments.base import ExperimentResult
+
+__all__ = ["run", "T"]
+
+T = 64
+
+
+def run(t: int = T) -> ExperimentResult:
+    """Regenerate Fig. 2's two series and the dominance claim."""
+    binary = exact_cost_table(2, t)
+    quaternary = exact_cost_table(4, t)
+    rows: list[list[object]] = [
+        [k, binary[k], quaternary[k], binary[k] - quaternary[k]]
+        for k in range(t + 1)
+    ]
+    checks = {
+        "quaternary <= binary for all k in [2, t]": dominates(4, 2, t),
+        "strict somewhere (not merely equal)": any(
+            quaternary[k] < binary[k] for k in range(2, t + 1)
+        ),
+        "curves agree at k = t? (both (t-1)/(m-1))": (
+            binary[t] == t - 1 and quaternary[t] == (t - 1) // 3
+        ),
+    }
+    ks = list(range(2, t + 1))
+    plot = ascii_plot(
+        {
+            "binary": (ks, [binary[k] for k in ks]),
+            "quaternary": (ks, [quaternary[k] for k in ks]),
+        }
+    )
+    result = ExperimentResult(
+        experiment_id="FIG2",
+        title=(
+            f"Worst-case search times, {t}-leaf balanced binary vs "
+            "quaternary trees (paper Fig. 2)"
+        ),
+        headers=["k", "xi_binary", "xi_quaternary", "advantage"],
+        rows=rows,
+        checks=checks,
+    )
+    result.notes.append("\n" + plot)
+    from repro.analysis.svg import Series, line_chart
+
+    result.svg_figures["fig2"] = line_chart(
+        [
+            Series(
+                name="binary (m=2)",
+                xs=ks,
+                ys=[binary[k] for k in ks],
+                staircase=True,
+            ),
+            Series(
+                name="quaternary (m=4)",
+                xs=ks,
+                ys=[quaternary[k] for k in ks],
+                staircase=True,
+            ),
+        ],
+        title=f"Fig. 2 — {t}-leaf binary vs quaternary worst-case searches",
+        x_label="k (active leaves)",
+        y_label="search time (slots)",
+    )
+    return result

@@ -1,0 +1,129 @@
+"""Shared plumbing for the simulation experiments.
+
+Provides sensible default CSMA/DDCR configurations derived from a problem
+instance and medium, and protocol factories for every protocol in the
+comparison set, so each experiment module stays focused on its question.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.trees import BalancedTree
+from repro.model.problem import HRTDMProblem
+from repro.model.source import SourceSpec
+from repro.net.network import NetworkSimulation, ProtocolFactory
+from repro.net.phy import MediumProfile
+from repro.protocols.base import MACProtocol
+from repro.protocols.csma_cd import CSMACDProtocol
+from repro.protocols.dcr import DCRProtocol
+from repro.protocols.ddcr.config import DDCRConfig
+from repro.protocols.ddcr.protocol import DDCRProtocol
+from repro.protocols.tdma import TDMAProtocol
+
+__all__ = [
+    "default_ddcr_config",
+    "ddcr_factory",
+    "csma_cd_factory",
+    "dcr_factory",
+    "tdma_factory",
+    "PROTOCOL_FACTORIES",
+    "build_simulation",
+]
+
+
+def default_ddcr_config(
+    problem: HRTDMProblem,
+    medium: MediumProfile,
+    time_f: int = 64,
+    time_m: int = 4,
+    theta_factor: float = 1.0,
+) -> DDCRConfig:
+    """A reasonable CSMA/DDCR configuration for a problem on a medium.
+
+    The class width c is sized so the scheduling horizon ``c * F`` covers
+    the largest relative deadline with headroom (deadline classes spread
+    over roughly half the time tree), and never drops below one slot time
+    (deadlines cannot be distinguished at sub-slot granularity — compare
+    the paper's remark that sub-4.096 us deadline accuracy is uncommon on
+    Gigabit Ethernet).  Alpha defaults to two slot times of lead.
+    """
+    max_deadline = max(cls.deadline for cls in problem.all_classes())
+    class_width = max(
+        medium.slot_time, math.ceil(2 * max_deadline / time_f)
+    )
+    return DDCRConfig(
+        time_f=time_f,
+        time_m=time_m,
+        class_width=class_width,
+        static_q=problem.static_q,
+        static_m=problem.static_m,
+        alpha=2 * medium.slot_time,
+        theta_factor=theta_factor,
+    )
+
+
+def ddcr_factory(config: DDCRConfig) -> ProtocolFactory:
+    """All stations share one immutable config, each gets its own automaton."""
+
+    def build(source: SourceSpec) -> MACProtocol:
+        return DDCRProtocol(config)
+
+    return build
+
+
+def csma_cd_factory(seed: int = 0) -> ProtocolFactory:
+    """Independent, deterministic backoff stream per station."""
+
+    def build(source: SourceSpec) -> MACProtocol:
+        return CSMACDProtocol(seed=seed * 1_000_003 + source.source_id)
+
+    return build
+
+
+def dcr_factory(problem: HRTDMProblem) -> ProtocolFactory:
+    """CSMA/DCR over the problem's static tree."""
+    tree = BalancedTree.of(m=problem.static_m, leaves=problem.static_q)
+
+    def build(source: SourceSpec) -> MACProtocol:
+        return DCRProtocol(tree)
+
+    return build
+
+
+def tdma_factory(problem: HRTDMProblem) -> ProtocolFactory:
+    """Round-robin TDMA over the problem's source roster."""
+    roster = tuple(source.source_id for source in problem.sources)
+
+    def build(source: SourceSpec) -> MACProtocol:
+        return TDMAProtocol(roster)
+
+    return build
+
+
+def PROTOCOL_FACTORIES(
+    problem: HRTDMProblem, medium: MediumProfile, seed: int = 0
+) -> dict[str, ProtocolFactory]:
+    """The standard comparison set keyed by protocol name."""
+    config = default_ddcr_config(problem, medium)
+    return {
+        "CSMA/DDCR": ddcr_factory(config),
+        "CSMA-CD/BEB": csma_cd_factory(seed),
+        "CSMA/DCR": dcr_factory(problem),
+        "TDMA": tdma_factory(problem),
+    }
+
+
+def build_simulation(
+    problem: HRTDMProblem,
+    medium: MediumProfile,
+    factory: ProtocolFactory,
+    check_consistency: bool = False,
+) -> NetworkSimulation:
+    """A simulation under the default peak-load (greedy adversary) arrivals."""
+    return NetworkSimulation(
+        problem,
+        medium,
+        protocol_factory=factory,
+        check_consistency=check_consistency,
+    )

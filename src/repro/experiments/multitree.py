@@ -1,0 +1,99 @@
+"""EQ16-19 — Problem P2: searches over multiple consecutive trees.
+
+For a grid of (m, t, v, u) the experiment computes:
+
+* the exhaustive optimum of Eq. 16 (max-plus DP over all compositions of u
+  into v parts in [2, t]) with a witnessing composition;
+* the paper's closed-form bound Eq. 19,
+  ``xi_tilde(u, t*v) - (v-1)/(m-1)``;
+* the Eq. 18 identity between the even-split form ``v * xi_tilde(u/v, t)``
+  and the closed form (checked to float precision).
+
+Shape claims: the bound always dominates the exhaustive optimum (Eq. 17 +
+Eq. 18), is exact at ``u = 2 v m^i`` (touch points of every tree's even
+split), and the even split is among the worst compositions.
+"""
+
+from __future__ import annotations
+
+from repro.core.multi_tree import (
+    even_split_identity_gap,
+    multi_tree_bound,
+    multi_tree_exact_optimum,
+)
+from repro.experiments.base import ExperimentResult
+
+__all__ = ["run", "DEFAULT_CASES"]
+
+#: (m, t, v, u) grid: exhaustive DP is polynomial so sizes can be real.
+DEFAULT_CASES: tuple[tuple[int, int, int, int], ...] = (
+    (2, 16, 2, 8),
+    (2, 16, 3, 12),
+    (2, 16, 4, 16),
+    (2, 64, 2, 4),
+    (2, 64, 3, 24),
+    (3, 27, 2, 12),
+    (3, 27, 3, 9),
+    (4, 64, 2, 4),
+    (4, 64, 2, 16),
+    (4, 64, 3, 12),
+    (4, 64, 4, 8),
+    (4, 64, 4, 64),
+    (8, 64, 2, 16),
+)
+
+
+def run(
+    cases: tuple[tuple[int, int, int, int], ...] = DEFAULT_CASES,
+) -> ExperimentResult:
+    """Compare the P2 bound against the exhaustive optimum on each case."""
+    rows: list[list[object]] = []
+    checks: dict[str, bool] = {}
+    for m, t, v, u in cases:
+        optimum = multi_tree_exact_optimum(u, v, t, m)
+        bound = multi_tree_bound(float(u), v, t, m)
+        identity_gap = even_split_identity_gap(float(u), v, t, m)
+        slack = bound - optimum.value
+        rows.append(
+            [
+                m,
+                t,
+                v,
+                u,
+                optimum.value,
+                round(bound, 3),
+                round(slack, 3),
+                str(optimum.composition),
+            ]
+        )
+        checks[f"m={m} t={t} v={v} u={u} bound dominates optimum"] = (
+            bound >= optimum.value - 1e-9
+        )
+        checks[f"m={m} t={t} v={v} u={u} eq18 identity"] = (
+            identity_gap < 1e-9
+        )
+        # Exactness at touch points: u/v = 2 m^i and each part even-split.
+        per_tree = u // v if u % v == 0 else None
+        if per_tree is not None and _is_touch(per_tree, m, t):
+            checks[f"m={m} t={t} v={v} u={u} exact at touch point"] = (
+                abs(bound - optimum.value) < 1e-9
+            )
+    return ExperimentResult(
+        experiment_id="EQ16-19",
+        title="Problem P2: multi-tree bound vs exhaustive optimum",
+        headers=["m", "t", "v", "u", "exact_opt", "bound", "slack", "witness"],
+        rows=rows,
+        checks=checks,
+    )
+
+
+def _is_touch(k: int, m: int, t: int) -> bool:
+    """Is k a touch point 2 m^i within [2, 2t/m]?"""
+    if k < 2 or k > 2 * t // m:
+        return False
+    value = k // 2
+    if k % 2 != 0:
+        return False
+    while value % m == 0:
+        value //= m
+    return value == 1

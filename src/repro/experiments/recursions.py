@@ -1,0 +1,74 @@
+"""EQ2-4 / EQ5-8 — the divide-and-conquer recursion and special values.
+
+Cross-validates, over a grid of shapes, that:
+
+* the divide-and-conquer recursion (Eq. 2-4) reproduces the defining
+  recursion Eq. 1 (computed by ground-truth DP) for every k;
+* the special values Eq. 5 (k=2), Eq. 6 (knee), Eq. 7 (k=t) and the
+  derivative Eq. 8 hold exactly.
+"""
+
+from __future__ import annotations
+
+from repro.core.divide_conquer import (
+    divide_conquer_table,
+    xi_even_increment,
+    xi_full,
+    xi_knee,
+    xi_two,
+)
+from repro.core.search_cost import exact_cost_table
+from repro.core.trees import integer_log
+from repro.experiments.base import ExperimentResult
+
+__all__ = ["run", "DEFAULT_SHAPES"]
+
+DEFAULT_SHAPES: tuple[tuple[int, int], ...] = (
+    (2, 4),
+    (2, 16),
+    (2, 64),
+    (2, 256),
+    (3, 9),
+    (3, 27),
+    (3, 81),
+    (4, 16),
+    (4, 64),
+    (4, 256),
+    (5, 25),
+    (5, 125),
+    (8, 64),
+)
+
+
+def run(
+    shapes: tuple[tuple[int, int], ...] = DEFAULT_SHAPES,
+) -> ExperimentResult:
+    """Validate Eq. 2-8 on every (m, t) shape in the grid."""
+    rows: list[list[object]] = []
+    checks: dict[str, bool] = {}
+    for m, t in shapes:
+        dp = exact_cost_table(m, t)
+        dc = divide_conquer_table(m, t)
+        eq24 = all(dp[k] == dc[k] for k in range(t + 1))
+        eq5 = dp[2] == xi_two(t, m)
+        eq6 = dp[2 * t // m] == xi_knee(t, m)
+        eq7 = dp[t] == xi_full(t, m)
+        n = integer_log(t, m)
+        if n >= 2:
+            eq8 = all(
+                dp[2 * p + 2] - dp[2 * p] == xi_even_increment(p, t, m)
+                for p in range(1, t // 2)
+            )
+        else:
+            eq8 = True  # Eq. 8 requires n >= 2 by its own statement
+        rows.append([m, t, eq24, eq5, eq6, eq7, eq8])
+        checks[f"m={m} t={t} all equations"] = all(
+            (eq24, eq5, eq6, eq7, eq8)
+        )
+    return ExperimentResult(
+        experiment_id="EQ2-8",
+        title="Divide-and-conquer recursion and special values vs Eq. 1 DP",
+        headers=["m", "t", "eq2-4", "eq5", "eq6", "eq7", "eq8"],
+        rows=rows,
+        checks=checks,
+    )

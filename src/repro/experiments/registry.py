@@ -1,0 +1,74 @@
+"""Registry mapping experiment ids to their run() callables.
+
+The CLI (``python -m repro.experiments``) and the benchmark suite both
+resolve experiments through this table; DESIGN.md's per-experiment index
+uses the same ids.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.experiments import (
+    ablation_branching,
+    ablation_burst,
+    ablation_pcp,
+    ablation_theta,
+    closed_form_check,
+    ext_dual,
+    ext_host,
+    ext_noise,
+    ext_util,
+    ext_xor,
+    fc_validation,
+    feasibility_sweep,
+    fig1,
+    fig2,
+    multitree,
+    protocol_comparison,
+    recursions,
+    sim_vs_bound,
+    tightness,
+)
+from repro.experiments.base import ExperimentResult
+
+__all__ = ["EXPERIMENTS", "run_experiment", "run_all"]
+
+EXPERIMENTS: dict[str, Callable[[], ExperimentResult]] = {
+    "FIG1": fig1.run,
+    "FIG2": fig2.run,
+    "EQ2-8": recursions.run,
+    "EQ9-10-15": closed_form_check.run,
+    "EQ11-14": tightness.run,
+    "EQ16-19": multitree.run,
+    "FC": feasibility_sweep.run,
+    "SIM-XI": sim_vs_bound.run,
+    "SIM-FC": fc_validation.run,
+    "PROTO": protocol_comparison.run,
+    "ABL-M": ablation_branching.run,
+    "ABL-THETA": ablation_theta.run,
+    "ABL-BURST": ablation_burst.run,
+    "ABL-PCP": ablation_pcp.run,
+    "EXT-XOR": ext_xor.run,
+    "EXT-DUAL": ext_dual.run,
+    "EXT-HOST": ext_host.run,
+    "EXT-NOISE": ext_noise.run,
+    "EXT-UTIL": ext_util.run,
+}
+
+
+def run_experiment(experiment_id: str) -> ExperimentResult:
+    """Run one experiment by its DESIGN.md id."""
+    try:
+        runner = EXPERIMENTS[experiment_id]
+    except KeyError:
+        known = ", ".join(sorted(EXPERIMENTS))
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; known ids: {known}"
+        ) from None
+    return runner()
+
+
+def run_all() -> list[ExperimentResult]:
+    """Run the full suite in index order."""
+    return [runner() for runner in EXPERIMENTS.values()]

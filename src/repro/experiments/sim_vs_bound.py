@@ -1,0 +1,116 @@
+"""SIM-XI — simulated CSMA/DDCR search costs vs the analytic xi.
+
+Drives the protocol simulator into analytic worst cases built by
+:mod:`repro.analysis.adversary` and reports, side by side:
+
+* static tree searches: observed STs slot cost vs ``xi(k, q)`` for
+  worst-case placements across k — must be *equal* (the adversary attains
+  the bound) — and vs the bound for random placements — must be <=;
+* time tree searches: observed TTs slot cost vs the reference search cost
+  for the same class placement, and vs ``xi(k, F)``.
+
+This is the experimental face of Problem P1: the protocol's executable
+semantics and the recursion analyse the same object.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.analysis.adversary import (
+    build_static_collision_scenario,
+    build_time_spread_scenario,
+    expected_tts_cost,
+)
+from repro.core.search_cost import simulate_search, worst_case_placement, xi_exact
+from repro.experiments.base import ExperimentResult
+
+__all__ = ["run", "STATIC_CASES", "TIME_CASES"]
+
+#: (k, q, m) static tree scenarios.
+STATIC_CASES: tuple[tuple[int, int, int], ...] = (
+    (2, 16, 2),
+    (3, 16, 2),
+    (5, 16, 2),
+    (8, 16, 2),
+    (16, 16, 2),
+    (2, 16, 4),
+    (4, 16, 4),
+    (6, 16, 4),
+    (3, 27, 3),
+)
+
+#: (k, F, m) time tree scenarios.
+TIME_CASES: tuple[tuple[int, int, int], ...] = (
+    (2, 64, 4),
+    (3, 64, 4),
+    (4, 64, 4),
+    (2, 16, 2),
+    (4, 16, 2),
+    (3, 16, 4),
+)
+
+
+def run(
+    static_cases: tuple[tuple[int, int, int], ...] = STATIC_CASES,
+    time_cases: tuple[tuple[int, int, int], ...] = TIME_CASES,
+    random_trials: int = 3,
+    seed: int = 2024,
+) -> ExperimentResult:
+    """Run every adversarial scenario and compare to xi."""
+    rng = random.Random(seed)
+    rows: list[list[object]] = []
+    checks: dict[str, bool] = {}
+
+    for k, q, m in static_cases:
+        placement = worst_case_placement(k, q, m)
+        observed = _run_static(placement, q, m)
+        bound = xi_exact(k, q, m)
+        rows.append(["static-worst", m, q, k, observed, bound])
+        checks[f"static worst k={k} q={q} m={m} equals xi"] = observed == bound
+        for trial in range(random_trials):
+            random_placement = tuple(rng.sample(range(q), k))
+            observed = _run_static(random_placement, q, m)
+            reference = simulate_search(random_placement, q, m).cost
+            rows.append(["static-rand", m, q, k, observed, bound])
+            checks[
+                f"static rand k={k} q={q} m={m} trial={trial} <= xi and "
+                "== reference"
+            ] = observed == reference and observed <= bound
+
+    for k, f, m in time_cases:
+        classes = worst_case_placement(k, f, m)
+        observed = _run_time(classes, f, m)
+        bound = xi_exact(k, f, m)
+        reference = expected_tts_cost(classes, f, m)
+        rows.append(["time-worst", m, f, k, observed, bound])
+        checks[f"time worst k={k} F={f} m={m} equals xi"] = (
+            observed == bound == reference
+        )
+    return ExperimentResult(
+        experiment_id="SIM-XI",
+        title="Simulated DDCR tree-search slot costs vs analytic xi",
+        headers=["scenario", "m", "t", "k", "observed", "xi"],
+        rows=rows,
+        checks=checks,
+    )
+
+
+def _run_static(placement: tuple[int, ...], q: int, m: int) -> int:
+    scenario = build_static_collision_scenario(placement, static_q=q, static_m=m)
+    result = scenario.run()
+    records = result.stations[0].mac.sts_records
+    if not records:
+        raise AssertionError("scenario produced no static tree search")
+    return records[0].wasted_slots
+
+
+def _run_time(classes: tuple[int, ...], f: int, m: int) -> int:
+    scenario = build_time_spread_scenario(classes, time_f=f, time_m=m)
+    result = scenario.run()
+    records = [
+        r for r in result.stations[0].mac.tts_records if r.successes > 0
+    ]
+    if not records:
+        raise AssertionError("scenario produced no productive TTs")
+    return records[0].wasted_slots

@@ -1,0 +1,27 @@
+"""Host-side substrate: the software layers above the network module.
+
+Section 2.2 argues that OS and middleware layers turn periodic task
+activations into *variable* message submission times, which is why HRTDM
+adopts the unimodal arbitrary arrival law.  This package simulates that
+stack — periodic tasks on a preemptive fixed-priority CPU — and derives
+the (a, w) density bounds the resulting emission traces obey.
+"""
+
+from repro.host.bounds import analytic_bound, bounds_from_schedule, empirical_bound
+from repro.host.rta import ResponseTimes, analyze, certified_bound, response_time
+from repro.host.scheduler import HostSchedule, simulate_host
+from repro.host.tasks import Job, TaskSpec
+
+__all__ = [
+    "analytic_bound",
+    "bounds_from_schedule",
+    "empirical_bound",
+    "ResponseTimes",
+    "analyze",
+    "certified_bound",
+    "response_time",
+    "HostSchedule",
+    "simulate_host",
+    "Job",
+    "TaskSpec",
+]

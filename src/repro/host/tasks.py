@@ -1,0 +1,73 @@
+"""Application tasks running on a station's host CPU.
+
+Section 2.2's core modelling argument: even when application tasks are
+activated strictly periodically, the software and hardware layers between
+the application and the network module (OS calls, scheduling policies,
+queue servicing) make message *submission* times variable — which is why
+the HRTDM model abandons periodic arrivals for the unimodal arbitrary law.
+
+This module makes that argument executable: periodic tasks run on a
+shared CPU under a scheduler (:mod:`repro.host.scheduler`), each job doing
+a variable amount of work before emitting its message; the emission
+instants are the network-layer arrivals.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.model.message import MessageClass
+
+__all__ = ["TaskSpec", "Job"]
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class TaskSpec:
+    """One periodic application task emitting one message per job.
+
+    ``wcet``/``bcet`` bound the CPU work a job performs before handing its
+    message to the network layer (bit-times of CPU occupancy); the actual
+    per-job execution time is drawn deterministically from the host's
+    seeded stream.  ``priority``: lower value = more urgent (fixed-priority
+    scheduling).
+    """
+
+    name: str
+    period: int
+    offset: int
+    bcet: int
+    wcet: int
+    priority: int
+    message_class: MessageClass
+
+    def __post_init__(self) -> None:
+        if self.period < 1:
+            raise ValueError(f"period must be >= 1, got {self.period}")
+        if self.offset < 0:
+            raise ValueError(f"offset must be >= 0, got {self.offset}")
+        if not 0 < self.bcet <= self.wcet:
+            raise ValueError(
+                f"need 0 < bcet <= wcet, got {self.bcet}, {self.wcet}"
+            )
+        if self.wcet > self.period:
+            raise ValueError("wcet beyond the period: task overruns itself")
+
+
+@dataclasses.dataclass(slots=True)
+class Job:
+    """One activation of a task."""
+
+    task: TaskSpec
+    release: int
+    execution: int
+    finished_at: int | None = None
+
+    @property
+    def emitted(self) -> bool:
+        return self.finished_at is not None
+
+    @property
+    def response_time(self) -> int:
+        if self.finished_at is None:
+            raise RuntimeError("job still running")
+        return self.finished_at - self.release

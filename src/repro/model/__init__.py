@@ -1,0 +1,64 @@
+"""The HRTDM problem model: messages, arrival laws, sources, instances.
+
+This package is the executable form of section 2.2's <m.HRTDM>: message
+classes with unimodal arbitrary arrival-density bounds, sources owning a
+partition of the message set, and validated problem instances.  Canned
+application workloads (videoconferencing, trading, air traffic control)
+live in :mod:`repro.model.workloads`.
+"""
+
+from repro.model.arrival import (
+    ArrivalProcess,
+    GreedyBurstArrivals,
+    JitteredPeriodicArrivals,
+    PeriodicArrivals,
+    PoissonArrivals,
+    SporadicArrivals,
+    TraceArrivals,
+    take_until,
+)
+from repro.model.message import DensityBound, MessageClass, MessageInstance
+from repro.model.problem import HRTDMProblem, ProblemValidationError
+from repro.model.source import SourceSpec, allocate_static_indices
+from repro.model.units import (
+    GIGABIT_PER_SECOND,
+    MEGABIT_PER_SECOND,
+    BitTime,
+    Throughput,
+    bits_to_seconds,
+    seconds_to_bits,
+)
+from repro.model.workloads import (
+    air_traffic_control_problem,
+    trading_floor_problem,
+    uniform_problem,
+    videoconference_problem,
+)
+
+__all__ = [
+    "ArrivalProcess",
+    "GreedyBurstArrivals",
+    "JitteredPeriodicArrivals",
+    "PeriodicArrivals",
+    "PoissonArrivals",
+    "SporadicArrivals",
+    "TraceArrivals",
+    "take_until",
+    "DensityBound",
+    "MessageClass",
+    "MessageInstance",
+    "HRTDMProblem",
+    "ProblemValidationError",
+    "SourceSpec",
+    "allocate_static_indices",
+    "BitTime",
+    "Throughput",
+    "GIGABIT_PER_SECOND",
+    "MEGABIT_PER_SECOND",
+    "bits_to_seconds",
+    "seconds_to_bits",
+    "air_traffic_control_problem",
+    "trading_floor_problem",
+    "uniform_problem",
+    "videoconference_problem",
+]

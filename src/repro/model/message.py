@@ -1,0 +1,133 @@
+"""Message classes and message instances (section 2.2, <m.HRTDM>).
+
+The HRTDM message model distinguishes the *class* of a message — its bit
+length ``l``, relative deadline ``d`` and arrival-density bound ``(a, w)``
+(at most ``a`` arrivals in any sliding window of ``w``) — from an *instance*,
+one concrete arrival with an arrival time ``T`` and absolute deadline
+``DM = T + d``.
+
+All times are integer bit-times (see :mod:`repro.model.units`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+
+from repro.model.units import BitTime
+
+__all__ = ["MessageClass", "MessageInstance", "DensityBound"]
+
+_instance_ids = itertools.count()
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class DensityBound:
+    """Unimodal arbitrary arrival bound: at most ``a`` arrivals per window ``w``.
+
+    The "adversary" of section 2.2: *any* arrival pattern is admissible as
+    long as every sliding window of ``w`` bit-times contains at most ``a``
+    arrivals.  Strictly stronger than periodic or Poisson assumptions.
+    """
+
+    a: int
+    w: BitTime
+
+    def __post_init__(self) -> None:
+        if self.a < 1:
+            raise ValueError(f"arrival count a must be >= 1, got {self.a}")
+        if self.w < 1:
+            raise ValueError(f"window w must be >= 1, got {self.w}")
+
+    @property
+    def density(self) -> float:
+        """Long-run arrival rate upper bound, arrivals per bit-time."""
+        return self.a / self.w
+
+    def admits(self, arrival_times: list[BitTime]) -> bool:
+        """Check a concrete arrival sequence against the sliding window.
+
+        ``True`` iff every half-open window ``[s, s+w)`` contains at most
+        ``a`` of the given arrival times.  Sorted input not required.
+        """
+        times = sorted(arrival_times)
+        for i in range(len(times)):
+            j = i + self.a
+            if j < len(times) and times[j] - times[i] < self.w:
+                return False
+        return True
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class MessageClass:
+    """One message class of the HRTDM instance.
+
+    ``length`` is the Data Link PDU bit length ``l(msg)``; the physical
+    overhead that turns it into ``l'(msg)`` lives in the medium profile
+    (:mod:`repro.net.phy`), because it is a property of the medium, not of
+    the message.
+    """
+
+    name: str
+    length: int
+    deadline: BitTime
+    bound: DensityBound
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("message class needs a non-empty name")
+        if self.length < 1:
+            raise ValueError(f"length must be >= 1 bit, got {self.length}")
+        if self.deadline < 1:
+            raise ValueError(f"deadline must be >= 1, got {self.deadline}")
+
+    @property
+    def utilization(self) -> float:
+        """Channel utilization demanded by this class (before overhead)."""
+        return self.length * self.bound.density
+
+
+@dataclasses.dataclass(frozen=True, slots=True, order=True)
+class MessageInstance:
+    """One concrete arrival of a message class.
+
+    Ordered by ``(absolute_deadline, arrival, seq)`` so a heap of instances
+    is exactly the EDF order with deterministic FIFO tie-breaking — the
+    local algorithm LA of section 3.2.
+    """
+
+    absolute_deadline: BitTime
+    arrival: BitTime
+    seq: int
+    msg_class: MessageClass = dataclasses.field(compare=False)
+    source_id: int = dataclasses.field(compare=False)
+
+    @classmethod
+    def arrive(
+        cls, msg_class: MessageClass, arrival: BitTime, source_id: int
+    ) -> "MessageInstance":
+        """Create an instance for an arrival at time ``arrival``.
+
+        ``DM(msg) = T(msg) + d(msg)`` (section 3.2).
+        """
+        if arrival < 0:
+            raise ValueError(f"arrival time must be >= 0, got {arrival}")
+        return cls(
+            absolute_deadline=arrival + msg_class.deadline,
+            arrival=arrival,
+            seq=next(_instance_ids),
+            msg_class=msg_class,
+            source_id=source_id,
+        )
+
+    @property
+    def length(self) -> int:
+        return self.msg_class.length
+
+    @property
+    def relative_deadline(self) -> BitTime:
+        return self.msg_class.deadline
+
+    def lateness(self, completion: BitTime) -> int:
+        """Completion time minus absolute deadline; <= 0 means on time."""
+        return completion - self.absolute_deadline

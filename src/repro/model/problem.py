@@ -1,0 +1,136 @@
+"""The HRTDM problem instance: <m.HRTDM> + <p.HRTDM> (section 2.2).
+
+A :class:`HRTDMProblem` bundles the source set (with the MSG partition and
+static-index allocation) and the medium-independent requirements.  It
+validates the model constraints the paper states — disjoint static indices,
+non-empty partition, q a power of the static branching degree >= z — and
+offers the summary quantities (total density, utilization) the feasibility
+analysis needs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Iterator
+
+from repro.model.message import MessageClass
+from repro.model.source import SourceSpec
+
+__all__ = ["HRTDMProblem", "ProblemValidationError"]
+
+
+def _is_power_of(value: int, base: int) -> bool:
+    """Local copy of :func:`repro.core.trees.is_power_of`.
+
+    The model layer must stay import-independent of :mod:`repro.core`
+    (which itself imports the model for the feasibility conditions), so
+    this three-line check is duplicated rather than imported.
+    """
+    if value < 1:
+        return False
+    while value % base == 0:
+        value //= base
+    return value == 1
+
+
+class ProblemValidationError(ValueError):
+    """Raised when an instance violates the <m.HRTDM> model constraints."""
+
+
+@dataclasses.dataclass(frozen=True)
+class HRTDMProblem:
+    """One quantified instantiation of the HRTDM problem.
+
+    ``static_q`` is the static-tree leaf count q (a power of ``static_m``
+    that is >= z); ``static_m`` the static tree's branching degree.  Time
+    tree parameters (F, c, alpha, theta) are protocol configuration, not
+    part of the problem — they live in :class:`repro.protocols.ddcr.config`.
+    """
+
+    sources: tuple[SourceSpec, ...]
+    static_q: int
+    static_m: int = 2
+
+    def __post_init__(self) -> None:
+        if not self.sources:
+            raise ProblemValidationError("need at least one source")
+        ids = [s.source_id for s in self.sources]
+        if len(set(ids)) != len(ids):
+            raise ProblemValidationError("duplicate source ids")
+        if self.static_m < 2:
+            raise ProblemValidationError(
+                f"static branching degree must be >= 2, got {self.static_m}"
+            )
+        if not _is_power_of(self.static_q, self.static_m):
+            raise ProblemValidationError(
+                f"static q={self.static_q} is not a power of m={self.static_m}"
+            )
+        if self.static_q < len(self.sources):
+            raise ProblemValidationError(
+                f"static tree has {self.static_q} leaves for "
+                f"{len(self.sources)} sources (need q >= z)"
+            )
+        seen: set[int] = set()
+        for source in self.sources:
+            for index in source.static_indices:
+                if index >= self.static_q:
+                    raise ProblemValidationError(
+                        f"source {source.source_id} static index {index} "
+                        f"exceeds q-1={self.static_q - 1}"
+                    )
+                if index in seen:
+                    raise ProblemValidationError(
+                        f"static index {index} allocated twice"
+                    )
+                seen.add(index)
+        names = [c.name for c in self.all_classes()]
+        if len(set(names)) != len(names):
+            raise ProblemValidationError("message class names must be unique")
+
+    @property
+    def z(self) -> int:
+        """Number of sources."""
+        return len(self.sources)
+
+    def all_classes(self) -> list[MessageClass]:
+        """The full message set MSG (union over the partition)."""
+        return [c for s in self.sources for c in s.message_classes]
+
+    def iter_source_classes(self) -> Iterator[tuple[SourceSpec, MessageClass]]:
+        for source in self.sources:
+            for cls in source.message_classes:
+                yield source, cls
+
+    def source_by_id(self, source_id: int) -> SourceSpec:
+        for source in self.sources:
+            if source.source_id == source_id:
+                return source
+        raise KeyError(f"no source with id {source_id}")
+
+    @property
+    def total_utilization(self) -> float:
+        """Aggregate channel demand of MSG (before physical overhead).
+
+        Above 1.0 no protocol can be feasible; the FCs will reject long
+        before that because of search overhead.
+        """
+        return sum(s.utilization for s in self.sources)
+
+    def describe(self) -> str:
+        """Human-readable inventory, for example scripts and reports."""
+        lines = [
+            f"HRTDM instance: z={self.z} sources, "
+            f"static tree q={self.static_q} (m={self.static_m}), "
+            f"utilization={self.total_utilization:.3f}"
+        ]
+        for source in self.sources:
+            lines.append(
+                f"  source {source.source_id}: nu={source.nu} "
+                f"indices={source.static_indices}"
+            )
+            for cls in source.message_classes:
+                lines.append(
+                    f"    {cls.name}: l={cls.length}b d={cls.deadline} "
+                    f"a/w={cls.bound.a}/{cls.bound.w}"
+                )
+        return "\n".join(lines)

@@ -1,0 +1,117 @@
+"""JSON (de)serialisation of HRTDM instances.
+
+Lets operators keep problem specifications in version-controlled files and
+check them with the CLI (``python -m repro.tools.check``).  The format is
+deliberately flat and explicit::
+
+    {
+      "static_q": 8,
+      "static_m": 2,
+      "sources": [
+        {
+          "source_id": 0,
+          "static_indices": [0, 4],
+          "classes": [
+            {"name": "video-0", "length": 12000, "deadline": 5000000,
+             "a": 1, "w": 1000000}
+          ]
+        }
+      ]
+    }
+
+All times are integer bit-times of the target medium (see
+:mod:`repro.model.units`).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.model.message import DensityBound, MessageClass
+from repro.model.problem import HRTDMProblem
+from repro.model.source import SourceSpec
+
+__all__ = [
+    "problem_to_dict",
+    "problem_from_dict",
+    "dump_problem",
+    "load_problem",
+]
+
+
+def problem_to_dict(problem: HRTDMProblem) -> dict[str, Any]:
+    """Plain-dict form of an instance (stable key order for diffs)."""
+    return {
+        "static_q": problem.static_q,
+        "static_m": problem.static_m,
+        "sources": [
+            {
+                "source_id": source.source_id,
+                "static_indices": list(source.static_indices),
+                "classes": [
+                    {
+                        "name": cls.name,
+                        "length": cls.length,
+                        "deadline": cls.deadline,
+                        "a": cls.bound.a,
+                        "w": cls.bound.w,
+                    }
+                    for cls in source.message_classes
+                ],
+            }
+            for source in problem.sources
+        ],
+    }
+
+
+def _require(mapping: dict[str, Any], key: str, context: str) -> Any:
+    if key not in mapping:
+        raise ValueError(f"missing key {key!r} in {context}")
+    return mapping[key]
+
+
+def problem_from_dict(data: dict[str, Any]) -> HRTDMProblem:
+    """Rebuild an instance; validation errors carry the offending path."""
+    sources = []
+    for position, raw in enumerate(_require(data, "sources", "problem")):
+        context = f"sources[{position}]"
+        classes = tuple(
+            MessageClass(
+                name=_require(cls, "name", f"{context}.classes"),
+                length=_require(cls, "length", f"{context}.classes"),
+                deadline=_require(cls, "deadline", f"{context}.classes"),
+                bound=DensityBound(
+                    a=_require(cls, "a", f"{context}.classes"),
+                    w=_require(cls, "w", f"{context}.classes"),
+                ),
+            )
+            for cls in _require(raw, "classes", context)
+        )
+        sources.append(
+            SourceSpec(
+                source_id=_require(raw, "source_id", context),
+                message_classes=classes,
+                static_indices=tuple(
+                    _require(raw, "static_indices", context)
+                ),
+            )
+        )
+    return HRTDMProblem(
+        sources=tuple(sources),
+        static_q=_require(data, "static_q", "problem"),
+        static_m=data.get("static_m", 2),
+    )
+
+
+def dump_problem(problem: HRTDMProblem, path: str) -> None:
+    """Write an instance to a JSON file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(problem_to_dict(problem), handle, indent=2)
+        handle.write("\n")
+
+
+def load_problem(path: str) -> HRTDMProblem:
+    """Read an instance from a JSON file."""
+    with open(path, encoding="utf-8") as handle:
+        return problem_from_dict(json.load(handle))

@@ -1,0 +1,105 @@
+"""Sources and static-index allocation (sections 2.2 and 3.2).
+
+An HRTDM source ``s_i`` owns a subset of the message classes and, for the
+static tree search STs, a non-empty set of *static indices* — leaves of the
+q-leaf static tree, ``q`` a power of the static branching degree ``m``, with
+the index sets of distinct sources disjoint.  ``nu_i = len(static_indices)``
+bounds how many messages ``s_i`` can transmit in one STs execution, and
+enters the feasibility conditions through ``v(M) = 1 + floor(r(M)/nu_i)``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.model.message import MessageClass
+
+__all__ = ["SourceSpec", "allocate_static_indices"]
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class SourceSpec:
+    """Static description of one source: its classes and static indices."""
+
+    source_id: int
+    message_classes: tuple[MessageClass, ...]
+    static_indices: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if self.source_id < 0:
+            raise ValueError(f"source_id must be >= 0, got {self.source_id}")
+        if not self.static_indices:
+            raise ValueError(
+                f"source {self.source_id} needs at least one static index"
+            )
+        ranked = tuple(sorted(self.static_indices))
+        if len(set(ranked)) != len(ranked):
+            raise ValueError(
+                f"source {self.source_id} has duplicate static indices"
+            )
+        if ranked[0] < 0:
+            raise ValueError("static indices must be >= 0")
+        # The paper ranks a source's indices by increasing value.
+        object.__setattr__(self, "static_indices", ranked)
+        names = [c.name for c in self.message_classes]
+        if len(set(names)) != len(names):
+            raise ValueError(
+                f"source {self.source_id} has duplicate message class names"
+            )
+
+    @property
+    def nu(self) -> int:
+        """``nu_i``: number of static indices allocated to this source."""
+        return len(self.static_indices)
+
+    @property
+    def utilization(self) -> float:
+        """Total channel demand of this source's classes (before overhead)."""
+        return sum(c.utilization for c in self.message_classes)
+
+    def class_named(self, name: str) -> MessageClass:
+        for cls in self.message_classes:
+            if cls.name == name:
+                return cls
+        raise KeyError(f"source {self.source_id} has no class named {name!r}")
+
+
+def allocate_static_indices(
+    class_counts: list[int], q: int, spread: bool = True
+) -> list[tuple[int, ...]]:
+    """Allocate disjoint static indices to sources.
+
+    ``class_counts[i]`` is ``nu_i``, the number of indices source i should
+    receive.  With ``spread=True`` the indices are interleaved round-robin
+    across the tree (source i gets ``i, i+z, i+2z, ...``), which separates
+    contending sources early in the splitting search; with ``spread=False``
+    each source gets a contiguous block, the worst case for early splitting.
+    The total must fit in ``q``.
+    """
+    z = len(class_counts)
+    if z == 0:
+        raise ValueError("need at least one source")
+    if any(nu < 1 for nu in class_counts):
+        raise ValueError("every source needs nu >= 1")
+    total = sum(class_counts)
+    if total > q:
+        raise ValueError(f"need {total} indices but the static tree has {q}")
+    allocations: list[tuple[int, ...]] = []
+    if spread:
+        pools: list[list[int]] = [[] for _ in range(z)]
+        remaining = class_counts[:]
+        index = 0
+        cursor = 0
+        while any(remaining):
+            if remaining[cursor] > 0:
+                pools[cursor].append(index)
+                remaining[cursor] -= 1
+                index += 1
+            cursor = (cursor + 1) % z
+        allocations = [tuple(pool) for pool in pools]
+    else:
+        start = 0
+        for nu in class_counts:
+            allocations.append(tuple(range(start, start + nu)))
+            start += nu
+    return allocations

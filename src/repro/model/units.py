@@ -1,0 +1,80 @@
+"""Unit discipline for the HRTDM model and simulator.
+
+Everything at protocol level is measured in integer **bit-times**: one
+bit-time is the time to put one bit on the medium at nominal throughput
+``psi`` (e.g. 1 ns on Gigabit Ethernet).  Integer bit-times keep the
+simulator exact — analytic bounds and simulated latencies can be compared
+with ``==`` instead of tolerances.
+
+SI seconds appear only at the API boundary; use :func:`seconds_to_bits` /
+:func:`bits_to_seconds` to cross it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+__all__ = [
+    "BitTime",
+    "seconds_to_bits",
+    "bits_to_seconds",
+    "Throughput",
+    "GIGABIT_PER_SECOND",
+    "MEGABIT_PER_SECOND",
+]
+
+#: Type alias: integer time in bit-times.
+BitTime = int
+
+GIGABIT_PER_SECOND = 1_000_000_000
+MEGABIT_PER_SECOND = 1_000_000
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class Throughput:
+    """Nominal physical throughput ``psi`` in bits per second.
+
+    >>> Throughput(GIGABIT_PER_SECOND).bit_time_seconds
+    1e-09
+    """
+
+    bits_per_second: int
+
+    def __post_init__(self) -> None:
+        if self.bits_per_second <= 0:
+            raise ValueError(
+                f"throughput must be positive, got {self.bits_per_second}"
+            )
+
+    @property
+    def bit_time_seconds(self) -> float:
+        """Duration of one bit-time in seconds."""
+        return 1.0 / self.bits_per_second
+
+    def transmission_bits(self, length_bits: int) -> BitTime:
+        """Transmission duration of a frame, in bit-times (== its length)."""
+        if length_bits < 0:
+            raise ValueError(f"length must be >= 0, got {length_bits}")
+        return length_bits
+
+    def to_seconds(self, bits: BitTime) -> float:
+        return bits * self.bit_time_seconds
+
+    def to_bits(self, seconds: float) -> BitTime:
+        return seconds_to_bits(seconds, self)
+
+
+def seconds_to_bits(seconds: float, throughput: Throughput) -> BitTime:
+    """Convert SI seconds to integer bit-times (rounded to nearest).
+
+    >>> seconds_to_bits(1e-6, Throughput(GIGABIT_PER_SECOND))
+    1000
+    """
+    if seconds < 0:
+        raise ValueError(f"seconds must be >= 0, got {seconds}")
+    return round(seconds * throughput.bits_per_second)
+
+
+def bits_to_seconds(bits: BitTime, throughput: Throughput) -> float:
+    """Convert integer bit-times back to SI seconds."""
+    return bits * throughput.bit_time_seconds

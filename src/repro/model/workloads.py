@@ -1,0 +1,211 @@
+"""Canned HRTDM workloads for the applications the paper motivates.
+
+Section 2.1 lists distributed interactive multimedia, videoconferencing,
+on-line transactions (stock markets) and surveillance (air traffic control)
+as the driving applications.  Each builder here returns an
+:class:`~repro.model.problem.HRTDMProblem` whose message classes are sized
+for those domains on a Gigabit-Ethernet-class medium, with a ``scale``
+parameter multiplying arrival densities (used by the feasibility-frontier
+and protocol-comparison benches).
+
+All times are bit-times at 1 Gb/s: 1 us = 1_000 bit-times, 1 ms = 1_000_000.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.model.message import DensityBound, MessageClass
+from repro.model.problem import HRTDMProblem
+from repro.model.source import SourceSpec, allocate_static_indices
+
+__all__ = [
+    "videoconference_problem",
+    "trading_floor_problem",
+    "air_traffic_control_problem",
+    "uniform_problem",
+]
+
+_US = 1_000
+_MS = 1_000_000
+
+
+def _scaled_bound(a: int, w: int, scale: float) -> DensityBound:
+    """Scale an (a, w) bound's density by ``scale`` by shrinking the window."""
+    if scale <= 0:
+        raise ValueError(f"scale must be > 0, got {scale}")
+    return DensityBound(a=a, w=max(1, math.ceil(w / scale)))
+
+
+def _assemble(
+    per_source_classes: list[list[MessageClass]],
+    static_q: int,
+    static_m: int,
+    nu_per_source: int,
+    spread: bool = True,
+) -> HRTDMProblem:
+    z = len(per_source_classes)
+    allocations = allocate_static_indices([nu_per_source] * z, static_q, spread)
+    sources = tuple(
+        SourceSpec(
+            source_id=i,
+            message_classes=tuple(classes),
+            static_indices=allocations[i],
+        )
+        for i, classes in enumerate(per_source_classes)
+    )
+    return HRTDMProblem(sources=sources, static_q=static_q, static_m=static_m)
+
+
+def videoconference_problem(
+    participants: int = 8, scale: float = 1.0
+) -> HRTDMProblem:
+    """Multi-party videoconference on one segment.
+
+    Each participant sends: video frames (12 kbit every ~1 ms, 5 ms
+    deadline), audio frames (1.6 kbit every 2 ms, 2 ms deadline) and
+    low-rate control messages (0.5 kbit, 20 ms window, 10 ms deadline).
+    """
+    if participants < 1:
+        raise ValueError("need at least one participant")
+    per_source = [
+        [
+            MessageClass(
+                name=f"video-{i}",
+                length=12_000,
+                deadline=5 * _MS,
+                bound=_scaled_bound(1, 1 * _MS, scale),
+            ),
+            MessageClass(
+                name=f"audio-{i}",
+                length=1_600,
+                deadline=2 * _MS,
+                bound=_scaled_bound(1, 2 * _MS, scale),
+            ),
+            MessageClass(
+                name=f"control-{i}",
+                length=500,
+                deadline=10 * _MS,
+                bound=_scaled_bound(1, 20 * _MS, scale),
+            ),
+        ]
+        for i in range(participants)
+    ]
+    q = _next_power(2, max(participants * 2, 4))
+    return _assemble(per_source, static_q=q, static_m=2, nu_per_source=2)
+
+
+def trading_floor_problem(desks: int = 16, scale: float = 1.0) -> HRTDMProblem:
+    """On-line transaction (stock market) workload: small urgent messages.
+
+    Each desk sends order messages (2 kbit, bursty: up to 4 per 1 ms window,
+    1 ms deadline) and market-data updates (8 kbit, 2 per 4 ms, 8 ms).
+    """
+    if desks < 1:
+        raise ValueError("need at least one desk")
+    per_source = [
+        [
+            MessageClass(
+                name=f"order-{i}",
+                length=2_000,
+                deadline=1 * _MS,
+                bound=_scaled_bound(4, 1 * _MS, scale),
+            ),
+            MessageClass(
+                name=f"ticker-{i}",
+                length=8_000,
+                deadline=8 * _MS,
+                bound=_scaled_bound(2, 4 * _MS, scale),
+            ),
+        ]
+        for i in range(desks)
+    ]
+    q = _next_power(4, max(desks, 4))
+    return _assemble(per_source, static_q=q, static_m=4, nu_per_source=1)
+
+
+def air_traffic_control_problem(
+    radars: int = 4, consoles: int = 8, scale: float = 1.0
+) -> HRTDMProblem:
+    """Surveillance workload: radar track streams plus console commands.
+
+    Radars: track update batches (24 kbit, 2 per 4 ms, 12 ms deadline).
+    Consoles: command messages (1 kbit, 1 per 10 ms, 4 ms deadline) and
+    status reports (4 kbit, 1 per 50 ms, 50 ms deadline).
+    """
+    if radars < 1 or consoles < 1:
+        raise ValueError("need at least one radar and one console")
+    per_source: list[list[MessageClass]] = []
+    for i in range(radars):
+        per_source.append(
+            [
+                MessageClass(
+                    name=f"tracks-{i}",
+                    length=24_000,
+                    deadline=12 * _MS,
+                    bound=_scaled_bound(2, 4 * _MS, scale),
+                )
+            ]
+        )
+    for j in range(consoles):
+        per_source.append(
+            [
+                MessageClass(
+                    name=f"command-{j}",
+                    length=1_000,
+                    deadline=4 * _MS,
+                    bound=_scaled_bound(1, 10 * _MS, scale),
+                ),
+                MessageClass(
+                    name=f"status-{j}",
+                    length=4_000,
+                    deadline=50 * _MS,
+                    bound=_scaled_bound(1, 50 * _MS, scale),
+                ),
+            ]
+        )
+    z = radars + consoles
+    q = _next_power(2, max(2 * z, 4))
+    return _assemble(per_source, static_q=q, static_m=2, nu_per_source=2)
+
+
+def uniform_problem(
+    z: int = 8,
+    length: int = 8_000,
+    deadline: int = 10 * _MS,
+    a: int = 1,
+    w: int = 5 * _MS,
+    scale: float = 1.0,
+    static_m: int = 2,
+    nu: int = 1,
+) -> HRTDMProblem:
+    """Symmetric instance: z identical single-class sources.
+
+    The workhorse of unit tests and parameter sweeps — every quantity in
+    the FC formulas can be computed by hand for this instance.
+    """
+    if z < 1:
+        raise ValueError("need at least one source")
+    per_source = [
+        [
+            MessageClass(
+                name=f"uniform-{i}",
+                length=length,
+                deadline=deadline,
+                bound=_scaled_bound(a, w, scale),
+            )
+        ]
+        for i in range(z)
+    ]
+    q = _next_power(static_m, max(z * nu, static_m))
+    return _assemble(
+        per_source, static_q=q, static_m=static_m, nu_per_source=nu
+    )
+
+
+def _next_power(base: int, at_least: int) -> int:
+    """Smallest power of ``base`` that is >= ``at_least``."""
+    power = base
+    while power < at_least:
+        power *= base
+    return power

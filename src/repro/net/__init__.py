@@ -1,0 +1,47 @@
+"""Broadcast medium substrate: physical profiles, channel, stations.
+
+The slotted broadcast-channel simulator that stands in for the paper's
+Gigabit Ethernet / ATM-bus hardware (see DESIGN.md's substitution table).
+It implements exactly the abstraction the analysis relies on: a slot time
+x within which every station observes the same ternary channel state.
+"""
+
+from repro.net.channel import BroadcastChannel, ChannelStats
+from repro.net.dualbus import (
+    BusFailoverController,
+    BusPort,
+    DualBusResult,
+    DualBusSimulation,
+    suggested_jam_threshold,
+)
+from repro.net.frames import Frame
+from repro.net.network import NetworkSimulation, ProtocolFactory, RunResult
+from repro.net.phy import (
+    ATM_BUS,
+    CLASSIC_ETHERNET,
+    GIGABIT_ETHERNET,
+    MediumProfile,
+    ideal_medium,
+)
+from repro.net.station import CompletionRecord, Station
+
+__all__ = [
+    "BroadcastChannel",
+    "BusFailoverController",
+    "BusPort",
+    "DualBusResult",
+    "DualBusSimulation",
+    "suggested_jam_threshold",
+    "ChannelStats",
+    "Frame",
+    "NetworkSimulation",
+    "ProtocolFactory",
+    "RunResult",
+    "ATM_BUS",
+    "CLASSIC_ETHERNET",
+    "GIGABIT_ETHERNET",
+    "MediumProfile",
+    "ideal_medium",
+    "CompletionRecord",
+    "Station",
+]

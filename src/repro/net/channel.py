@@ -1,0 +1,227 @@
+"""The slotted broadcast channel.
+
+Runs as a process on the DES kernel.  Each round it collects transmission
+offers from every station, resolves the channel state (silence / success /
+collision), advances time by the slot time (control slots) or the frame's
+physical transmission time (successes, with carrier extension to the slot
+time on destructive media, as in half-duplex Gigabit Ethernet), and feeds
+the identical :class:`~repro.protocols.base.SlotObservation` back to every
+station — the common-knowledge substrate all protocols rely on.
+
+The channel also keeps slot-level accounting (how many slots of each kind,
+payload bits delivered) and emits one trace record per round.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+import typing
+
+from repro.net.frames import Frame
+from repro.net.phy import MediumProfile
+from repro.protocols.base import ChannelState, SlotObservation
+from repro.sim.engine import Environment
+from repro.sim.process import ProcessGenerator
+from repro.sim.trace import TraceLog
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.net.station import Station
+
+__all__ = ["BroadcastChannel", "ChannelStats"]
+
+
+@dataclasses.dataclass
+class ChannelStats:
+    """Slot-level accounting over a run."""
+
+    silence_slots: int = 0
+    collision_slots: int = 0
+    successes: int = 0
+    busy_time: int = 0
+    idle_time: int = 0
+    collision_time: int = 0
+    payload_bits: int = 0
+    corrupted_slots: int = 0
+    jammed_slots: int = 0
+
+    def utilization(self, elapsed: int) -> float:
+        """Fraction of elapsed time spent delivering payload bits."""
+        if elapsed <= 0:
+            return 0.0
+        return self.payload_bits / elapsed
+
+    @property
+    def rounds(self) -> int:
+        return self.silence_slots + self.collision_slots + self.successes
+
+
+class BroadcastChannel:
+    """One shared broadcast medium and its attached stations."""
+
+    def __init__(
+        self,
+        env: Environment,
+        medium: MediumProfile,
+        trace: TraceLog | None = None,
+        check_consistency: bool = False,
+        noise_rate: float = 0.0,
+        noise_seed: int = 0,
+    ) -> None:
+        """``noise_rate`` injects *common-mode* slot corruption: with this
+        per-slot probability a silence or success is garbled into a
+        collision seen identically by every station (the frame, if any, is
+        destroyed and must be retransmitted).  Common-mode corruption is
+        the failure model under which deterministic broadcast protocols
+        retain consistency — every replica digests the same bad slot."""
+        if not 0.0 <= noise_rate < 1.0:
+            raise ValueError(f"noise_rate must be in [0, 1), got {noise_rate}")
+        self.env = env
+        self.medium = medium
+        self.trace = trace if trace is not None else TraceLog(enabled=False)
+        self.check_consistency = check_consistency
+        self.noise_rate = noise_rate
+        self._noise_rng = random.Random(noise_seed)
+        self.stations: list["Station"] = []
+        self.stats = ChannelStats()
+        self.observations: int = 0
+        #: When set, the bus is *jammed* from this time on: every slot is
+        #: observed as a collision (broken termination / babbling idiot).
+        #: The dual-bus layer uses this to model a bus failure.
+        self.jam_from: int | None = None
+
+    def attach(self, station: "Station") -> None:
+        if any(s.station_id == station.station_id for s in self.stations):
+            raise ValueError(f"duplicate station id {station.station_id}")
+        self.stations.append(station)
+
+    def run(self, horizon: int) -> ProcessGenerator:
+        """The channel process: round loop until ``horizon`` bit-times.
+
+        Start it with ``env.process(channel.run(horizon))``.
+        """
+        if horizon < 0:
+            raise ValueError(f"horizon must be >= 0, got {horizon}")
+        if not self.stations:
+            raise RuntimeError("channel has no stations attached")
+        while self.env.now < horizon:
+            now = int(self.env.now)
+            for station in self.stations:
+                station.deliver_due(now)
+            offers = [
+                (station, station.mac.offer(now)) for station in self.stations
+            ]
+            transmitters = [
+                (station, message)
+                for station, message in offers
+                if message is not None
+            ]
+            jammed = self.jam_from is not None and now >= self.jam_from
+            corrupted = jammed or (
+                self.noise_rate > 0.0
+                and len(transmitters) < 2
+                and self._noise_rng.random() < self.noise_rate
+            )
+            if corrupted:
+                # Common-mode corruption: everyone hears a collision; any
+                # frame on the wire is destroyed (no completion).
+                if jammed:
+                    self.stats.jammed_slots += 1
+                else:
+                    self.stats.corrupted_slots += 1
+                self.stats.collision_slots += 1
+                duration = self.medium.slot_time
+                self.stats.collision_time += duration
+                observation = SlotObservation(
+                    state=ChannelState.COLLISION,
+                    start=now,
+                    duration=duration,
+                    frame=None,
+                    occupied_children=None,
+                )
+                for station in self.stations:
+                    station.mac.observe(observation)
+                self.observations += 1
+                self.trace.emit(
+                    now, "slot", state="corrupted", duration=duration,
+                    source=None, msg=None,
+                )
+                if self.check_consistency:
+                    self._assert_lockstep(now)
+                yield self.env.timeout(duration)
+                continue
+            if not transmitters:
+                state = ChannelState.SILENCE
+                duration = self.medium.slot_time
+                frame = None
+                self.stats.silence_slots += 1
+                self.stats.idle_time += duration
+            elif len(transmitters) == 1:
+                station, message = transmitters[0]
+                frame = Frame(
+                    station_id=station.station_id,
+                    message=message,
+                    burst_continue=station.mac.wants_burst_continuation(now),
+                )
+                state = ChannelState.SUCCESS
+                duration = self.medium.transmission_time(message.length)
+                if self.medium.destructive_collisions:
+                    # Half-duplex GigE carrier extension: a frame occupies
+                    # at least one slot so collisions stay detectable.
+                    duration = max(duration, self.medium.slot_time)
+                self.stats.successes += 1
+                self.stats.busy_time += duration
+                self.stats.payload_bits += message.length
+            else:
+                state = ChannelState.COLLISION
+                duration = self.medium.slot_time
+                frame = None
+                self.stats.collision_slots += 1
+                self.stats.collision_time += duration
+            occupied = None
+            if (
+                state is ChannelState.COLLISION
+                and not self.medium.destructive_collisions
+            ):
+                tags = [
+                    station.mac.contention_tag(now)
+                    for station, _ in transmitters
+                ]
+                if all(tag is not None for tag in tags):
+                    occupied = frozenset(tags)
+            observation = SlotObservation(
+                state=state,
+                start=now,
+                duration=duration,
+                frame=frame,
+                occupied_children=occupied,
+            )
+            for station in self.stations:
+                station.mac.observe(observation)
+            self.observations += 1
+            self.trace.emit(
+                now,
+                "slot",
+                state=state.value,
+                duration=duration,
+                source=None if frame is None else frame.station_id,
+                msg=None if frame is None else frame.message.msg_class.name,
+            )
+            if self.check_consistency:
+                self._assert_lockstep(now)
+            yield self.env.timeout(duration)
+
+    def _assert_lockstep(self, now: int) -> None:
+        """All stations running the same protocol class must agree on the
+        common-knowledge part of their state."""
+        by_type: dict[type, tuple[object, ...]] = {}
+        for station in self.stations:
+            key = station.mac.public_state()
+            mac_type = type(station.mac)
+            if mac_type in by_type and by_type[mac_type] != key:
+                raise AssertionError(
+                    f"t={now}: stations disagree on shared "
+                    f"{mac_type.__name__} state:\n"
+                    f"  {by_type[mac_type]}\n  {key}"
+                )
+            by_type[mac_type] = key

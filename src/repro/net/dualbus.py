@@ -1,0 +1,278 @@
+"""Dual-bus fault tolerance (sections 3.2 and 5).
+
+The paper notes that "many such media can be used in parallel" and that the
+industrial CSMA/DCR deployments of the 80s ran *dual bus* Ethernets.  This
+module provides the redundancy layer: every station is dual-homed, traffic
+runs on the active bus, and when a bus fails (jams), all stations fail over
+to the standby — *without any exchange of messages*, because the jam is
+observed identically by everyone and the failover rule is deterministic
+(K consecutive collision slots on the active bus).
+
+Structure: each station owns one message queue; per bus it exposes a
+:class:`BusPort` (a MAC adapter) wrapping an independent protocol replica.
+Only the active bus's port may transmit; both ports observe their own bus
+continuously, so the standby replicas are warm and consistent the moment
+traffic arrives.
+
+The failover threshold must exceed the longest run of *legitimate*
+consecutive collisions the protocol can produce (a full collision-resolution
+descent), else a busy bus is mistaken for a dead one; see
+:func:`suggested_jam_threshold`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Callable, Mapping
+
+from repro.core.trees import integer_log
+from repro.model.arrival import ArrivalProcess, GreedyBurstArrivals
+from repro.model.problem import HRTDMProblem
+from repro.model.source import SourceSpec
+from repro.net.channel import BroadcastChannel, ChannelStats
+from repro.net.phy import MediumProfile
+from repro.net.station import Station
+from repro.protocols.base import ChannelState, MACProtocol, SlotObservation
+from repro.protocols.ddcr.config import DDCRConfig
+from repro.sim.engine import Environment
+from repro.sim.trace import TraceLog
+
+__all__ = [
+    "BusFailoverController",
+    "BusPort",
+    "DualBusResult",
+    "DualBusSimulation",
+    "suggested_jam_threshold",
+]
+
+
+def suggested_jam_threshold(config: DDCRConfig, margin: int = 8) -> int:
+    """A safe jam-detection threshold for CSMA/DDCR.
+
+    The longest legitimate consecutive-collision run is a full descent of
+    the time tree followed by a full descent of the static tree (every
+    probe on the path colliding), i.e. ``log_m(F) + log_m(q) + 1`` slots;
+    add a margin for back-to-back searches.
+    """
+    depth = (
+        integer_log(config.time_f, config.time_m)
+        + integer_log(config.static_q, config.static_m)
+        + 1
+    )
+    return depth + margin
+
+
+class BusFailoverController:
+    """Shared failover state of one dual-homed station.
+
+    Failover is a pure function of the observed slot states on the active
+    bus, so all stations' controllers switch in the same slot — the
+    standby bus starts clean with every station present.
+    """
+
+    def __init__(self, jam_threshold: int) -> None:
+        if jam_threshold < 2:
+            raise ValueError(
+                f"jam threshold must be >= 2, got {jam_threshold}"
+            )
+        self.jam_threshold = jam_threshold
+        self.active_bus = 0
+        self.failovers = 0
+        self._consecutive_collisions = 0
+
+    def note(self, bus_index: int, state: ChannelState) -> None:
+        """Digest one slot of bus ``bus_index``."""
+        if bus_index != self.active_bus:
+            return
+        if state is ChannelState.COLLISION:
+            self._consecutive_collisions += 1
+            if self._consecutive_collisions >= self.jam_threshold:
+                self.active_bus = 1 - self.active_bus
+                self.failovers += 1
+                self._consecutive_collisions = 0
+        else:
+            self._consecutive_collisions = 0
+
+    def state_key(self) -> tuple[int, int, int]:
+        return (
+            self.active_bus,
+            self.failovers,
+            self._consecutive_collisions,
+        )
+
+
+class BusPort(MACProtocol):
+    """The per-bus face of a dual-homed station.
+
+    Wraps an inner protocol replica: offers pass through only while this
+    port's bus is active; observations always pass through (warm standby).
+    """
+
+    def __init__(
+        self,
+        controller: BusFailoverController,
+        bus_index: int,
+        inner: MACProtocol,
+    ) -> None:
+        super().__init__()
+        self.controller = controller
+        self.bus_index = bus_index
+        self.inner = inner
+
+    def attach(self, station: Station) -> None:
+        super().attach(station)
+        self.inner.attach(station)
+
+    def offer(self, now: int):
+        message = self.inner.offer(now)
+        if self.controller.active_bus != self.bus_index:
+            if message is not None:
+                # The replica must not believe it transmitted this slot.
+                self.inner.suppress_offer()
+            return None
+        return message
+
+    def observe(self, observation: SlotObservation) -> None:
+        # Note the slot BEFORE the inner protocol digests it, so every
+        # station flips in the same slot and the inner replica's reaction
+        # to this very slot is already on the new regime.
+        self.controller.note(self.bus_index, observation.state)
+        self.inner.observe(observation)
+
+    def wants_burst_continuation(self, now: int) -> bool:
+        return self.inner.wants_burst_continuation(now)
+
+    def contention_tag(self, now: int):
+        return self.inner.contention_tag(now)
+
+    def public_state(self) -> tuple[object, ...]:
+        return (
+            self.controller.state_key()
+            + (self.bus_index,)
+            + self.inner.public_state()
+        )
+
+
+@dataclasses.dataclass
+class DualBusResult:
+    """Outcome of a dual-bus run."""
+
+    horizon: int
+    stations: list[Station]
+    bus_stats: tuple[ChannelStats, ChannelStats]
+    failovers: int
+    traces: tuple[TraceLog, TraceLog]
+
+    @property
+    def completions(self):
+        records = [
+            record
+            for station in self.stations
+            for record in station.completions
+        ]
+        records.sort(key=lambda r: r.completion)
+        return records
+
+    def backlog(self):
+        return [
+            message
+            for station in self.stations
+            for message in station.backlog()
+        ]
+
+
+class DualBusSimulation:
+    """A dual-homed network: one queue per source, two busses.
+
+    ``protocol_factory`` builds one *inner* protocol replica per
+    (source, bus); ``fail_bus_at`` jams bus A at that time (None = no
+    failure).  Arrival handling mirrors
+    :class:`~repro.net.network.NetworkSimulation`.
+    """
+
+    def __init__(
+        self,
+        problem: HRTDMProblem,
+        medium: MediumProfile,
+        protocol_factory: Callable[[SourceSpec], MACProtocol],
+        jam_threshold: int,
+        arrivals: Mapping[str, ArrivalProcess] | None = None,
+        fail_bus_at: int | None = None,
+        check_consistency: bool = False,
+        trace: bool = False,
+    ) -> None:
+        self.problem = problem
+        self.medium = medium
+        self.protocol_factory = protocol_factory
+        self.jam_threshold = jam_threshold
+        self.arrivals = dict(arrivals) if arrivals else {}
+        self.fail_bus_at = fail_bus_at
+        self.check_consistency = check_consistency
+        self.trace_enabled = trace
+
+    def _arrival_process(self, class_name: str, source: SourceSpec):
+        if class_name in self.arrivals:
+            return self.arrivals[class_name]
+        return GreedyBurstArrivals(
+            bound=source.class_named(class_name).bound
+        )
+
+    def run(self, horizon: int) -> DualBusResult:
+        env = Environment()
+        traces = (
+            TraceLog(enabled=self.trace_enabled),
+            TraceLog(enabled=self.trace_enabled),
+        )
+        busses = tuple(
+            BroadcastChannel(
+                env,
+                self.medium,
+                trace=traces[i],
+                check_consistency=self.check_consistency,
+            )
+            for i in range(2)
+        )
+        if self.fail_bus_at is not None:
+            busses[0].jam_from = self.fail_bus_at
+        primary_stations: list[Station] = []
+        controllers: list[BusFailoverController] = []
+        for source in self.problem.sources:
+            controller = BusFailoverController(self.jam_threshold)
+            controllers.append(controller)
+            ports = tuple(
+                BusPort(controller, i, self.protocol_factory(source))
+                for i in range(2)
+            )
+            station_a = Station(
+                station_id=source.source_id,
+                mac=ports[0],
+                static_indices=source.static_indices,
+            )
+            # The bus-B station shares queue and completion log with A:
+            # one message store, two network attachments.
+            station_b = Station(
+                station_id=source.source_id,
+                mac=ports[1],
+                static_indices=source.static_indices,
+            )
+            station_b.queue = station_a.queue
+            station_b.completions = station_a.completions
+            for msg_class in source.message_classes:
+                station_a.load_arrivals(
+                    msg_class,
+                    self._arrival_process(msg_class.name, source),
+                    horizon,
+                )
+            busses[0].attach(station_a)
+            busses[1].attach(station_b)
+            primary_stations.append(station_a)
+        env.process(busses[0].run(horizon))
+        env.process(busses[1].run(horizon))
+        env.run(until=horizon)
+        return DualBusResult(
+            horizon=horizon,
+            stations=primary_stations,
+            bus_stats=(busses[0].stats, busses[1].stats),
+            failovers=max(c.failovers for c in controllers),
+            traces=traces,
+        )

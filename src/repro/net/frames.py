@@ -1,0 +1,44 @@
+"""Frames: what stations place on the broadcast medium.
+
+A frame wraps one :class:`~repro.model.message.MessageInstance` together
+with its source station id.  Encapsulation overhead (``l -> l'``) is applied
+by the medium profile at transmission time, not stored here.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.model.message import MessageInstance
+
+__all__ = ["Frame"]
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class Frame:
+    """One Data Link PDU in flight.
+
+    ``burst_continue`` is the half-duplex Gigabit Ethernet packet-bursting
+    signal (section 5): the transmitter keeps the carrier after this frame
+    and will send another one without relinquishing channel control; every
+    station observes the flag and defers.
+    """
+
+    station_id: int
+    message: MessageInstance
+    burst_continue: bool = False
+
+    @property
+    def length(self) -> int:
+        """DL-PDU bit length ``l(msg)``."""
+        return self.message.length
+
+    @property
+    def absolute_deadline(self) -> int:
+        return self.message.absolute_deadline
+
+    def __repr__(self) -> str:
+        return (
+            f"<Frame src={self.station_id} cls={self.message.msg_class.name} "
+            f"DM={self.message.absolute_deadline}>"
+        )

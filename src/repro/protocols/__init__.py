@@ -1,0 +1,31 @@
+"""MAC protocols over the ternary-feedback broadcast channel.
+
+:class:`~repro.protocols.ddcr.DDCRProtocol` is the paper's contribution;
+:class:`~repro.protocols.csma_cd.CSMACDProtocol` (802.3 BEB),
+:class:`~repro.protocols.dcr.DCRProtocol` (802.3D static tree) and
+:class:`~repro.protocols.tdma.TDMAProtocol` are the baselines the PROTO
+bench compares against.
+"""
+
+from repro.protocols.base import ChannelState, MACProtocol, SlotObservation
+from repro.protocols.csma_cd import CSMACDProtocol
+from repro.protocols.dcr import DCRMode, DCRProtocol
+from repro.protocols.ddcr import DDCRConfig, DDCRMode, DDCRProtocol
+from repro.protocols.edf_queue import EDFQueue
+from repro.protocols.tdma import TDMAProtocol
+from repro.protocols.treesearch import SplittingSearch
+
+__all__ = [
+    "ChannelState",
+    "MACProtocol",
+    "SlotObservation",
+    "CSMACDProtocol",
+    "DCRMode",
+    "DCRProtocol",
+    "DDCRConfig",
+    "DDCRMode",
+    "DDCRProtocol",
+    "EDFQueue",
+    "TDMAProtocol",
+    "SplittingSearch",
+]

@@ -1,0 +1,142 @@
+"""MAC protocol interface and the slotted channel contract.
+
+The broadcast channel (:mod:`repro.net.channel`) advances in rounds.  In
+each round it
+
+1. asks every attached MAC whether it transmits in this slot
+   (:meth:`MACProtocol.offer`), then
+2. announces the resulting channel state to every MAC
+   (:meth:`MACProtocol.observe`) — ``SILENCE``, ``SUCCESS`` (with the frame,
+   which every station can decode) or ``COLLISION`` (destructive: nothing is
+   learned beyond the fact of the collision).
+
+This ternary feedback is exactly the information model of CSMA-CD and of
+the tree protocols of section 3.2; every protocol in
+:mod:`repro.protocols` is a deterministic (or seeded) automaton over it.
+"""
+
+from __future__ import annotations
+
+import abc
+import dataclasses
+import enum
+import typing
+
+from repro.model.message import MessageInstance
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.net.frames import Frame
+    from repro.net.station import Station
+
+__all__ = ["ChannelState", "SlotObservation", "MACProtocol"]
+
+
+class ChannelState(enum.Enum):
+    """The three observable channel states of section 3.2 (``chstate``)."""
+
+    SILENCE = "silence"
+    SUCCESS = "success"
+    COLLISION = "collision"
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class SlotObservation:
+    """What every station learns at the end of one channel round.
+
+    ``start``/``duration`` are in bit-times; ``frame`` is set only on
+    SUCCESS (broadcast medium: everyone receives it).
+
+    ``occupied_children`` is the non-destructive-bus extra (section 3.2's
+    ATM remark): on a COLLISION over a medium with XOR/OR logic, each
+    transmitter asserts one of m bus lines — the ordinal of the probed
+    node's child holding its index — and every station reads back the OR:
+    the set of occupied children.  ``None`` on destructive media, on
+    non-collision slots, or when any transmitter could not tag itself.
+    """
+
+    state: ChannelState
+    start: int
+    duration: int
+    frame: Frame | None = None
+    occupied_children: frozenset[int] | None = None
+
+    @property
+    def end(self) -> int:
+        return self.start + self.duration
+
+
+class MACProtocol(abc.ABC):
+    """One station's medium-access automaton."""
+
+    def __init__(self) -> None:
+        self.station: "Station | None" = None
+
+    def attach(self, station: "Station") -> None:
+        """Bind to a station (called once by the station itself)."""
+        if self.station is not None:
+            raise RuntimeError("MAC already attached to a station")
+        self.station = station
+        self.on_attach()
+
+    def on_attach(self) -> None:
+        """Hook for subclass initialisation after binding."""
+
+    @property
+    def bound_station(self) -> "Station":
+        if self.station is None:
+            raise RuntimeError("MAC not attached to a station")
+        return self.station
+
+    @abc.abstractmethod
+    def offer(self, now: int) -> MessageInstance | None:
+        """The message this station transmits in the slot starting at ``now``.
+
+        Return ``None`` to stay silent.  Must not mutate the queue — the
+        dequeue happens in :meth:`observe` when the station sees its own
+        frame succeed (transmission is only complete once observed).
+        """
+
+    @abc.abstractmethod
+    def observe(self, observation: SlotObservation) -> None:
+        """Digest the channel state at the end of the round.
+
+        Every station receives the same observation — protocol state that
+        is supposed to be common knowledge must be derived only from this.
+        """
+
+    def suppress_offer(self) -> None:
+        """Retract the offer made this slot (it never reached the wire).
+
+        Called by wrappers (e.g. the dual-bus standby port) that gate a
+        replica's transmissions: the replica must digest the coming
+        observation as a non-transmitter.  Default: nothing to retract.
+        """
+
+    def wants_burst_continuation(self, now: int) -> bool:
+        """Will this station keep the carrier after its current success?
+
+        Consulted by the channel only for the station whose frame is being
+        delivered this slot, before :meth:`observe`.  Default: no bursting.
+        """
+        return False
+
+    def contention_tag(self, now: int) -> int | None:
+        """The bus line this station asserts during a contention slot.
+
+        Only consulted for stations that transmitted in a colliding slot on
+        a *non-destructive* medium.  Tree protocols return the ordinal
+        (0..m-1) of the probed node's child containing their index; ``None``
+        (the default) means this MAC cannot tag itself, which makes the
+        channel withhold occupancy information for the whole slot — always
+        safe, merely less informative.
+        """
+        return None
+
+    def public_state(self) -> tuple[object, ...]:
+        """Hashable snapshot of the state that must be common knowledge.
+
+        The network runner can assert that all stations running the same
+        deterministic protocol agree slot by slot (consistency invariant of
+        distributed tree search).  Protocols with no shared state return ().
+        """
+        return ()

@@ -1,0 +1,19 @@
+"""CSMA/DDCR — the paper's deadline-driven collision resolution protocol."""
+
+from repro.protocols.ddcr.config import DDCRConfig
+from repro.protocols.ddcr.indexing import raw_class, time_index
+from repro.protocols.ddcr.protocol import DDCRMode, DDCRProtocol
+from repro.protocols.ddcr.sts import StaticTreeSearch, STsRecord
+from repro.protocols.ddcr.tts import TimeTreeSearch, TTsRecord
+
+__all__ = [
+    "DDCRConfig",
+    "raw_class",
+    "time_index",
+    "DDCRMode",
+    "DDCRProtocol",
+    "StaticTreeSearch",
+    "STsRecord",
+    "TimeTreeSearch",
+    "TTsRecord",
+]

@@ -1,0 +1,113 @@
+"""CSMA/DDCR configuration (the tunables of section 3.2).
+
+* ``time_f`` (F) — number of time-tree leaves; ``c * F`` is the scheduling
+  horizon.
+* ``time_m`` — branching degree of the time tree.
+* ``class_width`` (c) — size of a deadline equivalence class, in bit-times.
+* ``alpha`` — lead time letting messages enter a time tree search before it
+  is "too late" (a static tree search may outlast c).
+* ``theta`` — the compressed-time increment theta(c) applied to ``reft``
+  after an empty time tree search; any linear function of c, here expressed
+  as ``theta_factor * c`` (0 disables compressed time).
+* ``static_q`` (q) / ``static_m`` — static tree shape; q must be >= the
+  number of sources z, and every allocated static index must fit.
+* ``exit_to_free_on_idle`` — optional deviation from the paper's pseudocode
+  (which loops TTs forever): when True, a TTs that observed no activity at
+  all returns the channel to plain CSMA-CD until the next collision.  Off
+  by default; the ABL-THETA bench quantifies the difference.
+* ``burst_limit`` — half-duplex Gigabit Ethernet packet bursting
+  (section 5): after a success, the station may keep transmitting its
+  EDF-ranked queue without relinquishing the channel, up to this many
+  DL-PDU bits per burst.  0 (default) disables bursting.
+* ``priority_map`` — the standards-conformant path of section 5: when
+  set, the MAC layer sees only the 3-bit 802.1p priority field, i.e. the
+  deadline *quantised* through the map, and computes time-tree indices
+  from the class representative.  None (default) gives the MAC the exact
+  deadline.  Quantisation can only merge deadline classes, never invert
+  them (see :mod:`repro.net.dot1q`), so the ABL-PCP experiment measures a
+  pure loss-of-resolution effect.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.core.trees import BalancedTree, is_power_of
+
+if typing.TYPE_CHECKING:  # pragma: no cover - layering guard
+    from repro.net.dot1q import PriorityMap
+
+__all__ = ["DDCRConfig"]
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class DDCRConfig:
+    """Immutable CSMA/DDCR parameter set shared by all stations."""
+
+    time_f: int
+    time_m: int
+    class_width: int
+    static_q: int
+    static_m: int
+    alpha: int = 0
+    theta_factor: float = 1.0
+    exit_to_free_on_idle: bool = False
+    burst_limit: int = 0
+    priority_map: "PriorityMap | None" = None
+
+    def __post_init__(self) -> None:
+        if not is_power_of(self.time_f, self.time_m):
+            raise ValueError(
+                f"F={self.time_f} is not a power of m={self.time_m}"
+            )
+        if not is_power_of(self.static_q, self.static_m):
+            raise ValueError(
+                f"q={self.static_q} is not a power of m={self.static_m}"
+            )
+        if self.class_width < 1:
+            raise ValueError(
+                f"class width c must be >= 1, got {self.class_width}"
+            )
+        if self.alpha < 0:
+            raise ValueError(f"alpha must be >= 0, got {self.alpha}")
+        if self.theta_factor < 0:
+            raise ValueError(
+                f"theta_factor must be >= 0, got {self.theta_factor}"
+            )
+        if self.burst_limit < 0:
+            raise ValueError(
+                f"burst_limit must be >= 0, got {self.burst_limit}"
+            )
+
+    @property
+    def theta(self) -> int:
+        """The compressed-time increment theta(c), in bit-times."""
+        return round(self.theta_factor * self.class_width)
+
+    @property
+    def horizon(self) -> int:
+        """The scheduling horizon c*F covered by one time tree."""
+        return self.class_width * self.time_f
+
+    def time_tree(self) -> BalancedTree:
+        return BalancedTree.of(m=self.time_m, leaves=self.time_f)
+
+    def static_tree(self) -> BalancedTree:
+        return BalancedTree.of(m=self.static_m, leaves=self.static_q)
+
+    def tree_parameters(self):
+        """The shapes the feasibility conditions consume (section 4.3).
+
+        Imported lazily: the protocol layer sits above :mod:`repro.core`,
+        and importing feasibility at module scope would close an import
+        cycle through :mod:`repro.net`.
+        """
+        from repro.core.feasibility import TreeParameters
+
+        return TreeParameters(
+            time_f=self.time_f,
+            time_m=self.time_m,
+            static_q=self.static_q,
+            static_m=self.static_m,
+        )

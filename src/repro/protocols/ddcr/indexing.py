@@ -1,0 +1,62 @@
+"""Deadline-class indexing: the function f of section 3.2.
+
+``f(reft, msg) = max( floor((DM(msg) - (alpha + reft)) / c), f* + 1 )``
+
+maps a message's absolute deadline onto a time-tree leaf (a deadline
+equivalence class of width c, measured from the shared reference time
+``reft`` shifted by the lead ``alpha``).  The max with ``f* + 1`` — here the
+search *frontier*, the lowest leaf not yet searched — guarantees a "late"
+message (whose raw class has already been searched, or lies in the past)
+is serviced at the earliest remaining opportunity, i.e. right upon arrival.
+
+A result beyond ``F - 1`` means the deadline falls outside the scheduling
+horizon: the message sits this time tree search out (and compressed time,
+if enabled, will pull it in on a later search).
+"""
+
+from __future__ import annotations
+
+from repro.protocols.ddcr.config import DDCRConfig
+
+__all__ = ["time_index", "raw_class"]
+
+
+def raw_class(reft: int, absolute_deadline: int, config: DDCRConfig) -> int:
+    """``floor((DM - (alpha + reft)) / c)`` — may be negative for late
+    messages (Python's floor division is exact for negatives)."""
+    return (absolute_deadline - (config.alpha + reft)) // config.class_width
+
+
+def mac_visible_deadline(
+    arrival: int, relative_deadline: int, config: DDCRConfig
+) -> int:
+    """The absolute deadline as the MAC layer sees it.
+
+    With a priority map configured (section 5's 802.1Q path), the relative
+    deadline crosses the stack as a 3-bit priority code point, so the MAC
+    reconstructs only the class representative; otherwise the exact
+    deadline is visible.
+    """
+    if config.priority_map is None:
+        return arrival + relative_deadline
+    return arrival + config.priority_map.quantise(relative_deadline)
+
+
+def time_index(
+    reft: int, absolute_deadline: int, config: DDCRConfig, frontier: int
+) -> int | None:
+    """The time-tree leaf for a message, or None when beyond the horizon.
+
+    >>> cfg = DDCRConfig(time_f=4, time_m=2, class_width=10,
+    ...                  static_q=4, static_m=2)
+    >>> time_index(0, 25, cfg, frontier=0)   # class floor(25/10) = 2
+    2
+    >>> time_index(0, 25, cfg, frontier=3)   # clamped to the frontier
+    3
+    >>> time_index(0, 999, cfg, frontier=0) is None   # beyond horizon
+    True
+    """
+    index = max(raw_class(reft, absolute_deadline, config), frontier)
+    if index > config.time_f - 1:
+        return None
+    return index

@@ -1,0 +1,85 @@
+"""Static tree search (STs) state and per-run records.
+
+STs resolves a time-tree *leaf* collision — several sources holding
+messages of the same deadline equivalence class.  It is an m-ary splitting
+search over the q statically allocated indices; the time-leaf collision
+itself counts as the static root probe (section 3.2).  Within one STs a
+source uses its static indices in ranked order and may transmit up to
+``nu_i`` messages.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.core.trees import LeafInterval
+from repro.protocols.ddcr.config import DDCRConfig
+from repro.protocols.treesearch import SplittingSearch
+
+__all__ = ["StaticTreeSearch", "STsRecord"]
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class STsRecord:
+    """Accounting for one completed STs run.
+
+    ``wasted_slots`` includes the triggering time-leaf collision (the
+    static root probe) plus all in-search collision/empty slots — directly
+    comparable to ``1 + xi(k, q)``-style analytic costs, where the leading
+    1 is the root probe.  ``successes`` is the number of messages the run
+    transmitted.
+    """
+
+    started_at: int
+    ended_at: int
+    time_leaf: int
+    wasted_slots: int
+    successes: int
+
+
+@dataclasses.dataclass
+class StaticTreeSearch:
+    """One in-progress STs run (per-station replica, common knowledge)."""
+
+    search: SplittingSearch
+    time_leaf: LeafInterval
+    started_at: int
+
+    @classmethod
+    def start(
+        cls,
+        config: DDCRConfig,
+        time_leaf: LeafInterval,
+        now: int,
+        occupied_children: frozenset[int] | None = None,
+    ) -> "StaticTreeSearch":
+        """Begin an STs run; the time-leaf collision was the root probe.
+
+        On a non-destructive bus the colliding stations tagged the static
+        root's children, pruning the empty ones from the very start.
+        """
+        return cls(
+            search=SplittingSearch.after_root_collision(
+                config.static_tree(), occupied_children
+            ),
+            time_leaf=time_leaf,
+            started_at=now,
+        )
+
+    @property
+    def done(self) -> bool:
+        return self.search.done
+
+    def finish(self, now: int) -> STsRecord:
+        if not self.done:
+            raise RuntimeError("STs still in progress")
+        return STsRecord(
+            started_at=self.started_at,
+            ended_at=now,
+            time_leaf=self.time_leaf.lo,
+            wasted_slots=1 + self.search.wasted_slots,
+            successes=self.search.successes,
+        )
+
+    def state_key(self) -> tuple[object, ...]:
+        return self.search.state_key() + (self.time_leaf.lo,)

@@ -1,0 +1,105 @@
+"""Time tree search (TTs) state and per-run records.
+
+A TTs run is an m-ary splitting search over the F deadline-equivalence
+classes.  The state wraps the generic
+:class:`~repro.protocols.treesearch.SplittingSearch` replica and tracks the
+outcome flag ``out`` ("at least one message was transmitted during this
+search", including transmissions inside nested static tree searches).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.protocols.ddcr.config import DDCRConfig
+from repro.protocols.treesearch import SplittingSearch
+
+__all__ = ["TimeTreeSearch", "TTsRecord"]
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class TTsRecord:
+    """Accounting for one completed TTs run (for the bounds analysis).
+
+    ``wasted_slots`` counts collision + empty probe slots, including the
+    entry collision when the run was triggered by one (the root probe) and
+    the time-leaf collisions that started nested STs runs, but not the
+    slots spent inside the STs runs themselves (those are recorded in their
+    own :class:`~repro.protocols.ddcr.sts.STsRecord`).
+    """
+
+    started_at: int
+    ended_at: int
+    wasted_slots: int
+    successes: int
+    out: bool
+    triggered_by_collision: bool
+    nested_sts_runs: int
+
+
+@dataclasses.dataclass
+class TimeTreeSearch:
+    """One in-progress TTs run (per-station replica, common knowledge)."""
+
+    search: SplittingSearch
+    started_at: int
+    triggered_by_collision: bool
+    transmitted: bool = False
+    nested_sts_runs: int = 0
+
+    @classmethod
+    def start(
+        cls,
+        config: DDCRConfig,
+        now: int,
+        after_collision: bool,
+        occupied_children: frozenset[int] | None = None,
+    ) -> "TimeTreeSearch":
+        """Begin a TTs run.
+
+        When triggered by a collision (FREE-mode or post-attempt), that
+        collision already served as the root probe, so the run starts with
+        the root's m children on the agenda — an otherwise-empty run then
+        costs exactly the "m consecutive empty slots" the paper describes.
+        A repeat run (after ``out = false`` or a quiet attempt slot) probes
+        the root itself first.
+        """
+        tree = config.time_tree()
+        if after_collision:
+            search = SplittingSearch.after_root_collision(
+                tree, occupied_children
+            )
+        else:
+            search = SplittingSearch.fresh(tree)
+        return cls(
+            search=search, started_at=now, triggered_by_collision=after_collision
+        )
+
+    @property
+    def done(self) -> bool:
+        return self.search.done
+
+    @property
+    def out(self) -> bool:
+        """The paper's boolean: did this search transmit anything?"""
+        return self.transmitted
+
+    def finish(self, now: int) -> TTsRecord:
+        if not self.done:
+            raise RuntimeError("TTs still in progress")
+        entry_cost = 1 if self.triggered_by_collision else 0
+        return TTsRecord(
+            started_at=self.started_at,
+            ended_at=now,
+            wasted_slots=entry_cost + self.search.wasted_slots,
+            successes=self.search.successes,
+            out=self.out,
+            triggered_by_collision=self.triggered_by_collision,
+            nested_sts_runs=self.nested_sts_runs,
+        )
+
+    def state_key(self) -> tuple[object, ...]:
+        return self.search.state_key() + (
+            self.transmitted,
+            self.nested_sts_runs,
+        )

@@ -1,0 +1,80 @@
+"""Local algorithm LA: the per-source EDF waiting queue (section 3.2).
+
+Messages received by a source are stored in a waiting queue Q serviced in
+Earliest-Deadline-First order; ``msg*`` denotes the message ranked first.
+Ties on the absolute deadline break by arrival time then sequence number,
+which makes the order total and deterministic (and matches
+:class:`~repro.model.message.MessageInstance`'s ordering).
+
+LA runs "in parallel" with the protocol: arrivals may re-rank the queue at
+any time, so ``peek`` must always be consulted fresh — protocols must not
+cache ``msg*`` across slots.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from repro.model.message import MessageInstance
+
+__all__ = ["EDFQueue"]
+
+
+class EDFQueue:
+    """A priority queue of message instances in EDF order.
+
+    Removal of arbitrary instances (needed when the MAC completes a
+    transmission that may no longer be ``msg*``) uses lazy deletion: the
+    live set is tracked by sequence number and dead heap entries are purged
+    when they surface at the top.
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[MessageInstance] = []
+        self._live_seqs: set[int] = set()
+
+    def __len__(self) -> int:
+        return len(self._live_seqs)
+
+    def __bool__(self) -> bool:
+        return bool(self._live_seqs)
+
+    def push(self, message: MessageInstance) -> None:
+        """Insert an arrival (LA keeps the EDF invariant)."""
+        if message.seq in self._live_seqs:
+            raise KeyError(f"message seq={message.seq} already queued")
+        heapq.heappush(self._heap, message)
+        self._live_seqs.add(message.seq)
+
+    def peek(self) -> MessageInstance | None:
+        """``msg*``: the EDF-first message, or None when Q is empty."""
+        self._compact()
+        return self._heap[0] if self._heap else None
+
+    def pop(self) -> MessageInstance:
+        """Remove and return ``msg*``."""
+        self._compact()
+        if not self._heap:
+            raise IndexError("pop from empty EDF queue")
+        message = heapq.heappop(self._heap)
+        self._live_seqs.discard(message.seq)
+        return message
+
+    def remove(self, message: MessageInstance) -> None:
+        """Remove a specific live instance (lazy deletion)."""
+        if message.seq not in self._live_seqs:
+            raise KeyError(f"message seq={message.seq} is not queued")
+        self._live_seqs.discard(message.seq)
+        self._compact()
+
+    def _compact(self) -> None:
+        while self._heap and self._heap[0].seq not in self._live_seqs:
+            heapq.heappop(self._heap)
+
+    def snapshot(self) -> list[MessageInstance]:
+        """All live messages in EDF order (for metrics and assertions)."""
+        return sorted(
+            message
+            for message in self._heap
+            if message.seq in self._live_seqs
+        )

@@ -1,0 +1,29 @@
+"""Exception types for the simulation substrate."""
+
+from __future__ import annotations
+
+__all__ = ["SimulationError", "Interrupt", "StopSimulation"]
+
+
+class SimulationError(RuntimeError):
+    """Generic misuse of the simulation kernel (e.g. re-triggering events)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`Process.interrupt`.
+
+    ``cause`` carries the interrupting party's reason and is available to
+    the interrupted process via ``exc.cause``.
+    """
+
+    def __init__(self, cause: object = None) -> None:
+        super().__init__(cause)
+        self.cause = cause
+
+
+class StopSimulation(Exception):
+    """Raised internally to end :meth:`Environment.run` at its until-event."""
+
+    def __init__(self, value: object = None) -> None:
+        super().__init__(value)
+        self.value = value

@@ -1,0 +1,151 @@
+"""Shared-resource primitives built on events.
+
+:class:`Resource` is a counting semaphore with FIFO queueing (requests are
+events; ``release`` wakes the next waiter).  :class:`Store` is a FIFO buffer
+of Python objects with blocking ``get``.  The network layer uses a Store for
+per-station arrival queues feeding the MAC layer; examples use Resources to
+model host-side contention (section 2.2's "software layers sitting in
+between").
+"""
+
+from __future__ import annotations
+
+import typing
+from collections import deque
+
+from repro.sim.errors import SimulationError
+from repro.sim.events import Event
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.engine import Environment
+
+__all__ = ["Resource", "Request", "Store"]
+
+
+class Request(Event):
+    """A pending claim on a :class:`Resource`; succeeds when granted.
+
+    Use as a context manager for exception-safe release::
+
+        with resource.request() as req:
+            yield req
+            ...
+    """
+
+    def __init__(self, resource: "Resource") -> None:
+        super().__init__(resource.env)
+        self.resource = resource
+        resource._admit(self)
+
+    def __enter__(self) -> "Request":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.resource.release(self)
+
+
+class Resource:
+    """Counting semaphore with FIFO grant order."""
+
+    def __init__(self, env: "Environment", capacity: int = 1) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self._users: set[Request] = set()
+        self._waiting: deque[Request] = deque()
+
+    @property
+    def count(self) -> int:
+        """Number of granted (active) requests."""
+        return len(self._users)
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._waiting)
+
+    def request(self) -> Request:
+        return Request(self)
+
+    def _admit(self, request: Request) -> None:
+        if len(self._users) < self.capacity:
+            self._users.add(request)
+            request.succeed()
+        else:
+            self._waiting.append(request)
+
+    def release(self, request: Request) -> None:
+        """Release a granted request; granting the oldest waiter, if any.
+
+        Releasing an ungranted (still waiting) request cancels it.
+        """
+        if request in self._users:
+            self._users.remove(request)
+            while self._waiting and len(self._users) < self.capacity:
+                waiter = self._waiting.popleft()
+                self._users.add(waiter)
+                waiter.succeed()
+        else:
+            try:
+                self._waiting.remove(request)
+            except ValueError:
+                raise SimulationError("release of unknown request") from None
+
+
+class Store:
+    """Unbounded (or bounded) FIFO buffer with blocking get.
+
+    ``put`` succeeds immediately unless the store is full; ``get`` succeeds
+    immediately when an item is available, otherwise when one arrives.
+    """
+
+    def __init__(
+        self, env: "Environment", capacity: int | None = None
+    ) -> None:
+        if capacity is not None and capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self._items: deque[object] = deque()
+        self._getters: deque[Event] = deque()
+        self._putters: deque[tuple[Event, object]] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def items(self) -> tuple[object, ...]:
+        """Snapshot of buffered items, oldest first."""
+        return tuple(self._items)
+
+    def put(self, item: object) -> Event:
+        event = Event(self.env)
+        if self.capacity is None or len(self._items) < self.capacity:
+            self._items.append(item)
+            event.succeed()
+            self._drain()
+        else:
+            self._putters.append((event, item))
+        return event
+
+    def get(self) -> Event:
+        event = Event(self.env)
+        if self._items:
+            event.succeed(self._items.popleft())
+            self._refill()
+        else:
+            self._getters.append(event)
+        return event
+
+    def _drain(self) -> None:
+        while self._getters and self._items:
+            self._getters.popleft().succeed(self._items.popleft())
+
+    def _refill(self) -> None:
+        while self._putters and (
+            self.capacity is None or len(self._items) < self.capacity
+        ):
+            event, item = self._putters.popleft()
+            self._items.append(item)
+            event.succeed()
+        self._drain()

@@ -1,0 +1,76 @@
+"""Structured trace log for simulations.
+
+A :class:`TraceLog` records timestamped, typed records.  The network layer
+emits one record per channel slot and per protocol phase change, which the
+bound-checking analysis (:mod:`repro.analysis.bounds`) consumes to count
+search slots and compare them against the analytic ``xi`` values.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Callable, Iterator
+
+__all__ = ["TraceRecord", "TraceLog"]
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class TraceRecord:
+    """One trace entry: time, event kind, and free-form details."""
+
+    time: int | float
+    kind: str
+    details: dict[str, object]
+
+    def __getitem__(self, key: str) -> object:
+        return self.details[key]
+
+
+class TraceLog:
+    """Append-only trace with filtered iteration.
+
+    Tracing can be disabled (``enabled=False``) to keep long benchmark runs
+    allocation-free; ``emit`` is then a no-op.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._records: list[TraceRecord] = []
+        self._subscribers: list[Callable[[TraceRecord], None]] = []
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def emit(self, time: int | float, kind: str, **details: object) -> None:
+        if not self.enabled:
+            return
+        record = TraceRecord(time=time, kind=kind, details=details)
+        self._records.append(record)
+        for subscriber in self._subscribers:
+            subscriber(record)
+
+    def subscribe(self, callback: Callable[[TraceRecord], None]) -> None:
+        """Register a live listener invoked on every emitted record."""
+        self._subscribers.append(callback)
+
+    def records(self, kind: str | None = None) -> Iterator[TraceRecord]:
+        """Iterate records, optionally restricted to one kind."""
+        for record in self._records:
+            if kind is None or record.kind == kind:
+                yield record
+
+    def count(self, kind: str) -> int:
+        return sum(1 for _ in self.records(kind))
+
+    def between(
+        self, start: int | float, end: int | float, kind: str | None = None
+    ) -> list[TraceRecord]:
+        """Records with ``start <= time < end`` (and matching kind)."""
+        return [
+            record
+            for record in self.records(kind)
+            if start <= record.time < end
+        ]
+
+    def clear(self) -> None:
+        self._records.clear()

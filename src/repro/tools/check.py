@@ -1,0 +1,128 @@
+"""CLI: check an HRTDM instance's feasibility conditions.
+
+The operator workflow the paper envisions (section 2.2: "By computing the
+FCs, it is possible to tell whether or not any quantified instantiation of
+the HRTDM problem is feasible with our solution"):
+
+    python -m repro.tools.check instance.json
+    python -m repro.tools.check instance.json --medium classic-ethernet
+    python -m repro.tools.check instance.json --time-f 256 --time-m 4
+    python -m repro.tools.check instance.json --simulate 40
+
+Exit status 0 when feasible, 2 when not (1 on usage errors), so the tool
+composes with CI pipelines that gate configuration changes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.metrics import summarize
+from repro.analysis.report import format_table
+from repro.core.feasibility import TreeParameters, check_feasibility
+from repro.model.serialize import load_problem
+from repro.net.phy import (
+    ATM_BUS,
+    CLASSIC_ETHERNET,
+    GIGABIT_ETHERNET,
+    MediumProfile,
+)
+
+MEDIA: dict[str, MediumProfile] = {
+    profile.name: profile
+    for profile in (GIGABIT_ETHERNET, CLASSIC_ETHERNET, ATM_BUS)
+}
+
+_MS = 1_000_000
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.tools.check",
+        description="Evaluate HRTDM feasibility conditions (B_DDCR <= d).",
+    )
+    parser.add_argument("instance", help="JSON instance file")
+    parser.add_argument(
+        "--medium",
+        choices=sorted(MEDIA),
+        default=GIGABIT_ETHERNET.name,
+        help="broadcast medium profile",
+    )
+    parser.add_argument(
+        "--time-f", type=int, default=64, help="time tree leaves F"
+    )
+    parser.add_argument(
+        "--time-m", type=int, default=4, help="time tree branching degree"
+    )
+    parser.add_argument(
+        "--simulate",
+        type=float,
+        default=0.0,
+        metavar="MS",
+        help="also run CSMA/DDCR under peak load for MS milliseconds",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    medium = MEDIA[args.medium]
+    try:
+        problem = load_problem(args.instance)
+    except (OSError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    trees = TreeParameters(
+        time_f=args.time_f,
+        time_m=args.time_m,
+        static_q=problem.static_q,
+        static_m=problem.static_m,
+    )
+    report = check_feasibility(problem, medium, trees)
+    print(problem.describe())
+    print()
+    print(
+        format_table(
+            ["source", "class", "d (ms)", "B_DDCR (ms)", "slack (ms)", "ok"],
+            [
+                [
+                    fc.source_id,
+                    fc.class_name,
+                    round(fc.deadline / _MS, 3),
+                    round(fc.bound / _MS, 3),
+                    round(fc.slack / _MS, 3),
+                    "yes" if fc.feasible else "NO",
+                ]
+                for fc in report.classes
+            ],
+            title=f"Feasibility on {medium.name} (F={args.time_f}, "
+            f"m={args.time_m})",
+        )
+    )
+    verdict = "FEASIBLE" if report.feasible else "INFEASIBLE"
+    print(f"\nverdict: {verdict}")
+    if args.simulate > 0:
+        from repro.experiments.harness import (
+            build_simulation,
+            ddcr_factory,
+            default_ddcr_config,
+        )
+
+        config = default_ddcr_config(
+            problem, medium, time_f=args.time_f, time_m=args.time_m
+        )
+        result = build_simulation(
+            problem, medium, ddcr_factory(config)
+        ).run(round(args.simulate * _MS))
+        metrics = summarize(result)
+        print(
+            f"simulation ({args.simulate} ms peak load): "
+            f"delivered={metrics.delivered} misses={metrics.misses} "
+            f"utilization={metrics.utilization:.3f}"
+        )
+    return 0 if report.feasible else 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,117 @@
+"""Tests for adversarial scenarios and sim-vs-bound checking."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.adversary import (
+    build_static_collision_scenario,
+    build_time_spread_scenario,
+    expected_tts_cost,
+)
+from repro.analysis.bounds import check_latency_bounds, check_search_costs
+from repro.core.search_cost import simulate_search, worst_case_placement, xi_exact
+from repro.experiments.harness import build_simulation, ddcr_factory, default_ddcr_config
+from repro.model.workloads import uniform_problem
+from repro.net.phy import GIGABIT_ETHERNET
+
+_MS = 1_000_000
+
+
+class TestStaticScenario:
+    @pytest.mark.parametrize("k,q,m", [(2, 8, 2), (4, 8, 2), (3, 16, 4)])
+    def test_worst_placement_attains_xi(self, k, q, m):
+        placement = worst_case_placement(k, q, m)
+        scenario = build_static_collision_scenario(placement, q, m)
+        result = scenario.run()
+        record = result.stations[0].mac.sts_records[0]
+        assert record.wasted_slots == xi_exact(k, q, m)
+        assert record.successes == k
+
+    def test_arbitrary_placement_matches_reference(self):
+        placement = (1, 2, 7)
+        scenario = build_static_collision_scenario(placement, 8, 2)
+        result = scenario.run()
+        record = result.stations[0].mac.sts_records[0]
+        assert record.wasted_slots == simulate_search(placement, 8, 2).cost
+
+    def test_all_messages_delivered_on_time(self):
+        scenario = build_static_collision_scenario((0, 3, 5), 8, 2)
+        result = scenario.run()
+        for station in result.stations:
+            assert len(station.completions) == 1
+            assert station.completions[0].on_time
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            build_static_collision_scenario((1,), 8, 2)
+        with pytest.raises(ValueError):
+            build_static_collision_scenario((1, 1), 8, 2)
+
+
+class TestTimeSpreadScenario:
+    @pytest.mark.parametrize("k,f,m", [(2, 16, 2), (4, 64, 4)])
+    def test_worst_classes_attain_xi(self, k, f, m):
+        classes = worst_case_placement(k, f, m)
+        scenario = build_time_spread_scenario(classes, time_f=f, time_m=m)
+        result = scenario.run()
+        records = [
+            r for r in result.stations[0].mac.tts_records if r.successes
+        ]
+        assert records[0].wasted_slots == xi_exact(k, f, m)
+
+    def test_expected_cost_helper_agrees(self):
+        classes = (0, 5, 11)
+        assert expected_tts_cost(classes, 16, 2) == simulate_search(
+            classes, 16, 2
+        ).cost
+
+    def test_no_sts_for_distinct_classes(self):
+        scenario = build_time_spread_scenario((1, 9), time_f=16, time_m=2)
+        result = scenario.run()
+        assert result.stations[0].mac.sts_records == []
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            build_time_spread_scenario((3,))
+        with pytest.raises(ValueError):
+            build_time_spread_scenario((3, 3))
+        with pytest.raises(ValueError):
+            build_time_spread_scenario((3, 99), time_f=16)
+
+
+class TestBoundChecks:
+    def _run(self):
+        problem = uniform_problem(
+            z=4, length=8_000, deadline=12 * _MS, a=1, w=4 * _MS
+        )
+        config = default_ddcr_config(problem, GIGABIT_ETHERNET)
+        simulation = build_simulation(
+            problem, GIGABIT_ETHERNET, ddcr_factory(config)
+        )
+        return problem, config, simulation.run(36 * _MS)
+
+    def test_search_costs_within_xi(self):
+        _, _, result = self._run()
+        assert check_search_costs(result) == []
+
+    def test_latency_within_b_ddcr(self):
+        problem, config, result = self._run()
+        report, checks = check_latency_bounds(
+            result, problem, GIGABIT_ETHERNET, config.tree_parameters()
+        )
+        assert report.feasible
+        assert checks, "expected at least one class to deliver"
+        for check in checks:
+            assert check.holds, check
+            assert 0 < check.tightness <= 1
+
+    def test_non_ddcr_stations_are_skipped(self):
+        from repro.experiments.harness import csma_cd_factory
+
+        problem = uniform_problem(z=2, deadline=12 * _MS)
+        simulation = build_simulation(
+            problem, GIGABIT_ETHERNET, csma_cd_factory()
+        )
+        result = simulation.run(5 * _MS)
+        assert check_search_costs(result) == []

@@ -1,0 +1,59 @@
+"""Tests for the text reporting helpers."""
+
+from __future__ import annotations
+
+from repro.analysis.report import ascii_plot, format_series, format_table, to_csv
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        table = format_table(["k", "xi"], [[2, 11], [40, 5]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert lines[0].strip().startswith("k")
+        assert "| 11" in lines[2]
+
+    def test_title(self):
+        table = format_table(["a"], [[1]], title="Title")
+        assert table.startswith("Title\n")
+
+    def test_floats_formatted(self):
+        table = format_table(["x"], [[3.14159]])
+        assert "3.142" in table
+
+
+class TestCSV:
+    def test_round_trip_shape(self):
+        csv = to_csv(["a", "b"], [[1, 2], [3, 4]])
+        lines = csv.splitlines()
+        assert lines[0] == "a,b"
+        assert lines[1] == "1,2"
+        assert len(lines) == 3
+
+
+class TestSeries:
+    def test_format_series(self):
+        text = format_series("xi", [1, 2], [10, 20])
+        assert text.startswith("xi:")
+        assert "(1, 10)" in text
+
+
+class TestAsciiPlot:
+    def test_plots_all_series(self):
+        plot = ascii_plot(
+            {
+                "a": ([0, 1, 2], [0, 1, 2]),
+                "b": ([0, 1, 2], [2, 1, 0]),
+            },
+            width=20,
+            height=5,
+        )
+        assert "a" in plot and "b" in plot
+        assert "*" in plot and "o" in plot
+
+    def test_empty(self):
+        assert ascii_plot({}) == "(empty plot)"
+
+    def test_constant_series(self):
+        plot = ascii_plot({"flat": ([0, 1], [5, 5])}, width=10, height=3)
+        assert "*" in plot

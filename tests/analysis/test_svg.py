@@ -1,0 +1,72 @@
+"""Tests for the SVG chart writer."""
+
+from __future__ import annotations
+
+import xml.dom.minidom
+
+import pytest
+
+from repro.analysis.svg import Series, line_chart
+from repro.experiments import fig1, fig2
+
+
+class TestSeries:
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Series(name="x", xs=[1, 2], ys=[1])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Series(name="x", xs=[], ys=[])
+
+
+class TestLineChart:
+    def _chart(self, **kwargs):
+        return line_chart(
+            [
+                Series(name="a", xs=[0, 1, 2], ys=[0, 5, 3]),
+                Series(name="b", xs=[0, 1, 2], ys=[1, 1, 4], staircase=True),
+            ],
+            title="T & T",
+            x_label="x",
+            y_label="y",
+            **kwargs,
+        )
+
+    def test_valid_xml(self):
+        doc = xml.dom.minidom.parseString(self._chart())
+        assert doc.documentElement.tagName == "svg"
+
+    def test_one_polyline_per_series(self):
+        doc = xml.dom.minidom.parseString(self._chart())
+        assert len(doc.getElementsByTagName("polyline")) == 2
+
+    def test_title_escaped(self):
+        assert "T &amp; T" in self._chart()
+
+    def test_legend_names_present(self):
+        chart = self._chart()
+        assert ">a<" in chart and ">b<" in chart
+
+    def test_staircase_doubles_points(self):
+        doc = xml.dom.minidom.parseString(self._chart())
+        lines = doc.getElementsByTagName("polyline")
+        plain = lines[0].getAttribute("points").split()
+        stepped = lines[1].getAttribute("points").split()
+        assert len(stepped) == 2 * len(plain) - 1
+
+    def test_empty_series_list_rejected(self):
+        with pytest.raises(ValueError):
+            line_chart([], title="t", x_label="x", y_label="y")
+
+
+class TestFigureOutputs:
+    def test_fig1_produces_svg(self):
+        result = fig1.run()
+        assert "fig1" in result.svg_figures
+        xml.dom.minidom.parseString(result.svg_figures["fig1"])
+
+    def test_fig2_produces_svg(self):
+        result = fig2.run()
+        assert "fig2" in result.svg_figures
+        xml.dom.minidom.parseString(result.svg_figures["fig2"])

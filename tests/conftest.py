@@ -1,0 +1,35 @@
+"""Shared test configuration.
+
+Registers a CI-friendly hypothesis profile (deterministic, bounded) and a
+couple of grid fixtures used across the suite.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "repro",
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+    derandomize=True,
+)
+settings.load_profile("repro")
+
+#: (m, t) shapes small enough for any exact computation in a test.
+SMALL_SHAPES = [(2, 4), (2, 8), (2, 16), (3, 9), (3, 27), (4, 16), (4, 64), (5, 25)]
+
+#: Larger shapes for closed-form-vs-DP grids.
+LARGE_SHAPES = SMALL_SHAPES + [(2, 256), (3, 243), (4, 256), (6, 36), (8, 64)]
+
+
+@pytest.fixture(params=SMALL_SHAPES, ids=lambda s: f"m{s[0]}t{s[1]}")
+def small_shape(request) -> tuple[int, int]:
+    return request.param
+
+
+@pytest.fixture(params=LARGE_SHAPES, ids=lambda s: f"m{s[0]}t{s[1]}")
+def large_shape(request) -> tuple[int, int]:
+    return request.param

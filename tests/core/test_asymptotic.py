@@ -1,0 +1,143 @@
+"""Tests for the asymptotic bound xi_tilde and tightness (Eq. 11-14)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.asymptotic import (
+    UNIVERSAL_TIGHTNESS_M,
+    measure_gap,
+    tightness_constant,
+    touch_points,
+    universal_tightness_constant,
+    xi_tilde,
+    xi_tilde_extended,
+)
+from repro.core.search_cost import exact_cost_table
+
+
+class TestXiTilde:
+    def test_upper_bound_on_valid_interval(self, small_shape):
+        m, t = small_shape
+        table = exact_cost_table(m, t)
+        knee = 2 * t // m
+        for k in range(2, knee + 1):
+            assert xi_tilde(k, t, m) >= table[k] - 1e-9
+
+    def test_exact_at_touch_points(self, small_shape):
+        m, t = small_shape
+        table = exact_cost_table(m, t)
+        for k in touch_points(t, m):
+            if k <= 2 * t // m:
+                assert abs(xi_tilde(k, t, m) - table[k]) < 1e-9, (m, t, k)
+
+    def test_eq5_consistency_at_k2(self, small_shape):
+        # xi_tilde(2) reduces algebraically to Eq. 5.
+        m, t = small_shape
+        n = round(math.log(t, m))
+        assert abs(xi_tilde(2, t, m) - (m * n - 1)) < 1e-9
+
+    def test_eq6_consistency_at_knee(self):
+        m, t = 4, 64
+        expected = (t - 1) / (m - 1) + (t - 2 * t / m)
+        assert abs(xi_tilde(2 * t // m, t, m) - expected) < 1e-9
+
+    def test_concavity_in_k(self, small_shape):
+        m, t = small_shape
+        if 2 * t // m < 4:
+            pytest.skip("interval too small for a second difference")
+        ks = [2 + i * (2 * t / m - 2) / 20 for i in range(21)]
+        values = [xi_tilde(k, t, m) for k in ks]
+        for a, b, c in zip(values, values[1:], values[2:]):
+            assert b >= (a + c) / 2 - 1e-9
+
+    def test_domain_validation(self):
+        with pytest.raises(ValueError):
+            xi_tilde(1.5, 64, 4)
+        with pytest.raises(ValueError):
+            xi_tilde(65, 64, 4)
+
+
+class TestXiTildeExtended:
+    def test_covers_whole_range(self, small_shape):
+        m, t = small_shape
+        table = exact_cost_table(m, t)
+        for k in range(t + 1):
+            assert xi_tilde_extended(float(k), t, m) >= table[k] - 1e-9
+
+    def test_continuous_at_knee(self, small_shape):
+        m, t = small_shape
+        knee = 2 * t / m
+        if knee < 2 or knee >= t:
+            pytest.skip("no linear regime beyond the knee for this shape")
+        below = xi_tilde_extended(knee - 1e-9, t, m)
+        above = xi_tilde_extended(knee + 1e-9, t, m)
+        assert abs(below - above) < 1e-5
+
+    def test_matches_linear_regime_at_integers(self):
+        m, t = 4, 64
+        table = exact_cost_table(m, t)
+        for k in range(2 * t // m, t + 1):
+            assert abs(xi_tilde_extended(float(k), t, m) - table[k]) < 1e-9
+
+    def test_clamps_below_two(self):
+        assert xi_tilde_extended(0.5, 64, 4) == xi_tilde(2, 64, 4)
+
+    @given(st.floats(0, 64))
+    def test_nonnegative(self, k):
+        assert xi_tilde_extended(k, 64, 4) >= 0
+
+
+class TestTightness:
+    def test_eq13_even_gap_bound(self):
+        for m, t in [(2, 64), (2, 256), (3, 81), (4, 64), (4, 256)]:
+            report = measure_gap(m, t)
+            assert report.even_max_gap <= report.bound_eq13 + 1e-9
+
+    def test_eq12_argmax_in_last_period(self):
+        for m, t in [(2, 64), (2, 256), (3, 81), (4, 256)]:
+            assert measure_gap(m, t).argmax_in_last_period()
+
+    def test_eq14_universal_constant(self):
+        constant = universal_tightness_constant()
+        assert constant <= 0.0954
+        assert constant > 0.095  # the paper quotes 9.54%
+        assert constant == pytest.approx(
+            tightness_constant(UNIVERSAL_TIGHTNESS_M)
+        )
+
+    def test_m9_maximises_eq13(self):
+        best = tightness_constant(UNIVERSAL_TIGHTNESS_M)
+        for m in range(2, 100):
+            assert tightness_constant(m) <= best + 1e-12
+
+    def test_gap_report_fields(self):
+        report = measure_gap(4, 64)
+        assert report.m == 4 and report.t == 64
+        assert 0 <= report.even_relative_gap <= 0.0954
+        assert report.max_gap >= report.even_max_gap
+
+    def test_measure_gap_validation(self):
+        with pytest.raises(ValueError):
+            measure_gap(4, 1)  # single-leaf tree: interval [2, 2t/m] empty
+        # t = m gives knee = 2, a valid single-point interval.
+        assert measure_gap(4, 4).even_argmax_k == 2
+
+    def test_tightness_constant_validation(self):
+        with pytest.raises(ValueError):
+            tightness_constant(1)
+
+
+class TestTouchPoints:
+    def test_form(self):
+        assert touch_points(64, 4) == [2, 8, 32]
+        assert touch_points(16, 2) == [2, 4, 8, 16]
+
+    def test_all_within_range(self, small_shape):
+        m, t = small_shape
+        for k in touch_points(t, m):
+            assert 2 <= k <= t

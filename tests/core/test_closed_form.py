@@ -1,0 +1,72 @@
+"""Tests for the closed forms (Eq. 9, Eq. 10, Eq. 15)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.closed_form import (
+    xi_closed_form,
+    xi_even_closed_form,
+    xi_linear_regime,
+)
+from repro.core.search_cost import exact_cost_table
+
+
+class TestEq10:
+    def test_matches_dp_on_grid(self, large_shape):
+        m, t = large_shape
+        dp = exact_cost_table(m, t)
+        for k in range(t + 1):
+            assert xi_closed_form(k, t, m) == dp[k], (m, t, k)
+
+    def test_base_values(self):
+        assert xi_closed_form(0, 64, 4) == 1
+        assert xi_closed_form(1, 64, 4) == 0
+
+    def test_fig1_values(self):
+        # Anchor a few values of the paper's Fig. 1 curve (m=4, t=64).
+        assert xi_closed_form(2, 64, 4) == 11
+        assert xi_closed_form(64, 64, 4) == 21
+
+    def test_domain_validation(self):
+        with pytest.raises(ValueError):
+            xi_closed_form(65, 64, 4)
+        with pytest.raises(Exception):
+            xi_closed_form(2, 48, 4)  # not a power of m
+
+
+class TestEq9:
+    def test_matches_dp_even_restriction(self, large_shape):
+        m, t = large_shape
+        dp = exact_cost_table(m, t)
+        for p in range(t // 2 + 1):
+            assert xi_even_closed_form(p, t, m) == dp[2 * p], (m, t, p)
+
+    def test_p_zero(self):
+        assert xi_even_closed_form(0, 64, 4) == 1
+
+    def test_p_out_of_range(self):
+        with pytest.raises(ValueError):
+            xi_even_closed_form(33, 64, 4)
+
+
+class TestEq15:
+    def test_exact_on_saturated_interval(self, large_shape):
+        m, t = large_shape
+        dp = exact_cost_table(m, t)
+        for k in range(2 * t // m, t + 1):
+            assert xi_linear_regime(k, t, m) == dp[k]
+
+    def test_closed_expression(self):
+        # (m t - 1)/(m - 1) - k
+        assert xi_linear_regime(64, 64, 4) == (4 * 64 - 1) // 3 - 64
+
+    def test_rejects_outside_regime(self):
+        with pytest.raises(ValueError):
+            xi_linear_regime(2, 64, 4)  # 2 < 2t/m = 32
+
+    def test_unit_slope(self, small_shape):
+        m, t = small_shape
+        lo = 2 * t // m
+        values = [xi_linear_regime(k, t, m) for k in range(lo, t + 1)]
+        assert all(a - b == 1 for a, b in zip(values, values[1:]))

@@ -1,0 +1,95 @@
+"""Tests for the divide-and-conquer recursion and special values (Eq. 2-8)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.divide_conquer import (
+    divide_conquer_table,
+    xi_divide_conquer,
+    xi_even_increment,
+    xi_full,
+    xi_knee,
+    xi_two,
+)
+from repro.core.search_cost import exact_cost_table
+from repro.core.trees import integer_log
+
+
+class TestRecursionEquivalence:
+    def test_matches_dp_everywhere(self, large_shape):
+        m, t = large_shape
+        dp = exact_cost_table(m, t)
+        dc = divide_conquer_table(m, t)
+        assert list(dc) == list(dp.costs)
+
+    def test_base_case_single_level(self):
+        # Eq. 4: t = m.
+        for m in (2, 3, 4, 5, 8):
+            dc = divide_conquer_table(m, m)
+            assert dc[0] == 1
+            for p in range(1, m // 2 + 1):
+                assert dc[2 * p] == 1 + m - 2 * p
+            for p in range((m + 1) // 2):
+                assert dc[2 * p + 1] == dc[2 * p] - 1
+
+    def test_trivial_tree(self):
+        assert divide_conquer_table(2, 1) == (1, 0)
+
+    def test_bad_k(self):
+        with pytest.raises(ValueError):
+            xi_divide_conquer(17, 16, 2)
+
+
+class TestOddEvenStructure:
+    def test_eq3_odd_is_even_minus_one(self, small_shape):
+        m, t = small_shape
+        dc = divide_conquer_table(m, t)
+        for p in range((t + 1) // 2):
+            assert dc[2 * p + 1] == dc[2 * p] - 1
+
+
+class TestSpecialValues:
+    def test_eq5(self, small_shape):
+        m, t = small_shape
+        n = integer_log(t, m)
+        assert xi_two(t, m) == m * n - 1
+        assert xi_two(t, m) == exact_cost_table(m, t)[2]
+
+    def test_eq6(self, small_shape):
+        m, t = small_shape
+        assert xi_knee(t, m) == exact_cost_table(m, t)[2 * t // m]
+
+    def test_eq7(self, small_shape):
+        m, t = small_shape
+        assert xi_full(t, m) == exact_cost_table(m, t)[t]
+        assert xi_full(t, m) == (t - 1) // (m - 1)
+
+    def test_eq8_derivative(self):
+        for m, t in [(2, 16), (2, 64), (3, 27), (4, 64)]:
+            dp = exact_cost_table(m, t)
+            for p in range(1, t // 2):
+                assert (
+                    dp[2 * p + 2] - dp[2 * p] == xi_even_increment(p, t, m)
+                ), (m, t, p)
+
+    def test_eq8_sign_change_locates_peak(self):
+        # The increment is positive while climbing, negative past the knee.
+        m, t = 4, 64
+        increments = [xi_even_increment(p, t, m) for p in range(1, t // 2)]
+        sign_flips = sum(
+            1
+            for a, b in zip(increments, increments[1:])
+            if (a >= 0) != (b >= 0)
+        )
+        assert sign_flips == 1
+
+    def test_eq8_domain_validation(self):
+        with pytest.raises(ValueError):
+            xi_even_increment(1, 4, 4)  # n = 1 excluded by Eq. 8
+        with pytest.raises(ValueError):
+            xi_even_increment(0, 64, 4)
+
+    def test_xi_two_requires_multi_level(self):
+        with pytest.raises(Exception):
+            xi_two(1, 2)

@@ -1,0 +1,251 @@
+"""Tests for the feasibility conditions (section 4.3)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.feasibility import (
+    TreeParameters,
+    check_feasibility,
+    interference_bound,
+    latency_bound,
+    max_feasible_scale,
+    queue_rank_bound,
+    static_tree_count,
+)
+from repro.model.message import DensityBound, MessageClass
+from repro.model.problem import HRTDMProblem
+from repro.model.source import SourceSpec
+from repro.model.workloads import uniform_problem
+from repro.net.phy import GIGABIT_ETHERNET, ideal_medium
+
+_MS = 1_000_000
+
+
+def _single_class_problem(z=4, length=8_000, deadline=10 * _MS, a=1, w=4 * _MS):
+    return uniform_problem(z=z, length=length, deadline=deadline, a=a, w=w)
+
+
+def _trees(problem) -> TreeParameters:
+    return TreeParameters(
+        time_f=64,
+        time_m=4,
+        static_q=problem.static_q,
+        static_m=problem.static_m,
+    )
+
+
+class TestQueueRank:
+    def test_single_class_hand_computed(self):
+        # r(M) = ceil(d/w) * a - 1 for a source with one class.
+        cls = MessageClass(
+            name="x", length=1000, deadline=10 * _MS,
+            bound=DensityBound(a=2, w=4 * _MS),
+        )
+        source = SourceSpec(
+            source_id=0, message_classes=(cls,), static_indices=(0,)
+        )
+        assert queue_rank_bound(cls, source) == math.ceil(10 / 4) * 2 - 1
+
+    def test_multi_class_sums(self):
+        a = MessageClass(
+            name="a", length=1000, deadline=8 * _MS,
+            bound=DensityBound(a=1, w=2 * _MS),
+        )
+        b = MessageClass(
+            name="b", length=1000, deadline=4 * _MS,
+            bound=DensityBound(a=1, w=3 * _MS),
+        )
+        source = SourceSpec(
+            source_id=0, message_classes=(a, b), static_indices=(0,)
+        )
+        # For target a: ceil(8/2)*1 + ceil(8/3)*1 - 1 = 4 + 3 - 1.
+        assert queue_rank_bound(a, source) == 6
+
+
+class TestInterference:
+    def test_hand_computed_uniform(self):
+        problem = _single_class_problem(z=4, deadline=10 * _MS, a=1, w=4 * _MS)
+        target = problem.sources[0].message_classes[0]
+        medium = GIGABIT_ETHERNET
+        l_prime = medium.encapsulate(target.length)
+        expected = 4 * math.ceil((10 * _MS + 10 * _MS - l_prime) / (4 * _MS))
+        assert interference_bound(target, problem, medium) == expected
+
+    def test_short_deadlines_do_not_go_negative(self):
+        problem = _single_class_problem(deadline=2 * _MS)
+        target = problem.sources[0].message_classes[0]
+        assert interference_bound(target, problem, GIGABIT_ETHERNET) >= 0
+
+
+class TestStaticTreeCount:
+    def test_formula(self):
+        assert static_tree_count(0, 1) == 1
+        assert static_tree_count(3, 1) == 4
+        assert static_tree_count(3, 2) == 2
+        assert static_tree_count(4, 2) == 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            static_tree_count(-1, 1)
+        with pytest.raises(ValueError):
+            static_tree_count(0, 0)
+
+
+class TestLatencyBound:
+    def test_components_positive(self):
+        problem = _single_class_problem()
+        source = problem.sources[0]
+        target = source.message_classes[0]
+        fc = latency_bound(
+            target, source, problem, GIGABIT_ETHERNET, _trees(problem)
+        )
+        assert fc.rank >= 0
+        assert fc.interference >= 1
+        assert fc.static_trees >= 1
+        assert fc.transmission_bits > 0
+        assert fc.search_slots_static > 0
+        assert fc.search_slots_time > 0
+        assert fc.bound > 0
+
+    def test_bound_grows_with_density(self):
+        trees = _trees(_single_class_problem())
+        bounds = []
+        for scale in (1.0, 2.0, 4.0):
+            problem = uniform_problem(
+                z=4, length=8_000, deadline=10 * _MS, a=1, w=4 * _MS,
+                scale=scale,
+            )
+            source = problem.sources[0]
+            fc = latency_bound(
+                source.message_classes[0], source, problem,
+                GIGABIT_ETHERNET, trees,
+            )
+            bounds.append(fc.bound)
+        assert bounds[0] < bounds[1] < bounds[2]
+
+    def test_bound_grows_with_z(self):
+        trees = None
+        bounds = []
+        for z in (2, 4, 8):
+            problem = uniform_problem(
+                z=z, length=8_000, deadline=10 * _MS, a=1, w=4 * _MS
+            )
+            trees = _trees(problem)
+            source = problem.sources[0]
+            fc = latency_bound(
+                source.message_classes[0], source, problem,
+                GIGABIT_ETHERNET, trees,
+            )
+            bounds.append(fc.bound)
+        assert bounds[0] < bounds[1] < bounds[2]
+
+    def test_slack_sign_matches_feasibility(self):
+        problem = _single_class_problem()
+        report = check_feasibility(problem, GIGABIT_ETHERNET, _trees(problem))
+        for fc in report.classes:
+            assert fc.feasible == (fc.slack >= 0)
+
+
+class TestCheckFeasibility:
+    def test_light_uniform_is_feasible(self):
+        problem = _single_class_problem()
+        report = check_feasibility(problem, GIGABIT_ETHERNET, _trees(problem))
+        assert report.feasible
+        assert len(report.classes) == 4
+
+    def test_overload_is_infeasible(self):
+        problem = uniform_problem(
+            z=8, length=64_000, deadline=1 * _MS, a=8, w=1 * _MS
+        )
+        report = check_feasibility(problem, GIGABIT_ETHERNET, _trees(problem))
+        assert not report.feasible
+
+    def test_worst_is_minimum_slack(self):
+        problem = _single_class_problem()
+        report = check_feasibility(problem, GIGABIT_ETHERNET, _trees(problem))
+        assert report.worst.slack == min(c.slack for c in report.classes)
+
+    def test_by_class_lookup(self):
+        problem = _single_class_problem()
+        report = check_feasibility(problem, GIGABIT_ETHERNET, _trees(problem))
+        assert report.by_class("uniform-0").class_name == "uniform-0"
+        with pytest.raises(KeyError):
+            report.by_class("nope")
+
+    def test_slower_medium_tighter_in_seconds(self):
+        # Same instance on classic 10 Mb/s Ethernet: the bound, converted
+        # to SI seconds, must be far larger than on Gigabit Ethernet.
+        # (Bit-time values are not comparable across media directly.)
+        from repro.net.phy import CLASSIC_ETHERNET
+
+        problem = _single_class_problem()
+        trees = _trees(problem)
+        giga = check_feasibility(problem, GIGABIT_ETHERNET, trees)
+        classic = check_feasibility(problem, CLASSIC_ETHERNET, trees)
+        giga_seconds = giga.worst.bound * GIGABIT_ETHERNET.throughput.bit_time_seconds
+        classic_seconds = (
+            classic.worst.bound * CLASSIC_ETHERNET.throughput.bit_time_seconds
+        )
+        assert classic_seconds > giga_seconds
+
+    def test_larger_slot_time_increases_bound(self):
+        problem = _single_class_problem()
+        trees = _trees(problem)
+        small_slot = check_feasibility(problem, ideal_medium(slot_time=64), trees)
+        big_slot = check_feasibility(
+            problem, ideal_medium(slot_time=4096), trees
+        )
+        assert big_slot.worst.bound > small_slot.worst.bound
+
+
+class TestMaxFeasibleScale:
+    def test_monotone_region_found(self):
+        def factory(scale: float):
+            return uniform_problem(
+                z=4, length=8_000, deadline=10 * _MS, a=1, w=4 * _MS,
+                scale=scale,
+            )
+
+        trees = _trees(factory(1.0))
+        best = max_feasible_scale(factory, GIGABIT_ETHERNET, trees, hi=256.0)
+        assert best > 1.0
+        assert check_feasibility(factory(best), GIGABIT_ETHERNET, trees).feasible
+        assert not check_feasibility(
+            factory(best * 1.05), GIGABIT_ETHERNET, trees
+        ).feasible
+
+    def test_all_feasible_returns_hi(self):
+        def factory(scale: float):
+            return uniform_problem(
+                z=2, length=1_000, deadline=50 * _MS, a=1, w=50 * _MS,
+                scale=scale,
+            )
+
+        trees = _trees(factory(1.0))
+        assert (
+            max_feasible_scale(factory, GIGABIT_ETHERNET, trees, hi=2.0) == 2.0
+        )
+
+    def test_nothing_feasible_returns_zero(self):
+        def factory(scale: float):
+            return uniform_problem(
+                z=8, length=500_000, deadline=1 * _MS, a=4, w=1 * _MS,
+                scale=scale,
+            )
+
+        trees = _trees(factory(1.0))
+        assert (
+            max_feasible_scale(factory, GIGABIT_ETHERNET, trees, lo=1.0)
+            == 0.0
+        )
+
+
+class TestTreeParameters:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TreeParameters(time_f=48, time_m=4, static_q=16, static_m=2)
+        with pytest.raises(ValueError):
+            TreeParameters(time_f=64, time_m=4, static_q=48, static_m=4)

@@ -1,0 +1,97 @@
+"""Property-based tests on the feasibility conditions.
+
+Monotonicity is what makes the FCs usable as a dimensioning tool (binary
+search over load, admission control): denser arrivals, more sources,
+longer messages, slower media can only increase B_DDCR; more static
+indices (nu) can only decrease the static-tree count v(M).
+"""
+
+from __future__ import annotations
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.feasibility import (
+    TreeParameters,
+    interference_bound,
+    latency_bound,
+    queue_rank_bound,
+    static_tree_count,
+)
+from repro.model.workloads import uniform_problem
+from repro.net.phy import GIGABIT_ETHERNET
+
+_MS = 1_000_000
+
+
+def _bound_for(z=4, length=8_000, deadline=10 * _MS, a=1, w=4 * _MS,
+               scale=1.0, nu=1):
+    problem = uniform_problem(
+        z=z, length=length, deadline=deadline, a=a, w=w, scale=scale, nu=nu
+    )
+    trees = TreeParameters(
+        time_f=64,
+        time_m=4,
+        static_q=problem.static_q,
+        static_m=problem.static_m,
+    )
+    source = problem.sources[0]
+    return latency_bound(
+        source.message_classes[0], source, problem, GIGABIT_ETHERNET, trees
+    )
+
+
+@given(st.floats(0.25, 8.0), st.floats(1.05, 4.0))
+def test_bound_monotone_in_density(scale, factor):
+    lighter = _bound_for(scale=scale)
+    heavier = _bound_for(scale=scale * factor)
+    assert heavier.bound >= lighter.bound - 1e-9
+
+
+@given(st.integers(2, 6), st.integers(1, 6))
+def test_bound_monotone_in_sources(z, extra):
+    small = _bound_for(z=z)
+    large = _bound_for(z=z + extra)
+    assert large.bound >= small.bound - 1e-9
+
+
+@given(st.integers(1_000, 32_000), st.integers(1, 32_000))
+def test_bound_monotone_in_length(length, extra):
+    short = _bound_for(length=length)
+    long = _bound_for(length=length + extra)
+    assert long.bound >= short.bound - 1e-9
+
+
+@given(st.integers(1, 4))
+def test_more_indices_never_increase_static_trees(nu):
+    fewer = _bound_for(a=4, nu=nu)
+    more = _bound_for(a=4, nu=nu + 1)
+    assert more.static_trees <= fewer.static_trees
+
+
+@given(st.integers(0, 50), st.integers(1, 8))
+def test_static_tree_count_monotone(rank, nu):
+    assert static_tree_count(rank + 1, nu) >= static_tree_count(rank, nu)
+    assert static_tree_count(rank, nu + 1) <= static_tree_count(rank, nu)
+
+
+@given(st.floats(0.25, 4.0))
+def test_interference_covers_rank(scale):
+    # u(M) counts the whole network, r(M) only the local queue: for a
+    # single-class-per-source instance u must dominate r.
+    problem = uniform_problem(z=4, scale=scale)
+    source = problem.sources[0]
+    target = source.message_classes[0]
+    u = interference_bound(target, problem, GIGABIT_ETHERNET)
+    r = queue_rank_bound(target, source)
+    assert u >= r
+
+
+@given(st.integers(2, 40))
+def test_bound_in_deadline_units_decreases_with_deadline(deadline_ms):
+    # The absolute bound grows with the deadline (more interference fits)
+    # but strictly slower, so slack improves: B(d)/d is non-increasing for
+    # the uniform family.
+    a = _bound_for(deadline=deadline_ms * _MS)
+    b = _bound_for(deadline=2 * deadline_ms * _MS)
+    assert b.bound / (2 * deadline_ms) <= a.bound / deadline_ms + 1e-9

@@ -1,0 +1,126 @@
+"""Tests for Problem P2 (Eq. 16-19)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.multi_tree import (
+    even_split_identity_gap,
+    multi_tree_bound,
+    multi_tree_bound_even_split,
+    multi_tree_bound_extended,
+    multi_tree_exact_optimum,
+)
+from repro.core.search_cost import exact_cost_table
+
+
+class TestExactOptimum:
+    def test_single_tree_reduces_to_xi(self, small_shape):
+        m, t = small_shape
+        table = exact_cost_table(m, t)
+        for u in range(2, t + 1):
+            assert multi_tree_exact_optimum(u, 1, t, m).value == table[u]
+
+    def test_witness_is_consistent(self):
+        optimum = multi_tree_exact_optimum(12, 3, 16, 2)
+        table = exact_cost_table(2, 16)
+        assert sum(optimum.composition) == 12
+        assert len(optimum.composition) == 3
+        assert all(2 <= k <= 16 for k in optimum.composition)
+        assert sum(table[k] for k in optimum.composition) == optimum.value
+
+    def test_brute_force_cross_check(self):
+        # Compare the DP against explicit enumeration for small cases.
+        import itertools
+
+        m, t, v, u = 2, 8, 3, 12
+        table = exact_cost_table(m, t)
+        best = max(
+            sum(table[k] for k in parts)
+            for parts in itertools.product(range(2, t + 1), repeat=v)
+            if sum(parts) == u
+        )
+        assert multi_tree_exact_optimum(u, v, t, m).value == best
+
+    def test_domain_validation(self):
+        with pytest.raises(ValueError):
+            multi_tree_exact_optimum(3, 2, 16, 2)  # u < 2v
+        with pytest.raises(ValueError):
+            multi_tree_exact_optimum(33, 2, 16, 2)  # u > t*v
+        with pytest.raises(ValueError):
+            multi_tree_exact_optimum(4, 0, 16, 2)
+
+
+class TestAnalyticBound:
+    def test_dominates_exact_optimum(self):
+        for m, t in [(2, 16), (3, 27), (4, 64)]:
+            for v in (1, 2, 3):
+                for u in range(2 * v, min(t * v, 40) + 1, 3):
+                    bound = multi_tree_bound(float(u), v, t, m)
+                    exact = multi_tree_exact_optimum(u, v, t, m).value
+                    assert bound >= exact - 1e-9, (m, t, v, u)
+
+    def test_eq18_identity(self):
+        for m, t in [(2, 16), (4, 64)]:
+            for v in (1, 2, 4):
+                for u in range(2 * v, 2 * t * v // m + 1, 5):
+                    assert even_split_identity_gap(float(u), v, t, m) < 1e-9
+
+    def test_exact_at_touch_points(self):
+        # u/v = 2 m^i: every tree even-split at a touch point.
+        m, t, v = 4, 64, 2
+        for per_tree in (2, 8, 32):
+            u = per_tree * v
+            bound = multi_tree_bound(float(u), v, t, m)
+            exact = multi_tree_exact_optimum(u, v, t, m).value
+            assert bound == pytest.approx(exact)
+
+    def test_single_tree_reduces_to_xi_tilde(self):
+        from repro.core.asymptotic import xi_tilde
+
+        assert multi_tree_bound(8.0, 1, 64, 4) == pytest.approx(
+            xi_tilde(8, 64, 4)
+        )
+
+    @given(
+        st.sampled_from([(2, 16), (4, 64)]),
+        st.integers(1, 4),
+        st.data(),
+    )
+    def test_even_split_forms_agree(self, shape, v, data):
+        m, t = shape
+        u = data.draw(st.integers(2 * v, 2 * t * v // m))
+        lhs = multi_tree_bound_even_split(float(u), v, t, m)
+        rhs = multi_tree_bound(float(u), v, t, m)
+        assert lhs == pytest.approx(rhs)
+
+
+class TestExtendedBound:
+    def test_light_load_below_two_per_tree(self):
+        # u/v < 2: falls back to xi_tilde(2) per tree.
+        value = multi_tree_bound_extended(2.0, 4, 64, 4)
+        from repro.core.asymptotic import xi_tilde
+
+        assert value == pytest.approx(4 * xi_tilde(2, 64, 4))
+
+    def test_heavy_load_beyond_knee(self):
+        # u/v > 2t/m: linear regime per tree, still >= exact optimum.
+        m, t, v = 4, 16, 2
+        u = 30  # 15 per tree > 2t/m = 8
+        bound = multi_tree_bound_extended(float(u), v, t, m)
+        exact = multi_tree_exact_optimum(u, v, t, m).value
+        assert bound >= exact - 1e-9
+
+    def test_saturated_equals_v_times_xi_full(self):
+        m, t, v = 2, 16, 3
+        bound = multi_tree_bound_extended(float(t * v), v, t, m)
+        table = exact_cost_table(m, t)
+        assert bound == pytest.approx(v * table[t])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            multi_tree_bound_extended(-1.0, 2, 16, 2)
+        with pytest.raises(ValueError):
+            multi_tree_bound_extended(33.0, 2, 16, 2)

@@ -1,0 +1,100 @@
+"""Tests for the non-destructive (XOR bus) search analysis."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.search_cost import (
+    exact_cost_table,
+    nondestructive_cost_table,
+    simulate_search,
+    worst_case_placement,
+    xi_exact,
+    xi_nondestructive,
+)
+from repro.core.trees import integer_log
+
+
+class TestAnalysis:
+    def test_dominated_by_destructive(self, small_shape):
+        m, t = small_shape
+        destructive = exact_cost_table(m, t)
+        nondestructive = nondestructive_cost_table(m, t)
+        for k in range(t + 1):
+            assert nondestructive[k] <= destructive[k]
+
+    def test_equal_at_full_occupancy(self, small_shape):
+        # No empty subtree exists to skip when every leaf is active.
+        m, t = small_shape
+        assert xi_nondestructive(t, t, m) == xi_exact(t, t, m)
+
+    def test_deep_pair_value(self, small_shape):
+        # xi_nd(2) = log_m(t): the deepest common ancestor chain.
+        m, t = small_shape
+        if t >= m:
+            assert xi_nondestructive(2, t, m) == integer_log(t, m)
+
+    def test_matches_bruteforce_small(self):
+        for m, t in [(2, 8), (3, 9), (4, 16)]:
+            table = nondestructive_cost_table(m, t)
+            for k in range(1, min(t, 5) + 1):
+                best = max(
+                    simulate_search(p, t, m, skip_empty=True).cost
+                    for p in itertools.combinations(range(t), k)
+                )
+                assert best == table[k], (m, t, k)
+
+    def test_base_values(self):
+        table = nondestructive_cost_table(4, 64)
+        assert table[0] == 0  # pruned subtrees cost nothing
+        assert table[1] == 0
+
+    def test_domain(self):
+        with pytest.raises(ValueError):
+            xi_nondestructive(65, 64, 4)
+
+
+class TestWorstPlacement:
+    @pytest.mark.parametrize("m,t", [(2, 16), (4, 16), (2, 32)])
+    def test_attains_nd_bound(self, m, t):
+        for k in range(2, min(t, 8) + 1):
+            placement = worst_case_placement(k, t, m, skip_empty=True)
+            observed = simulate_search(placement, t, m, skip_empty=True).cost
+            assert observed == xi_nondestructive(k, t, m)
+
+    @given(st.data())
+    def test_random_placements_within_bound(self, data):
+        m, t = data.draw(st.sampled_from([(2, 16), (4, 64)]))
+        k = data.draw(st.integers(1, 8))
+        placement = data.draw(
+            st.lists(
+                st.integers(0, t - 1), min_size=k, max_size=k, unique=True
+            )
+        )
+        observed = simulate_search(placement, t, m, skip_empty=True).cost
+        assert observed <= xi_nondestructive(len(placement), t, m)
+
+
+class TestSkipEmptySemantics:
+    def test_no_silence_slots_below_collisions(self):
+        outcome = simulate_search([0, 15], 16, 2, skip_empty=True)
+        assert outcome.empties == 0
+        assert outcome.cost == outcome.collisions
+
+    def test_empty_tree_still_probed_once(self):
+        outcome = simulate_search([], 16, 2, skip_empty=True)
+        assert outcome.slots == ("silence",)
+        assert outcome.cost == 1
+
+    def test_transmission_order_preserved(self):
+        active = [3, 7, 12]
+        destructive = simulate_search(active, 16, 2)
+        nondestructive = simulate_search(active, 16, 2, skip_empty=True)
+        assert (
+            destructive.transmission_order
+            == nondestructive.transmission_order
+        )

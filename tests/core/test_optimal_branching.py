@@ -1,0 +1,79 @@
+"""Tests for branching-degree selection (Fig. 2 generalisation)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.optimal_branching import (
+    admissible_degrees,
+    compare_degrees,
+    dominates,
+    optimal_degree,
+)
+from repro.core.search_cost import exact_cost_table
+
+
+class TestAdmissibleDegrees:
+    def test_64(self):
+        assert admissible_degrees(64) == [2, 4, 8, 64]
+
+    def test_with_candidates(self):
+        assert admissible_degrees(64, [2, 3, 4]) == [2, 4]
+
+    def test_prime_leaf_count(self):
+        assert admissible_degrees(7) == [7]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            admissible_degrees(1)
+
+
+class TestDominates:
+    def test_fig2_claim(self):
+        assert dominates(4, 2, 64)
+
+    def test_not_symmetric(self):
+        assert not dominates(2, 4, 64)
+
+    def test_degree_dominates_itself(self):
+        assert dominates(4, 4, 64)
+
+    def test_flat_tree_does_not_dominate(self):
+        # m = 64 is terrible at small k (xi(2) = 63 vs 11).
+        assert not dominates(64, 4, 64)
+
+
+class TestCompareDegrees:
+    def test_sorted_by_weighted_cost(self):
+        results = compare_degrees(64)
+        costs = [r.weighted_cost for r in results]
+        assert costs == sorted(costs)
+
+    def test_profile_consistency(self):
+        results = compare_degrees(64, degrees=[2, 4])
+        for result in results:
+            table = exact_cost_table(result.m, 64)
+            assert result.costs == table.costs
+            assert result.peak_cost == max(table[k] for k in range(2, 65))
+            assert result.cost_at(2) == table[2]
+
+    def test_weights_length_validated(self):
+        with pytest.raises(ValueError):
+            compare_degrees(64, weights=[1.0] * 10)
+
+    def test_no_admissible_degree(self):
+        with pytest.raises(ValueError):
+            compare_degrees(64, degrees=[3, 5])
+
+
+class TestOptimalDegree:
+    def test_small_k_regime_prefers_quaternary(self):
+        small_k = [1.0 if k <= 4 else 0.0 for k in range(65)]
+        assert optimal_degree(64, degrees=[2, 4, 8], weights=small_k) == 4
+
+    def test_uniform_regime_prefers_flatter_trees(self):
+        # Integrated over all k, larger m wins at t = 64 (fewer levels).
+        assert optimal_degree(64) in (8, 64)
+
+    def test_respects_candidate_restriction(self):
+        assert optimal_degree(64, degrees=[2]) == 2

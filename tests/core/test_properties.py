@@ -1,0 +1,122 @@
+"""Property-based tests on the xi function family (hypothesis).
+
+These make the paper's implicit structural claims executable: growth in t,
+the odd/even lattice, sub-additivity across sibling subtrees, agreement of
+all four computation routes, and the placement/search Galois connection.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.asymptotic import xi_tilde_extended
+from repro.core.closed_form import xi_closed_form
+from repro.core.divide_conquer import xi_divide_conquer
+from repro.core.search_cost import (
+    exact_cost_table,
+    simulate_search,
+    worst_case_placement,
+    xi_exact,
+)
+
+SHAPES = [(2, 8), (2, 16), (2, 32), (3, 9), (3, 27), (4, 16), (4, 64), (5, 25)]
+
+shape_and_k = st.sampled_from(SHAPES).flatmap(
+    lambda shape: st.tuples(
+        st.just(shape[0]), st.just(shape[1]), st.integers(0, shape[1])
+    )
+)
+
+
+@given(shape_and_k)
+def test_all_routes_agree(mtk):
+    m, t, k = mtk
+    exact = xi_exact(k, t, m)
+    assert xi_divide_conquer(k, t, m) == exact
+    assert xi_closed_form(k, t, m) == exact
+
+
+@given(shape_and_k)
+def test_extended_tilde_dominates(mtk):
+    m, t, k = mtk
+    assert xi_tilde_extended(float(k), t, m) >= xi_exact(k, t, m) - 1e-9
+
+
+@given(st.sampled_from(SHAPES), st.data())
+def test_monotone_in_tree_size(shape, data):
+    # Growing the tree (same m) cannot shrink the worst case: the smaller
+    # tree embeds into the larger one as its leftmost subtree.
+    m, t = shape
+    k = data.draw(st.integers(2, t))
+    assert xi_exact(k, t * m, m) >= xi_exact(k, t, m)
+
+
+@given(st.sampled_from(SHAPES), st.data())
+def test_odd_even_lattice(shape, data):
+    # Eq. 3: xi(2p+1) = xi(2p) - 1, so consecutive values differ by +/-1
+    # at odd steps and the whole curve is 1-Lipschitz downward at odd k.
+    m, t = shape
+    p = data.draw(st.integers(0, (t - 1) // 2))
+    table = exact_cost_table(m, t)
+    assert table[2 * p + 1] == table[2 * p] - 1
+
+
+@given(st.sampled_from(SHAPES), st.data())
+def test_split_subadditivity(shape, data):
+    # Eq. 1 read as an inequality: any split of k across the m subtrees
+    # costs at most xi(k, t) - 1 in the children.
+    m, t = shape
+    k = data.draw(st.integers(2, t))
+    child_cap = t // m
+    parts = []
+    remaining = k
+    for i in range(m):
+        take = data.draw(
+            st.integers(
+                max(0, remaining - child_cap * (m - 1 - i)),
+                min(child_cap, remaining),
+            )
+        )
+        parts.append(take)
+        remaining -= take
+    if remaining != 0:
+        return  # draw could not complete a valid split
+    total = sum(xi_exact(p, child_cap, m) for p in parts)
+    # Eq. 1 is a max over splits, so every concrete split is a lower bound.
+    assert xi_exact(k, t, m) >= 1 + total
+
+
+@given(st.sampled_from(SHAPES), st.data())
+def test_worst_placement_galois(shape, data):
+    # worst_case_placement is a argmax witness: simulating it reproduces
+    # xi, and no random placement beats it.
+    m, t = shape
+    k = data.draw(st.integers(0, min(t, 8)))
+    witness = worst_case_placement(k, t, m)
+    best = xi_exact(k, t, m)
+    assert simulate_search(witness, t, m).cost == best
+    random_placement = data.draw(
+        st.lists(st.integers(0, t - 1), min_size=k, max_size=k, unique=True)
+    )
+    assert simulate_search(random_placement, t, m).cost <= best
+
+
+@given(st.sampled_from(SHAPES))
+def test_total_slots_conservation(shape):
+    # In any complete search, successes equal the number of active leaves
+    # and every slot is silence, success, collision or handoff.
+    m, t = shape
+    active = list(range(0, t, 2))
+    outcome = simulate_search(active, t, m)
+    assert outcome.slots.count("success") == len(active)
+    assert set(outcome.slots) <= {"silence", "success", "collision"}
+
+
+@given(st.sampled_from(SHAPES), st.data())
+def test_cost_bounded_by_node_count(shape, data):
+    # No search can probe more than every node of the tree.
+    m, t = shape
+    k = data.draw(st.integers(0, t))
+    node_count = (t * m - 1) // (m - 1)
+    assert xi_exact(k, t, m) <= node_count

@@ -1,0 +1,131 @@
+"""Tests for the experiment harness: every artefact's checks must pass.
+
+The analytic experiments run at full fidelity (they are fast); the
+simulation experiments run on reduced grids so this file stays unit-test
+speed — the full versions run in the benchmark suite.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (
+    ablation_theta,
+    closed_form_check,
+    fig1,
+    fig2,
+    multitree,
+    recursions,
+    sim_vs_bound,
+    tightness,
+)
+from repro.experiments.base import ExperimentResult
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+
+
+class TestAnalyticExperiments:
+    def test_fig1_full(self):
+        result = fig1.run()
+        assert result.all_checks_pass, result.failed_checks()
+        assert len(result.rows) == 65  # k in [0, 64]
+
+    def test_fig1_other_shape(self):
+        result = fig1.run(m=2, t=16)
+        assert result.all_checks_pass, result.failed_checks()
+
+    def test_fig2_full(self):
+        result = fig2.run()
+        assert result.all_checks_pass, result.failed_checks()
+
+    def test_recursions_reduced_grid(self):
+        result = recursions.run(shapes=((2, 16), (3, 27), (4, 64)))
+        assert result.all_checks_pass, result.failed_checks()
+
+    def test_closed_form_reduced_grid(self):
+        result = closed_form_check.run(
+            shapes=((2, 32), (4, 64)), brute_shapes=((2, 8),)
+        )
+        assert result.all_checks_pass, result.failed_checks()
+
+    def test_tightness_reduced_grid(self):
+        result = tightness.run(shapes=((2, 64), (4, 64), (9, 81)))
+        assert result.all_checks_pass, result.failed_checks()
+
+    def test_multitree_reduced_grid(self):
+        result = multitree.run(
+            cases=((2, 16, 2, 8), (4, 64, 2, 16), (4, 64, 2, 4))
+        )
+        assert result.all_checks_pass, result.failed_checks()
+
+
+class TestSimulationExperiments:
+    def test_sim_vs_bound_reduced(self):
+        result = sim_vs_bound.run(
+            static_cases=((2, 8, 2), (4, 8, 2)),
+            time_cases=((2, 16, 2),),
+            random_trials=1,
+        )
+        assert result.all_checks_pass, result.failed_checks()
+
+    def test_ablation_theta_reduced(self):
+        result = ablation_theta.run(thetas=(0.0, 1.0), horizon=24_000_000)
+        assert result.all_checks_pass, result.failed_checks()
+
+
+class TestRegistry:
+    def test_all_ids_registered(self):
+        expected = {
+            "FIG1",
+            "FIG2",
+            "EQ2-8",
+            "EQ9-10-15",
+            "EQ11-14",
+            "EQ16-19",
+            "FC",
+            "SIM-XI",
+            "SIM-FC",
+            "PROTO",
+            "ABL-M",
+            "ABL-THETA",
+            "ABL-BURST",
+            "ABL-PCP",
+            "EXT-XOR",
+            "EXT-DUAL",
+            "EXT-HOST",
+            "EXT-NOISE",
+            "EXT-UTIL",
+        }
+        assert set(EXPERIMENTS) == expected
+
+    def test_unknown_id_rejected(self):
+        with pytest.raises(KeyError):
+            run_experiment("NOPE")
+
+    def test_run_experiment_dispatch(self):
+        result = run_experiment("FIG2")
+        assert isinstance(result, ExperimentResult)
+        assert result.experiment_id == "FIG2"
+
+
+class TestExperimentResult:
+    def test_render_contains_checks_and_rows(self):
+        result = ExperimentResult(
+            experiment_id="X",
+            title="t",
+            headers=["a"],
+            rows=[[1]],
+            checks={"ok": True, "bad": False},
+            notes=["hello"],
+        )
+        text = result.render()
+        assert "[PASS] ok" in text
+        assert "[FAIL] bad" in text
+        assert "note: hello" in text
+        assert not result.all_checks_pass
+        assert result.failed_checks() == ["bad"]
+
+    def test_csv(self):
+        result = ExperimentResult(
+            experiment_id="X", title="t", headers=["a", "b"], rows=[[1, 2]]
+        )
+        assert result.csv() == "a,b\n1,2"

@@ -1,0 +1,144 @@
+"""Tests for the host-side task/scheduler/bounds substrate."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.host import (
+    TaskSpec,
+    analytic_bound,
+    bounds_from_schedule,
+    empirical_bound,
+    simulate_host,
+)
+from repro.model.message import DensityBound, MessageClass
+
+
+def _cls(name: str) -> MessageClass:
+    return MessageClass(
+        name=name,
+        length=1_000,
+        deadline=500_000,
+        bound=DensityBound(a=1, w=100_000),
+    )
+
+
+def _task(name="t", period=100_000, offset=0, bcet=5_000, wcet=5_000,
+          priority=0):
+    return TaskSpec(
+        name=name, period=period, offset=offset, bcet=bcet, wcet=wcet,
+        priority=priority, message_class=_cls(name),
+    )
+
+
+class TestTaskSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            _task(period=0)
+        with pytest.raises(ValueError):
+            _task(bcet=0)
+        with pytest.raises(ValueError):
+            _task(bcet=10, wcet=5)
+        with pytest.raises(ValueError):
+            _task(wcet=200_000)
+        with pytest.raises(ValueError):
+            TaskSpec(
+                name="t", period=10, offset=-1, bcet=1, wcet=1, priority=0,
+                message_class=_cls("t"),
+            )
+
+
+class TestScheduler:
+    def test_single_task_emits_periodically_when_constant(self):
+        task = _task(bcet=5_000, wcet=5_000)
+        schedule = simulate_host([task], horizon=1_000_000)
+        trace = schedule.emission_trace("t")
+        assert trace == [5_000 + 100_000 * i for i in range(10)]
+        assert schedule.jitter("t") == 0
+
+    def test_preemption_orders_by_priority(self):
+        # High-priority task released mid low-priority job: the low job's
+        # completion is pushed out by exactly the preemption.
+        low = _task("low", period=1_000_000, offset=0, bcet=50_000,
+                    wcet=50_000, priority=5)
+        high = _task("high", period=1_000_000, offset=10_000, bcet=20_000,
+                     wcet=20_000, priority=1)
+        schedule = simulate_host([low, high], horizon=1_000_000)
+        assert schedule.emission_trace("high") == [30_000]
+        assert schedule.emission_trace("low") == [70_000]
+
+    def test_contention_creates_jitter(self):
+        # A variable high-priority task makes a constant low-priority
+        # task's emissions jittery — section 2.2's argument.
+        high = _task("high", period=50_000, offset=0, bcet=1_000,
+                     wcet=20_000, priority=0)
+        low = _task("low", period=100_000, offset=0, bcet=10_000,
+                    wcet=10_000, priority=1)
+        schedule = simulate_host([high, low], horizon=4_000_000, seed=11)
+        assert schedule.jitter("low") > 0
+
+    def test_deterministic_per_seed(self):
+        tasks = [
+            _task("a", period=70_000, bcet=1_000, wcet=30_000, priority=0),
+            _task("b", period=110_000, bcet=5_000, wcet=40_000, priority=1),
+        ]
+        one = simulate_host(tasks, horizon=2_000_000, seed=9).emissions
+        two = simulate_host(tasks, horizon=2_000_000, seed=9).emissions
+        assert one == two
+
+    def test_distinct_priorities_required(self):
+        with pytest.raises(ValueError):
+            simulate_host(
+                [_task("a", priority=1), _task("b", priority=1)],
+                horizon=100_000,
+            )
+
+    def test_every_released_job_emits_under_light_load(self):
+        task = _task(period=100_000, bcet=1_000, wcet=2_000)
+        schedule = simulate_host([task], horizon=1_000_000, seed=2)
+        assert len(schedule.emission_trace("t")) == 10
+        assert all(job.emitted for job in schedule.jobs)
+
+
+class TestBounds:
+    def test_empirical_bound_is_tight(self):
+        trace = [0, 10, 20, 1_000, 2_000]
+        bound = empirical_bound(trace, window=100)
+        assert bound.a == 3
+        assert bound.admits(trace)
+        tighter = DensityBound(a=2, w=100)
+        assert not tighter.admits(trace)
+
+    def test_empirical_bound_empty_trace(self):
+        assert empirical_bound([], window=100).a == 1
+
+    def test_analytic_covers_empirical(self):
+        high = _task("high", period=40_000, bcet=1_000, wcet=15_000,
+                     priority=0)
+        low = _task("low", period=90_000, bcet=8_000, wcet=12_000,
+                    priority=1)
+        schedule = simulate_host([high, low], horizon=4_000_000, seed=5)
+        for name, (empirical, analytic) in bounds_from_schedule(
+            schedule, [high, low], window=90_000
+        ).items():
+            trace = schedule.emission_trace(name)
+            assert empirical.admits(trace), name
+            assert analytic.admits(trace), name
+            assert empirical.a <= analytic.a, name
+
+    def test_analytic_bound_formula(self):
+        task = _task(period=100, bcet=10, wcet=10)
+        assert analytic_bound(task, jitter=0, window=100).a == 2
+        assert analytic_bound(task, jitter=50, window=100).a == 2
+        assert analytic_bound(task, jitter=150, window=100).a == 3
+
+    def test_analytic_bound_validation(self):
+        with pytest.raises(ValueError):
+            analytic_bound(_task(), jitter=-1, window=100)
+
+    @given(st.lists(st.integers(0, 100_000), min_size=1, max_size=50),
+           st.integers(10, 10_000))
+    def test_empirical_always_admits_its_trace(self, trace, window):
+        assert empirical_bound(trace, window).admits(trace)

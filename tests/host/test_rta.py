@@ -1,0 +1,131 @@
+"""Tests for the fixed-priority response-time analysis."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.host.rta import analyze, certified_bound, response_time
+from repro.host.scheduler import simulate_host
+from repro.host.tasks import TaskSpec
+from repro.model.message import DensityBound, MessageClass
+
+
+def _cls(name: str) -> MessageClass:
+    return MessageClass(
+        name=name, length=1_000, deadline=10**6,
+        bound=DensityBound(a=1, w=10**5),
+    )
+
+
+def _task(name, period, wcet, priority, bcet=None, offset=0):
+    return TaskSpec(
+        name=name, period=period, offset=offset,
+        bcet=wcet if bcet is None else bcet, wcet=wcet,
+        priority=priority, message_class=_cls(name),
+    )
+
+
+class TestResponseTime:
+    def test_textbook_example(self):
+        # Classic: C=(1, 2, 3), T=(4, 8, 16), priorities by rate.
+        t1 = _task("t1", 40_000, 10_000, priority=0)
+        t2 = _task("t2", 80_000, 20_000, priority=1)
+        t3 = _task("t3", 160_000, 30_000, priority=2)
+        taskset = [t1, t2, t3]
+        assert response_time(t1, taskset) == 10_000
+        assert response_time(t2, taskset) == 30_000
+        # R3 = 30 + ceil(R/40)*10 + ceil(R/80)*20: 30 -> 60 -> 70 -> 70.
+        assert response_time(t3, taskset) == 70_000
+
+    def test_unschedulable_returns_none(self):
+        t1 = _task("t1", 10_000, 6_000, priority=0)
+        t2 = _task("t2", 10_000, 6_000, priority=1)
+        assert response_time(t2, [t1, t2]) is None
+
+    def test_unknown_task_rejected(self):
+        t1 = _task("t1", 10_000, 1_000, priority=0)
+        stranger = _task("t2", 10_000, 1_000, priority=1)
+        with pytest.raises(ValueError):
+            response_time(stranger, [t1])
+
+    def test_highest_priority_is_its_own_wcet(self):
+        t1 = _task("t1", 50_000, 7_000, priority=0)
+        t2 = _task("t2", 90_000, 10_000, priority=1)
+        assert response_time(t1, [t1, t2]) == 7_000
+
+
+class TestAnalyze:
+    def test_schedulable_set(self):
+        taskset = [
+            _task("a", 40_000, 10_000, priority=0),
+            _task("b", 80_000, 20_000, priority=1),
+        ]
+        results = analyze(taskset)
+        assert results.schedulable
+        assert results.per_task["a"] == 10_000
+
+    def test_jitter_bound(self):
+        a = _task("a", 40_000, 10_000, priority=0, bcet=2_000)
+        b = _task("b", 80_000, 20_000, priority=1, bcet=5_000)
+        results = analyze([a, b])
+        assert results.jitter_bound(a) == 10_000 - 2_000
+        assert results.jitter_bound(b) == 30_000 - 5_000
+
+    def test_jitter_of_unschedulable_rejected(self):
+        a = _task("a", 10_000, 6_000, priority=0)
+        b = _task("b", 10_000, 6_000, priority=1)
+        results = analyze([a, b])
+        with pytest.raises(ValueError):
+            results.jitter_bound(b)
+
+    def test_duplicate_priorities_rejected(self):
+        with pytest.raises(ValueError):
+            analyze(
+                [_task("a", 10_000, 100, 0), _task("b", 10_000, 100, 0)]
+            )
+
+
+class TestAgainstSimulation:
+    @given(st.data())
+    def test_rta_dominates_simulated_response(self, data):
+        # RTA is a sound upper bound: no simulated job may respond later.
+        periods = data.draw(
+            st.lists(
+                st.sampled_from([40_000, 60_000, 100_000, 150_000]),
+                min_size=2,
+                max_size=4,
+                unique=True,
+            )
+        )
+        taskset = []
+        for priority, period in enumerate(sorted(periods)):
+            wcet = data.draw(st.integers(1_000, period // 4))
+            bcet = data.draw(st.integers(500, wcet))
+            offset = data.draw(st.integers(0, period // 2))
+            taskset.append(
+                _task(
+                    f"t{priority}", period, wcet,
+                    priority=priority, bcet=bcet, offset=offset,
+                )
+            )
+        results = analyze(taskset)
+        if not results.schedulable:
+            return
+        schedule = simulate_host(taskset, horizon=2_000_000, seed=17)
+        for task in taskset:
+            if schedule.emission_trace(task.name):
+                assert (
+                    schedule.worst_response(task.name)
+                    <= results.per_task[task.name]
+                ), task.name
+
+    def test_certified_bound_admits_simulated_trace(self):
+        a = _task("a", 40_000, 10_000, priority=0, bcet=1_000)
+        b = _task("b", 90_000, 20_000, priority=1, bcet=4_000)
+        taskset = [a, b]
+        schedule = simulate_host(taskset, horizon=4_000_000, seed=23)
+        for task in taskset:
+            bound = certified_bound(task, taskset, window=90_000)
+            assert bound.admits(schedule.emission_trace(task.name)), task.name

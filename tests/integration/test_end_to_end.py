@@ -1,0 +1,138 @@
+"""End-to-end integration: HRTDM instance -> FCs -> simulation -> guarantee.
+
+These tests exercise the whole stack the way the paper intends it to be
+used: specify an instance, check the feasibility conditions, run the
+protocol under the unimodal-arbitrary adversary, and confirm <p.HRTDM>.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.bounds import check_latency_bounds, check_search_costs
+from repro.analysis.metrics import summarize
+from repro.core.feasibility import check_feasibility
+from repro.experiments.harness import (
+    PROTOCOL_FACTORIES,
+    build_simulation,
+    ddcr_factory,
+    default_ddcr_config,
+)
+from repro.model.workloads import (
+    trading_floor_problem,
+    uniform_problem,
+    videoconference_problem,
+)
+from repro.net.phy import ATM_BUS, GIGABIT_ETHERNET
+
+_MS = 1_000_000
+
+
+class TestHRTDMGuarantee:
+    @pytest.mark.parametrize(
+        "problem_factory,horizon",
+        [
+            (
+                lambda: uniform_problem(
+                    z=4, length=8_000, deadline=12 * _MS, a=1, w=4 * _MS
+                ),
+                36 * _MS,
+            ),
+            (
+                lambda: videoconference_problem(participants=4, scale=0.5),
+                30 * _MS,
+            ),
+            (
+                lambda: trading_floor_problem(desks=4, scale=0.25),
+                20 * _MS,
+            ),
+        ],
+        ids=["uniform", "videoconference", "trading"],
+    )
+    def test_feasible_instances_never_miss(self, problem_factory, horizon):
+        problem = problem_factory()
+        config = default_ddcr_config(problem, GIGABIT_ETHERNET)
+        report = check_feasibility(
+            problem, GIGABIT_ETHERNET, config.tree_parameters()
+        )
+        assert report.feasible, f"instance should be feasible: {report.worst}"
+        simulation = build_simulation(
+            problem,
+            GIGABIT_ETHERNET,
+            ddcr_factory(config),
+            check_consistency=True,
+        )
+        result = simulation.run(horizon)
+        metrics = summarize(result)
+        assert metrics.delivered > 0
+        assert metrics.meets_hrtdm, (
+            f"missed {metrics.misses} deadlines on a feasible instance"
+        )
+        assert check_search_costs(result) == []
+        _, latency_checks = check_latency_bounds(
+            result, problem, GIGABIT_ETHERNET, config.tree_parameters()
+        )
+        assert all(check.holds for check in latency_checks)
+
+    def test_atm_bus_medium(self):
+        # Same protocol on the non-destructive short-slot ATM bus profile.
+        # Kept short: with a 4-bit slot every simulated microsecond is 250
+        # channel rounds.
+        problem = uniform_problem(
+            z=4, length=424, deadline=100_000, a=1, w=100_000
+        )
+        config = default_ddcr_config(problem, ATM_BUS)
+        simulation = build_simulation(
+            problem, ATM_BUS, ddcr_factory(config), check_consistency=True
+        )
+        result = simulation.run(400_000)
+        metrics = summarize(result)
+        assert metrics.meets_hrtdm
+        assert metrics.delivered == 4 * 4
+
+
+class TestMutualExclusion:
+    def test_successes_never_overlap(self):
+        # Safety property of <p.HRTDM>: transmissions are mutually
+        # exclusive.  Verified from the per-completion wire intervals.
+        problem = uniform_problem(z=8, deadline=12 * _MS, a=2, w=4 * _MS)
+        config = default_ddcr_config(problem, GIGABIT_ETHERNET)
+        simulation = build_simulation(
+            problem, GIGABIT_ETHERNET, ddcr_factory(config)
+        )
+        result = simulation.run(24 * _MS)
+        intervals = sorted(
+            (record.started, record.completion)
+            for record in result.completions
+        )
+        for (_, end_a), (start_b, _) in zip(intervals, intervals[1:]):
+            assert start_b >= end_a
+
+
+class TestCrossProtocolSanity:
+    def test_all_protocols_deliver_light_load(self):
+        problem = uniform_problem(
+            z=4, length=4_000, deadline=20 * _MS, a=1, w=10 * _MS
+        )
+        for name, factory in PROTOCOL_FACTORIES(
+            problem, GIGABIT_ETHERNET
+        ).items():
+            simulation = build_simulation(problem, GIGABIT_ETHERNET, factory)
+            metrics = summarize(simulation.run(30 * _MS))
+            assert metrics.delivered == 4 * 3, name
+            assert metrics.meets_hrtdm, name
+
+    def test_deterministic_protocols_reproducible(self):
+        problem = uniform_problem(z=4, deadline=12 * _MS, a=1, w=4 * _MS)
+        config = default_ddcr_config(problem, GIGABIT_ETHERNET)
+
+        def run_once():
+            simulation = build_simulation(
+                problem, GIGABIT_ETHERNET, ddcr_factory(config)
+            )
+            return [
+                (r.started, r.completion, r.message.msg_class.name)
+                for r in simulation.run(24 * _MS).completions
+            ]
+
+        assert run_once() == run_once()

@@ -1,0 +1,148 @@
+"""Tests for arrival processes, including the density-bound property."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.model.arrival import (
+    GreedyBurstArrivals,
+    JitteredPeriodicArrivals,
+    PeriodicArrivals,
+    PoissonArrivals,
+    SporadicArrivals,
+    TraceArrivals,
+    take_until,
+)
+from repro.model.message import DensityBound
+
+
+class TestTakeUntil:
+    def test_cuts_at_horizon(self):
+        process = PeriodicArrivals(period=10)
+        assert take_until(process, 35) == [0, 10, 20, 30]
+
+    def test_zero_horizon(self):
+        assert take_until(PeriodicArrivals(period=5), 0) == []
+
+    def test_negative_horizon_rejected(self):
+        with pytest.raises(ValueError):
+            take_until(PeriodicArrivals(period=5), -1)
+
+
+class TestPeriodic:
+    def test_phase(self):
+        assert take_until(PeriodicArrivals(period=10, phase=3), 25) == [3, 13, 23]
+
+    def test_implied_bound_respected(self):
+        process = PeriodicArrivals(period=100)
+        times = take_until(process, 10_000)
+        assert process.implied_bound().admits(times)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PeriodicArrivals(period=0)
+        with pytest.raises(ValueError):
+            PeriodicArrivals(period=10, phase=-1)
+
+
+class TestSporadic:
+    def test_min_gap_enforced(self):
+        process = SporadicArrivals(min_interarrival=50, mean_slack=30, seed=1)
+        times = take_until(process, 20_000)
+        gaps = [b - a for a, b in zip(times, times[1:])]
+        assert all(gap >= 50 for gap in gaps)
+
+    def test_implied_bound_respected(self):
+        process = SporadicArrivals(min_interarrival=40, mean_slack=10, seed=3)
+        times = take_until(process, 10_000)
+        assert process.implied_bound().admits(times)
+
+    def test_deterministic_per_seed(self):
+        a = take_until(SporadicArrivals(20, 5.0, seed=9), 5_000)
+        b = take_until(SporadicArrivals(20, 5.0, seed=9), 5_000)
+        assert a == b
+
+    def test_zero_slack_is_periodic(self):
+        times = take_until(SporadicArrivals(25, 0.0), 100)
+        assert times == [0, 25, 50, 75]
+
+
+class TestJitteredPeriodic:
+    def test_nondecreasing(self):
+        process = JitteredPeriodicArrivals(period=100, jitter=60, seed=5)
+        times = take_until(process, 50_000)
+        assert times == sorted(times)
+
+    def test_implied_bound_respected(self):
+        process = JitteredPeriodicArrivals(period=100, jitter=60, seed=5)
+        times = take_until(process, 50_000)
+        assert process.implied_bound().admits(times)
+
+    def test_zero_jitter_bound_is_periodic(self):
+        process = JitteredPeriodicArrivals(period=100, jitter=0)
+        assert process.implied_bound() == DensityBound(a=1, w=100)
+
+    def test_jitter_must_be_below_period(self):
+        with pytest.raises(ValueError):
+            JitteredPeriodicArrivals(period=100, jitter=100)
+
+
+class TestPoisson:
+    def test_no_implied_bound(self):
+        assert PoissonArrivals(mean_interarrival=100.0).implied_bound() is None
+
+    def test_strictly_increasing(self):
+        times = take_until(PoissonArrivals(50.0, seed=2), 20_000)
+        assert all(b > a for a, b in zip(times, times[1:]))
+
+    def test_mean_rate_roughly_matches(self):
+        times = take_until(PoissonArrivals(100.0, seed=4), 1_000_000)
+        assert 0.5 < len(times) / 10_000 < 2.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PoissonArrivals(0.0)
+
+
+class TestGreedyBurst:
+    def test_saturates_but_respects_bound(self):
+        bound = DensityBound(a=3, w=1000)
+        process = GreedyBurstArrivals(bound=bound)
+        times = take_until(process, 50_000)
+        assert bound.admits(times)
+        # Saturation: exactly a arrivals per window.
+        assert len(times) == 3 * 50
+
+    def test_burst_spacing(self):
+        bound = DensityBound(a=3, w=1000)
+        process = GreedyBurstArrivals(bound=bound, burst_spacing=10)
+        times = take_until(process, 1000)
+        assert times == [0, 10, 20]
+        assert bound.admits(take_until(process, 50_000))
+
+    def test_spacing_cannot_spill_window(self):
+        with pytest.raises(ValueError):
+            GreedyBurstArrivals(
+                bound=DensityBound(a=3, w=20), burst_spacing=10
+            )
+
+    @given(st.integers(1, 5), st.integers(100, 2000))
+    def test_always_admissible(self, a, w):
+        bound = DensityBound(a=a, w=w)
+        process = GreedyBurstArrivals(bound=bound)
+        assert bound.admits(take_until(process, 20 * w))
+
+
+class TestTrace:
+    def test_replay(self):
+        assert take_until(TraceArrivals(trace=(1, 5, 9)), 100) == [1, 5, 9]
+
+    def test_must_be_nondecreasing(self):
+        with pytest.raises(ValueError):
+            TraceArrivals(trace=(5, 3))
+
+    def test_no_negative_times(self):
+        with pytest.raises(ValueError):
+            TraceArrivals(trace=(-1, 3))

@@ -1,0 +1,103 @@
+"""Tests for message classes, instances and density bounds."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.model.message import DensityBound, MessageClass, MessageInstance
+
+
+class TestDensityBound:
+    def test_density(self):
+        bound = DensityBound(a=2, w=1000)
+        assert bound.density == 0.002
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DensityBound(a=0, w=10)
+        with pytest.raises(ValueError):
+            DensityBound(a=1, w=0)
+
+    def test_admits_respecting_sequence(self):
+        bound = DensityBound(a=2, w=100)
+        assert bound.admits([0, 50, 100, 150, 200])
+
+    def test_rejects_violating_sequence(self):
+        bound = DensityBound(a=2, w=100)
+        assert not bound.admits([0, 10, 20])
+
+    def test_burst_at_exact_window_edge(self):
+        bound = DensityBound(a=2, w=100)
+        # Third arrival exactly w after the first: window is half-open.
+        assert bound.admits([0, 0, 100, 100, 200, 200])
+        assert not bound.admits([0, 0, 99])
+
+    def test_admits_unsorted_input(self):
+        bound = DensityBound(a=1, w=50)
+        assert bound.admits([100, 0, 200])
+        assert not bound.admits([100, 60, 0])
+
+    @given(st.lists(st.integers(0, 10_000), max_size=30))
+    def test_admits_is_permutation_invariant(self, times):
+        bound = DensityBound(a=3, w=500)
+        assert bound.admits(times) == bound.admits(sorted(times, reverse=True))
+
+
+class TestMessageClass:
+    def test_utilization(self):
+        cls = MessageClass(
+            name="v", length=1000, deadline=500,
+            bound=DensityBound(a=1, w=10_000),
+        )
+        assert cls.utilization == pytest.approx(0.1)
+
+    def test_validation(self):
+        bound = DensityBound(a=1, w=10)
+        with pytest.raises(ValueError):
+            MessageClass(name="", length=10, deadline=10, bound=bound)
+        with pytest.raises(ValueError):
+            MessageClass(name="x", length=0, deadline=10, bound=bound)
+        with pytest.raises(ValueError):
+            MessageClass(name="x", length=10, deadline=0, bound=bound)
+
+
+class TestMessageInstance:
+    def _cls(self, deadline=100):
+        return MessageClass(
+            name="c", length=64, deadline=deadline,
+            bound=DensityBound(a=1, w=1000),
+        )
+
+    def test_absolute_deadline(self):
+        msg = MessageInstance.arrive(self._cls(deadline=100), 40, source_id=1)
+        assert msg.absolute_deadline == 140
+        assert msg.arrival == 40
+        assert msg.relative_deadline == 100
+        assert msg.length == 64
+
+    def test_negative_arrival_rejected(self):
+        with pytest.raises(ValueError):
+            MessageInstance.arrive(self._cls(), -1, source_id=0)
+
+    def test_edf_ordering(self):
+        early = MessageInstance.arrive(self._cls(deadline=50), 0, 0)
+        late = MessageInstance.arrive(self._cls(deadline=200), 0, 0)
+        assert early < late
+
+    def test_fifo_tiebreak(self):
+        first = MessageInstance.arrive(self._cls(), 0, 0)
+        second = MessageInstance.arrive(self._cls(), 0, 0)
+        assert first < second  # same deadline: earlier sequence wins
+
+    def test_lateness(self):
+        msg = MessageInstance.arrive(self._cls(deadline=100), 0, 0)
+        assert msg.lateness(90) == -10
+        assert msg.lateness(120) == 20
+
+    def test_unique_sequence_numbers(self):
+        messages = [
+            MessageInstance.arrive(self._cls(), 0, 0) for _ in range(10)
+        ]
+        assert len({m.seq for m in messages}) == 10

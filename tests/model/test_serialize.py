@@ -1,0 +1,86 @@
+"""Tests for HRTDM instance serialisation."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.model.problem import ProblemValidationError
+from repro.model.serialize import (
+    dump_problem,
+    load_problem,
+    problem_from_dict,
+    problem_to_dict,
+)
+from repro.model.workloads import (
+    trading_floor_problem,
+    uniform_problem,
+    videoconference_problem,
+)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: uniform_problem(z=4),
+            lambda: videoconference_problem(participants=3),
+            lambda: trading_floor_problem(desks=4),
+        ],
+        ids=["uniform", "videoconference", "trading"],
+    )
+    def test_dict_round_trip(self, factory):
+        problem = factory()
+        rebuilt = problem_from_dict(problem_to_dict(problem))
+        assert rebuilt.z == problem.z
+        assert rebuilt.static_q == problem.static_q
+        assert rebuilt.static_m == problem.static_m
+        for original, copy in zip(problem.sources, rebuilt.sources):
+            assert copy.source_id == original.source_id
+            assert copy.static_indices == original.static_indices
+            assert [c.name for c in copy.message_classes] == [
+                c.name for c in original.message_classes
+            ]
+            for a, b in zip(original.message_classes, copy.message_classes):
+                assert (a.length, a.deadline, a.bound) == (
+                    b.length,
+                    b.deadline,
+                    b.bound,
+                )
+
+    def test_file_round_trip(self, tmp_path):
+        problem = uniform_problem(z=4)
+        path = tmp_path / "instance.json"
+        dump_problem(problem, str(path))
+        rebuilt = load_problem(str(path))
+        assert problem_to_dict(rebuilt) == problem_to_dict(problem)
+
+    def test_json_is_stable_and_valid(self, tmp_path):
+        path = tmp_path / "instance.json"
+        dump_problem(uniform_problem(z=2), str(path))
+        data = json.loads(path.read_text())
+        assert set(data) == {"static_q", "static_m", "sources"}
+
+
+class TestValidation:
+    def test_missing_key_reports_path(self):
+        with pytest.raises(ValueError, match="sources\\[0\\]"):
+            problem_from_dict(
+                {"static_q": 4, "sources": [{"source_id": 0}]}
+            )
+
+    def test_missing_top_level_key(self):
+        with pytest.raises(ValueError, match="static_q"):
+            problem_from_dict({"sources": []})
+
+    def test_model_validation_still_applies(self):
+        data = problem_to_dict(uniform_problem(z=2))
+        data["static_q"] = 6  # not a power of 2
+        with pytest.raises(ProblemValidationError):
+            problem_from_dict(data)
+
+    def test_default_static_m(self):
+        data = problem_to_dict(uniform_problem(z=2))
+        del data["static_m"]
+        assert problem_from_dict(data).static_m == 2

@@ -1,0 +1,150 @@
+"""Tests for sources, static-index allocation and HRTDM instances."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.model.message import DensityBound, MessageClass
+from repro.model.problem import HRTDMProblem, ProblemValidationError
+from repro.model.source import SourceSpec, allocate_static_indices
+
+
+def _cls(name="c", length=100, deadline=1000, a=1, w=1000):
+    return MessageClass(
+        name=name, length=length, deadline=deadline,
+        bound=DensityBound(a=a, w=w),
+    )
+
+
+class TestSourceSpec:
+    def test_indices_are_ranked(self):
+        source = SourceSpec(
+            source_id=0, message_classes=(_cls(),), static_indices=(5, 1, 3)
+        )
+        assert source.static_indices == (1, 3, 5)
+        assert source.nu == 3
+
+    def test_duplicate_indices_rejected(self):
+        with pytest.raises(ValueError):
+            SourceSpec(
+                source_id=0, message_classes=(_cls(),), static_indices=(1, 1)
+            )
+
+    def test_needs_at_least_one_index(self):
+        with pytest.raises(ValueError):
+            SourceSpec(source_id=0, message_classes=(_cls(),), static_indices=())
+
+    def test_duplicate_class_names_rejected(self):
+        with pytest.raises(ValueError):
+            SourceSpec(
+                source_id=0,
+                message_classes=(_cls("a"), _cls("a")),
+                static_indices=(0,),
+            )
+
+    def test_utilization_sums_classes(self):
+        source = SourceSpec(
+            source_id=0,
+            message_classes=(_cls("a", length=100, w=1000),
+                             _cls("b", length=300, w=1000)),
+            static_indices=(0,),
+        )
+        assert source.utilization == pytest.approx(0.4)
+
+    def test_class_named(self):
+        source = SourceSpec(
+            source_id=0, message_classes=(_cls("a"),), static_indices=(0,)
+        )
+        assert source.class_named("a").name == "a"
+        with pytest.raises(KeyError):
+            source.class_named("b")
+
+
+class TestAllocateStaticIndices:
+    def test_spread_interleaves(self):
+        allocations = allocate_static_indices([2, 2], q=4, spread=True)
+        assert allocations == [(0, 2), (1, 3)]
+
+    def test_block_is_contiguous(self):
+        allocations = allocate_static_indices([2, 2], q=4, spread=False)
+        assert allocations == [(0, 1), (2, 3)]
+
+    def test_uneven_counts(self):
+        allocations = allocate_static_indices([1, 3], q=8, spread=True)
+        flattened = [i for alloc in allocations for i in alloc]
+        assert sorted(flattened) == list(range(4))
+        assert len(allocations[0]) == 1 and len(allocations[1]) == 3
+
+    def test_overflow_rejected(self):
+        with pytest.raises(ValueError):
+            allocate_static_indices([3, 3], q=4)
+
+    def test_empty_and_invalid(self):
+        with pytest.raises(ValueError):
+            allocate_static_indices([], q=4)
+        with pytest.raises(ValueError):
+            allocate_static_indices([0], q=4)
+
+
+class TestHRTDMProblem:
+    def _sources(self, z=2, q=4):
+        allocations = allocate_static_indices([1] * z, q)
+        return tuple(
+            SourceSpec(
+                source_id=i,
+                message_classes=(_cls(f"c{i}"),),
+                static_indices=allocations[i],
+            )
+            for i in range(z)
+        )
+
+    def test_valid_instance(self):
+        problem = HRTDMProblem(
+            sources=self._sources(), static_q=4, static_m=2
+        )
+        assert problem.z == 2
+        assert len(problem.all_classes()) == 2
+        assert problem.total_utilization > 0
+
+    def test_q_must_be_power(self):
+        with pytest.raises(ProblemValidationError):
+            HRTDMProblem(sources=self._sources(), static_q=6, static_m=2)
+
+    def test_q_must_cover_sources(self):
+        sources = self._sources(z=2, q=4)
+        with pytest.raises(ProblemValidationError):
+            HRTDMProblem(sources=sources * 3, static_q=4, static_m=2)
+
+    def test_duplicate_ids_rejected(self):
+        source = self._sources(z=1)[0]
+        with pytest.raises(ProblemValidationError):
+            HRTDMProblem(sources=(source, source), static_q=4, static_m=2)
+
+    def test_index_out_of_tree_rejected(self):
+        source = SourceSpec(
+            source_id=0, message_classes=(_cls(),), static_indices=(4,)
+        )
+        with pytest.raises(ProblemValidationError):
+            HRTDMProblem(sources=(source,), static_q=4, static_m=2)
+
+    def test_index_clash_rejected(self):
+        a = SourceSpec(
+            source_id=0, message_classes=(_cls("a"),), static_indices=(0,)
+        )
+        b = SourceSpec(
+            source_id=1, message_classes=(_cls("b"),), static_indices=(0,)
+        )
+        with pytest.raises(ProblemValidationError):
+            HRTDMProblem(sources=(a, b), static_q=4, static_m=2)
+
+    def test_source_by_id(self):
+        problem = HRTDMProblem(sources=self._sources(), static_q=4)
+        assert problem.source_by_id(1).source_id == 1
+        with pytest.raises(KeyError):
+            problem.source_by_id(9)
+
+    def test_describe_mentions_every_class(self):
+        problem = HRTDMProblem(sources=self._sources(), static_q=4)
+        text = problem.describe()
+        for cls in problem.all_classes():
+            assert cls.name in text

@@ -1,0 +1,96 @@
+"""Tests for unit conversions and the canned workloads."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.feasibility import TreeParameters, check_feasibility
+from repro.model.units import (
+    GIGABIT_PER_SECOND,
+    Throughput,
+    bits_to_seconds,
+    seconds_to_bits,
+)
+from repro.model.workloads import (
+    air_traffic_control_problem,
+    trading_floor_problem,
+    uniform_problem,
+    videoconference_problem,
+)
+from repro.net.phy import GIGABIT_ETHERNET
+
+
+class TestUnits:
+    def test_round_trip(self):
+        throughput = Throughput(GIGABIT_PER_SECOND)
+        assert seconds_to_bits(1e-6, throughput) == 1000
+        assert bits_to_seconds(1000, throughput) == pytest.approx(1e-6)
+
+    def test_transmission_bits_is_length(self):
+        assert Throughput(GIGABIT_PER_SECOND).transmission_bits(512) == 512
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Throughput(0)
+        with pytest.raises(ValueError):
+            seconds_to_bits(-1.0, Throughput(GIGABIT_PER_SECOND))
+        with pytest.raises(ValueError):
+            Throughput(GIGABIT_PER_SECOND).transmission_bits(-1)
+
+
+class TestWorkloads:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: uniform_problem(),
+            lambda: videoconference_problem(),
+            lambda: trading_floor_problem(),
+            lambda: air_traffic_control_problem(),
+        ],
+        ids=["uniform", "videoconference", "trading", "atc"],
+    )
+    def test_builders_produce_valid_instances(self, factory):
+        problem = factory()
+        assert problem.z >= 1
+        assert problem.total_utilization < 1.0
+        assert len(problem.all_classes()) >= problem.z
+
+    def test_scale_raises_density(self):
+        light = uniform_problem(scale=1.0)
+        heavy = uniform_problem(scale=4.0)
+        assert heavy.total_utilization == pytest.approx(
+            4 * light.total_utilization, rel=0.01
+        )
+
+    def test_default_workloads_feasible_on_gige(self):
+        for factory in (
+            lambda: uniform_problem(),
+            lambda: videoconference_problem(participants=4, scale=0.5),
+        ):
+            problem = factory()
+            trees = TreeParameters(
+                time_f=64,
+                time_m=4,
+                static_q=problem.static_q,
+                static_m=problem.static_m,
+            )
+            report = check_feasibility(problem, GIGABIT_ETHERNET, trees)
+            assert report.feasible, report.worst
+
+    def test_videoconference_has_three_classes_per_participant(self):
+        problem = videoconference_problem(participants=3)
+        assert len(problem.all_classes()) == 9
+
+    def test_atc_mixes_radars_and_consoles(self):
+        problem = air_traffic_control_problem(radars=2, consoles=3)
+        assert problem.z == 5
+
+    def test_invalid_counts(self):
+        with pytest.raises(ValueError):
+            videoconference_problem(participants=0)
+        with pytest.raises(ValueError):
+            trading_floor_problem(desks=0)
+        with pytest.raises(ValueError):
+            uniform_problem(z=0)
+        with pytest.raises(ValueError):
+            uniform_problem(scale=0)

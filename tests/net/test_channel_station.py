@@ -1,0 +1,153 @@
+"""Tests for the broadcast channel and station plumbing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.model.arrival import PeriodicArrivals, TraceArrivals
+from repro.net.channel import BroadcastChannel
+from repro.net.phy import GIGABIT_ETHERNET, ideal_medium
+from repro.net.station import CompletionRecord, Station
+from repro.protocols.csma_cd import CSMACDProtocol
+from repro.protocols.tdma import TDMAProtocol
+from repro.sim.engine import Environment
+from tests.protocols.conftest import make_class, run_network
+
+
+class TestChannelAccounting:
+    def test_slot_kinds_partition_rounds(self):
+        macs = [CSMACDProtocol(seed=i) for i in range(3)]
+        channel, _ = run_network(
+            macs, {i: [0] for i in range(3)}, horizon=1_000_000,
+            check_consistency=False,
+        )
+        stats = channel.stats
+        assert (
+            stats.silence_slots + stats.collision_slots + stats.successes
+            == stats.rounds
+        )
+        assert stats.rounds == channel.observations
+
+    def test_time_accounting_covers_horizon(self):
+        macs = [TDMAProtocol((0,))]
+        channel, _ = run_network(macs, {0: [0, 100]}, horizon=64_000)
+        stats = channel.stats
+        total = stats.busy_time + stats.idle_time + stats.collision_time
+        # The last round may overshoot the horizon by < one duration.
+        assert total >= 64_000
+
+    def test_payload_counts_dl_pdu_bits(self):
+        macs = [TDMAProtocol((0,))]
+        cls = make_class(length=5_000)
+        channel, _ = run_network(
+            macs, {0: [0]}, horizon=500_000, msg_class=cls
+        )
+        assert channel.stats.payload_bits == 5_000
+
+    def test_utilization_below_one(self):
+        macs = [TDMAProtocol((0,))]
+        channel, _ = run_network(
+            macs, {0: [0, 1, 2]}, horizon=500_000
+        )
+        assert 0 < channel.stats.utilization(500_000) < 1
+
+    def test_carrier_extension_on_destructive_media(self):
+        # A short frame on GigE occupies at least one 4096-bit slot.
+        macs = [TDMAProtocol((0,))]
+        cls = make_class(length=100)
+        channel, stations = run_network(
+            macs, {0: [0]}, horizon=200_000, medium=GIGABIT_ETHERNET,
+            msg_class=cls,
+        )
+        record = stations[0].completions[0]
+        assert record.completion - record.started >= 4096
+
+    def test_duplicate_station_rejected(self):
+        env = Environment()
+        channel = BroadcastChannel(env, ideal_medium())
+        channel.attach(Station(0, CSMACDProtocol()))
+        with pytest.raises(ValueError):
+            channel.attach(Station(0, CSMACDProtocol()))
+
+    def test_running_without_stations_rejected(self):
+        env = Environment()
+        channel = BroadcastChannel(env, ideal_medium())
+        with pytest.raises(RuntimeError):
+            env.process(channel.run(1000))
+            env.run()
+
+    def test_trace_records_slots(self):
+        from repro.sim.trace import TraceLog
+
+        env = Environment()
+        trace = TraceLog()
+        channel = BroadcastChannel(env, ideal_medium(slot_time=64), trace=trace)
+        station = Station(0, TDMAProtocol((0,)))
+        station.load_arrivals(make_class(), TraceArrivals(trace=(0,)), 10_000)
+        channel.attach(station)
+        env.process(channel.run(10_000))
+        env.run(until=10_000)
+        kinds = {record["state"] for record in trace.records("slot")}
+        assert "success" in kinds
+
+
+class TestStation:
+    def test_deliver_due_moves_arrivals(self):
+        station = Station(0, CSMACDProtocol())
+        station.load_arrivals(
+            make_class(), TraceArrivals(trace=(5, 10, 20)), horizon=100
+        )
+        assert station.deliver_due(10) == 2
+        assert len(station.queue) == 2
+        assert station.undelivered_arrivals == 1
+
+    def test_periodic_loading(self):
+        station = Station(0, CSMACDProtocol())
+        loaded = station.load_arrivals(
+            make_class(), PeriodicArrivals(period=100), horizon=1000
+        )
+        assert loaded == 10
+
+    def test_complete_records_latency(self):
+        station = Station(0, CSMACDProtocol())
+        station.load_arrivals(make_class(), TraceArrivals(trace=(5,)), 100)
+        station.deliver_due(5)
+        message = station.queue.peek()
+        station.complete(message, completion=500, started=400)
+        record = station.completions[0]
+        assert record.latency == 495
+        assert record.started == 400
+        assert not record.dropped
+
+    def test_drop_records_miss(self):
+        station = Station(0, CSMACDProtocol())
+        station.add_arrival(make_class(deadline=10), 0)
+        station.deliver_due(0)
+        message = station.queue.peek()
+        station.drop(message, when=50)
+        record = station.completions[0]
+        assert record.dropped
+        assert not record.on_time
+
+    def test_needs_static_index(self):
+        with pytest.raises(ValueError):
+            Station(0, CSMACDProtocol(), static_indices=())
+
+    def test_backlog_snapshot(self):
+        station = Station(0, CSMACDProtocol())
+        station.add_arrival(make_class(), 0)
+        station.add_arrival(make_class(), 0)
+        station.deliver_due(0)
+        assert len(station.backlog()) == 2
+
+
+class TestCompletionRecord:
+    def test_on_time_boundary(self):
+        cls = make_class(deadline=100)
+        from repro.model.message import MessageInstance
+
+        message = MessageInstance.arrive(cls, 0, 0)
+        exactly = CompletionRecord(message=message, completion=100, started=50)
+        late = CompletionRecord(message=message, completion=101, started=50)
+        assert exactly.on_time
+        assert not late.on_time

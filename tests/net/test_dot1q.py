@@ -1,0 +1,83 @@
+"""Tests for the 802.1p deadline-priority bridging."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.model.message import DensityBound, MessageClass
+from repro.net.dot1q import DEFAULT_PRIORITY_MAP, PriorityMap
+
+
+class TestEncode:
+    def test_most_urgent_is_seven(self):
+        assert DEFAULT_PRIORITY_MAP.encode(1) == 7
+        assert DEFAULT_PRIORITY_MAP.encode(4_096) == 7
+
+    def test_monotone_nonincreasing_in_deadline(self):
+        pcp = [
+            DEFAULT_PRIORITY_MAP.encode(d)
+            for d in (1_000, 10_000, 100_000, 10**6, 10**8, 10**10)
+        ]
+        assert pcp == sorted(pcp, reverse=True)
+
+    def test_long_deadlines_floor_at_zero(self):
+        assert DEFAULT_PRIORITY_MAP.encode(10**12) == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DEFAULT_PRIORITY_MAP.encode(0)
+        with pytest.raises(ValueError):
+            PriorityMap(min_deadline=0, ratio=2.0)
+        with pytest.raises(ValueError):
+            PriorityMap(min_deadline=10, ratio=1.0)
+
+
+class TestDecode:
+    def test_round_trip_never_shrinks_urgent_class(self):
+        # pcp 7's representative is the band's upper edge.
+        assert DEFAULT_PRIORITY_MAP.decode(7) == 4_096
+
+    def test_decode_monotone(self):
+        values = [DEFAULT_PRIORITY_MAP.decode(p) for p in range(8)]
+        assert values == sorted(values, reverse=True)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DEFAULT_PRIORITY_MAP.decode(8)
+
+    @given(st.integers(1, 10**10))
+    def test_quantise_is_idempotent(self, deadline):
+        once = DEFAULT_PRIORITY_MAP.quantise(deadline)
+        assert DEFAULT_PRIORITY_MAP.quantise(once) == once
+
+    @given(st.integers(1, 10**9))
+    def test_quantise_bounded_relative_error(self, deadline):
+        # Within the grid, the representative is within one ratio factor.
+        quantised = DEFAULT_PRIORITY_MAP.quantise(deadline)
+        if 4_096 <= deadline <= DEFAULT_PRIORITY_MAP.decode(1):
+            assert deadline <= quantised <= deadline * 8
+
+
+class TestOrderPreservation:
+    @given(st.lists(st.integers(1, 10**9), min_size=2, max_size=20))
+    def test_never_inverts(self, deadlines):
+        # Quantisation may merge classes but must never invert them.
+        assert DEFAULT_PRIORITY_MAP.preserves_order(deadlines)
+
+    def test_merge_report(self):
+        def cls(name, deadline):
+            return MessageClass(
+                name=name, length=100, deadline=deadline,
+                bound=DensityBound(a=1, w=1000),
+            )
+
+        classes = [
+            cls("a", 2_000),
+            cls("b", 4_000),     # merges with a into pcp 7
+            cls("c", 40_000),
+        ]
+        used = DEFAULT_PRIORITY_MAP.classes_used(classes)
+        assert used[7] == ["a", "b"]
+        assert any("c" in names for pcp, names in used.items() if pcp < 7)

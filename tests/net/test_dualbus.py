@@ -1,0 +1,122 @@
+"""Tests for the dual-bus redundancy layer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.model.workloads import uniform_problem
+from repro.net.dualbus import (
+    BusFailoverController,
+    DualBusSimulation,
+    suggested_jam_threshold,
+)
+from repro.net.phy import ideal_medium
+from repro.protocols.base import ChannelState
+from repro.protocols.ddcr import DDCRConfig, DDCRProtocol
+
+
+def _problem():
+    return uniform_problem(
+        z=4, length=1_000, deadline=600_000, a=1, w=300_000
+    )
+
+
+def _config(problem) -> DDCRConfig:
+    return DDCRConfig(
+        time_f=16,
+        time_m=2,
+        class_width=65_536,
+        static_q=problem.static_q,
+        static_m=problem.static_m,
+        theta_factor=1.0,
+    )
+
+
+def _simulate(fail_at=None, jam_threshold=None, horizon=4_000_000):
+    problem = _problem()
+    config = _config(problem)
+    threshold = (
+        jam_threshold
+        if jam_threshold is not None
+        else suggested_jam_threshold(config)
+    )
+    simulation = DualBusSimulation(
+        problem,
+        ideal_medium(slot_time=64),
+        protocol_factory=lambda src: DDCRProtocol(config),
+        jam_threshold=threshold,
+        fail_bus_at=fail_at,
+        check_consistency=True,
+    )
+    return simulation.run(horizon)
+
+
+class TestController:
+    def test_failover_after_threshold(self):
+        controller = BusFailoverController(jam_threshold=3)
+        for _ in range(2):
+            controller.note(0, ChannelState.COLLISION)
+        assert controller.active_bus == 0
+        controller.note(0, ChannelState.COLLISION)
+        assert controller.active_bus == 1
+        assert controller.failovers == 1
+
+    def test_counter_resets_on_good_slot(self):
+        controller = BusFailoverController(jam_threshold=3)
+        controller.note(0, ChannelState.COLLISION)
+        controller.note(0, ChannelState.COLLISION)
+        controller.note(0, ChannelState.SILENCE)
+        controller.note(0, ChannelState.COLLISION)
+        controller.note(0, ChannelState.COLLISION)
+        assert controller.active_bus == 0
+
+    def test_standby_slots_ignored(self):
+        controller = BusFailoverController(jam_threshold=2)
+        for _ in range(10):
+            controller.note(1, ChannelState.COLLISION)
+        assert controller.active_bus == 0
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            BusFailoverController(jam_threshold=1)
+
+
+class TestSuggestedThreshold:
+    def test_exceeds_tree_depths(self):
+        config = _config(_problem())
+        threshold = suggested_jam_threshold(config)
+        # log2(16) + log2(4) + 1 + margin 8 = 4 + 2 + 1 + 8.
+        assert threshold == 15
+
+
+class TestDualBusRuns:
+    def test_healthy_never_fails_over(self):
+        result = _simulate()
+        assert result.failovers == 0
+        assert result.bus_stats[1].successes == 0  # standby stayed silent
+        delivered = sum(1 for r in result.completions if not r.dropped)
+        assert delivered == 4 * 14  # one per 300k window per station
+
+    def test_failure_triggers_single_failover(self):
+        result = _simulate(fail_at=1_500_000)
+        assert result.failovers == 1
+        assert result.bus_stats[0].jammed_slots > 0
+        assert result.bus_stats[1].successes > 0
+
+    def test_no_message_lost_across_failover(self):
+        healthy = _simulate()
+        failed = _simulate(fail_at=1_500_000)
+        assert len(failed.completions) == len(healthy.completions)
+        assert all(r.on_time for r in failed.completions)
+        assert failed.backlog() == []
+
+    def test_unreachable_threshold_means_no_failover(self):
+        result = _simulate(fail_at=1_500_000, jam_threshold=10**9)
+        assert result.failovers == 0
+        # Messages arriving after the failure are stranded.
+        assert len(result.backlog()) > 0
+
+    def test_completions_unique_across_busses(self):
+        result = _simulate(fail_at=1_500_000)
+        seqs = [r.message.seq for r in result.completions]
+        assert len(seqs) == len(set(seqs))

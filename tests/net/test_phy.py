@@ -1,0 +1,84 @@
+"""Tests for medium profiles and encapsulation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.phy import (
+    ATM_BUS,
+    CLASSIC_ETHERNET,
+    GIGABIT_ETHERNET,
+    MediumProfile,
+    ideal_medium,
+)
+from repro.model.units import Throughput
+
+
+class TestEncapsulation:
+    @pytest.mark.parametrize(
+        "medium", [GIGABIT_ETHERNET, CLASSIC_ETHERNET, ATM_BUS, ideal_medium()]
+    )
+    def test_l_prime_strictly_greater(self, medium):
+        # The paper requires l'(msg) > l(msg) for every message.
+        for length in (1, 64, 512, 12_000):
+            assert medium.encapsulate(length) > length
+
+    def test_minimum_frame_padding(self):
+        # 64-byte minimum on Ethernet: tiny payloads pad up.
+        tiny = GIGABIT_ETHERNET.encapsulate(8)
+        small = GIGABIT_ETHERNET.encapsulate(300)
+        assert tiny == small  # both below the minimum frame
+
+    def test_big_frames_scale_linearly(self):
+        a = GIGABIT_ETHERNET.encapsulate(10_000)
+        b = GIGABIT_ETHERNET.encapsulate(20_000)
+        assert b - a == 10_000
+
+    def test_zero_length_rejected(self):
+        with pytest.raises(ValueError):
+            GIGABIT_ETHERNET.encapsulate(0)
+
+    def test_transmission_time_equals_encapsulated_bits(self):
+        assert GIGABIT_ETHERNET.transmission_time(
+            1000
+        ) == GIGABIT_ETHERNET.encapsulate(1000)
+
+
+class TestProfiles:
+    def test_gige_slot_is_512_bytes(self):
+        assert GIGABIT_ETHERNET.slot_time == 4096
+        assert GIGABIT_ETHERNET.destructive_collisions
+
+    def test_classic_slot_is_512_bits(self):
+        assert CLASSIC_ETHERNET.slot_time == 512
+
+    def test_atm_bus_small_slot_nondestructive(self):
+        assert ATM_BUS.slot_time <= 8
+        assert not ATM_BUS.destructive_collisions
+
+    def test_slot_seconds(self):
+        assert GIGABIT_ETHERNET.slot_seconds() == pytest.approx(4.096e-6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MediumProfile(
+                name="bad",
+                throughput=Throughput(10),
+                slot_time=0,
+                preamble_bits=0,
+                framing_bits=0,
+                min_frame_bits=0,
+                interframe_gap_bits=0,
+                destructive_collisions=True,
+            )
+        with pytest.raises(ValueError):
+            MediumProfile(
+                name="bad",
+                throughput=Throughput(10),
+                slot_time=1,
+                preamble_bits=-1,
+                framing_bits=0,
+                min_frame_bits=0,
+                interframe_gap_bits=0,
+                destructive_collisions=True,
+            )

@@ -1,0 +1,104 @@
+"""Tests for the local EDF queue (algorithm LA)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.model.message import DensityBound, MessageClass, MessageInstance
+from repro.protocols.edf_queue import EDFQueue
+
+
+def _msg(deadline: int, arrival: int = 0) -> MessageInstance:
+    cls = MessageClass(
+        name="c", length=64, deadline=deadline,
+        bound=DensityBound(a=1, w=1000),
+    )
+    return MessageInstance.arrive(cls, arrival, source_id=0)
+
+
+class TestEDFOrder:
+    def test_peek_is_earliest_deadline(self):
+        queue = EDFQueue()
+        late = _msg(deadline=500)
+        early = _msg(deadline=100)
+        queue.push(late)
+        queue.push(early)
+        assert queue.peek() is early
+
+    def test_pop_drains_in_edf_order(self):
+        queue = EDFQueue()
+        messages = [_msg(deadline=d) for d in (300, 100, 200)]
+        for message in messages:
+            queue.push(message)
+        drained = [queue.pop() for _ in range(3)]
+        deadlines = [m.absolute_deadline for m in drained]
+        assert deadlines == sorted(deadlines)
+
+    def test_fifo_on_deadline_ties(self):
+        queue = EDFQueue()
+        first = _msg(deadline=100)
+        second = _msg(deadline=100)
+        queue.push(second)
+        queue.push(first)
+        # Tie broken by sequence number (arrival order of creation).
+        assert queue.pop() is first
+
+    def test_arrival_reranks(self):
+        queue = EDFQueue()
+        queue.push(_msg(deadline=500))
+        assert queue.peek().relative_deadline == 500
+        urgent = _msg(deadline=50)
+        queue.push(urgent)
+        assert queue.peek() is urgent
+
+
+class TestMutation:
+    def test_empty_peek_is_none(self):
+        assert EDFQueue().peek() is None
+
+    def test_empty_pop_raises(self):
+        with pytest.raises(IndexError):
+            EDFQueue().pop()
+
+    def test_remove_specific(self):
+        queue = EDFQueue()
+        a, b = _msg(100), _msg(200)
+        queue.push(a)
+        queue.push(b)
+        queue.remove(a)
+        assert len(queue) == 1
+        assert queue.peek() is b
+
+    def test_double_remove_rejected(self):
+        queue = EDFQueue()
+        a = _msg(100)
+        queue.push(a)
+        queue.remove(a)
+        with pytest.raises(KeyError):
+            queue.remove(a)
+
+    def test_len_and_bool(self):
+        queue = EDFQueue()
+        assert not queue and len(queue) == 0
+        queue.push(_msg(100))
+        assert queue and len(queue) == 1
+
+    def test_snapshot_sorted(self):
+        queue = EDFQueue()
+        for d in (300, 100, 200):
+            queue.push(_msg(deadline=d))
+        snapshot = queue.snapshot()
+        assert [m.absolute_deadline for m in snapshot] == [100, 200, 300]
+        assert len(queue) == 3  # snapshot does not consume
+
+    @given(st.lists(st.integers(1, 10_000), min_size=1, max_size=40))
+    def test_heap_invariant_under_load(self, deadlines):
+        queue = EDFQueue()
+        for deadline in deadlines:
+            queue.push(_msg(deadline=deadline))
+        drained = []
+        while queue:
+            drained.append(queue.pop().absolute_deadline)
+        assert drained == sorted(drained)

@@ -1,0 +1,160 @@
+"""Tests for Resource and Store primitives."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import Environment, Resource, SimulationError, Store
+
+
+class TestResource:
+    def test_capacity_respected(self):
+        env = Environment()
+        resource = Resource(env, capacity=2)
+        log = []
+
+        def worker(env, name):
+            with resource.request() as request:
+                yield request
+                log.append((env.now, name, "in"))
+                yield env.timeout(10)
+            log.append((env.now, name, "out"))
+
+        for name in "abc":
+            env.process(worker(env, name))
+        env.run()
+        in_times = {name: t for t, name, what in log if what == "in"}
+        assert in_times["a"] == 0 and in_times["b"] == 0
+        assert in_times["c"] == 10
+
+    def test_fifo_grant_order(self):
+        env = Environment()
+        resource = Resource(env, capacity=1)
+        order = []
+
+        def worker(env, name):
+            with resource.request() as request:
+                yield request
+                order.append(name)
+                yield env.timeout(1)
+
+        for name in "abcd":
+            env.process(worker(env, name))
+        env.run()
+        assert order == list("abcd")
+
+    def test_counts(self):
+        env = Environment()
+        resource = Resource(env, capacity=1)
+
+        def worker(env):
+            with resource.request() as request:
+                yield request
+                yield env.timeout(5)
+
+        env.process(worker(env))
+        env.process(worker(env))
+        env.run(until=1)
+        assert resource.count == 1
+        assert resource.queue_length == 1
+
+    def test_release_waiting_request_cancels(self):
+        env = Environment()
+        resource = Resource(env, capacity=1)
+        first = resource.request()
+        second = resource.request()
+        assert first.triggered and not second.triggered
+        resource.release(second)  # cancel from the queue
+        assert resource.queue_length == 0
+
+    def test_release_unknown_rejected(self):
+        env = Environment()
+        resource = Resource(env, capacity=1)
+        request = resource.request()
+        resource.release(request)
+        with pytest.raises(SimulationError):
+            resource.release(request)
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            Resource(Environment(), capacity=0)
+
+
+class TestStore:
+    def test_put_then_get(self):
+        env = Environment()
+        store = Store(env)
+
+        def proc(env):
+            store.put("x")
+            item = yield store.get()
+            return item
+
+        process = env.process(proc(env))
+        env.run()
+        assert process.value == "x"
+
+    def test_get_blocks_until_put(self):
+        env = Environment()
+        store = Store(env)
+
+        def consumer(env):
+            item = yield store.get()
+            return (env.now, item)
+
+        def producer(env):
+            yield env.timeout(6)
+            store.put("late")
+
+        consumer_proc = env.process(consumer(env))
+        env.process(producer(env))
+        env.run()
+        assert consumer_proc.value == (6, "late")
+
+    def test_fifo_order(self):
+        env = Environment()
+        store = Store(env)
+
+        def proc(env):
+            for item in (1, 2, 3):
+                store.put(item)
+            out = []
+            for _ in range(3):
+                out.append((yield store.get()))
+            return out
+
+        process = env.process(proc(env))
+        env.run()
+        assert process.value == [1, 2, 3]
+
+    def test_bounded_capacity_blocks_put(self):
+        env = Environment()
+        store = Store(env, capacity=1)
+        log = []
+
+        def producer(env):
+            yield store.put("a")
+            log.append(("a", env.now))
+            yield store.put("b")
+            log.append(("b", env.now))
+
+        def consumer(env):
+            yield env.timeout(5)
+            yield store.get()
+
+        env.process(producer(env))
+        env.process(consumer(env))
+        env.run()
+        assert log == [("a", 0), ("b", 5)]
+
+    def test_items_snapshot(self):
+        env = Environment()
+        store = Store(env)
+        store.put(1)
+        store.put(2)
+        assert store.items == (1, 2)
+        assert len(store) == 2
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            Store(Environment(), capacity=0)

@@ -1,0 +1,156 @@
+"""Tests for RNG registry, trace log and statistics monitors."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.sim import (
+    Histogram,
+    RunningStats,
+    SeedSequenceRegistry,
+    TimeWeighted,
+    TraceLog,
+)
+
+
+class TestSeedRegistry:
+    def test_same_name_same_stream(self):
+        registry = SeedSequenceRegistry(1)
+        assert registry.stream("a") is registry.stream("a")
+
+    def test_streams_are_independent(self):
+        registry = SeedSequenceRegistry(1)
+        a = [registry.stream("a").random() for _ in range(5)]
+        b = [registry.stream("b").random() for _ in range(5)]
+        assert a != b
+
+    def test_reproducible_across_instances(self):
+        a = SeedSequenceRegistry(7).stream("x").random()
+        b = SeedSequenceRegistry(7).stream("x").random()
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = SeedSequenceRegistry(1).stream("x").random()
+        b = SeedSequenceRegistry(2).stream("x").random()
+        assert a != b
+
+    def test_spawn_child_registry(self):
+        parent = SeedSequenceRegistry(1)
+        child = parent.spawn("sub")
+        assert (
+            child.stream("x").random() != parent.stream("x").random()
+        )
+
+
+class TestTraceLog:
+    def test_emit_and_filter(self):
+        trace = TraceLog()
+        trace.emit(0, "slot", state="silence")
+        trace.emit(5, "slot", state="success")
+        trace.emit(7, "phase", mode="tts")
+        assert len(trace) == 3
+        assert trace.count("slot") == 2
+        assert [r["state"] for r in trace.records("slot")] == [
+            "silence",
+            "success",
+        ]
+
+    def test_between(self):
+        trace = TraceLog()
+        for t in (0, 10, 20, 30):
+            trace.emit(t, "tick")
+        assert [r.time for r in trace.between(10, 30)] == [10, 20]
+
+    def test_disabled_is_noop(self):
+        trace = TraceLog(enabled=False)
+        trace.emit(0, "slot")
+        assert len(trace) == 0
+
+    def test_subscriber_sees_live_records(self):
+        trace = TraceLog()
+        seen = []
+        trace.subscribe(seen.append)
+        trace.emit(1, "x")
+        assert len(seen) == 1 and seen[0].kind == "x"
+
+    def test_clear(self):
+        trace = TraceLog()
+        trace.emit(0, "x")
+        trace.clear()
+        assert len(trace) == 0
+
+
+class TestRunningStats:
+    def test_basic_moments(self):
+        stats = RunningStats()
+        for value in (1, 2, 3, 4):
+            stats.add(value)
+        assert stats.count == 4
+        assert stats.mean == pytest.approx(2.5)
+        assert stats.variance == pytest.approx(5 / 3)
+        assert stats.minimum == 1 and stats.maximum == 4
+
+    def test_empty_is_nan(self):
+        stats = RunningStats()
+        assert math.isnan(stats.mean)
+        assert math.isnan(stats.variance)
+
+    def test_single_sample(self):
+        stats = RunningStats()
+        stats.add(7)
+        assert stats.variance == 0.0
+        assert stats.stdev == 0.0
+
+
+class TestTimeWeighted:
+    def test_average_of_step_signal(self):
+        signal = TimeWeighted()
+        signal.update(10, 1.0)  # 0 for [0,10), 1 for [10,30)
+        assert signal.average(30) == pytest.approx(20 / 30)
+
+    def test_time_cannot_go_backwards(self):
+        signal = TimeWeighted()
+        signal.update(5, 1.0)
+        with pytest.raises(ValueError):
+            signal.update(4, 2.0)
+
+    def test_zero_span(self):
+        signal = TimeWeighted(initial=3.0)
+        assert signal.average(0) == 3.0
+
+
+class TestHistogram:
+    def test_binning_and_overflow(self):
+        histogram = Histogram(bin_width=10, bins=3)
+        for value in (0, 5, 15, 100):
+            histogram.add(value)
+        assert histogram.counts == [2, 1, 0]
+        assert histogram.overflow == 1
+        assert histogram.total == 4
+
+    def test_quantile(self):
+        histogram = Histogram(bin_width=1, bins=100)
+        for value in range(100):
+            histogram.add(value)
+        assert histogram.quantile(0.5) == pytest.approx(50, abs=2)
+
+    def test_quantile_empty(self):
+        assert math.isnan(Histogram(bin_width=1, bins=2).quantile(0.5))
+
+    def test_quantile_overflow_is_inf(self):
+        histogram = Histogram(bin_width=1, bins=1)
+        histogram.add(100)
+        assert histogram.quantile(1.0) == math.inf
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Histogram(bin_width=0, bins=3)
+        with pytest.raises(ValueError):
+            Histogram(bin_width=1, bins=0)
+        histogram = Histogram(bin_width=1, bins=1)
+        with pytest.raises(ValueError):
+            histogram.add(-1)
+        with pytest.raises(ValueError):
+            histogram.quantile(2.0)

@@ -1,0 +1,57 @@
+"""Tests for the feasibility-check CLI."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.model.serialize import dump_problem
+from repro.model.workloads import uniform_problem
+from repro.tools.check import main
+
+
+@pytest.fixture
+def instance_path(tmp_path):
+    path = tmp_path / "instance.json"
+    dump_problem(uniform_problem(z=4), str(path))
+    return str(path)
+
+
+@pytest.fixture
+def infeasible_path(tmp_path):
+    path = tmp_path / "bad.json"
+    dump_problem(
+        uniform_problem(
+            z=8, length=500_000, deadline=1_000_000, a=4, w=1_000_000
+        ),
+        str(path),
+    )
+    return str(path)
+
+
+class TestCheckCLI:
+    def test_feasible_exit_zero(self, instance_path, capsys):
+        assert main([instance_path]) == 0
+        out = capsys.readouterr().out
+        assert "FEASIBLE" in out
+        assert "uniform-0" in out
+
+    def test_infeasible_exit_two(self, infeasible_path, capsys):
+        assert main([infeasible_path]) == 2
+        assert "INFEASIBLE" in capsys.readouterr().out
+
+    def test_missing_file_exit_one(self, capsys):
+        assert main(["/nonexistent/instance.json"]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_medium_selection(self, instance_path, capsys):
+        assert main([instance_path, "--medium", "classic-ethernet"]) in (0, 2)
+        assert "classic-ethernet" in capsys.readouterr().out
+
+    def test_tree_overrides(self, instance_path, capsys):
+        assert main([instance_path, "--time-f", "256", "--time-m", "4"]) == 0
+        assert "F=256" in capsys.readouterr().out
+
+    def test_simulation_spot_check(self, instance_path, capsys):
+        assert main([instance_path, "--simulate", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "misses=0" in out

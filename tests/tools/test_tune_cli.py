@@ -1,0 +1,77 @@
+"""Tests for the configuration tuner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.model.serialize import dump_problem
+from repro.model.workloads import uniform_problem
+from repro.net.phy import GIGABIT_ETHERNET
+from repro.tools.tune import main, tune
+
+_MS = 1_000_000
+
+
+class TestTune:
+    def test_outcomes_sorted_feasible_first(self):
+        outcomes = tune(uniform_problem(z=4), GIGABIT_ETHERNET)
+        feasibility = [outcome.feasible for outcome in outcomes]
+        # Once we hit an infeasible outcome, no feasible one may follow.
+        if False in feasibility:
+            first_bad = feasibility.index(False)
+            assert not any(feasibility[first_bad:])
+
+    def test_best_has_max_slack_among_feasible(self):
+        outcomes = tune(uniform_problem(z=4), GIGABIT_ETHERNET)
+        feasible = [o for o in outcomes if o.feasible]
+        assert feasible
+        assert feasible[0].worst_slack == max(
+            o.worst_slack for o in feasible
+        )
+
+    def test_horizon_covers_deadlines(self):
+        problem = uniform_problem(z=4, deadline=10 * _MS)
+        for outcome in tune(problem, GIGABIT_ETHERNET):
+            if outcome.feasible:
+                assert outcome.horizon >= 10 * _MS
+
+    def test_infeasible_instance_has_no_feasible_candidates(self):
+        problem = uniform_problem(
+            z=8, length=500_000, deadline=1 * _MS, a=4, w=1 * _MS
+        )
+        outcomes = tune(problem, GIGABIT_ETHERNET)
+        assert not any(outcome.feasible for outcome in outcomes)
+
+
+class TestTuneCLI:
+    @pytest.fixture
+    def instance_path(self, tmp_path):
+        path = tmp_path / "instance.json"
+        dump_problem(uniform_problem(z=4), str(path))
+        return str(path)
+
+    def test_feasible_exit_zero(self, instance_path, capsys):
+        assert main([instance_path]) == 0
+        out = capsys.readouterr().out
+        assert "recommended" in out
+
+    def test_infeasible_exit_two(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        dump_problem(
+            uniform_problem(
+                z=8, length=500_000, deadline=1 * _MS, a=4, w=1 * _MS
+            ),
+            str(path),
+        )
+        assert main([str(path)]) == 2
+
+    def test_missing_file_exit_one(self, capsys):
+        assert main(["/nonexistent.json"]) == 1
+
+    def test_top_limits_rows(self, instance_path, capsys):
+        main([instance_path, "--top", "2"])
+        out = capsys.readouterr().out
+        table_rows = [
+            line for line in out.splitlines() if line.strip().startswith(("16", "64", "256", "1024"))
+        ]
+        assert len(table_rows) == 2
