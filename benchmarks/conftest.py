@@ -5,21 +5,46 @@ DESIGN.md's per-experiment index), prints the same rows/series the paper
 reports, and asserts the experiment's shape checks.  Simulation-backed
 benches run one round (the workloads are deterministic; repeating them
 only re-measures the same path).
+
+Artefact benches resolve experiments by id through the
+:mod:`repro.runtime` executor — the same path the CLI takes — with the
+cache disabled so the benchmark clock measures real execution.  Every
+test using :func:`run_artefact` is marked ``slow``; run the micro benches
+alone with ``pytest benchmarks -m "not slow"``.
 """
 
 from __future__ import annotations
 
 import pytest
 
+from repro.runtime import ParallelExecutor, RunSpec
+
+
+def pytest_collection_modifyitems(items):
+    for item in items:
+        if "run_artefact" in getattr(item, "fixturenames", ()):
+            item.add_marker(pytest.mark.slow)
+
 
 @pytest.fixture
 def run_artefact(benchmark, capsys):
-    """Run an experiment under the benchmark clock and validate its checks."""
+    """Run an experiment under the benchmark clock and validate its checks.
 
-    def runner(experiment_callable, rounds: int = 1):
-        result = benchmark.pedantic(
-            experiment_callable, rounds=rounds, iterations=1
-        )
+    Accepts a registry experiment id (preferred) or a bare callable
+    returning an ExperimentResult.
+    """
+
+    def runner(experiment, rounds: int = 1, **params):
+        if callable(experiment):
+            resolve = experiment
+        else:
+            spec = RunSpec.make(experiment, **params)
+            executor = ParallelExecutor(jobs=1, cache=None)
+
+            def resolve():
+                return executor.run([spec])[0].result
+
+        result = benchmark.pedantic(resolve, rounds=rounds, iterations=1)
         with capsys.disabled():
             print()
             print(result.render())

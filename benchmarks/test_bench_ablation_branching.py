@@ -1,7 +1,5 @@
 """ABL-M bench: time-tree branching degree ablation."""
 
-from repro.experiments import ablation_branching
-
 
 def test_bench_ablation_branching(run_artefact):
-    run_artefact(ablation_branching.run)
+    run_artefact("ABL-M")

@@ -1,7 +1,5 @@
 """ABL-BURST bench: packet-bursting ablation."""
 
-from repro.experiments import ablation_burst
-
 
 def test_bench_ablation_burst(run_artefact):
-    run_artefact(ablation_burst.run)
+    run_artefact("ABL-BURST")

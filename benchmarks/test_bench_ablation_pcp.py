@@ -1,7 +1,5 @@
 """ABL-PCP bench: deadlines via the 3-bit 802.1p priority field."""
 
-from repro.experiments import ablation_pcp
-
 
 def test_bench_ablation_pcp(run_artefact):
-    run_artefact(ablation_pcp.run)
+    run_artefact("ABL-PCP")

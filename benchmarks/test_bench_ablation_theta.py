@@ -1,7 +1,5 @@
 """ABL-THETA bench: compressed-time theta(c) ablation."""
 
-from repro.experiments import ablation_theta
-
 
 def test_bench_ablation_theta(run_artefact):
-    run_artefact(ablation_theta.run)
+    run_artefact("ABL-THETA")

@@ -1,7 +1,5 @@
 """EQ9-10-15 bench: closed forms vs ground-truth DP over the (m, t) grid."""
 
-from repro.experiments import closed_form_check
-
 
 def test_bench_closed_form(run_artefact):
-    run_artefact(closed_form_check.run)
+    run_artefact("EQ9-10-15")

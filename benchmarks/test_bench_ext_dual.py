@@ -1,7 +1,5 @@
 """EXT-DUAL bench: dual-bus failover under a mid-run bus failure."""
 
-from repro.experiments import ext_dual
-
 
 def test_bench_ext_dual(run_artefact):
-    run_artefact(ext_dual.run)
+    run_artefact("EXT-DUAL")

@@ -1,7 +1,5 @@
 """EXT-HOST bench: tasks -> RTA -> bounds -> FC -> trace replay."""
 
-from repro.experiments import ext_host
-
 
 def test_bench_ext_host(run_artefact):
-    run_artefact(ext_host.run)
+    run_artefact("EXT-HOST")

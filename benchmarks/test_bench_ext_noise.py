@@ -1,7 +1,5 @@
 """EXT-NOISE bench: common-mode slot-corruption sweep."""
 
-from repro.experiments import ext_noise
-
 
 def test_bench_ext_noise(run_artefact):
-    run_artefact(ext_noise.run)
+    run_artefact("EXT-NOISE")

@@ -1,7 +1,5 @@
 """EXT-UTIL bench: guaranteed utilization at the feasibility frontier."""
 
-from repro.experiments import ext_util
-
 
 def test_bench_ext_util(run_artefact):
-    run_artefact(ext_util.run)
+    run_artefact("EXT-UTIL")

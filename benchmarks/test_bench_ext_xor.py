@@ -1,7 +1,5 @@
 """EXT-XOR bench: non-destructive ATM-bus variant (analysis + protocol)."""
 
-from repro.experiments import ext_xor
-
 
 def test_bench_ext_xor(run_artefact):
-    run_artefact(ext_xor.run)
+    run_artefact("EXT-XOR")

@@ -1,7 +1,5 @@
 """SIM-FC bench: zero misses + B_DDCR dominance on feasible instances."""
 
-from repro.experiments import fc_validation
-
 
 def test_bench_fc_validation(run_artefact):
-    run_artefact(fc_validation.run)
+    run_artefact("SIM-FC")

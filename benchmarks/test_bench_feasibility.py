@@ -1,7 +1,5 @@
 """FC bench: feasibility frontier of B_DDCR over deadline/load."""
 
-from repro.experiments import feasibility_sweep
-
 
 def test_bench_feasibility(run_artefact):
-    run_artefact(feasibility_sweep.run)
+    run_artefact("FC")

@@ -1,7 +1,5 @@
 """FIG1 bench: regenerate Fig. 1 (64-leaf quaternary worst-case searches)."""
 
-from repro.experiments import fig1
-
 
 def test_bench_fig1(run_artefact):
-    run_artefact(fig1.run, rounds=3)
+    run_artefact("FIG1", rounds=3)

@@ -1,7 +1,5 @@
 """FIG2 bench: regenerate Fig. 2 (binary vs quaternary, 64 leaves)."""
 
-from repro.experiments import fig2
-
 
 def test_bench_fig2(run_artefact):
-    run_artefact(fig2.run, rounds=3)
+    run_artefact("FIG2", rounds=3)

@@ -1,7 +1,5 @@
 """EQ16-19 bench: Problem P2 bound vs exhaustive composition optimum."""
 
-from repro.experiments import multitree
-
 
 def test_bench_multitree(run_artefact):
-    run_artefact(multitree.run)
+    run_artefact("EQ16-19")

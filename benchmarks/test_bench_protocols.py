@@ -1,7 +1,5 @@
 """PROTO bench: CSMA/DDCR vs CSMA-CD/BEB vs CSMA/DCR vs TDMA load sweep."""
 
-from repro.experiments import protocol_comparison
-
 
 def test_bench_protocols(run_artefact):
-    run_artefact(protocol_comparison.run)
+    run_artefact("PROTO")

@@ -1,7 +1,5 @@
 """EQ2-8 bench: divide-and-conquer recursion + special values grid."""
 
-from repro.experiments import recursions
-
 
 def test_bench_recursions(run_artefact):
-    run_artefact(recursions.run)
+    run_artefact("EQ2-8")

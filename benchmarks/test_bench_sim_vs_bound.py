@@ -1,7 +1,5 @@
 """SIM-XI bench: simulated DDCR search costs vs analytic xi."""
 
-from repro.experiments import sim_vs_bound
-
 
 def test_bench_sim_vs_bound(run_artefact):
-    run_artefact(sim_vs_bound.run)
+    run_artefact("SIM-XI")

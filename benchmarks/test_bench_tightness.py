@@ -1,7 +1,5 @@
 """EQ11-14 bench: tightness of xi_tilde (gap measurements + constants)."""
 
-from repro.experiments import tightness
-
 
 def test_bench_tightness(run_artefact):
-    run_artefact(tightness.run)
+    run_artefact("EQ11-14")

@@ -5,7 +5,15 @@ Usage::
     python -m repro.experiments                 # list experiments
     python -m repro.experiments FIG1 FIG2       # run specific experiments
     python -m repro.experiments --all           # run the full suite
+    python -m repro.experiments --all --jobs 4  # fan out over processes
+    python -m repro.experiments --all --force   # ignore cached results
     python -m repro.experiments FIG1 --csv out  # also write CSV files
+
+Runs resolve through the :mod:`repro.runtime` executor: results are
+cached content-addressed under ``--cache-dir`` (default ``.repro-cache``),
+so a second invocation after no code change replays from disk instead of
+re-simulating.  Per-run timing/progress records stream to stderr; reports
+print to stdout in suite order.
 """
 
 from __future__ import annotations
@@ -14,10 +22,11 @@ import argparse
 import pathlib
 import sys
 
-from repro.experiments.registry import EXPERIMENTS, run_experiment
+from repro.experiments.registry import EXPERIMENTS
+from repro.runtime import ParallelExecutor, ResultCache, RunSpec
 
 
-def main(argv: list[str] | None = None) -> int:
+def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
         description="Reproduce the paper's figures and bound tables.",
@@ -31,26 +40,97 @@ def main(argv: list[str] | None = None) -> int:
         "--all", action="store_true", help="run the full suite"
     )
     parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="run up to N experiments in parallel worker processes",
+    )
+    parser.add_argument(
+        "--force",
+        action="store_true",
+        help="recompute even when a cached result exists",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=".repro-cache",
+        metavar="DIR",
+        help="result cache directory (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the result cache entirely",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        metavar="N",
+        help="override the root seed of seeded experiments",
+    )
+    parser.add_argument(
         "--csv",
         metavar="DIR",
         help="also write each experiment's rows as CSV into DIR",
     )
+    return parser
+
+
+def _list_experiments() -> None:
+    print("available experiments:")
+    for experiment_id, entry in EXPERIMENTS.items():
+        print(f"  {experiment_id:<12} [{entry.kind}] {entry.title}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
     args = parser.parse_args(argv)
+    if args.jobs < 1:
+        parser.error(f"--jobs must be >= 1, got {args.jobs}")
     ids = list(EXPERIMENTS) if args.all else args.ids
     if not ids:
-        print("available experiments:")
-        for experiment_id in EXPERIMENTS:
-            print(f"  {experiment_id}")
+        _list_experiments()
         return 0
-    failures = 0
+    unknown = [i for i in ids if i not in EXPERIMENTS]
+    if unknown:
+        known = ", ".join(EXPERIMENTS)
+        parser.error(
+            f"unknown experiment ids: {', '.join(unknown)} "
+            f"(known: {known})"
+        )
+    specs = []
     for experiment_id in ids:
-        result = run_experiment(experiment_id)
+        root_seed = (
+            args.seed
+            if args.seed is not None
+            and EXPERIMENTS[experiment_id].seed_param is not None
+            else None
+        )
+        specs.append(RunSpec.make(experiment_id, root_seed=root_seed))
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+
+    def progress(record, index, total):
+        print(
+            f"[{index + 1:>2}/{total}] {record.describe()}",
+            file=sys.stderr,
+            flush=True,
+        )
+
+    executor = ParallelExecutor(
+        jobs=args.jobs, cache=cache, force=args.force, progress=progress
+    )
+    records = executor.run(specs)
+
+    failures = 0
+    for record in records:
+        result = record.result
         print(result.render())
         print()
         if args.csv:
             directory = pathlib.Path(args.csv)
             directory.mkdir(parents=True, exist_ok=True)
-            path = directory / f"{experiment_id.lower()}.csv"
+            path = directory / f"{result.experiment_id.lower()}.csv"
             path.write_text(result.csv() + "\n")
             print(f"wrote {path}")
             for stem, svg in result.svg_figures.items():
@@ -59,6 +139,15 @@ def main(argv: list[str] | None = None) -> int:
                 print(f"wrote {figure_path}")
         if not result.all_checks_pass:
             failures += 1
+    executed = executor.submissions
+    cached = len(records) - executed
+    total_time = sum(record.duration for record in records)
+    print(
+        f"suite: {len(records)} run(s), {executed} executed, "
+        f"{cached} from cache, {total_time:.3f}s simulated work, "
+        f"{failures} failed",
+        file=sys.stderr,
+    )
     return 1 if failures else 0
 
 

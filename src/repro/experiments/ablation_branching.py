@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from repro.analysis.metrics import summarize
 from repro.experiments.base import ExperimentResult
+from repro.experiments.catalog import register
 from repro.experiments.harness import build_simulation, ddcr_factory, default_ddcr_config
 from repro.model.workloads import uniform_problem
 from repro.net.phy import GIGABIT_ETHERNET, MediumProfile
@@ -26,6 +27,11 @@ _MS = 1_000_000
 DEFAULT_DEGREES: tuple[int, ...] = (2, 4, 8)
 
 
+@register(
+    "ABL-M",
+    title="Ablation: time-tree branching degree",
+    kind="simulation",
+)
 def run(
     degrees: tuple[int, ...] = DEFAULT_DEGREES,
     medium: MediumProfile = GIGABIT_ETHERNET,

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from repro.analysis.metrics import summarize
 from repro.experiments.base import ExperimentResult
+from repro.experiments.catalog import register
 from repro.experiments.harness import build_simulation, ddcr_factory
 from repro.model.workloads import uniform_problem
 from repro.net.phy import GIGABIT_ETHERNET, MediumProfile
@@ -29,6 +30,11 @@ _MS = 1_000_000
 DEFAULT_BURST_LIMITS: tuple[int, ...] = (0, 16_384, 65_536)
 
 
+@register(
+    "ABL-BURST",
+    title="Ablation: burst budget on a bursty workload",
+    kind="simulation",
+)
 def run(
     burst_limits: tuple[int, ...] = DEFAULT_BURST_LIMITS,
     medium: MediumProfile = GIGABIT_ETHERNET,

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from repro.analysis.metrics import summarize
 from repro.experiments.base import ExperimentResult
+from repro.experiments.catalog import register
 from repro.experiments.harness import build_simulation, ddcr_factory
 from repro.model.workloads import videoconference_problem
 from repro.net.dot1q import DEFAULT_PRIORITY_MAP
@@ -30,6 +31,11 @@ __all__ = ["run"]
 _MS = 1_000_000
 
 
+@register(
+    "ABL-PCP",
+    title="Ablation: deadlines quantised through 802.1p priorities",
+    kind="simulation",
+)
 def run(
     medium: MediumProfile = GIGABIT_ETHERNET,
     horizon: int = 24 * _MS,

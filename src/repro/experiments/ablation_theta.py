@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from repro.analysis.metrics import summarize
 from repro.experiments.base import ExperimentResult
+from repro.experiments.catalog import register
 from repro.experiments.harness import build_simulation, ddcr_factory
 from repro.model.workloads import uniform_problem
 from repro.net.phy import GIGABIT_ETHERNET, MediumProfile
@@ -32,6 +33,11 @@ _MS = 1_000_000
 DEFAULT_THETAS: tuple[float, ...] = (0.0, 0.5, 1.0, 2.0, 4.0)
 
 
+@register(
+    "ABL-THETA",
+    title="Ablation: theta_factor scheduling-horizon guard",
+    kind="simulation",
+)
 def run(
     thetas: tuple[float, ...] = DEFAULT_THETAS,
     medium: MediumProfile = GIGABIT_ETHERNET,

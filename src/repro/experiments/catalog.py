@@ -1,0 +1,121 @@
+"""Registration substrate for experiment modules.
+
+Experiment modules declare themselves with :func:`register`::
+
+    @register("FIG1", title="...", kind="analytic")
+    def run(m: int = 4, t: int = 64) -> ExperimentResult: ...
+
+which records an :class:`ExperimentEntry` — the runner plus the metadata
+the runtime needs (display title, analytic vs simulation, and which
+keyword receives a :class:`~repro.runtime.spec.RunSpec` root seed).  The
+public ordered table lives in :mod:`repro.experiments.registry`, which
+imports every experiment module and thereby populates this catalog; this
+module deliberately imports nothing from the experiment modules so
+registration cannot cycle.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Callable
+
+from repro.experiments.base import ExperimentResult
+from repro.runtime.spec import RunSpec
+
+__all__ = ["ExperimentEntry", "register", "entries", "get_entry"]
+
+#: Legal values for :attr:`ExperimentEntry.kind`.
+KINDS = ("analytic", "simulation")
+
+
+@dataclasses.dataclass(frozen=True)
+class ExperimentEntry:
+    """One registered experiment: runner plus runtime metadata."""
+
+    experiment_id: str
+    runner: Callable[..., ExperimentResult]
+    title: str
+    kind: str
+    #: Name of the runner keyword that receives a spec's root seed, or
+    #: ``None`` for experiments with no stochastic inputs.
+    seed_param: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ValueError(
+                f"kind must be one of {KINDS}, got {self.kind!r}"
+            )
+
+    def __call__(self, **overrides: object) -> ExperimentResult:
+        return self.runner(**overrides)
+
+    def spec(
+        self, *, root_seed: int | None = None, **params: object
+    ) -> RunSpec:
+        """A RunSpec targeting this experiment."""
+        return RunSpec.make(
+            self.experiment_id, root_seed=root_seed, **params
+        )
+
+    def kwargs_for(self, spec: RunSpec) -> dict[str, object]:
+        """Runner keyword arguments a spec resolves to.
+
+        A ``root_seed`` is injected through :attr:`seed_param` when both
+        are present; a seed on a seedless experiment is an error rather
+        than a silently different computation.
+        """
+        kwargs = spec.kwargs()
+        if spec.root_seed is not None:
+            if self.seed_param is None:
+                raise ValueError(
+                    f"experiment {self.experiment_id} takes no seed, but "
+                    f"spec carries root_seed={spec.root_seed}"
+                )
+            kwargs[self.seed_param] = spec.root_seed
+        return kwargs
+
+
+_CATALOG: dict[str, ExperimentEntry] = {}
+
+
+def register(
+    experiment_id: str,
+    *,
+    title: str,
+    kind: str,
+    seed_param: str | None = None,
+) -> Callable[[Callable[..., ExperimentResult]], Callable[..., ExperimentResult]]:
+    """Class the decorated ``run()`` under ``experiment_id`` (DESIGN.md id)."""
+
+    def decorate(
+        runner: Callable[..., ExperimentResult],
+    ) -> Callable[..., ExperimentResult]:
+        if experiment_id in _CATALOG:
+            raise ValueError(
+                f"experiment id {experiment_id!r} registered twice"
+            )
+        _CATALOG[experiment_id] = ExperimentEntry(
+            experiment_id=experiment_id,
+            runner=runner,
+            title=title,
+            kind=kind,
+            seed_param=seed_param,
+        )
+        return runner
+
+    return decorate
+
+
+def entries() -> dict[str, ExperimentEntry]:
+    """Snapshot of everything registered so far."""
+    return dict(_CATALOG)
+
+
+def get_entry(experiment_id: str) -> ExperimentEntry:
+    try:
+        return _CATALOG[experiment_id]
+    except KeyError:
+        known = ", ".join(sorted(_CATALOG))
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; known ids: {known}"
+        ) from None

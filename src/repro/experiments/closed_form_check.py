@@ -17,6 +17,7 @@ from repro.core.closed_form import (
 )
 from repro.core.search_cost import exact_cost_table, xi_bruteforce
 from repro.experiments.base import ExperimentResult
+from repro.experiments.catalog import register
 
 __all__ = ["run", "DEFAULT_SHAPES", "BRUTE_SHAPES"]
 
@@ -38,6 +39,11 @@ DEFAULT_SHAPES: tuple[tuple[int, int], ...] = (
 BRUTE_SHAPES: tuple[tuple[int, int], ...] = ((2, 8), (2, 16), (3, 9), (4, 16))
 
 
+@register(
+    "EQ9-10-15",
+    title="Closed form of xi over the (m, t, k) grid (Eq. 9-10, 15)",
+    kind="analytic",
+)
 def run(
     shapes: tuple[tuple[int, int], ...] = DEFAULT_SHAPES,
     brute_shapes: tuple[tuple[int, int], ...] = BRUTE_SHAPES,

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from repro.analysis.metrics import summarize
 from repro.experiments.base import ExperimentResult
+from repro.experiments.catalog import register
 from repro.experiments.harness import ddcr_factory, default_ddcr_config
 from repro.model.workloads import uniform_problem
 from repro.net.dualbus import DualBusSimulation, suggested_jam_threshold
@@ -30,6 +31,11 @@ __all__ = ["run"]
 _MS = 1_000_000
 
 
+@register(
+    "EXT-DUAL",
+    title="Dual-bus fault tolerance under a bus failure",
+    kind="simulation",
+)
 def run(
     medium: MediumProfile = GIGABIT_ETHERNET,
     horizon: int = 24 * _MS,

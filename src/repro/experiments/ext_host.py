@@ -19,6 +19,7 @@ from __future__ import annotations
 from repro.analysis.metrics import summarize
 from repro.core.feasibility import check_feasibility
 from repro.experiments.base import ExperimentResult
+from repro.experiments.catalog import register
 from repro.experiments.harness import ddcr_factory, default_ddcr_config
 from repro.host import (
     TaskSpec,
@@ -72,6 +73,11 @@ def _tasks(host_id: int) -> list[TaskSpec]:
     ]
 
 
+@register(
+    "EXT-HOST",
+    title="Host stack pipeline: tasks, jitter, bounds, guarantee",
+    kind="simulation",
+)
 def run(
     medium: MediumProfile = GIGABIT_ETHERNET,
     hosts: int = 4,

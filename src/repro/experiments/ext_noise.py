@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from repro.analysis.metrics import summarize
 from repro.experiments.base import ExperimentResult
+from repro.experiments.catalog import register
 from repro.experiments.harness import PROTOCOL_FACTORIES
 from repro.model.workloads import uniform_problem
 from repro.net.network import NetworkSimulation
@@ -33,6 +34,12 @@ _MS = 1_000_000
 DEFAULT_NOISE_RATES: tuple[float, ...] = (0.0, 0.01, 0.05, 0.15)
 
 
+@register(
+    "EXT-NOISE",
+    title="Failure injection: common-mode slot corruption sweep",
+    kind="simulation",
+    seed_param="seed",
+)
 def run(
     noise_rates: tuple[float, ...] = DEFAULT_NOISE_RATES,
     medium: MediumProfile = GIGABIT_ETHERNET,

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from repro.core.feasibility import max_feasible_scale
 from repro.experiments.base import ExperimentResult
+from repro.experiments.catalog import register
 from repro.experiments.harness import default_ddcr_config
 from repro.model.workloads import uniform_problem
 from repro.net.phy import GIGABIT_ETHERNET, MediumProfile
@@ -29,6 +30,11 @@ DEFAULT_LENGTHS: tuple[int, ...] = (1_000, 4_000, 12_000, 48_000)
 DEFAULT_SOURCE_COUNTS: tuple[int, ...] = (4, 16)
 
 
+@register(
+    "EXT-UTIL",
+    title="Achievable channel utilization under hard guarantees",
+    kind="analytic",
+)
 def run(
     lengths: tuple[int, ...] = DEFAULT_LENGTHS,
     source_counts: tuple[int, ...] = DEFAULT_SOURCE_COUNTS,

@@ -26,10 +26,16 @@ from repro.core.search_cost import (
 )
 from repro.core.trees import integer_log
 from repro.experiments.base import ExperimentResult
+from repro.experiments.catalog import register
 
 __all__ = ["run"]
 
 
+@register(
+    "EXT-XOR",
+    title="ATM non-destructive-bus variant of CSMA/DDCR",
+    kind="simulation",
+)
 def run(
     m: int = 4,
     t: int = 64,

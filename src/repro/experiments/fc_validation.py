@@ -17,6 +17,7 @@ from __future__ import annotations
 from repro.analysis.bounds import check_latency_bounds, check_search_costs
 from repro.analysis.metrics import summarize
 from repro.experiments.base import ExperimentResult
+from repro.experiments.catalog import register
 from repro.experiments.harness import build_simulation, ddcr_factory, default_ddcr_config
 from repro.model.workloads import uniform_problem, videoconference_problem
 from repro.net.phy import GIGABIT_ETHERNET, MediumProfile
@@ -51,6 +52,11 @@ def _cases(medium: MediumProfile):
     )
 
 
+@register(
+    "SIM-FC",
+    title="Feasibility conditions hold in simulation",
+    kind="simulation",
+)
 def run(medium: MediumProfile = GIGABIT_ETHERNET) -> ExperimentResult:
     """Validate the FC guarantee end-to-end on each case."""
     rows: list[list[object]] = []

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from repro.core.feasibility import check_feasibility, max_feasible_scale
 from repro.experiments.base import ExperimentResult
+from repro.experiments.catalog import register
 from repro.experiments.harness import default_ddcr_config
 from repro.model.workloads import uniform_problem
 from repro.net.phy import GIGABIT_ETHERNET, MediumProfile
@@ -30,6 +31,11 @@ _MS = 1_000_000
 DEFAULT_DEADLINES_MS: tuple[int, ...] = (2, 4, 8, 16, 32)
 
 
+@register(
+    "FC",
+    title="Feasibility frontier of B_DDCR over load and deadline",
+    kind="analytic",
+)
 def run(
     deadlines_ms: tuple[int, ...] = DEFAULT_DEADLINES_MS,
     medium: MediumProfile = GIGABIT_ETHERNET,

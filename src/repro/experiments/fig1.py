@@ -20,6 +20,7 @@ from repro.core.closed_form import xi_linear_regime
 from repro.core.divide_conquer import xi_full, xi_two
 from repro.core.search_cost import exact_cost_table
 from repro.experiments.base import ExperimentResult
+from repro.experiments.catalog import register
 
 __all__ = ["run", "M", "T"]
 
@@ -27,6 +28,11 @@ M = 4
 T = 64
 
 
+@register(
+    "FIG1",
+    title="Worst-case search times for a balanced tree (paper Fig. 1)",
+    kind="analytic",
+)
 def run(m: int = M, t: int = T) -> ExperimentResult:
     """Regenerate Fig. 1's series for a t-leaf balanced m-ary tree."""
     table = exact_cost_table(m, t)

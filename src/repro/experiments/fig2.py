@@ -14,12 +14,18 @@ from repro.analysis.report import ascii_plot
 from repro.core.optimal_branching import dominates
 from repro.core.search_cost import exact_cost_table
 from repro.experiments.base import ExperimentResult
+from repro.experiments.catalog import register
 
 __all__ = ["run", "T"]
 
 T = 64
 
 
+@register(
+    "FIG2",
+    title="Binary vs quaternary tree search times (paper Fig. 2)",
+    kind="analytic",
+)
 def run(t: int = T) -> ExperimentResult:
     """Regenerate Fig. 2's two series and the dominance claim."""
     binary = exact_cost_table(2, t)

@@ -22,6 +22,7 @@ from repro.core.multi_tree import (
     multi_tree_exact_optimum,
 )
 from repro.experiments.base import ExperimentResult
+from repro.experiments.catalog import register
 
 __all__ = ["run", "DEFAULT_CASES"]
 
@@ -43,6 +44,11 @@ DEFAULT_CASES: tuple[tuple[int, int, int, int], ...] = (
 )
 
 
+@register(
+    "EQ16-19",
+    title="Searches over multiple consecutive trees (Eq. 16-19)",
+    kind="analytic",
+)
 def run(
     cases: tuple[tuple[int, int, int, int], ...] = DEFAULT_CASES,
 ) -> ExperimentResult:

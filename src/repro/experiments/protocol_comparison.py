@@ -21,6 +21,7 @@ from __future__ import annotations
 from repro.analysis.metrics import summarize
 from repro.core.feasibility import check_feasibility
 from repro.experiments.base import ExperimentResult
+from repro.experiments.catalog import register
 from repro.experiments.harness import (
     PROTOCOL_FACTORIES,
     build_simulation,
@@ -48,6 +49,12 @@ def _problem(scale: float):
     )
 
 
+@register(
+    "PROTO",
+    title="CSMA/DDCR vs baselines across a load sweep",
+    kind="simulation",
+    seed_param="seed",
+)
 def run(
     scales: tuple[float, ...] = DEFAULT_SCALES,
     medium: MediumProfile = GIGABIT_ETHERNET,

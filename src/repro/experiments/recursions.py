@@ -20,6 +20,7 @@ from repro.core.divide_conquer import (
 from repro.core.search_cost import exact_cost_table
 from repro.core.trees import integer_log
 from repro.experiments.base import ExperimentResult
+from repro.experiments.catalog import register
 
 __all__ = ["run", "DEFAULT_SHAPES"]
 
@@ -40,6 +41,11 @@ DEFAULT_SHAPES: tuple[tuple[int, int], ...] = (
 )
 
 
+@register(
+    "EQ2-8",
+    title="Divide-and-conquer recursion and special values (Eq. 2-8)",
+    kind="analytic",
+)
 def run(
     shapes: tuple[tuple[int, int], ...] = DEFAULT_SHAPES,
 ) -> ExperimentResult:

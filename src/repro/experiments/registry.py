@@ -1,15 +1,22 @@
-"""Registry mapping experiment ids to their run() callables.
+"""Ordered registry of experiments, spec-based.
 
-The CLI (``python -m repro.experiments``) and the benchmark suite both
-resolve experiments through this table; DESIGN.md's per-experiment index
-uses the same ids.
+Each experiment module registers its runner and metadata through
+:mod:`repro.experiments.catalog`; importing this module pulls in all of
+them and exposes the suite as ``EXPERIMENTS`` — an ordered mapping from
+DESIGN.md id to :class:`~repro.experiments.catalog.ExperimentEntry`
+(entries are callable, so ``EXPERIMENTS["FIG1"]()`` still runs one).
+
+The CLI (``python -m repro.experiments``), the benchmark suite and the
+runtime executor's worker processes all resolve experiments here;
+:func:`run_spec` is the single entry point a
+:class:`~repro.runtime.spec.RunSpec` executes through.
 """
 
 from __future__ import annotations
 
-from collections.abc import Callable
-
-from repro.experiments import (
+# The imports run each module's @register decoration; the names themselves
+# are otherwise unused.
+from repro.experiments import (  # noqa: F401
     ablation_branching,
     ablation_burst,
     ablation_pcp,
@@ -31,44 +38,82 @@ from repro.experiments import (
     tightness,
 )
 from repro.experiments.base import ExperimentResult
+from repro.experiments.catalog import ExperimentEntry, entries, get_entry
+from repro.runtime.spec import RunSpec
 
-__all__ = ["EXPERIMENTS", "run_experiment", "run_all"]
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentEntry",
+    "run_experiment",
+    "run_spec",
+    "run_all",
+]
 
-EXPERIMENTS: dict[str, Callable[[], ExperimentResult]] = {
-    "FIG1": fig1.run,
-    "FIG2": fig2.run,
-    "EQ2-8": recursions.run,
-    "EQ9-10-15": closed_form_check.run,
-    "EQ11-14": tightness.run,
-    "EQ16-19": multitree.run,
-    "FC": feasibility_sweep.run,
-    "SIM-XI": sim_vs_bound.run,
-    "SIM-FC": fc_validation.run,
-    "PROTO": protocol_comparison.run,
-    "ABL-M": ablation_branching.run,
-    "ABL-THETA": ablation_theta.run,
-    "ABL-BURST": ablation_burst.run,
-    "ABL-PCP": ablation_pcp.run,
-    "EXT-XOR": ext_xor.run,
-    "EXT-DUAL": ext_dual.run,
-    "EXT-HOST": ext_host.run,
-    "EXT-NOISE": ext_noise.run,
-    "EXT-UTIL": ext_util.run,
+#: Canonical suite order (DESIGN.md's per-experiment index order).
+_ORDER: tuple[str, ...] = (
+    "FIG1",
+    "FIG2",
+    "EQ2-8",
+    "EQ9-10-15",
+    "EQ11-14",
+    "EQ16-19",
+    "FC",
+    "SIM-XI",
+    "SIM-FC",
+    "PROTO",
+    "ABL-M",
+    "ABL-THETA",
+    "ABL-BURST",
+    "ABL-PCP",
+    "EXT-XOR",
+    "EXT-DUAL",
+    "EXT-HOST",
+    "EXT-NOISE",
+    "EXT-UTIL",
+)
+
+EXPERIMENTS: dict[str, ExperimentEntry] = {
+    experiment_id: get_entry(experiment_id) for experiment_id in _ORDER
 }
+
+_unindexed = set(entries()) - set(_ORDER)
+if _unindexed:  # pragma: no cover - registration/index drift guard
+    raise RuntimeError(
+        f"experiments registered but missing from registry order: "
+        f"{sorted(_unindexed)}"
+    )
 
 
 def run_experiment(experiment_id: str) -> ExperimentResult:
-    """Run one experiment by its DESIGN.md id."""
+    """Run one experiment by its DESIGN.md id, with default parameters."""
     try:
-        runner = EXPERIMENTS[experiment_id]
+        entry = EXPERIMENTS[experiment_id]
     except KeyError:
         known = ", ".join(sorted(EXPERIMENTS))
         raise KeyError(
             f"unknown experiment {experiment_id!r}; known ids: {known}"
         ) from None
-    return runner()
+    return entry()
+
+
+def run_spec(spec: RunSpec) -> ExperimentResult:
+    """Execute a RunSpec: resolve the entry, apply params and seed."""
+    try:
+        entry = EXPERIMENTS[spec.experiment_id]
+    except KeyError:
+        known = ", ".join(sorted(EXPERIMENTS))
+        raise KeyError(
+            f"unknown experiment {spec.experiment_id!r}; known ids: {known}"
+        ) from None
+    result = entry.runner(**entry.kwargs_for(spec))
+    if result.experiment_id != spec.experiment_id:
+        raise RuntimeError(
+            f"experiment {spec.experiment_id} returned a result labelled "
+            f"{result.experiment_id!r}"
+        )
+    return result
 
 
 def run_all() -> list[ExperimentResult]:
     """Run the full suite in index order."""
-    return [runner() for runner in EXPERIMENTS.values()]
+    return [entry() for entry in EXPERIMENTS.values()]

@@ -24,6 +24,7 @@ from repro.analysis.adversary import (
 )
 from repro.core.search_cost import simulate_search, worst_case_placement, xi_exact
 from repro.experiments.base import ExperimentResult
+from repro.experiments.catalog import register
 
 __all__ = ["run", "STATIC_CASES", "TIME_CASES"]
 
@@ -51,6 +52,12 @@ TIME_CASES: tuple[tuple[int, int, int], ...] = (
 )
 
 
+@register(
+    "SIM-XI",
+    title="Simulated DDCR tree-search slot costs vs analytic xi",
+    kind="simulation",
+    seed_param="seed",
+)
 def run(
     static_cases: tuple[tuple[int, int, int], ...] = STATIC_CASES,
     time_cases: tuple[tuple[int, int, int], ...] = TIME_CASES,

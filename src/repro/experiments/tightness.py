@@ -24,6 +24,7 @@ from repro.core.asymptotic import (
     universal_tightness_constant,
 )
 from repro.experiments.base import ExperimentResult
+from repro.experiments.catalog import register
 
 __all__ = ["run", "DEFAULT_SHAPES"]
 
@@ -43,6 +44,11 @@ DEFAULT_SHAPES: tuple[tuple[int, int], ...] = (
 )
 
 
+@register(
+    "EQ11-14",
+    title="Tightness of the asymptotic bound xi_tilde (Eq. 11-14)",
+    kind="analytic",
+)
 def run(
     shapes: tuple[tuple[int, int], ...] = DEFAULT_SHAPES,
 ) -> ExperimentResult:

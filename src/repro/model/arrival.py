@@ -16,7 +16,10 @@ bounded by ``a`` arrivals per sliding window ``w``.  This module provides:
 * :class:`TraceArrivals` — replay of an explicit list.
 
 Every generator is deterministic given its seed, and yields nondecreasing
-integer arrival times (bit-times).
+integer arrival times (bit-times).  Stochastic generators draw from a
+named :class:`~repro.sim.rng.SeedSequenceRegistry` stream derived from
+their ``seed`` (or from an explicitly supplied stream), so adding another
+random consumer to a simulation never perturbs existing draws.
 """
 
 from __future__ import annotations
@@ -28,6 +31,7 @@ from collections.abc import Iterator, Sequence
 
 from repro.model.message import DensityBound
 from repro.model.units import BitTime
+from repro.sim.rng import SeedSequenceRegistry
 
 __all__ = [
     "ArrivalProcess",
@@ -45,8 +49,20 @@ class ArrivalProcess(abc.ABC):
     """A (possibly infinite) nondecreasing stream of arrival times."""
 
     @abc.abstractmethod
-    def times(self) -> Iterator[BitTime]:
-        """Yield arrival times in nondecreasing order, from time 0 onward."""
+    def times(self, rng: random.Random | None = None) -> Iterator[BitTime]:
+        """Yield arrival times in nondecreasing order, from time 0 onward.
+
+        ``rng`` lets an orchestrator (e.g.
+        :class:`~repro.net.network.NetworkSimulation`) supply a dedicated
+        registry stream; deterministic processes ignore it.
+        """
+
+    def _stream(self, rng: random.Random | None, name: str) -> random.Random:
+        """``rng`` if supplied, else this process's own registry stream."""
+        if rng is not None:
+            return rng
+        seed = int(getattr(self, "seed", 0))
+        return SeedSequenceRegistry(seed).stream(f"arrivals/{name}")
 
     def implied_bound(self) -> DensityBound | None:
         """The (a, w) density bound this process is guaranteed to respect.
@@ -57,12 +73,16 @@ class ArrivalProcess(abc.ABC):
         return None
 
 
-def take_until(process: ArrivalProcess, horizon: BitTime) -> list[BitTime]:
+def take_until(
+    process: ArrivalProcess,
+    horizon: BitTime,
+    rng: random.Random | None = None,
+) -> list[BitTime]:
     """Materialise all arrivals strictly before ``horizon``."""
     if horizon < 0:
         raise ValueError(f"horizon must be >= 0, got {horizon}")
     out: list[BitTime] = []
-    for t in process.times():
+    for t in process.times(rng):
         if t >= horizon:
             break
         out.append(t)
@@ -82,7 +102,7 @@ class PeriodicArrivals(ArrivalProcess):
         if self.phase < 0:
             raise ValueError(f"phase must be >= 0, got {self.phase}")
 
-    def times(self) -> Iterator[BitTime]:
+    def times(self, rng: random.Random | None = None) -> Iterator[BitTime]:
         t = self.phase
         while True:
             yield t
@@ -112,8 +132,8 @@ class SporadicArrivals(ArrivalProcess):
         if self.mean_slack < 0:
             raise ValueError(f"mean_slack must be >= 0, got {self.mean_slack}")
 
-    def times(self) -> Iterator[BitTime]:
-        rng = random.Random(self.seed)
+    def times(self, rng: random.Random | None = None) -> Iterator[BitTime]:
+        rng = self._stream(rng, "sporadic")
         t = self.phase
         while True:
             yield t
@@ -150,8 +170,8 @@ class JitteredPeriodicArrivals(ArrivalProcess):
                 f"jitter must be in [0, period), got {self.jitter}"
             )
 
-    def times(self) -> Iterator[BitTime]:
-        rng = random.Random(self.seed)
+    def times(self, rng: random.Random | None = None) -> Iterator[BitTime]:
+        rng = self._stream(rng, "jittered-periodic")
         release = self.phase
         previous = -1
         while True:
@@ -186,8 +206,8 @@ class PoissonArrivals(ArrivalProcess):
                 f"mean_interarrival must be > 0, got {self.mean_interarrival}"
             )
 
-    def times(self) -> Iterator[BitTime]:
-        rng = random.Random(self.seed)
+    def times(self, rng: random.Random | None = None) -> Iterator[BitTime]:
+        rng = self._stream(rng, "poisson")
         t = 0
         while True:
             t += max(1, round(rng.expovariate(1.0 / self.mean_interarrival)))
@@ -221,7 +241,7 @@ class GreedyBurstArrivals(ArrivalProcess):
         if self.burst_spacing * (self.bound.a - 1) >= self.bound.w:
             raise ValueError("burst_spacing spreads the burst beyond the window")
 
-    def times(self) -> Iterator[BitTime]:
+    def times(self, rng: random.Random | None = None) -> Iterator[BitTime]:
         start = self.phase
         while True:
             for i in range(self.bound.a):
@@ -247,5 +267,5 @@ class TraceArrivals(ArrivalProcess):
                 raise ValueError("trace times must be >= 0")
             previous = t
 
-    def times(self) -> Iterator[BitTime]:
+    def times(self, rng: random.Random | None = None) -> Iterator[BitTime]:
         yield from self.trace

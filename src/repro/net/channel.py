@@ -67,13 +67,18 @@ class BroadcastChannel:
         check_consistency: bool = False,
         noise_rate: float = 0.0,
         noise_seed: int = 0,
+        noise_rng: random.Random | None = None,
     ) -> None:
         """``noise_rate`` injects *common-mode* slot corruption: with this
         per-slot probability a silence or success is garbled into a
         collision seen identically by every station (the frame, if any, is
         destroyed and must be retransmitted).  Common-mode corruption is
         the failure model under which deterministic broadcast protocols
-        retain consistency — every replica digests the same bad slot."""
+        retain consistency — every replica digests the same bad slot.
+
+        ``noise_rng`` supplies the corruption stream directly (the
+        simulation layer passes a :class:`~repro.sim.rng.SeedSequenceRegistry`
+        stream); when absent, one is derived from ``noise_seed``."""
         if not 0.0 <= noise_rate < 1.0:
             raise ValueError(f"noise_rate must be in [0, 1), got {noise_rate}")
         self.env = env
@@ -81,7 +86,9 @@ class BroadcastChannel:
         self.trace = trace if trace is not None else TraceLog(enabled=False)
         self.check_consistency = check_consistency
         self.noise_rate = noise_rate
-        self._noise_rng = random.Random(noise_seed)
+        self._noise_rng = (
+            noise_rng if noise_rng is not None else random.Random(noise_seed)
+        )
         self.stations: list["Station"] = []
         self.stats = ChannelStats()
         self.observations: int = 0

@@ -5,11 +5,21 @@ HRTDM source, feeds each message class from an arrival process, runs the
 channel to a horizon on the DES kernel and returns a :class:`RunResult`
 with completions, backlog, channel statistics and (for DDCR) the per-run
 tree-search records the bounds analysis consumes.
+
+All randomness in a run flows from one
+:class:`~repro.sim.rng.SeedSequenceRegistry` rooted at ``root_seed``:
+each (station, class) arrival process and the channel's noise source draw
+from their own named streams, so runs are reproducible per root seed and
+adding a consumer never perturbs the other streams.  A simulation is
+described by plain picklable inputs (problem, medium profile, seeds); the
+runtime layer (:mod:`repro.runtime`) exploits this to rebuild and execute
+runs inside worker processes from declarative specs.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import functools
 from collections.abc import Callable, Mapping
 
 from repro.model.arrival import ArrivalProcess, GreedyBurstArrivals
@@ -20,6 +30,7 @@ from repro.net.phy import MediumProfile
 from repro.net.station import CompletionRecord, Station
 from repro.protocols.base import MACProtocol
 from repro.sim.engine import Environment
+from repro.sim.rng import SeedSequenceRegistry
 from repro.sim.trace import TraceLog
 
 __all__ = ["RunResult", "NetworkSimulation", "ProtocolFactory"]
@@ -30,14 +41,20 @@ ProtocolFactory = Callable[[SourceSpec], MACProtocol]
 
 @dataclasses.dataclass
 class RunResult:
-    """Everything a simulation run produced."""
+    """Everything a simulation run produced.
+
+    The aggregate views (:attr:`completions`, :attr:`delivered`,
+    :attr:`dropped`) are cached on first access: station records do not
+    change once the run has finished, and the metrics layer reads them
+    repeatedly.
+    """
 
     horizon: int
     stations: list[Station]
     stats: ChannelStats
     trace: TraceLog
 
-    @property
+    @functools.cached_property
     def completions(self) -> list[CompletionRecord]:
         """All completions across stations, in completion-time order."""
         records = [
@@ -48,23 +65,13 @@ class RunResult:
         records.sort(key=lambda r: r.completion)
         return records
 
-    @property
+    @functools.cached_property
     def delivered(self) -> int:
-        return sum(
-            1
-            for station in self.stations
-            for record in station.completions
-            if not record.dropped
-        )
+        return sum(1 for record in self.completions if not record.dropped)
 
-    @property
+    @functools.cached_property
     def dropped(self) -> int:
-        return sum(
-            1
-            for station in self.stations
-            for record in station.completions
-            if record.dropped
-        )
+        return sum(1 for record in self.completions if record.dropped)
 
     def backlog(self) -> list:
         """Messages still queued at the horizon."""
@@ -86,6 +93,11 @@ class NetworkSimulation:
     default to the greedy unimodal-arbitrary adversary saturating their
     declared (a, w) bound — the peak-load assumption of the feasibility
     analysis.
+
+    ``root_seed`` roots the run's :class:`SeedSequenceRegistry`;
+    ``noise_seed`` is folded into the noise stream's name so existing
+    callers that vary only the noise seed still get distinct corruption
+    patterns.
     """
 
     def __init__(
@@ -98,6 +110,7 @@ class NetworkSimulation:
         check_consistency: bool = False,
         noise_rate: float = 0.0,
         noise_seed: int = 0,
+        root_seed: int = 0,
     ) -> None:
         self.problem = problem
         self.medium = medium
@@ -107,6 +120,7 @@ class NetworkSimulation:
         self.check_consistency = check_consistency
         self.noise_rate = noise_rate
         self.noise_seed = noise_seed
+        self.root_seed = root_seed
 
     def _arrival_process(self, class_name: str, source: SourceSpec):
         if class_name in self.arrivals:
@@ -115,9 +129,14 @@ class NetworkSimulation:
         return GreedyBurstArrivals(bound=bound)
 
     def run(self, horizon: int, env: Environment | None = None) -> RunResult:
-        """Simulate up to ``horizon`` bit-times and gather results."""
+        """Simulate up to ``horizon`` bit-times and gather results.
+
+        A fresh stream registry is built per call, so repeated ``run()``
+        invocations of one simulation object are identical.
+        """
         if env is None:
             env = Environment()
+        rng = SeedSequenceRegistry(self.root_seed)
         trace = TraceLog(enabled=self.trace_enabled)
         channel = BroadcastChannel(
             env,
@@ -125,7 +144,7 @@ class NetworkSimulation:
             trace=trace,
             check_consistency=self.check_consistency,
             noise_rate=self.noise_rate,
-            noise_seed=self.noise_seed,
+            noise_rng=rng.stream(f"channel/noise/{self.noise_seed}"),
         )
         stations: list[Station] = []
         for source in self.problem.sources:
@@ -140,6 +159,9 @@ class NetworkSimulation:
                     msg_class,
                     self._arrival_process(msg_class.name, source),
                     horizon,
+                    rng=rng.stream(
+                        f"arrivals/{source.source_id}/{msg_class.name}"
+                    ),
                 )
             channel.attach(station)
             stations.append(station)

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import dataclasses
 import heapq
+import random
 
 from repro.model.arrival import ArrivalProcess, take_until
 from repro.model.message import MessageClass, MessageInstance
@@ -69,15 +70,21 @@ class Station:
     # -- arrival plumbing --------------------------------------------------
 
     def load_arrivals(
-        self, msg_class: MessageClass, process: ArrivalProcess, horizon: int
+        self,
+        msg_class: MessageClass,
+        process: ArrivalProcess,
+        horizon: int,
+        rng: random.Random | None = None,
     ) -> int:
         """Materialise one class's arrivals up to ``horizon``.
 
         Returns the number of arrivals loaded.  May be called once per
-        class; streams are merged in time order.
+        class; streams are merged in time order.  ``rng`` is handed to
+        stochastic processes (the simulation passes a named registry
+        stream so every (station, class) pair draws independently).
         """
         count = 0
-        for time in take_until(process, horizon):
+        for time in take_until(process, horizon, rng):
             heapq.heappush(
                 self._pending_arrivals, (time, self._arrival_seq, msg_class)
             )

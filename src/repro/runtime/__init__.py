@@ -1,0 +1,27 @@
+"""Experiment runtime: declarative specs, result cache, parallel executor.
+
+This package is the substrate every experiment execution flows through
+(CLI, benchmarks, CI fast-path):
+
+* :class:`~repro.runtime.spec.RunSpec` — a hashable description of one
+  run (experiment id + parameters + root seed + code-version salt);
+* :class:`~repro.runtime.cache.ResultCache` — content-addressed on-disk
+  results keyed by the spec hash;
+* :class:`~repro.runtime.executor.ParallelExecutor` — cache-aware fan-out
+  over worker processes with deterministic result ordering.
+"""
+
+from repro.runtime.cache import CacheStats, ResultCache
+from repro.runtime.executor import ParallelExecutor, RunRecord, execute_spec
+from repro.runtime.spec import RunSpec, code_version, freeze_params
+
+__all__ = [
+    "CacheStats",
+    "ResultCache",
+    "ParallelExecutor",
+    "RunRecord",
+    "execute_spec",
+    "RunSpec",
+    "code_version",
+    "freeze_params",
+]

@@ -1,0 +1,134 @@
+"""Content-addressed on-disk cache for experiment results.
+
+Entries live under a cache directory (default ``.repro-cache/``), one
+pickle file per :class:`~repro.runtime.spec.RunSpec` hash:
+
+    .repro-cache/
+        ab/abcdef....pkl      # sharded by the hash's first two hex chars
+
+Each file stores the spec's full canonical key next to the result, so a
+hit is only served when the stored key matches byte-for-byte (a hash
+collision, however unlikely, degrades to a miss).  Any unreadable,
+truncated or otherwise corrupted entry is treated as a miss and evicted —
+the runtime then recomputes and overwrites it.  Writes go through a
+temporary file plus :func:`os.replace` so concurrent workers never observe
+a half-written entry.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import pickle
+import tempfile
+import time
+import typing
+
+from repro.runtime.spec import RunSpec
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.experiments.base import ExperimentResult
+
+import pathlib
+
+__all__ = ["ResultCache", "CacheStats"]
+
+
+@dataclasses.dataclass
+class CacheStats:
+    """Hit/miss accounting over this cache handle's lifetime."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    writes: int = 0
+
+
+class ResultCache:
+    """Pickle-backed result store keyed by RunSpec content hash."""
+
+    def __init__(self, directory: str | os.PathLike[str] = ".repro-cache"):
+        self.directory = pathlib.Path(directory)
+        self.stats = CacheStats()
+
+    def path_for(self, spec: RunSpec) -> pathlib.Path:
+        digest = spec.spec_hash()
+        return self.directory / digest[:2] / f"{digest}.pkl"
+
+    def get(self, spec: RunSpec) -> "ExperimentResult | None":
+        """The cached result for ``spec``, or ``None`` on any miss.
+
+        Corruption (bad pickle, wrong payload shape, stale key) never
+        raises: the entry is evicted and the caller recomputes.
+        """
+        path = self.path_for(spec)
+        try:
+            payload = pickle.loads(path.read_bytes())
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except Exception:
+            self._evict(path)
+            self.stats.misses += 1
+            return None
+        if (
+            not isinstance(payload, dict)
+            or payload.get("key") != spec.canonical_key()
+            or "result" not in payload
+        ):
+            self._evict(path)
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return payload["result"]
+
+    def put(
+        self,
+        spec: RunSpec,
+        result: "ExperimentResult",
+        duration: float = 0.0,
+    ) -> pathlib.Path:
+        """Atomically store ``result`` under the spec's content address."""
+        path = self.path_for(spec)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "key": spec.canonical_key(),
+            "result": result,
+            "duration": duration,
+            "stored_at": time.time(),
+        }
+        handle, tmp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=path.name, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(handle, "wb") as tmp:
+                pickle.dump(payload, tmp, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        self.stats.writes += 1
+        return path
+
+    def _evict(self, path: pathlib.Path) -> None:
+        try:
+            path.unlink()
+            self.stats.evictions += 1
+        except OSError:
+            pass
+
+    def clear(self) -> int:
+        """Remove every entry; returns the number of files deleted."""
+        removed = 0
+        if not self.directory.exists():
+            return 0
+        for path in self.directory.rglob("*.pkl"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed

@@ -1,0 +1,202 @@
+"""Fan independent RunSpecs out over worker processes, cache-aware.
+
+The executor is the single path every experiment run takes — the CLI, the
+benchmark suite and the CI fast-path all resolve results through it:
+
+* cache lookup first (unless forced), so warm suites cost no simulation;
+* misses execute on a :class:`concurrent.futures.ProcessPoolExecutor`
+  when ``jobs > 1``, serially otherwise, with automatic serial fallback
+  when a pool cannot be created (restricted environments);
+* results come back in **input order** regardless of completion order,
+  so parallel runs are byte-identical to sequential ones;
+* every run yields a :class:`RunRecord` carrying wall-clock timing and
+  provenance (cached / serial / pool), surfaced by the CLI as progress.
+
+``ParallelExecutor.submissions`` counts specs that actually executed
+(i.e. cache misses); a warm-cache suite must leave it at zero.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import dataclasses
+import os
+import sys
+import time
+import typing
+from collections.abc import Callable, Sequence
+
+from repro.runtime.cache import ResultCache
+from repro.runtime.spec import RunSpec
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.experiments.base import ExperimentResult
+
+__all__ = ["ParallelExecutor", "RunRecord", "execute_spec"]
+
+#: Where a record's result came from.
+SOURCE_CACHE = "cache"
+SOURCE_SERIAL = "serial"
+SOURCE_POOL = "pool"
+
+
+@dataclasses.dataclass
+class RunRecord:
+    """One resolved spec: the result plus timing/provenance metadata."""
+
+    spec: RunSpec
+    result: "ExperimentResult"
+    duration: float
+    source: str
+
+    @property
+    def cached(self) -> bool:
+        return self.source == SOURCE_CACHE
+
+    def describe(self) -> str:
+        """One progress line: id, outcome, timing, provenance."""
+        checks = "ok" if self.result.all_checks_pass else "FAILED CHECKS"
+        return (
+            f"{self.spec.experiment_id:<12} {checks:<13} "
+            f"{self.duration:8.3f}s  [{self.source}]"
+        )
+
+
+def execute_spec(spec: RunSpec) -> "tuple[ExperimentResult, float]":
+    """Run one spec to completion; top-level so worker processes can
+    pickle it.  Returns the result and its wall-clock duration."""
+    from repro.experiments.registry import run_spec
+
+    started = time.perf_counter()
+    result = run_spec(spec)
+    return result, time.perf_counter() - started
+
+
+def _worker_init(extra_path: str) -> None:
+    """Make ``repro`` importable in spawned workers (fork inherits it)."""
+    if extra_path not in sys.path:
+        sys.path.insert(0, extra_path)
+
+
+class ParallelExecutor:
+    """Resolve RunSpecs through the cache, fanning misses out to workers."""
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache: ResultCache | None = None,
+        force: bool = False,
+        progress: Callable[[RunRecord, int, int], None] | None = None,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+        self.cache = cache
+        self.force = force
+        self.progress = progress
+        #: Specs actually executed (cache misses) over this executor's life.
+        self.submissions = 0
+
+    def run(self, specs: Sequence[RunSpec]) -> list[RunRecord]:
+        """Resolve every spec; records come back in input order."""
+        specs = list(specs)
+        total = len(specs)
+        records: list[RunRecord | None] = [None] * total
+        pending: list[tuple[int, RunSpec]] = []
+        for index, spec in enumerate(specs):
+            cached = None
+            if self.cache is not None and not self.force:
+                cached = self.cache.get(spec)
+            if cached is not None:
+                record = RunRecord(
+                    spec=spec, result=cached, duration=0.0, source=SOURCE_CACHE
+                )
+                records[index] = record
+                self._report(record, index, total)
+            else:
+                pending.append((index, spec))
+        self.submissions += len(pending)
+        if pending:
+            if self.jobs > 1 and len(pending) > 1:
+                executed = self._run_pool(pending, total)
+            else:
+                executed = self._run_serial(pending, total)
+            for index, record in executed:
+                records[index] = record
+        assert all(record is not None for record in records)
+        return typing.cast("list[RunRecord]", records)
+
+    # -- execution strategies ----------------------------------------------
+
+    def _run_serial(
+        self, pending: list[tuple[int, RunSpec]], total: int
+    ) -> list[tuple[int, RunRecord]]:
+        out: list[tuple[int, RunRecord]] = []
+        for index, spec in pending:
+            result, duration = execute_spec(spec)
+            out.append(
+                (index, self._finish(spec, result, duration, SOURCE_SERIAL, index, total))
+            )
+        return out
+
+    def _run_pool(
+        self, pending: list[tuple[int, RunSpec]], total: int
+    ) -> list[tuple[int, RunRecord]]:
+        package_parent = os.path.dirname(
+            os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        )
+        try:
+            pool = concurrent.futures.ProcessPoolExecutor(
+                max_workers=min(self.jobs, len(pending)),
+                initializer=_worker_init,
+                initargs=(package_parent,),
+            )
+        except (OSError, ValueError, NotImplementedError):
+            # Restricted environments (no /dev/shm, no fork): stay correct.
+            return self._run_serial(pending, total)
+        out: list[tuple[int, RunRecord]] = []
+        try:
+            with pool:
+                futures = {
+                    pool.submit(execute_spec, spec): (index, spec)
+                    for index, spec in pending
+                }
+                for future in concurrent.futures.as_completed(futures):
+                    index, spec = futures[future]
+                    result, duration = future.result()
+                    out.append(
+                        (
+                            index,
+                            self._finish(
+                                spec, result, duration, SOURCE_POOL, index, total
+                            ),
+                        )
+                    )
+        except concurrent.futures.process.BrokenProcessPool:
+            # A worker died (OOM, signal). Redo the whole batch serially
+            # rather than guessing which futures completed.
+            return self._run_serial(pending, total)
+        return out
+
+    # -- bookkeeping --------------------------------------------------------
+
+    def _finish(
+        self,
+        spec: RunSpec,
+        result: "ExperimentResult",
+        duration: float,
+        source: str,
+        index: int,
+        total: int,
+    ) -> RunRecord:
+        if self.cache is not None:
+            self.cache.put(spec, result, duration)
+        record = RunRecord(
+            spec=spec, result=result, duration=duration, source=source
+        )
+        self._report(record, index, total)
+        return record
+
+    def _report(self, record: RunRecord, index: int, total: int) -> None:
+        if self.progress is not None:
+            self.progress(record, index, total)

@@ -11,11 +11,23 @@ the HRTDM problem is feasible with our solution"):
 
 Exit status 0 when feasible, 2 when not (1 on usage errors), so the tool
 composes with CI pipelines that gate configuration changes.
+
+``--ci`` is the repo's fast-path health check instead of an instance::
+
+    python -m repro.tools.check --ci --jobs 4
+
+It imports every module under ``repro`` (catching syntax/import rot),
+then resolves the full experiment suite through the parallel runtime —
+cached results replay from ``.repro-cache`` so a no-change run is
+near-instant.  Exit 0 when everything imports and every experiment's
+checks pass, 2 otherwise.
 """
 
 from __future__ import annotations
 
 import argparse
+import importlib
+import pkgutil
 import sys
 
 from repro.analysis.metrics import summarize
@@ -42,7 +54,27 @@ def build_parser() -> argparse.ArgumentParser:
         prog="python -m repro.tools.check",
         description="Evaluate HRTDM feasibility conditions (B_DDCR <= d).",
     )
-    parser.add_argument("instance", help="JSON instance file")
+    parser.add_argument(
+        "instance", nargs="?", default=None, help="JSON instance file"
+    )
+    parser.add_argument(
+        "--ci",
+        action="store_true",
+        help="repo health fast-path: import all modules, run the suite",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="parallel workers for --ci suite execution",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=".repro-cache",
+        metavar="DIR",
+        help="result cache for --ci (default: %(default)s)",
+    )
     parser.add_argument(
         "--medium",
         choices=sorted(MEDIA),
@@ -65,8 +97,64 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _import_all_modules() -> list[str]:
+    """Import every module under ``repro``; returns the failures."""
+    import repro
+
+    failures: list[str] = []
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        try:
+            importlib.import_module(info.name)
+        except Exception as error:  # noqa: BLE001 - report, don't die
+            failures.append(f"{info.name}: {error}")
+    return failures
+
+
+def run_ci(jobs: int, cache_dir: str) -> int:
+    """The ``--ci`` fast path: import sweep + full suite via the runtime."""
+    from repro.experiments.registry import EXPERIMENTS
+    from repro.runtime import ParallelExecutor, ResultCache, RunSpec
+
+    import_failures = _import_all_modules()
+    if import_failures:
+        for failure in import_failures:
+            print(f"import error: {failure}", file=sys.stderr)
+        return 2
+    print("imports: all repro modules import cleanly")
+
+    def progress(record, index, total):
+        print(f"[{index + 1:>2}/{total}] {record.describe()}", flush=True)
+
+    executor = ParallelExecutor(
+        jobs=jobs, cache=ResultCache(cache_dir), progress=progress
+    )
+    records = executor.run(
+        [RunSpec.make(experiment_id) for experiment_id in EXPERIMENTS]
+    )
+    failed = [
+        record.spec.experiment_id
+        for record in records
+        if not record.result.all_checks_pass
+    ]
+    cached = sum(1 for record in records if record.cached)
+    print(
+        f"suite: {len(records)} experiment(s), "
+        f"{len(records) - cached} executed, {cached} from cache"
+    )
+    if failed:
+        print(f"FAILED checks: {', '.join(failed)}", file=sys.stderr)
+        return 2
+    print("verdict: OK")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.ci:
+        return run_ci(jobs=args.jobs, cache_dir=args.cache_dir)
+    if args.instance is None:
+        parser.error("an instance file is required unless --ci is given")
     medium = MEDIA[args.medium]
     try:
         problem = load_problem(args.instance)

@@ -1,0 +1,144 @@
+"""CLI integrity: every registry id round-trips through the CLI.
+
+Running all 19 experiments for real takes minutes, so the suite-wide
+round-trips resolve through a pre-warmed result cache (the CLI's own
+storage format, written with stub results keyed by the exact specs the
+CLI builds); a couple of fast experiments additionally run for real with
+the cache disabled.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.__main__ import main
+from repro.experiments.base import ExperimentResult
+from repro.experiments.registry import EXPERIMENTS
+from repro.runtime import ResultCache, RunSpec
+
+
+def stub_result(experiment_id: str, ok: bool = True) -> ExperimentResult:
+    return ExperimentResult(
+        experiment_id=experiment_id,
+        title=f"stub for {experiment_id}",
+        headers=["col"],
+        rows=[[1]],
+        checks={"stub": ok},
+    )
+
+
+@pytest.fixture
+def warm_cache(tmp_path):
+    """A cache directory holding a passing stub for every experiment."""
+    cache = ResultCache(tmp_path / "cache")
+    for experiment_id in EXPERIMENTS:
+        cache.put(RunSpec.make(experiment_id), stub_result(experiment_id))
+    return cache
+
+
+class TestListing:
+    def test_no_ids_lists_all_experiments(self, capsys):
+        assert main([]) == 0
+        out = capsys.readouterr().out
+        for experiment_id in EXPERIMENTS:
+            assert experiment_id in out
+
+    def test_unknown_id_is_a_usage_error(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["NOPE"])
+        assert excinfo.value.code == 2
+
+    def test_bad_jobs_is_a_usage_error(self):
+        with pytest.raises(SystemExit):
+            main(["FIG1", "--jobs", "0"])
+
+
+class TestRoundTrips:
+    def test_every_id_round_trips_through_cli(self, warm_cache, capsys):
+        for experiment_id in EXPERIMENTS:
+            assert (
+                main([experiment_id, "--cache-dir", str(warm_cache.directory)])
+                == 0
+            ), experiment_id
+            out = capsys.readouterr().out
+            assert f"== {experiment_id}:" in out
+
+    def test_all_runs_whole_suite_in_order(self, warm_cache, capsys):
+        assert main(["--all", "--cache-dir", str(warm_cache.directory)]) == 0
+        out = capsys.readouterr().out
+        positions = [out.index(f"== {i}:") for i in EXPERIMENTS]
+        assert positions == sorted(positions)
+
+    def test_real_run_without_cache(self, capsys):
+        assert main(["FIG2", "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "== FIG2:" in out
+        assert "[PASS]" in out
+
+
+class TestExitCodes:
+    def test_failed_checks_exit_one(self, tmp_path, capsys):
+        cache = ResultCache(tmp_path)
+        cache.put(RunSpec.make("FIG1"), stub_result("FIG1", ok=False))
+        assert main(["FIG1", "--cache-dir", str(tmp_path)]) == 1
+        assert "[FAIL]" in capsys.readouterr().out
+
+    def test_one_failure_among_many_still_exits_one(self, warm_cache, capsys):
+        warm_cache.put(RunSpec.make("PROTO"), stub_result("PROTO", ok=False))
+        assert main(["--all", "--cache-dir", str(warm_cache.directory)]) == 1
+        capsys.readouterr()
+
+
+class TestCsv:
+    def test_csv_writes_one_file_per_id(self, warm_cache, tmp_path, capsys):
+        out_dir = tmp_path / "csv"
+        assert (
+            main(
+                [
+                    "--all",
+                    "--cache-dir",
+                    str(warm_cache.directory),
+                    "--csv",
+                    str(out_dir),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        written = {path.name for path in out_dir.glob("*.csv")}
+        assert written == {
+            f"{experiment_id.lower()}.csv" for experiment_id in EXPERIMENTS
+        }
+
+    def test_csv_content_matches_result(self, warm_cache, tmp_path, capsys):
+        out_dir = tmp_path / "csv"
+        assert (
+            main(
+                [
+                    "FIG1",
+                    "--cache-dir",
+                    str(warm_cache.directory),
+                    "--csv",
+                    str(out_dir),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert (out_dir / "fig1.csv").read_text() == "col\n1\n"
+
+
+class TestCacheFlags:
+    def test_force_recomputes_despite_warm_cache(self, tmp_path, capsys):
+        cache = ResultCache(tmp_path)
+        # a *failing* stub: --force must ignore it and recompute for real
+        cache.put(RunSpec.make("FIG2"), stub_result("FIG2", ok=False))
+        assert main(["FIG2", "--cache-dir", str(tmp_path), "--force"]) == 0
+        out = capsys.readouterr().out
+        assert "[PASS]" in out
+
+    def test_warm_cache_reports_cached_source(self, warm_cache, capsys):
+        main(["FIG1", "--cache-dir", str(warm_cache.directory)])
+        err = capsys.readouterr().err
+        assert "[cache]" in err
+        assert "1 run(s), 0 executed, 1 from cache" in err

@@ -1,0 +1,112 @@
+"""Content-addressed result cache: hits, misses, corruption recovery."""
+
+from __future__ import annotations
+
+import pickle
+
+from repro.experiments.base import ExperimentResult
+from repro.runtime.cache import ResultCache
+from repro.runtime.spec import RunSpec
+
+
+def make_result(experiment_id: str = "X", ok: bool = True) -> ExperimentResult:
+    return ExperimentResult(
+        experiment_id=experiment_id,
+        title="stub",
+        headers=["a", "b"],
+        rows=[[1, 2], [3, 4]],
+        checks={"shape": ok},
+        notes=["stub result"],
+    )
+
+
+class TestCacheRoundTrip:
+    def test_identical_spec_hits_with_byte_identical_result(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = RunSpec.make("X", salt="s", m=2)
+        stored = make_result()
+        cache.put(spec, stored)
+        loaded = ResultCache(tmp_path).get(RunSpec.make("X", salt="s", m=2))
+        assert loaded == stored
+        assert pickle.dumps(loaded) == pickle.dumps(stored)
+
+    def test_miss_before_put(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.get(RunSpec.make("X", salt="s")) is None
+        assert cache.stats.misses == 1
+
+    def test_changed_seed_or_parameter_misses(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(RunSpec.make("X", salt="s", root_seed=1, m=2), make_result())
+        assert cache.get(RunSpec.make("X", salt="s", root_seed=2, m=2)) is None
+        assert cache.get(RunSpec.make("X", salt="s", root_seed=1, m=3)) is None
+        assert cache.get(RunSpec.make("X", salt="s2", root_seed=1, m=2)) is None
+        assert (
+            cache.get(RunSpec.make("X", salt="s", root_seed=1, m=2)) is not None
+        )
+
+    def test_entries_sharded_by_hash_prefix(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = RunSpec.make("X", salt="s")
+        path = cache.put(spec, make_result())
+        assert path.parent.name == spec.spec_hash()[:2]
+        assert path.name == f"{spec.spec_hash()}.pkl"
+
+
+class TestCacheCorruption:
+    def test_truncated_entry_is_a_miss_and_evicted(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = RunSpec.make("X", salt="s")
+        path = cache.put(spec, make_result())
+        path.write_bytes(path.read_bytes()[:10])
+        assert cache.get(spec) is None
+        assert not path.exists()
+        assert cache.stats.evictions == 1
+
+    def test_garbage_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = RunSpec.make("X", salt="s")
+        path = cache.path_for(spec)
+        path.parent.mkdir(parents=True)
+        path.write_bytes(b"not a pickle at all")
+        assert cache.get(spec) is None
+
+    def test_wrong_payload_shape_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = RunSpec.make("X", salt="s")
+        path = cache.path_for(spec)
+        path.parent.mkdir(parents=True)
+        path.write_bytes(pickle.dumps(["unexpected", "payload"]))
+        assert cache.get(spec) is None
+
+    def test_stale_key_is_a_miss(self, tmp_path):
+        # Simulates a hash collision / format drift: stored key mismatch.
+        cache = ResultCache(tmp_path)
+        spec = RunSpec.make("X", salt="s")
+        path = cache.path_for(spec)
+        path.parent.mkdir(parents=True)
+        path.write_bytes(
+            pickle.dumps({"key": "something-else", "result": make_result()})
+        )
+        assert cache.get(spec) is None
+
+    def test_recompute_overwrites_corrupted_entry(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = RunSpec.make("X", salt="s")
+        path = cache.put(spec, make_result())
+        path.write_bytes(b"garbage")
+        assert cache.get(spec) is None
+        cache.put(spec, make_result())
+        assert cache.get(spec) == make_result()
+
+
+class TestCacheMaintenance:
+    def test_clear_removes_entries(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(RunSpec.make("X", salt="s"), make_result())
+        cache.put(RunSpec.make("Y", salt="s"), make_result("Y"))
+        assert cache.clear() == 2
+        assert cache.get(RunSpec.make("X", salt="s")) is None
+
+    def test_clear_on_missing_directory(self, tmp_path):
+        assert ResultCache(tmp_path / "never-created").clear() == 0

@@ -1,0 +1,80 @@
+"""RunSpec canonicalisation and content hashing."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.runtime.spec import RunSpec, code_version, freeze_params
+
+
+class TestFreezeParams:
+    def test_scalars_pass_through(self):
+        for value in (None, True, 3, 2.5, "x"):
+            assert freeze_params(value) == value
+
+    def test_sequences_become_tuples(self):
+        assert freeze_params([1, [2, 3]]) == (1, (2, 3))
+        assert freeze_params(((1, 2), (3,))) == ((1, 2), (3,))
+
+    def test_dicts_become_sorted_pairs(self):
+        assert freeze_params({"b": 1, "a": 2}) == (("a", 2), ("b", 1))
+
+    def test_sets_are_sorted(self):
+        assert freeze_params({3, 1, 2}) == (1, 2, 3)
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(TypeError, match="unsupported spec parameter"):
+            freeze_params(object())
+
+
+class TestRunSpec:
+    def test_make_sorts_params(self):
+        spec = RunSpec.make("FIG1", t=16, m=2)
+        assert spec.params == (("m", 2), ("t", 16))
+        assert spec.kwargs() == {"m": 2, "t": 16}
+
+    def test_hash_is_stable_and_param_order_free(self):
+        a = RunSpec.make("FIG1", m=2, t=16)
+        b = RunSpec.make("FIG1", t=16, m=2)
+        assert a == b
+        assert a.spec_hash() == b.spec_hash()
+
+    def test_hash_changes_with_experiment_params_and_seed(self):
+        base = RunSpec.make("SIM-XI", root_seed=1)
+        assert base.spec_hash() != RunSpec.make("SIM-XI", root_seed=2).spec_hash()
+        assert base.spec_hash() != RunSpec.make("PROTO", root_seed=1).spec_hash()
+        assert (
+            base.spec_hash()
+            != RunSpec.make("SIM-XI", root_seed=1, random_trials=1).spec_hash()
+        )
+
+    def test_hash_changes_with_salt(self):
+        a = RunSpec.make("FIG1", salt="v1")
+        b = RunSpec.make("FIG1", salt="v2")
+        assert a.spec_hash() != b.spec_hash()
+
+    def test_default_salt_is_code_version(self):
+        spec = RunSpec.make("FIG1")
+        assert code_version() in spec.canonical_key()
+
+    def test_spec_is_picklable_and_hashable(self):
+        spec = RunSpec.make("FIG1", shapes=((2, 8), (3, 9)))
+        assert pickle.loads(pickle.dumps(spec)) == spec
+        assert len({spec, RunSpec.make("FIG1", shapes=((2, 8), (3, 9)))}) == 1
+
+    def test_describe_mentions_id_params_seed(self):
+        text = RunSpec.make("SIM-XI", root_seed=7, random_trials=1).describe()
+        assert "SIM-XI" in text
+        assert "random_trials=1" in text
+        assert "seed=7" in text
+
+
+class TestCodeVersion:
+    def test_deterministic_within_process(self):
+        assert code_version() == code_version()
+
+    def test_short_hex(self):
+        assert len(code_version()) == 16
+        int(code_version(), 16)

@@ -55,3 +55,58 @@ class TestCheckCLI:
         assert main([instance_path, "--simulate", "10"]) == 0
         out = capsys.readouterr().out
         assert "misses=0" in out
+
+    def test_no_instance_without_ci_is_usage_error(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main([])
+        assert excinfo.value.code == 2
+
+
+class TestCIFastPath:
+    """--ci resolves the suite through the runtime cache (stubbed here:
+    executing all 19 experiments for real is the benchmark suite's job)."""
+
+    @pytest.fixture
+    def warm_cache(self, tmp_path):
+        from repro.experiments.base import ExperimentResult
+        from repro.experiments.registry import EXPERIMENTS
+        from repro.runtime import ResultCache, RunSpec
+
+        cache = ResultCache(tmp_path / "ci-cache")
+        for experiment_id in EXPERIMENTS:
+            cache.put(
+                RunSpec.make(experiment_id),
+                ExperimentResult(
+                    experiment_id=experiment_id,
+                    title="stub",
+                    headers=["x"],
+                    rows=[[0]],
+                    checks={"ok": True},
+                ),
+            )
+        return cache
+
+    def test_ci_ok_on_warm_cache(self, warm_cache, capsys):
+        assert main(["--ci", "--cache-dir", str(warm_cache.directory)]) == 0
+        out = capsys.readouterr().out
+        assert "all repro modules import cleanly" in out
+        assert "0 executed, 19 from cache" in out
+        assert "verdict: OK" in out
+
+    def test_ci_failing_experiment_exits_two(self, warm_cache, capsys):
+        from repro.experiments.base import ExperimentResult
+        from repro.runtime import RunSpec
+
+        warm_cache.put(
+            RunSpec.make("FIG1"),
+            ExperimentResult(
+                experiment_id="FIG1",
+                title="stub",
+                headers=["x"],
+                rows=[[0]],
+                checks={"ok": False},
+            ),
+        )
+        assert main(["--ci", "--cache-dir", str(warm_cache.directory)]) == 2
+        captured = capsys.readouterr()
+        assert "FAILED checks: FIG1" in captured.err
