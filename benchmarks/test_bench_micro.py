@@ -90,8 +90,9 @@ def test_bench_latency_bound(benchmark):
 
 
 @pytest.mark.parametrize("stations", [4, 16])
-def test_bench_channel_slot_rate(benchmark, stations):
-    """DDCR simulation throughput (channel rounds per second)."""
+@pytest.mark.parametrize("engine", ["des", "fastloop"])
+def test_bench_channel_slot_rate(benchmark, stations, engine):
+    """DDCR simulation throughput (channel rounds per second), per engine."""
     problem = uniform_problem(
         z=stations, length=1_000, deadline=400_000, a=1, w=200_000
     )
@@ -105,6 +106,7 @@ def test_bench_channel_slot_rate(benchmark, stations):
             problem,
             ideal_medium(slot_time=64),
             protocol_factory=lambda s: DDCRProtocol(config),
+            engine=engine,
         )
         return simulation.run(1_000_000).delivered
 

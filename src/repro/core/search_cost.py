@@ -26,6 +26,7 @@ from __future__ import annotations
 import dataclasses
 import functools
 import itertools
+from bisect import bisect_left
 from collections.abc import Iterable, Sequence
 
 from repro.core.trees import BalancedTree, LeafInterval, TreeShapeError, integer_log
@@ -225,6 +226,12 @@ def simulate_search(
     slots reveal child occupancy, so empty subtrees are pruned from the
     search without being probed (no silence slots at all below a collision;
     an entirely empty tree still costs one probe of the root).
+
+    Nodes are half-open leaf intervals, so occupancy queries are interval
+    counts over the sorted leaf arrays (two ``bisect`` probes each) rather
+    than O(k) membership scans — the search over a k-of-t placement costs
+    O(nodes visited * log k) total, which matters to the adversarial
+    analyses that replay thousands of placements.
     """
     tree = BalancedTree.of(m=m, leaves=t)
     active_set = frozenset(active)
@@ -234,22 +241,27 @@ def simulate_search(
             raise ValueError(f"leaf {leaf} out of range [0, {t})")
     if active_set & heavy_set:
         raise ValueError("a leaf cannot be both singly and multiply occupied")
+    active_sorted = sorted(active_set)
+    heavy_sorted = sorted(heavy_set)
     slots: list[str] = []
     order: list[int] = []
     cost = 0
     stack: list[LeafInterval] = [tree.root]
     while stack:
         node = stack.pop()
-        singles = sum(1 for leaf in active_set if leaf in node)
-        heavies = sum(1 for leaf in heavy_set if leaf in node)
+        lo, hi = node.lo, node.hi
+        first_active = bisect_left(active_sorted, lo)
+        singles = bisect_left(active_sorted, hi, first_active) - first_active
+        first_heavy = bisect_left(heavy_sorted, lo)
+        heavies = bisect_left(heavy_sorted, hi, first_heavy) - first_heavy
         effective = singles + 2 * heavies  # a heavy leaf is >= 2 sources
         if effective == 0:
             slots.append("silence")
             cost += 1
         elif effective == 1:
+            # Exactly one single (heavy leaves contribute 2 each).
             slots.append("success")
-            (leaf,) = (leaf for leaf in active_set if leaf in node)
-            order.append(leaf)
+            order.append(active_sorted[first_active])
         elif node.is_leaf():
             # Heavy leaf: the collision doubles as the nested search's root
             # probe; its cost belongs to that nested search.
@@ -263,8 +275,10 @@ def simulate_search(
                 children = tuple(
                     child
                     for child in children
-                    if any(leaf in child for leaf in active_set)
-                    or any(leaf in child for leaf in heavy_set)
+                    if bisect_left(active_sorted, child.hi)
+                    > bisect_left(active_sorted, child.lo)
+                    or bisect_left(heavy_sorted, child.hi)
+                    > bisect_left(heavy_sorted, child.lo)
                 )
             stack.extend(reversed(children))
     return SearchOutcome(

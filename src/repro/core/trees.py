@@ -15,6 +15,7 @@ geometric vocabulary of :mod:`repro.core.search_cost` (the analysis) and
 from __future__ import annotations
 
 import dataclasses
+import functools
 from collections.abc import Iterator
 
 __all__ = [
@@ -174,8 +175,15 @@ class BalancedTree:
 
     @classmethod
     def of(cls, m: int, leaves: int) -> "BalancedTree":
-        """Build the tree with the given branching degree and leaf count."""
-        return cls(m=m, height=integer_log(leaves, m))
+        """Build the tree with the given branching degree and leaf count.
+
+        Interned: repeated calls with the same shape return one shared
+        immutable instance.  The protocol layer restarts a tree search
+        roughly once per slot per station, so constructing (and
+        shape-validating) the tree each time would dominate simulation
+        hot loops.
+        """
+        return _interned_tree(m, leaves)
 
     @property
     def leaves(self) -> int:
@@ -184,7 +192,7 @@ class BalancedTree:
 
     @property
     def root(self) -> LeafInterval:
-        return LeafInterval(0, self.leaves)
+        return _interned_root(self)
 
     @property
     def node_count(self) -> int:
@@ -222,3 +230,16 @@ class BalancedTree:
         if not 0 <= leaf < self.leaves:
             raise ValueError(f"leaf {leaf} out of range [0, {self.leaves})")
         return LeafInterval(leaf, leaf + 1)
+
+
+@functools.lru_cache(maxsize=None)
+def _interned_tree(m: int, leaves: int) -> BalancedTree:
+    """The shared instance behind :meth:`BalancedTree.of` (trees are tiny
+    immutable value objects; only a handful of shapes exist per process)."""
+    return BalancedTree(m=m, height=integer_log(leaves, m))
+
+
+@functools.lru_cache(maxsize=None)
+def _interned_root(tree: BalancedTree) -> LeafInterval:
+    """Cached root interval: ``tree.root`` is read once per search start."""
+    return LeafInterval(0, tree.leaves)

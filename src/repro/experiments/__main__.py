@@ -8,6 +8,7 @@ Usage::
     python -m repro.experiments --all --jobs 4  # fan out over processes
     python -m repro.experiments --all --force   # ignore cached results
     python -m repro.experiments FIG1 --csv out  # also write CSV files
+    python -m repro.experiments PROTO --engine des   # force the DES engine
 
 Runs resolve through the :mod:`repro.runtime` executor: results are
 cached content-addressed under ``--cache-dir`` (default ``.repro-cache``),
@@ -23,6 +24,7 @@ import pathlib
 import sys
 
 from repro.experiments.registry import EXPERIMENTS
+from repro.net.engine import ENGINES
 from repro.runtime import ParallelExecutor, ResultCache, RunSpec
 
 
@@ -74,6 +76,16 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         help="also write each experiment's rows as CSV into DIR",
     )
+    parser.add_argument(
+        "--engine",
+        choices=ENGINES,
+        default=None,
+        help=(
+            "simulation engine (default: auto, or $REPRO_ENGINE); engines "
+            "produce byte-identical results, so this never affects cache "
+            "keys — only how fast a cold run computes"
+        ),
+    )
     return parser
 
 
@@ -107,7 +119,11 @@ def main(argv: list[str] | None = None) -> int:
             and EXPERIMENTS[experiment_id].seed_param is not None
             else None
         )
-        specs.append(RunSpec.make(experiment_id, root_seed=root_seed))
+        specs.append(
+            RunSpec.make(
+                experiment_id, root_seed=root_seed, engine=args.engine
+            )
+        )
     cache = None if args.no_cache else ResultCache(args.cache_dir)
 
     def progress(record, index, total):

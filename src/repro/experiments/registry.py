@@ -39,6 +39,7 @@ from repro.experiments import (  # noqa: F401
 )
 from repro.experiments.base import ExperimentResult
 from repro.experiments.catalog import ExperimentEntry, entries, get_entry
+from repro.net.engine import use_engine
 from repro.runtime.spec import RunSpec
 
 __all__ = [
@@ -97,7 +98,14 @@ def run_experiment(experiment_id: str) -> ExperimentResult:
 
 
 def run_spec(spec: RunSpec) -> ExperimentResult:
-    """Execute a RunSpec: resolve the entry, apply params and seed."""
+    """Execute a RunSpec: resolve the entry, apply params, seed and engine.
+
+    The spec's engine choice is applied as a scoped process default
+    (:func:`repro.net.engine.use_engine`) so it reaches every simulation
+    the experiment builds, without threading an argument through each
+    runner's signature.  This also holds inside executor worker processes:
+    the spec travels to the worker by pickle and is applied there.
+    """
     try:
         entry = EXPERIMENTS[spec.experiment_id]
     except KeyError:
@@ -105,7 +113,8 @@ def run_spec(spec: RunSpec) -> ExperimentResult:
         raise KeyError(
             f"unknown experiment {spec.experiment_id!r}; known ids: {known}"
         ) from None
-    result = entry.runner(**entry.kwargs_for(spec))
+    with use_engine(spec.engine):
+        result = entry.runner(**entry.kwargs_for(spec))
     if result.experiment_id != spec.experiment_id:
         raise RuntimeError(
             f"experiment {spec.experiment_id} returned a result labelled "

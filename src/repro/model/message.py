@@ -104,18 +104,26 @@ class MessageInstance:
 
     @classmethod
     def arrive(
-        cls, msg_class: MessageClass, arrival: BitTime, source_id: int
+        cls,
+        msg_class: MessageClass,
+        arrival: BitTime,
+        source_id: int,
+        seq: int | None = None,
     ) -> "MessageInstance":
         """Create an instance for an arrival at time ``arrival``.
 
-        ``DM(msg) = T(msg) + d(msg)`` (section 3.2).
+        ``DM(msg) = T(msg) + d(msg)`` (section 3.2).  ``seq`` breaks EDF
+        ties FIFO and identifies the instance; by default it is drawn from
+        a process-global counter (always unique, but different on every
+        run), while the simulation layer passes run-local values so that
+        repeated runs produce byte-identical completion records.
         """
         if arrival < 0:
             raise ValueError(f"arrival time must be >= 0, got {arrival}")
         return cls(
             absolute_deadline=arrival + msg_class.deadline,
             arrival=arrival,
-            seq=next(_instance_ids),
+            seq=next(_instance_ids) if seq is None else seq,
             msg_class=msg_class,
             source_id=source_id,
         )

@@ -1,15 +1,31 @@
 """The slotted broadcast channel.
 
-Runs as a process on the DES kernel.  Each round it collects transmission
-offers from every station, resolves the channel state (silence / success /
-collision), advances time by the slot time (control slots) or the frame's
-physical transmission time (successes, with carrier extension to the slot
-time on destructive media, as in half-duplex Gigabit Ethernet), and feeds
-the identical :class:`~repro.protocols.base.SlotObservation` back to every
-station — the common-knowledge substrate all protocols rely on.
+Each round the channel collects transmission offers from every station,
+resolves the channel state (silence / success / collision), advances time
+by the slot time (control slots) or the frame's physical transmission time
+(successes, with carrier extension to the slot time on destructive media,
+as in half-duplex Gigabit Ethernet), and feeds the identical
+:class:`~repro.protocols.base.SlotObservation` back to every station — the
+common-knowledge substrate all protocols rely on.
 
-The channel also keeps slot-level accounting (how many slots of each kind,
-payload bits delivered) and emits one trace record per round.
+The round semantics live in one place — :class:`_RoundDriver` — and two
+engines turn the crank:
+
+* :meth:`BroadcastChannel.run` is the general-DES path: a generator
+  process on :class:`~repro.sim.engine.Environment` that yields one
+  timeout per round.  It composes with arbitrary foreign processes
+  (dual-bus topologies run two channels on one clock this way).
+* :meth:`BroadcastChannel.run_fast` is the slot-synchronous fast path: a
+  direct Python loop that owns the clock and advances ``env.now`` itself,
+  skipping the event heap, the generator suspend/resume and the per-round
+  timeout allocation.  The moment any foreign event appears on the queue
+  it rejoins the DES mid-run, so it is always safe to select.
+
+Both engines execute the same driver and draw from the same RNG in the
+same order, so their results are byte-identical (the differential tests
+assert this).  The channel also keeps slot-level accounting (how many
+slots of each kind, payload bits delivered) and emits one trace record per
+round when tracing is enabled.
 """
 
 from __future__ import annotations
@@ -23,12 +39,16 @@ from repro.net.phy import MediumProfile
 from repro.protocols.base import ChannelState, SlotObservation
 from repro.sim.engine import Environment
 from repro.sim.process import ProcessGenerator
-from repro.sim.trace import TraceLog
+from repro.sim.trace import NULL_TRACE, TraceLog
 
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.net.station import Station
 
 __all__ = ["BroadcastChannel", "ChannelStats"]
+
+_SILENCE = ChannelState.SILENCE
+_SUCCESS = ChannelState.SUCCESS
+_COLLISION = ChannelState.COLLISION
 
 
 @dataclasses.dataclass
@@ -54,6 +74,156 @@ class ChannelStats:
     @property
     def rounds(self) -> int:
         return self.silence_slots + self.collision_slots + self.successes
+
+
+class _RoundDriver:
+    """One channel round, engine-independent, on an allocation diet.
+
+    Built once per run: everything loop-invariant — the slot time, the
+    noise gate, whether tracing/consistency checks are on — is hoisted
+    into slots here, so the per-round body allocates nothing beyond the
+    :class:`SlotObservation` itself (and a Frame on successes).  Mutable
+    run state (``jam_from``, the station list object, stats) is still read
+    through the channel each round, so mid-run changes keep working.
+    """
+
+    __slots__ = (
+        "channel",
+        "stations",
+        "stats",
+        "slot_time",
+        "transmission_time",
+        "destructive",
+        "noise_rate",
+        "noise_random",
+        "trace",
+        "trace_on",
+        "check",
+    )
+
+    def __init__(self, channel: "BroadcastChannel") -> None:
+        self.channel = channel
+        #: The channel's live station list (not a copy): a station attached
+        #: mid-run participates from its next round, as on the DES path.
+        self.stations = channel.stations
+        self.stats = channel.stats
+        medium = channel.medium
+        self.slot_time = medium.slot_time
+        self.transmission_time = medium.transmission_time
+        self.destructive = medium.destructive_collisions
+        self.noise_rate = channel.noise_rate
+        self.noise_random = channel._noise_rng.random
+        self.trace = channel.trace
+        self.trace_on = channel.trace.enabled
+        self.check = channel.check_consistency
+
+    def round(self, now: int) -> int:
+        """Run one channel round starting at ``now``; returns its duration."""
+        channel = self.channel
+        stations = self.stations
+        stats = self.stats
+        slot_time = self.slot_time
+        for station in stations:
+            pending = station._pending_arrivals
+            if pending and pending[0][0] <= now:
+                station.deliver_due(now)
+        transmitters = []
+        for station in stations:
+            message = station.mac.offer(now)
+            if message is not None:
+                transmitters.append((station, message))
+        jam_from = channel.jam_from
+        jammed = jam_from is not None and now >= jam_from
+        corrupted = jammed or (
+            self.noise_rate > 0.0
+            and len(transmitters) < 2
+            and self.noise_random() < self.noise_rate
+        )
+        if corrupted:
+            # Common-mode corruption: everyone hears a collision; any
+            # frame on the wire is destroyed (no completion).
+            if jammed:
+                stats.jammed_slots += 1
+            else:
+                stats.corrupted_slots += 1
+            stats.collision_slots += 1
+            stats.collision_time += slot_time
+            observation = SlotObservation(
+                state=_COLLISION,
+                start=now,
+                duration=slot_time,
+                frame=None,
+                occupied_children=None,
+            )
+            for station in stations:
+                station.mac.observe(observation)
+            channel.observations += 1
+            if self.trace_on:
+                self.trace.emit(
+                    now, "slot", state="corrupted", duration=slot_time,
+                    source=None, msg=None,
+                )
+            if self.check:
+                channel._assert_lockstep(now)
+            return slot_time
+        if not transmitters:
+            state = _SILENCE
+            duration = slot_time
+            frame = None
+            stats.silence_slots += 1
+            stats.idle_time += slot_time
+        elif len(transmitters) == 1:
+            station, message = transmitters[0]
+            frame = Frame(
+                station_id=station.station_id,
+                message=message,
+                burst_continue=station.mac.wants_burst_continuation(now),
+            )
+            state = _SUCCESS
+            duration = self.transmission_time(message.length)
+            if self.destructive and duration < slot_time:
+                # Half-duplex GigE carrier extension: a frame occupies
+                # at least one slot so collisions stay detectable.
+                duration = slot_time
+            stats.successes += 1
+            stats.busy_time += duration
+            stats.payload_bits += message.length
+        else:
+            state = _COLLISION
+            duration = slot_time
+            frame = None
+            stats.collision_slots += 1
+            stats.collision_time += slot_time
+        occupied = None
+        if state is _COLLISION and not self.destructive:
+            tags = [
+                station.mac.contention_tag(now)
+                for station, _ in transmitters
+            ]
+            if all(tag is not None for tag in tags):
+                occupied = frozenset(tags)
+        observation = SlotObservation(
+            state=state,
+            start=now,
+            duration=duration,
+            frame=frame,
+            occupied_children=occupied,
+        )
+        for station in stations:
+            station.mac.observe(observation)
+        channel.observations += 1
+        if self.trace_on:
+            self.trace.emit(
+                now,
+                "slot",
+                state=state.value,
+                duration=duration,
+                source=None if frame is None else frame.station_id,
+                msg=None if frame is None else frame.message.msg_class.name,
+            )
+        if self.check:
+            channel._assert_lockstep(now)
+        return duration
 
 
 class BroadcastChannel:
@@ -83,7 +253,7 @@ class BroadcastChannel:
             raise ValueError(f"noise_rate must be in [0, 1), got {noise_rate}")
         self.env = env
         self.medium = medium
-        self.trace = trace if trace is not None else TraceLog(enabled=False)
+        self.trace = trace if trace is not None else NULL_TRACE
         self.check_consistency = check_consistency
         self.noise_rate = noise_rate
         self._noise_rng = (
@@ -102,121 +272,63 @@ class BroadcastChannel:
             raise ValueError(f"duplicate station id {station.station_id}")
         self.stations.append(station)
 
-    def run(self, horizon: int) -> ProcessGenerator:
-        """The channel process: round loop until ``horizon`` bit-times.
-
-        Start it with ``env.process(channel.run(horizon))``.
-        """
+    def _check_runnable(self, horizon: int) -> None:
         if horizon < 0:
             raise ValueError(f"horizon must be >= 0, got {horizon}")
         if not self.stations:
             raise RuntimeError("channel has no stations attached")
-        while self.env.now < horizon:
-            now = int(self.env.now)
-            for station in self.stations:
-                station.deliver_due(now)
-            offers = [
-                (station, station.mac.offer(now)) for station in self.stations
-            ]
-            transmitters = [
-                (station, message)
-                for station, message in offers
-                if message is not None
-            ]
-            jammed = self.jam_from is not None and now >= self.jam_from
-            corrupted = jammed or (
-                self.noise_rate > 0.0
-                and len(transmitters) < 2
-                and self._noise_rng.random() < self.noise_rate
-            )
-            if corrupted:
-                # Common-mode corruption: everyone hears a collision; any
-                # frame on the wire is destroyed (no completion).
-                if jammed:
-                    self.stats.jammed_slots += 1
-                else:
-                    self.stats.corrupted_slots += 1
-                self.stats.collision_slots += 1
-                duration = self.medium.slot_time
-                self.stats.collision_time += duration
-                observation = SlotObservation(
-                    state=ChannelState.COLLISION,
-                    start=now,
-                    duration=duration,
-                    frame=None,
-                    occupied_children=None,
-                )
-                for station in self.stations:
-                    station.mac.observe(observation)
-                self.observations += 1
-                self.trace.emit(
-                    now, "slot", state="corrupted", duration=duration,
-                    source=None, msg=None,
-                )
-                if self.check_consistency:
-                    self._assert_lockstep(now)
-                yield self.env.timeout(duration)
-                continue
-            if not transmitters:
-                state = ChannelState.SILENCE
-                duration = self.medium.slot_time
-                frame = None
-                self.stats.silence_slots += 1
-                self.stats.idle_time += duration
-            elif len(transmitters) == 1:
-                station, message = transmitters[0]
-                frame = Frame(
-                    station_id=station.station_id,
-                    message=message,
-                    burst_continue=station.mac.wants_burst_continuation(now),
-                )
-                state = ChannelState.SUCCESS
-                duration = self.medium.transmission_time(message.length)
-                if self.medium.destructive_collisions:
-                    # Half-duplex GigE carrier extension: a frame occupies
-                    # at least one slot so collisions stay detectable.
-                    duration = max(duration, self.medium.slot_time)
-                self.stats.successes += 1
-                self.stats.busy_time += duration
-                self.stats.payload_bits += message.length
-            else:
-                state = ChannelState.COLLISION
-                duration = self.medium.slot_time
-                frame = None
-                self.stats.collision_slots += 1
-                self.stats.collision_time += duration
-            occupied = None
-            if (
-                state is ChannelState.COLLISION
-                and not self.medium.destructive_collisions
-            ):
-                tags = [
-                    station.mac.contention_tag(now)
-                    for station, _ in transmitters
-                ]
-                if all(tag is not None for tag in tags):
-                    occupied = frozenset(tags)
-            observation = SlotObservation(
-                state=state,
-                start=now,
-                duration=duration,
-                frame=frame,
-                occupied_children=occupied,
-            )
-            for station in self.stations:
-                station.mac.observe(observation)
-            self.observations += 1
-            self.trace.emit(
-                now,
-                "slot",
-                state=state.value,
-                duration=duration,
-                source=None if frame is None else frame.station_id,
-                msg=None if frame is None else frame.message.msg_class.name,
-            )
-            if self.check_consistency:
-                self._assert_lockstep(now)
-            yield self.env.timeout(duration)
+
+    def run(self, horizon: int) -> ProcessGenerator:
+        """The channel process: round loop until ``horizon`` bit-times.
+
+        This is the general-DES engine; start it with
+        ``env.process(channel.run(horizon))``.  For the slot-synchronous
+        fast path, call :meth:`run_fast` instead.
+        """
+        self._check_runnable(horizon)
+        driver = _RoundDriver(self)
+        env = self.env
+        while env.now < horizon:
+            yield env.timeout(driver.round(int(env.now)))
+
+    def run_fast(self, horizon: int) -> None:
+        """Run the round loop to ``horizon`` as a direct loop owning the clock.
+
+        The slot-loop fast path: while this channel is the only
+        time-advancing activity (no events on the environment's queue), no
+        heap operations, generator suspensions or timeout events happen at
+        all — the loop advances ``env.now`` itself after each round.
+
+        Fallback is automatic and exact: if foreign events are pending at
+        entry, the whole run happens on the DES; if one appears mid-run
+        (a process registered by a trace subscriber, a host extension),
+        the loop re-enters the event queue *after the current round's
+        slot*, which is precisely where the DES path would interleave it.
+        On return, ``env.now == horizon`` exactly as with
+        ``env.run(until=horizon)``.
+        """
+        self._check_runnable(horizon)
+        env = self.env
+        if env.pending:
+            env.process(self.run(horizon))
+            env.run(until=horizon)
+            return
+        driver = _RoundDriver(self)
+        round_ = driver.round
+        now = env.now
+        while now < horizon:
+            duration = round_(int(now))
+            if env.pending:
+                env.process(self._rejoin_des(horizon, duration))
+                env.run(until=horizon)
+                return
+            now += duration
+            env.advance_to(now if now < horizon else horizon)
+
+    def _rejoin_des(self, horizon: int, delay: int) -> ProcessGenerator:
+        """Resume the round loop on the event heap after ``delay``."""
+        yield self.env.timeout(delay)
+        yield from self.run(horizon)
 
     def _assert_lockstep(self, now: int) -> None:
         """All stations running the same protocol class must agree on the

@@ -23,6 +23,7 @@ descent), else a busy bus is mistaken for a dead one; see
 from __future__ import annotations
 
 import dataclasses
+import itertools
 from collections.abc import Callable, Mapping
 
 from repro.core.trees import integer_log
@@ -30,6 +31,7 @@ from repro.model.arrival import ArrivalProcess, GreedyBurstArrivals
 from repro.model.problem import HRTDMProblem
 from repro.model.source import SourceSpec
 from repro.net.channel import BroadcastChannel, ChannelStats
+from repro.net.engine import resolve_engine
 from repro.net.phy import MediumProfile
 from repro.net.station import Station
 from repro.protocols.base import ChannelState, MACProtocol, SlotObservation
@@ -188,6 +190,14 @@ class DualBusSimulation:
     (source, bus); ``fail_bus_at`` jams bus A at that time (None = no
     failure).  Arrival handling mirrors
     :class:`~repro.net.network.NetworkSimulation`.
+
+    A dual-bus network has two time-advancing channel processes on one
+    clock, so the slot-loop fast path cannot own it: whatever ``engine``
+    is requested, the run executes on the general DES.  With
+    ``fastloop``/``auto`` this happens through the fast path's own
+    foreign-process fallback (bus B's ``run_fast`` finds bus A's process
+    already registered and rejoins the heap), which keeps that fallback
+    exercised by real traffic rather than only by tests.
     """
 
     def __init__(
@@ -200,6 +210,7 @@ class DualBusSimulation:
         fail_bus_at: int | None = None,
         check_consistency: bool = False,
         trace: bool = False,
+        engine: str | None = None,
     ) -> None:
         self.problem = problem
         self.medium = medium
@@ -209,6 +220,9 @@ class DualBusSimulation:
         self.fail_bus_at = fail_bus_at
         self.check_consistency = check_consistency
         self.trace_enabled = trace
+        if engine is not None:
+            resolve_engine(engine)  # validate eagerly
+        self.engine = engine
 
     def _arrival_process(self, class_name: str, source: SourceSpec):
         if class_name in self.arrivals:
@@ -236,6 +250,7 @@ class DualBusSimulation:
             busses[0].jam_from = self.fail_bus_at
         primary_stations: list[Station] = []
         controllers: list[BusFailoverController] = []
+        seq_source = itertools.count()  # run-local instance ids (see Station)
         for source in self.problem.sources:
             controller = BusFailoverController(self.jam_threshold)
             controllers.append(controller)
@@ -247,6 +262,7 @@ class DualBusSimulation:
                 station_id=source.source_id,
                 mac=ports[0],
                 static_indices=source.static_indices,
+                seq_source=seq_source,
             )
             # The bus-B station shares queue and completion log with A:
             # one message store, two network attachments.
@@ -266,9 +282,16 @@ class DualBusSimulation:
             busses[0].attach(station_a)
             busses[1].attach(station_b)
             primary_stations.append(station_a)
-        env.process(busses[0].run(horizon))
-        env.process(busses[1].run(horizon))
-        env.run(until=horizon)
+        if resolve_engine(self.engine) == "des":
+            env.process(busses[0].run(horizon))
+            env.process(busses[1].run(horizon))
+            env.run(until=horizon)
+        else:
+            # Bus A is a registered process, so bus B's fast loop detects
+            # a foreign process at entry and falls back to the DES —
+            # registering its own generator second, exactly as above.
+            env.process(busses[0].run(horizon))
+            busses[1].run_fast(horizon)
         return DualBusResult(
             horizon=horizon,
             stations=primary_stations,

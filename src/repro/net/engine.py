@@ -1,0 +1,99 @@
+"""Simulation engine selection: the generic DES vs the slot-loop fast path.
+
+Two engines can turn the broadcast channel's crank:
+
+* ``des`` — the general discrete-event kernel: the channel runs as a
+  generator process on :class:`~repro.sim.engine.Environment`, every round
+  is a heap push/pop plus a generator suspend/resume.  Always correct,
+  composes with arbitrary foreign processes.
+* ``fastloop`` — the slot-synchronous fast path: when the channel is the
+  only time-advancing activity (the common case — stations are driven
+  synchronously through ``offer()``/``observe()``), the round loop runs as
+  a direct Python loop that owns the clock and advances ``env.now``
+  itself, bypassing the event heap entirely.  It falls back to the DES
+  automatically the moment any foreign event is scheduled (dual-bus
+  topologies, host extension processes), so selecting it is always safe.
+* ``auto`` — pick ``fastloop`` where structurally possible, ``des``
+  otherwise.  Since the fast loop already self-detects foreign processes,
+  ``auto`` and ``fastloop`` take the same code path today; ``auto`` is the
+  forward-compatible spelling.
+
+Both engines execute the *identical* round semantics (one shared driver,
+:class:`~repro.net.channel.BroadcastChannel`'s ``_RoundDriver``) and draw
+from the same RNG streams in the same order, so results — channel
+statistics, completion records, trace streams — are byte-identical.  The
+runtime layer therefore excludes the engine from result cache keys.
+
+The process-wide default is ``auto``; override it with the
+``REPRO_ENGINE`` environment variable, per-simulation via
+``NetworkSimulation(engine=...)``, or per-run via the experiment CLIs'
+``--engine`` flag (which scopes the override with :func:`use_engine`).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+from collections.abc import Iterator
+
+__all__ = [
+    "ENGINES",
+    "default_engine",
+    "set_default_engine",
+    "resolve_engine",
+    "use_engine",
+]
+
+#: Legal engine names.
+ENGINES = ("auto", "des", "fastloop")
+
+_default: str | None = None
+
+
+def _validate(name: str) -> str:
+    if name not in ENGINES:
+        raise ValueError(
+            f"unknown engine {name!r}; choose one of {', '.join(ENGINES)}"
+        )
+    return name
+
+
+def default_engine() -> str:
+    """The process-wide engine default (``REPRO_ENGINE`` or ``auto``)."""
+    global _default
+    if _default is None:
+        _default = _validate(os.environ.get("REPRO_ENGINE", "auto"))
+    return _default
+
+
+def set_default_engine(name: str) -> str:
+    """Set the process-wide default; returns the previous value."""
+    global _default
+    previous = default_engine()
+    _default = _validate(name)
+    return previous
+
+
+def resolve_engine(name: str | None) -> str:
+    """Resolve an engine request (``None`` means "use the default")."""
+    if name is None:
+        return default_engine()
+    return _validate(name)
+
+
+@contextlib.contextmanager
+def use_engine(name: str | None) -> Iterator[str]:
+    """Scoped default-engine override (no-op when ``name`` is None).
+
+    The runtime executor wraps each spec execution in this, so a spec's
+    engine choice reaches every simulation the experiment builds without
+    threading a parameter through all 19 experiment modules.
+    """
+    if name is None:
+        yield default_engine()
+        return
+    previous = set_default_engine(name)
+    try:
+        yield name
+    finally:
+        set_default_engine(previous)

@@ -20,12 +20,14 @@ from __future__ import annotations
 
 import dataclasses
 import functools
+import itertools
 from collections.abc import Callable, Mapping
 
 from repro.model.arrival import ArrivalProcess, GreedyBurstArrivals
 from repro.model.problem import HRTDMProblem
 from repro.model.source import SourceSpec
 from repro.net.channel import BroadcastChannel, ChannelStats
+from repro.net.engine import resolve_engine
 from repro.net.phy import MediumProfile
 from repro.net.station import CompletionRecord, Station
 from repro.protocols.base import MACProtocol
@@ -98,6 +100,15 @@ class NetworkSimulation:
     ``noise_seed`` is folded into the noise stream's name so existing
     callers that vary only the noise seed still get distinct corruption
     patterns.
+
+    ``engine`` selects how the channel's round loop is driven (see
+    :mod:`repro.net.engine`): ``"des"`` runs it as a process on the
+    event-heap kernel, ``"fastloop"``/``"auto"`` as a direct slot loop
+    that bypasses the heap and falls back to the DES automatically when
+    foreign processes share the environment.  ``None`` (default) defers
+    to the process-wide default (``auto`` unless overridden).  Engines
+    are result-equivalent: the same run under ``des`` and ``fastloop``
+    yields byte-identical statistics, completions and traces.
     """
 
     def __init__(
@@ -111,6 +122,7 @@ class NetworkSimulation:
         noise_rate: float = 0.0,
         noise_seed: int = 0,
         root_seed: int = 0,
+        engine: str | None = None,
     ) -> None:
         self.problem = problem
         self.medium = medium
@@ -121,6 +133,9 @@ class NetworkSimulation:
         self.noise_rate = noise_rate
         self.noise_seed = noise_seed
         self.root_seed = root_seed
+        if engine is not None:
+            resolve_engine(engine)  # validate eagerly
+        self.engine = engine
 
     def _arrival_process(self, class_name: str, source: SourceSpec):
         if class_name in self.arrivals:
@@ -128,12 +143,21 @@ class NetworkSimulation:
         bound = source.class_named(class_name).bound
         return GreedyBurstArrivals(bound=bound)
 
-    def run(self, horizon: int, env: Environment | None = None) -> RunResult:
+    def run(
+        self,
+        horizon: int,
+        env: Environment | None = None,
+        engine: str | None = None,
+    ) -> RunResult:
         """Simulate up to ``horizon`` bit-times and gather results.
 
         A fresh stream registry is built per call, so repeated ``run()``
-        invocations of one simulation object are identical.
+        invocations of one simulation object are identical.  ``engine``
+        overrides the simulation's engine for this run only.
         """
+        engine_name = resolve_engine(
+            engine if engine is not None else self.engine
+        )
         if env is None:
             env = Environment()
         rng = SeedSequenceRegistry(self.root_seed)
@@ -147,12 +171,17 @@ class NetworkSimulation:
             noise_rng=rng.stream(f"channel/noise/{self.noise_seed}"),
         )
         stations: list[Station] = []
+        # One run-local instance-id counter shared by all stations: message
+        # identity (EDF FIFO tie-break, completion records) is then a pure
+        # function of the run, identical across engines and repetitions.
+        seq_source = itertools.count()
         for source in self.problem.sources:
             mac = self.protocol_factory(source)
             station = Station(
                 station_id=source.source_id,
                 mac=mac,
                 static_indices=source.static_indices,
+                seq_source=seq_source,
             )
             for msg_class in source.message_classes:
                 station.load_arrivals(
@@ -165,8 +194,14 @@ class NetworkSimulation:
                 )
             channel.attach(station)
             stations.append(station)
-        env.process(channel.run(horizon))
-        env.run(until=horizon)
+        if engine_name == "des":
+            env.process(channel.run(horizon))
+            env.run(until=horizon)
+        else:
+            # auto / fastloop: the slot loop detects foreign processes on
+            # the environment (pre-registered or appearing mid-run) and
+            # rejoins the general DES by itself.
+            channel.run_fast(horizon)
         return RunResult(
             horizon=horizon, stations=stations, stats=channel.stats, trace=trace
         )

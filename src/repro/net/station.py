@@ -13,6 +13,7 @@ from __future__ import annotations
 import dataclasses
 import heapq
 import random
+from collections.abc import Iterator
 
 from repro.model.arrival import ArrivalProcess, take_until
 from repro.model.message import MessageClass, MessageInstance
@@ -54,7 +55,15 @@ class Station:
         station_id: int,
         mac: MACProtocol,
         static_indices: tuple[int, ...] = (0,),
+        seq_source: Iterator[int] | None = None,
     ) -> None:
+        """``seq_source`` supplies message-instance sequence numbers.
+
+        The simulation layer hands all stations of one run a shared
+        run-local counter, making instance identity (and thus completion
+        records) deterministic across runs and engines; without one,
+        instances draw from the process-global counter.
+        """
         self.station_id = station_id
         self.static_indices = tuple(sorted(static_indices))
         if not self.static_indices:
@@ -63,6 +72,7 @@ class Station:
         self.completions: list[CompletionRecord] = []
         self._pending_arrivals: list[tuple[int, int, MessageClass]] = []
         self._arrival_seq = 0
+        self._seq_source = seq_source
         self.arrivals_delivered = 0
         self.mac = mac
         mac.attach(self)
@@ -102,10 +112,16 @@ class Station:
     def deliver_due(self, now: int) -> int:
         """Move all arrivals with time <= now into the EDF queue (LA)."""
         delivered = 0
+        seq_source = self._seq_source
         while self._pending_arrivals and self._pending_arrivals[0][0] <= now:
             time, _, msg_class = heapq.heappop(self._pending_arrivals)
             self.queue.push(
-                MessageInstance.arrive(msg_class, time, self.station_id)
+                MessageInstance.arrive(
+                    msg_class,
+                    time,
+                    self.station_id,
+                    seq=None if seq_source is None else next(seq_source),
+                )
             )
             delivered += 1
         self.arrivals_delivered += delivered

@@ -13,6 +13,13 @@ each round it
 This ternary feedback is exactly the information model of CSMA-CD and of
 the tree protocols of section 3.2; every protocol in
 :mod:`repro.protocols` is a deterministic (or seeded) automaton over it.
+
+The offer/observe contract is *engine-independent*: whether the channel's
+round loop is driven as a DES generator process or by the slot-loop fast
+path (see :mod:`repro.net.engine`), a MAC sees the identical call sequence
+— one ``offer`` then one ``observe`` per slot, at the same simulated times
+with the same observations.  Protocols therefore never interact with the
+event queue and must not assume one exists.
 """
 
 from __future__ import annotations

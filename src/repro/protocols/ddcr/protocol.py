@@ -58,6 +58,9 @@ class DDCRProtocol(MACProtocol):
     def __init__(self, config: DDCRConfig) -> None:
         super().__init__()
         self.config = config
+        # theta is a computed property; the restart path reads it once per
+        # slot per station, so snapshot it (the config is frozen).
+        self._theta = config.theta
         self.mode = DDCRMode.FREE
         self.reft = 0
         self.tts: TimeTreeSearch | None = None
@@ -161,11 +164,18 @@ class DDCRProtocol(MACProtocol):
         self._offered = None
 
     def observe(self, observation: SlotObservation) -> None:
-        mine = self._was_mine(observation)
+        # ``mine`` check inlined (observe runs once per slot per station).
+        success = observation.state is ChannelState.SUCCESS
+        frame = observation.frame
+        mine = (
+            success
+            and frame is not None
+            and frame.station_id == self.bound_station.station_id
+        )
         if mine:
-            assert observation.frame is not None
+            assert frame is not None
             self.bound_station.complete(
-                observation.frame.message, observation.end, observation.start
+                frame.message, observation.end, observation.start
             )
         if self._burst_owner is not None:
             # Burst slot: the mode machine is frozen; only track the burst.
@@ -180,15 +190,9 @@ class DDCRProtocol(MACProtocol):
             self._observe_tts(observation, mine)
         else:
             self._observe_sts(observation, mine)
-        self._maybe_start_burst(observation, mine)
+        if success:
+            self._maybe_start_burst(observation, mine)
         self._offered = None
-
-    def _was_mine(self, observation: SlotObservation) -> bool:
-        return (
-            observation.state is ChannelState.SUCCESS
-            and observation.frame is not None
-            and observation.frame.station_id == self.bound_station.station_id
-        )
 
     # -- per-mode transitions --------------------------------------------------
 
@@ -293,39 +297,41 @@ class DDCRProtocol(MACProtocol):
 
     def _finish_tts(self, now: int) -> None:
         assert self.tts is not None
-        record = self.tts.finish(now)
+        tts = self.tts
+        search = tts.search
         if (
-            record.successes == 0
-            and record.nested_sts_runs == 0
-            and not record.triggered_by_collision
-            and record.wasted_slots <= 1
+            not tts.triggered_by_collision
+            and tts.nested_sts_runs == 0
+            and search.successes == 0
+            and search.wasted_slots <= 1
         ):
+            # Trivial empty run: nothing transmitted (so ``out`` is
+            # necessarily false) and at most one silent root probe.  The
+            # idle protocol produces one of these per slot, so skip the
+            # record object entirely, not just its storage.
             self.empty_tts_runs += 1
-        else:
-            self.tts_records.append(record)
-        if record.out:
+            if self.config.exit_to_free_on_idle:
+                self.tts = None
+                self.mode = DDCRMode.FREE
+                return
+            # Compressed time: pull future classes toward the horizon.
+            # Recycle the finished replica in place: the tree shape is fixed,
+            # so this equals TimeTreeSearch.start(..., after_collision=False)
+            # without the per-slot allocations.
+            self.reft += self._theta
+            tts.restart_fresh(now)
+            self.mode = DDCRMode.TTS
+            return
+        self.tts_records.append(tts.finish(now))
+        if tts.out:
             self.tts = None
             self.mode = DDCRMode.ATTEMPT
             return
-        saw_nothing = (
-            record.successes == 0
-            and record.nested_sts_runs == 0
-            and not record.triggered_by_collision
-            and self._all_probes_silent(record)
-        )
-        if self.config.exit_to_free_on_idle and saw_nothing:
-            self.tts = None
-            self.mode = DDCRMode.FREE
-            return
-        # Compressed time: pull future deadline classes toward the horizon.
-        self.reft += self.config.theta
-        self.tts = TimeTreeSearch.start(self.config, now, after_collision=False)
+        # A non-trivial run that still transmitted nothing: a trivial run is
+        # the only way to hear pure silence, so no exit-to-FREE check here.
+        self.reft += self._theta
+        tts.restart_fresh(now)
         self.mode = DDCRMode.TTS
-
-    @staticmethod
-    def _all_probes_silent(record: TTsRecord) -> bool:
-        """True when the whole run heard only silence (single root probe)."""
-        return record.wasted_slots <= 1
 
     # -- packet bursting (section 5) --------------------------------------------
 

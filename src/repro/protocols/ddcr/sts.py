@@ -37,7 +37,7 @@ class STsRecord:
     successes: int
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class StaticTreeSearch:
     """One in-progress STs run (per-station replica, common knowledge)."""
 

@@ -37,7 +37,7 @@ class TTsRecord:
     nested_sts_runs: int
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class TimeTreeSearch:
     """One in-progress TTs run (per-station replica, common knowledge)."""
 
@@ -74,6 +74,19 @@ class TimeTreeSearch:
         return cls(
             search=search, started_at=now, triggered_by_collision=after_collision
         )
+
+    def restart_fresh(self, now: int) -> None:
+        """Reset in place to ``start(config, now, after_collision=False)``.
+
+        The tree shape is fixed per configuration, so a finished replica can
+        be recycled for the back-to-back repeat run — the steady state of an
+        idle channel — without reallocating the search objects.
+        """
+        self.search.restart_fresh()
+        self.started_at = now
+        self.triggered_by_collision = False
+        self.transmitted = False
+        self.nested_sts_runs = 0
 
     @property
     def done(self) -> bool:

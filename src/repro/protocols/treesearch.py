@@ -30,13 +30,17 @@ from repro.protocols.base import ChannelState
 __all__ = ["SplittingSearch"]
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class SplittingSearch:
     """One in-progress m-ary splitting search (per-station replica).
 
     The replica's entire state is a pure function of the feedback sequence,
     so identically-configured stations stay in lockstep; ``state_key()``
     feeds the network runner's consistency assertions.
+
+    ``slots=True``: under CSMA/DDCR every station starts a fresh search
+    roughly once per slot, so replica construction sits on the simulator's
+    hot path.
     """
 
     tree: BalancedTree
@@ -45,6 +49,14 @@ class SplittingSearch:
     probes: int = 0
     wasted_slots: int = 0
     successes: int = 0
+    # The root interval, snapshotted once: ``tree.root`` goes through an
+    # interning cache whose lookup is too slow for the per-slot restart.
+    _root: LeafInterval = dataclasses.field(
+        init=False, repr=False, compare=False
+    )
+
+    def __post_init__(self) -> None:
+        self._root = self.tree.root
 
     @classmethod
     def after_root_collision(
@@ -74,6 +86,20 @@ class SplittingSearch:
         search = cls(tree=tree)
         search.agenda = [tree.root]
         return search
+
+    def restart_fresh(self) -> None:
+        """Reset in place to the state :meth:`fresh` constructs.
+
+        The idle protocol finishes and restarts one search per slot per
+        station; reusing the finished replica keeps that steady state
+        allocation-free.
+        """
+        self.agenda.clear()
+        self.agenda.append(self._root)
+        self.frontier = 0
+        self.probes = 0
+        self.wasted_slots = 0
+        self.successes = 0
 
     @property
     def done(self) -> bool:

@@ -84,12 +84,20 @@ class RunSpec:
     ``None`` to keep the experiment's own default seed — the seed path the
     original sequential suite used — or an int to override it.  ``salt``
     is ``None`` for "current code version".
+
+    ``engine`` selects the simulation engine the run executes on (see
+    :mod:`repro.net.engine`); ``None`` keeps the process default.  Both
+    engines produce byte-identical results, so the engine is *execution
+    strategy*, not content: it is deliberately excluded from
+    :meth:`canonical_key` (and hence :meth:`spec_hash` and spec equality),
+    keeping cache entries valid across engine choices.
     """
 
     experiment_id: str
     params: tuple[tuple[str, object], ...] = ()
     root_seed: int | None = None
     salt: str | None = None
+    engine: str | None = dataclasses.field(default=None, compare=False)
 
     @classmethod
     def make(
@@ -98,9 +106,14 @@ class RunSpec:
         *,
         root_seed: int | None = None,
         salt: str | None = None,
+        engine: str | None = None,
         **params: object,
     ) -> "RunSpec":
         """Build a spec, canonicalising parameters."""
+        if engine is not None:
+            from repro.net.engine import resolve_engine
+
+            resolve_engine(engine)  # validate eagerly
         frozen = tuple(
             (name, freeze_params(value))
             for name, value in sorted(params.items())
@@ -110,6 +123,7 @@ class RunSpec:
             params=frozen,
             root_seed=root_seed,
             salt=salt,
+            engine=engine,
         )
 
     def kwargs(self) -> dict[str, object]:
@@ -117,7 +131,12 @@ class RunSpec:
         return dict(self.params)
 
     def canonical_key(self) -> str:
-        """Stable serialisation of everything that defines the result."""
+        """Stable serialisation of everything that defines the result.
+
+        ``engine`` is intentionally absent: engines are proven
+        result-equivalent, so a cached result satisfies a spec regardless
+        of the engine either run asked for.
+        """
         payload = {
             "format": CACHE_FORMAT_VERSION,
             "experiment": self.experiment_id,

@@ -54,6 +54,38 @@ class Environment:
         """The process currently executing, if any."""
         return self._active_process
 
+    @property
+    def pending(self) -> bool:
+        """True when any event is scheduled on the queue.
+
+        Slot-synchronous fast loops (:meth:`BroadcastChannel.run_fast
+        <repro.net.channel.BroadcastChannel.run_fast>`) poll this to detect
+        foreign processes: as long as it is False, the loop owns the clock
+        and may advance it directly via :meth:`advance_to`.
+        """
+        return bool(self._queue)
+
+    def advance_to(self, time: int | float) -> None:
+        """Advance the clock directly, without processing any event.
+
+        This is the slot-synchronous fast path's clock: a loop that is the
+        sole time-advancing activity may skip the event queue entirely and
+        move ``now`` forward itself.  Refuses to move backwards or to jump
+        over a scheduled event (which would corrupt the event heap's
+        causality).
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"advance_to({time}) would move time backwards (now="
+                f"{self._now})"
+            )
+        if self._queue and self._queue[0][0] < time:
+            raise SimulationError(
+                f"advance_to({time}) would skip over an event scheduled "
+                f"at {self._queue[0][0]}"
+            )
+        self._now = time
+
     # -- factories ---------------------------------------------------------
 
     def event(self) -> Event:

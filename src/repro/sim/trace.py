@@ -11,7 +11,7 @@ from __future__ import annotations
 import dataclasses
 from collections.abc import Callable, Iterator
 
-__all__ = ["TraceRecord", "TraceLog"]
+__all__ = ["TraceRecord", "TraceLog", "NULL_TRACE"]
 
 
 @dataclasses.dataclass(frozen=True, slots=True)
@@ -30,7 +30,11 @@ class TraceLog:
     """Append-only trace with filtered iteration.
 
     Tracing can be disabled (``enabled=False``) to keep long benchmark runs
-    allocation-free; ``emit`` is then a no-op.
+    allocation-free; ``emit`` is then a no-op.  Disabled tracing is only
+    truly zero-cost when hot call sites check :attr:`enabled` *before*
+    building the ``**details`` dict — ``emit`` cannot undo an argument dict
+    the caller already allocated — so per-slot emitters (the channel's
+    round driver) hoist the check out of their loops.
     """
 
     def __init__(self, enabled: bool = True) -> None:
@@ -74,3 +78,25 @@ class TraceLog:
 
     def clear(self) -> None:
         self._records.clear()
+
+
+class _NullTraceLog(TraceLog):
+    """The shared always-disabled trace (see :data:`NULL_TRACE`)."""
+
+    def __init__(self) -> None:
+        super().__init__(enabled=False)
+
+    def emit(self, time: int | float, kind: str, **details: object) -> None:
+        pass
+
+    def subscribe(self, callback: Callable[[TraceRecord], None]) -> None:
+        raise RuntimeError(
+            "NULL_TRACE is shared and never emits; subscribe to a real "
+            "TraceLog instead"
+        )
+
+
+#: Process-wide disabled trace: components that default to "no tracing"
+#: share this singleton instead of allocating a throwaway TraceLog each.
+#: It never records, never notifies, and refuses subscribers.
+NULL_TRACE = _NullTraceLog()

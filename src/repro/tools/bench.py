@@ -1,0 +1,330 @@
+"""CLI: micro-benchmark the library's hot primitives.
+
+Measures throughput (operations per second) of the same primitives the
+pytest-benchmark suite under ``benchmarks/`` tracks — the xi DP table, the
+divide-and-conquer recursion, the closed form, the reference search, one
+feasibility-bound evaluation, and raw channel simulation slot rate on each
+engine — and writes a machine-readable report::
+
+    python -m repro.tools.bench                    # writes BENCH_micro.json
+    python -m repro.tools.bench --smoke            # one quick pass per bench
+    python -m repro.tools.bench --only channel_slot_rate_16
+    python -m repro.tools.bench --output /tmp/bench.json
+
+The report records the git revision and the engine each bench ran on, so
+successive runs are comparable across commits (``BENCH_micro.json`` at the
+repo root is the conventional landing spot; it is overwritten, not
+appended — history lives in git).
+
+``--smoke`` is the CI-sized variant (one repetition, smaller simulation
+horizon); ``python -m repro.tools.check --ci`` runs it inline as a
+perf-smoke step so throughput regressions surface next to correctness.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import pathlib
+import platform
+import subprocess
+import sys
+import time
+from collections.abc import Callable
+
+from repro.net.engine import ENGINES, default_engine, use_engine
+
+__all__ = ["BENCHES", "BenchResult", "run_benches", "main"]
+
+_MS = 1_000_000
+
+
+@dataclasses.dataclass(frozen=True)
+class BenchResult:
+    """One bench's outcome: best-of-N throughput."""
+
+    name: str
+    engine: str | None
+    unit: str
+    ops: float
+    seconds: float
+    ops_per_sec: float
+    repeats: int
+
+    def describe(self) -> str:
+        engine = f" [{self.engine}]" if self.engine else ""
+        return (
+            f"{self.name:<28}{engine:<11} "
+            f"{self.ops_per_sec:>14,.0f} {self.unit}/s"
+        )
+
+
+def _bench_xi_dp_table(smoke: bool) -> tuple[float, str]:
+    """Ground-truth DP over Eq. 1 for a 1024-leaf quaternary tree."""
+    from repro.core.search_cost import _cost_tuple
+
+    _cost_tuple.cache_clear()
+    table = _cost_tuple(4, 5)
+    assert table[2] == 19
+    return 1.0, "tables"
+
+
+def _bench_divide_conquer_table(smoke: bool) -> tuple[float, str]:
+    """Eq. 2-4 route for the same 1024-leaf shape."""
+    from repro.core.divide_conquer import _dc_tuple, divide_conquer_table
+
+    _dc_tuple.cache_clear()
+    table = divide_conquer_table(4, 1024)
+    assert table[2] == 19
+    return 1.0, "tables"
+
+
+def _bench_closed_form_grid(smoke: bool) -> tuple[float, str]:
+    """Eq. 10 evaluated over every k of a 4096-leaf binary tree."""
+    from repro.core.closed_form import xi_closed_form
+
+    t = 512 if smoke else 4096
+    values = [xi_closed_form(k, t, 2) for k in range(t + 1)]
+    assert values[2] > 0
+    return float(t + 1), "evals"
+
+
+def _bench_simulate_search(smoke: bool) -> tuple[float, str]:
+    """Reference search semantics on a worst-case 64-of-256 placement."""
+    from repro.core.search_cost import simulate_search, worst_case_placement
+
+    placement = worst_case_placement(64, 256, 4)
+    outcome = simulate_search(placement, 256, 4)
+    assert outcome.cost > 0
+    return float(outcome.total_slots), "slots"
+
+
+def _bench_latency_bound(smoke: bool) -> tuple[float, str]:
+    """One B_DDCR evaluation on a 16-source instance."""
+    from repro.core.feasibility import TreeParameters, latency_bound
+    from repro.model.workloads import uniform_problem
+    from repro.net.phy import GIGABIT_ETHERNET
+
+    problem = uniform_problem(z=16, deadline=10 * _MS, a=2, w=4 * _MS)
+    trees = TreeParameters(
+        time_f=64, time_m=4,
+        static_q=problem.static_q, static_m=problem.static_m,
+    )
+    source = problem.sources[0]
+    target = source.message_classes[0]
+    bound = latency_bound(target, source, problem, GIGABIT_ETHERNET, trees)
+    assert bound.bound > 0
+    return 1.0, "bounds"
+
+
+def _channel_slot_rate(stations: int, engine: str, smoke: bool) -> tuple[float, str]:
+    """DDCR simulation throughput, in channel rounds per second."""
+    from repro.model.workloads import uniform_problem
+    from repro.net.network import NetworkSimulation
+    from repro.net.phy import ideal_medium
+    from repro.protocols.ddcr import DDCRConfig, DDCRProtocol
+
+    problem = uniform_problem(
+        z=stations, length=1_000, deadline=400_000, a=1, w=200_000
+    )
+    config = DDCRConfig(
+        time_f=16, time_m=2, class_width=65_536,
+        static_q=problem.static_q, static_m=problem.static_m,
+    )
+    simulation = NetworkSimulation(
+        problem,
+        ideal_medium(slot_time=64),
+        protocol_factory=lambda s: DDCRProtocol(config),
+        engine=engine,
+    )
+    result = simulation.run(200_000 if smoke else 1_000_000)
+    assert result.delivered > 0
+    return float(result.stats.rounds), "rounds"
+
+
+def _make_slot_rate_bench(
+    stations: int, engine: str
+) -> Callable[[bool], tuple[float, str]]:
+    return lambda smoke: _channel_slot_rate(stations, engine, smoke)
+
+
+#: name -> (engine or None, bench callable).  A bench callable performs one
+#: measured operation batch and returns ``(ops_done, unit)``.
+BENCHES: dict[str, tuple[str | None, Callable[[bool], tuple[float, str]]]] = {
+    "xi_dp_table": (None, _bench_xi_dp_table),
+    "divide_conquer_table": (None, _bench_divide_conquer_table),
+    "closed_form_grid": (None, _bench_closed_form_grid),
+    "simulate_search": (None, _bench_simulate_search),
+    "latency_bound": (None, _bench_latency_bound),
+    **{
+        f"channel_slot_rate_{stations}_{engine}": (
+            engine,
+            _make_slot_rate_bench(stations, engine),
+        )
+        for stations in (4, 16)
+        for engine in ("des", "fastloop")
+    },
+}
+
+
+def run_benches(
+    names: list[str] | None = None,
+    smoke: bool = False,
+    repeats: int | None = None,
+) -> list[BenchResult]:
+    """Run the selected benches; best-of-``repeats`` throughput each."""
+    selected = list(BENCHES) if not names else names
+    unknown = [name for name in selected if name not in BENCHES]
+    if unknown:
+        raise KeyError(
+            f"unknown bench(es): {', '.join(unknown)} "
+            f"(known: {', '.join(BENCHES)})"
+        )
+    if repeats is None:
+        repeats = 1 if smoke else 3
+    results: list[BenchResult] = []
+    for name in selected:
+        engine, bench = BENCHES[name]
+        with use_engine(engine):
+            bench(smoke)  # warm-up: fill caches, import lazily
+            best_seconds = float("inf")
+            ops = 0.0
+            unit = "ops"
+            for _ in range(repeats):
+                started = time.perf_counter()
+                ops, unit = bench(smoke)
+                elapsed = time.perf_counter() - started
+                best_seconds = min(best_seconds, elapsed)
+        results.append(
+            BenchResult(
+                name=name,
+                engine=engine,
+                unit=unit,
+                ops=ops,
+                seconds=best_seconds,
+                ops_per_sec=ops / best_seconds if best_seconds > 0 else 0.0,
+                repeats=repeats,
+            )
+        )
+    return results
+
+
+def _git_rev() -> str:
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=pathlib.Path(__file__).resolve().parent,
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=False,
+        )
+    except OSError:
+        return "unknown"
+    rev = proc.stdout.strip()
+    return rev if proc.returncode == 0 and rev else "unknown"
+
+
+def _default_output() -> pathlib.Path:
+    """``BENCH_micro.json`` at the repo root (fallback: current directory)."""
+    root = pathlib.Path(__file__).resolve().parents[3]
+    if (root / "src" / "repro").is_dir():
+        return root / "BENCH_micro.json"
+    return pathlib.Path.cwd() / "BENCH_micro.json"
+
+
+def report_payload(
+    results: list[BenchResult], smoke: bool
+) -> dict[str, object]:
+    """The JSON document ``BENCH_micro.json`` holds."""
+    return {
+        "schema": 1,
+        "git_rev": _git_rev(),
+        "python": platform.python_version(),
+        "default_engine": default_engine(),
+        "smoke": smoke,
+        "benches": [dataclasses.asdict(result) for result in results],
+    }
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.tools.bench",
+        description="Micro-benchmark the library's hot primitives.",
+    )
+    parser.add_argument(
+        "--only",
+        action="append",
+        metavar="NAME",
+        help="run only this bench (repeatable); default: all",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list bench names and exit"
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI-sized pass: one repetition, smaller workloads",
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=None,
+        metavar="N",
+        help="repetitions per bench (default: 3, or 1 with --smoke)",
+    )
+    parser.add_argument(
+        "--output",
+        metavar="FILE",
+        default=None,
+        help="report path (default: BENCH_micro.json at the repo root)",
+    )
+    parser.add_argument(
+        "--no-write",
+        action="store_true",
+        help="print results only; do not write the report file",
+    )
+    parser.add_argument(
+        "--engine",
+        choices=ENGINES,
+        default=None,
+        help="default engine for engine-independent benches",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.list:
+        for name, (engine, _) in BENCHES.items():
+            suffix = f"  (engine: {engine})" if engine else ""
+            print(f"{name}{suffix}")
+        return 0
+    if args.repeats is not None and args.repeats < 1:
+        parser.error(f"--repeats must be >= 1, got {args.repeats}")
+    try:
+        with use_engine(args.engine):
+            results = run_benches(
+                names=args.only, smoke=args.smoke, repeats=args.repeats
+            )
+    except KeyError as error:
+        parser.error(str(error.args[0]))
+    for result in results:
+        print(result.describe())
+    if not args.no_write:
+        output = (
+            pathlib.Path(args.output)
+            if args.output is not None
+            else _default_output()
+        )
+        output.write_text(
+            json.dumps(report_payload(results, args.smoke), indent=2) + "\n"
+        )
+        print(f"wrote {output}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -17,10 +17,13 @@ composes with CI pipelines that gate configuration changes.
     python -m repro.tools.check --ci --jobs 4
 
 It imports every module under ``repro`` (catching syntax/import rot),
-then resolves the full experiment suite through the parallel runtime —
-cached results replay from ``.repro-cache`` so a no-change run is
-near-instant.  Exit 0 when everything imports and every experiment's
-checks pass, 2 otherwise.
+resolves the full experiment suite through the parallel runtime — cached
+results replay from ``.repro-cache`` so a no-change run is near-instant —
+and finishes with a perf-smoke step: one quick pass of the micro
+benchmarks (:mod:`repro.tools.bench` ``--smoke``), printing throughput so
+regressions surface next to correctness (``--no-perf`` skips it).  Exit 0
+when everything imports and every experiment's checks pass, 2 otherwise;
+perf numbers are informational and never change the exit status.
 """
 
 from __future__ import annotations
@@ -76,6 +79,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="result cache for --ci (default: %(default)s)",
     )
     parser.add_argument(
+        "--no-perf",
+        action="store_true",
+        help="skip the --ci perf-smoke micro-benchmark step",
+    )
+    parser.add_argument(
         "--medium",
         choices=sorted(MEDIA),
         default=GIGABIT_ETHERNET.name,
@@ -110,8 +118,21 @@ def _import_all_modules() -> list[str]:
     return failures
 
 
-def run_ci(jobs: int, cache_dir: str) -> int:
-    """The ``--ci`` fast path: import sweep + full suite via the runtime."""
+def _run_perf_smoke() -> None:
+    """One quick micro-benchmark pass (informational: never fails CI)."""
+    from repro.tools.bench import run_benches
+
+    try:
+        results = run_benches(smoke=True)
+    except Exception as error:  # noqa: BLE001 - perf is advisory
+        print(f"perf-smoke: skipped ({error})", file=sys.stderr)
+        return
+    for result in results:
+        print(f"perf-smoke: {result.describe()}")
+
+
+def run_ci(jobs: int, cache_dir: str, perf: bool = True) -> int:
+    """The ``--ci`` fast path: import sweep + suite + perf smoke."""
     from repro.experiments.registry import EXPERIMENTS
     from repro.runtime import ParallelExecutor, ResultCache, RunSpec
 
@@ -141,6 +162,8 @@ def run_ci(jobs: int, cache_dir: str) -> int:
         f"suite: {len(records)} experiment(s), "
         f"{len(records) - cached} executed, {cached} from cache"
     )
+    if perf:
+        _run_perf_smoke()
     if failed:
         print(f"FAILED checks: {', '.join(failed)}", file=sys.stderr)
         return 2
@@ -152,7 +175,9 @@ def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.ci:
-        return run_ci(jobs=args.jobs, cache_dir=args.cache_dir)
+        return run_ci(
+            jobs=args.jobs, cache_dir=args.cache_dir, perf=not args.no_perf
+        )
     if args.instance is None:
         parser.error("an instance file is required unless --ci is given")
     medium = MEDIA[args.medium]

@@ -1,0 +1,322 @@
+"""Differential tests: the DES and fastloop engines are byte-identical.
+
+The slot-loop fast path (:meth:`BroadcastChannel.run_fast`) must be
+indistinguishable from the general DES by results: same
+:class:`ChannelStats`, same completion records, same trace stream, same
+final clock — across protocols, noise, jamming, bursting, and the
+automatic fallback paths (foreign processes at entry and mid-run).
+"""
+
+from __future__ import annotations
+
+import itertools
+import pickle
+import random
+
+import pytest
+
+from repro.model.arrival import GreedyBurstArrivals
+from repro.model.workloads import uniform_problem
+from repro.net.channel import BroadcastChannel
+from repro.net.dualbus import DualBusSimulation, suggested_jam_threshold
+from repro.net.engine import resolve_engine, use_engine
+from repro.net.network import NetworkSimulation
+from repro.net.phy import ideal_medium
+from repro.net.station import Station
+from repro.protocols.base import MACProtocol
+from repro.protocols.csma_cd import CSMACDProtocol
+from repro.protocols.ddcr import DDCRConfig, DDCRProtocol
+from repro.protocols.tdma import TDMAProtocol
+from repro.sim.engine import Environment
+from repro.sim.trace import TraceLog
+
+ENGINES = ("des", "fastloop")
+_HORIZON = 250_000
+
+
+def _ddcr_config(problem, burst_limit=0):
+    return DDCRConfig(
+        time_f=16,
+        time_m=2,
+        class_width=65_536,
+        static_q=problem.static_q,
+        static_m=problem.static_m,
+        burst_limit=burst_limit,
+    )
+
+
+def _protocol_factory(protocol: str, problem, burst_limit=0):
+    if protocol == "ddcr":
+        config = _ddcr_config(problem, burst_limit)
+        return lambda source: DDCRProtocol(config)
+    if protocol == "csma_cd":
+        return lambda source: CSMACDProtocol(seed=source.source_id)
+    roster = tuple(source.source_id for source in problem.sources)
+    return lambda source: TDMAProtocol(roster)
+
+
+def _snapshot(stats, completions, trace):
+    """Picklable byte-for-byte digest of one run's observable output."""
+    return pickle.dumps((stats, completions, list(trace.records())))
+
+
+def _run_network(engine, protocol, z=6, noise=0.0, burst_limit=0, seed=0):
+    problem = uniform_problem(
+        z=z, length=1_000, deadline=400_000, a=1, w=200_000
+    )
+    simulation = NetworkSimulation(
+        problem,
+        ideal_medium(slot_time=64),
+        protocol_factory=_protocol_factory(protocol, problem, burst_limit),
+        trace=True,
+        noise_rate=noise,
+        noise_seed=seed,
+        root_seed=seed,
+        engine=engine,
+    )
+    result = simulation.run(_HORIZON)
+    return _snapshot(result.stats, result.completions, result.trace)
+
+
+@pytest.mark.parametrize("protocol", ["ddcr", "csma_cd", "tdma"])
+@pytest.mark.parametrize("noise", [0.0, 0.02])
+def test_engines_identical_across_protocols(protocol, noise):
+    """Stats, completions and traces match byte-for-byte, noise or not."""
+    runs = [_run_network(engine, protocol, noise=noise) for engine in ENGINES]
+    assert runs[0] == runs[1]
+
+
+def test_engines_identical_with_bursting():
+    """DDCR packet bursting (section 5) follows the same slot sequence."""
+    runs = [
+        _run_network(engine, "ddcr", noise=0.01, burst_limit=3_000)
+        for engine in ENGINES
+    ]
+    assert runs[0] == runs[1]
+
+
+def _run_manual_channel(engine, jam_from=None, noise=0.0):
+    """Hand-built channel (no NetworkSimulation) with optional jamming."""
+    problem = uniform_problem(
+        z=5, length=1_000, deadline=400_000, a=1, w=200_000
+    )
+    config = _ddcr_config(problem)
+    env = Environment()
+    trace = TraceLog(enabled=True)
+    channel = BroadcastChannel(
+        env,
+        ideal_medium(slot_time=64),
+        trace=trace,
+        noise_rate=noise,
+        noise_seed=11,
+    )
+    seq_source = itertools.count()
+    stations = []
+    for source in problem.sources:
+        station = Station(
+            station_id=source.source_id,
+            mac=DDCRProtocol(config),
+            static_indices=source.static_indices,
+            seq_source=seq_source,
+        )
+        for msg_class in source.message_classes:
+            station.load_arrivals(
+                msg_class, GreedyBurstArrivals(bound=msg_class.bound), _HORIZON
+            )
+        channel.attach(station)
+        stations.append(station)
+    channel.jam_from = jam_from
+    if engine == "des":
+        env.process(channel.run(_HORIZON))
+        env.run(until=_HORIZON)
+    else:
+        channel.run_fast(_HORIZON)
+    assert env.now == _HORIZON
+    completions = [
+        record for station in stations for record in station.completions
+    ]
+    return _snapshot(channel.stats, completions, trace)
+
+
+@pytest.mark.parametrize("noise", [0.0, 0.03])
+def test_engines_identical_under_mid_run_jamming(noise):
+    """A bus jammed from mid-run on: every later slot collides, identically."""
+    runs = [
+        _run_manual_channel(engine, jam_from=_HORIZON // 2, noise=noise)
+        for engine in ENGINES
+    ]
+    assert runs[0] == runs[1]
+
+
+class _ForeignRegistrar(MACProtocol):
+    """Wrapper MAC that registers a foreign DES process mid-run.
+
+    Forces the fast loop onto its mid-run rejoin path: after
+    ``trigger_after`` observed slots, it schedules an unrelated ticker
+    process on the environment, exactly as a host extension would.
+    """
+
+    def __init__(self, inner, env, ticks, trigger_after=40):
+        super().__init__()
+        self.inner = inner
+        self._env = env
+        self._ticks = ticks
+        self._remaining = trigger_after
+
+    def attach(self, station):
+        super().attach(station)
+        self.inner.attach(station)
+
+    def offer(self, now):
+        return self.inner.offer(now)
+
+    def suppress_offer(self):
+        self.inner.suppress_offer()
+
+    def observe(self, observation):
+        self.inner.observe(observation)
+        if self._remaining > 0:
+            self._remaining -= 1
+            if self._remaining == 0:
+                self._env.process(self._ticker())
+
+    def _ticker(self):
+        for _ in range(5):
+            yield self._env.timeout(10_000)
+            self._ticks.append(self._env.now)
+
+    def wants_burst_continuation(self, now):
+        return self.inner.wants_burst_continuation(now)
+
+    def contention_tag(self, now):
+        return self.inner.contention_tag(now)
+
+    def public_state(self):
+        return self.inner.public_state()
+
+
+def _run_with_foreign_process(engine):
+    problem = uniform_problem(
+        z=4, length=1_000, deadline=400_000, a=1, w=200_000
+    )
+    config = _ddcr_config(problem)
+    env = Environment()
+    trace = TraceLog(enabled=True)
+    channel = BroadcastChannel(
+        env, ideal_medium(slot_time=64), trace=trace
+    )
+    seq_source = itertools.count()
+    ticks: list[float] = []
+    stations = []
+    for position, source in enumerate(problem.sources):
+        mac = DDCRProtocol(config)
+        if position == 0:
+            mac = _ForeignRegistrar(mac, env, ticks)
+        station = Station(
+            station_id=source.source_id,
+            mac=mac,
+            static_indices=source.static_indices,
+            seq_source=seq_source,
+        )
+        for msg_class in source.message_classes:
+            station.load_arrivals(
+                msg_class, GreedyBurstArrivals(bound=msg_class.bound), _HORIZON
+            )
+        channel.attach(station)
+        stations.append(station)
+    if engine == "des":
+        env.process(channel.run(_HORIZON))
+        env.run(until=_HORIZON)
+    else:
+        channel.run_fast(_HORIZON)
+    assert env.now == _HORIZON
+    completions = [
+        record for station in stations for record in station.completions
+    ]
+    return ticks, _snapshot(channel.stats, completions, trace)
+
+
+def test_fast_loop_rejoins_des_mid_run():
+    """A foreign process appearing mid-run is interleaved identically."""
+    des_ticks, des_run = _run_with_foreign_process("des")
+    fast_ticks, fast_run = _run_with_foreign_process("fastloop")
+    assert len(des_ticks) == len(fast_ticks) == 5  # ticker actually ran
+    assert des_ticks == fast_ticks
+    assert des_run == fast_run
+
+
+def _run_dualbus(engine):
+    problem = uniform_problem(
+        z=4, length=1_000, deadline=400_000, a=1, w=200_000
+    )
+    config = _ddcr_config(problem)
+    simulation = DualBusSimulation(
+        problem,
+        ideal_medium(slot_time=64),
+        protocol_factory=lambda source: DDCRProtocol(config),
+        jam_threshold=suggested_jam_threshold(config),
+        fail_bus_at=_HORIZON // 3,
+        trace=True,
+        engine=engine,
+    )
+    result = simulation.run(_HORIZON)
+    return pickle.dumps(
+        (
+            result.bus_stats,
+            result.failovers,
+            result.completions,
+            [list(trace.records()) for trace in result.traces],
+        )
+    )
+
+
+def test_dualbus_engine_fallback_is_identical():
+    """Two channels on one clock: fastloop must fall back to the DES and
+    still produce byte-identical results (including the failover)."""
+    assert _run_dualbus("des") == _run_dualbus("fastloop")
+
+
+def test_seed_randomized_engine_equivalence():
+    """Random z / noise / protocol / seed combos agree across engines."""
+    rng = random.Random(0xDDC2)
+    for _ in range(8):
+        protocol = rng.choice(["ddcr", "csma_cd", "tdma"])
+        z = rng.randint(2, 10)
+        noise = rng.choice([0.0, 0.005, 0.02, 0.05])
+        burst = rng.choice([0, 3_000]) if protocol == "ddcr" else 0
+        seed = rng.randint(0, 2**31)
+        runs = [
+            _run_network(
+                engine, protocol, z=z, noise=noise, burst_limit=burst,
+                seed=seed,
+            )
+            for engine in ENGINES
+        ]
+        assert runs[0] == runs[1], (protocol, z, noise, burst, seed)
+
+
+def test_same_engine_repetition_is_deterministic():
+    """Two identical runs on one engine are byte-identical (run-local
+    sequence numbers: no process-global state leaks into results)."""
+    for engine in ENGINES:
+        assert _run_network(engine, "ddcr", noise=0.01) == _run_network(
+            engine, "ddcr", noise=0.01
+        )
+
+
+def test_engine_resolution_and_scoping():
+    """`auto` resolves through the scoped default; bad names are rejected."""
+    assert resolve_engine("des") == "des"
+    with pytest.raises(ValueError, match="unknown engine"):
+        resolve_engine("warp")
+    with pytest.raises(ValueError, match="unknown engine"):
+        NetworkSimulation(
+            uniform_problem(z=2),
+            ideal_medium(slot_time=64),
+            protocol_factory=lambda s: CSMACDProtocol(),
+            engine="warp",
+        )
+    before = resolve_engine(None)
+    with use_engine("des"):
+        assert resolve_engine(None) == "des"
+    assert resolve_engine(None) == before

@@ -1,0 +1,69 @@
+"""The micro-benchmark CLI (python -m repro.tools.bench)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.tools import bench
+
+
+def test_list_names(capsys):
+    assert bench.main(["--list"]) == 0
+    out = capsys.readouterr().out
+    assert "xi_dp_table" in out
+    assert "channel_slot_rate_16_fastloop" in out
+    assert "(engine: fastloop)" in out
+
+
+def test_unknown_bench_rejected():
+    with pytest.raises(SystemExit):
+        bench.main(["--only", "nope", "--no-write"])
+
+
+def test_smoke_run_writes_report(tmp_path, capsys):
+    output = tmp_path / "bench.json"
+    code = bench.main(
+        [
+            "--smoke",
+            "--only", "divide_conquer_table",
+            "--only", "channel_slot_rate_4_fastloop",
+            "--output", str(output),
+        ]
+    )
+    assert code == 0
+    payload = json.loads(output.read_text())
+    assert payload["schema"] == 1
+    assert payload["smoke"] is True
+    assert payload["git_rev"]
+    assert payload["default_engine"] in ("auto", "des", "fastloop")
+    by_name = {entry["name"]: entry for entry in payload["benches"]}
+    assert set(by_name) == {
+        "divide_conquer_table", "channel_slot_rate_4_fastloop"
+    }
+    slot_rate = by_name["channel_slot_rate_4_fastloop"]
+    assert slot_rate["engine"] == "fastloop"
+    assert slot_rate["unit"] == "rounds"
+    assert slot_rate["ops_per_sec"] > 0
+    assert slot_rate["repeats"] == 1
+    out = capsys.readouterr().out
+    assert "rounds/s" in out
+
+
+def test_no_write_leaves_no_file(tmp_path, monkeypatch, capsys):
+    monkeypatch.chdir(tmp_path)
+    code = bench.main(
+        ["--smoke", "--only", "divide_conquer_table", "--no-write"]
+    )
+    assert code == 0
+    assert list(tmp_path.iterdir()) == []
+
+
+def test_run_benches_returns_results():
+    results = bench.run_benches(
+        names=["divide_conquer_table"], smoke=True
+    )
+    assert len(results) == 1
+    assert results[0].ops_per_sec > 0
+    assert "tables/s" in results[0].describe()
