@@ -9,6 +9,8 @@ Usage::
     python -m repro.experiments --all --force   # ignore cached results
     python -m repro.experiments FIG1 --csv out  # also write CSV files
     python -m repro.experiments PROTO --engine des   # force the DES engine
+    python -m repro.experiments PROTO --fault crash  # preset fault plan
+    python -m repro.experiments PROTO --faults plan.json  # plan from a file
 
 Runs resolve through the :mod:`repro.runtime` executor: results are
 cached content-addressed under ``--cache-dir`` (default ``.repro-cache``),
@@ -24,6 +26,7 @@ import pathlib
 import sys
 
 from repro.experiments.registry import EXPERIMENTS
+from repro.faults.models import PLAN_PRESETS, FaultPlan, preset_plan
 from repro.net.engine import ENGINES
 from repro.runtime import ParallelExecutor, ResultCache, RunSpec
 
@@ -86,6 +89,22 @@ def build_parser() -> argparse.ArgumentParser:
             "keys — only how fast a cold run computes"
         ),
     )
+    faults = parser.add_mutually_exclusive_group()
+    faults.add_argument(
+        "--faults",
+        metavar="PLAN.json",
+        help=(
+            "inject a fault plan (JSON file, see repro.faults) into every "
+            "simulation the experiments build; faults change results, so "
+            "they ARE part of the cache key (unlike --engine)"
+        ),
+    )
+    faults.add_argument(
+        "--fault",
+        choices=sorted(PLAN_PRESETS),
+        default=None,
+        help="inject a named preset fault plan",
+    )
     return parser
 
 
@@ -111,6 +130,14 @@ def main(argv: list[str] | None = None) -> int:
             f"unknown experiment ids: {', '.join(unknown)} "
             f"(known: {known})"
         )
+    plan = None
+    if args.faults:
+        try:
+            plan = FaultPlan.load(args.faults)
+        except (OSError, ValueError, KeyError, TypeError) as exc:
+            parser.error(f"--faults {args.faults}: {exc}")
+    elif args.fault:
+        plan = preset_plan(args.fault)
     specs = []
     for experiment_id in ids:
         root_seed = (
@@ -121,7 +148,10 @@ def main(argv: list[str] | None = None) -> int:
         )
         specs.append(
             RunSpec.make(
-                experiment_id, root_seed=root_seed, engine=args.engine
+                experiment_id,
+                root_seed=root_seed,
+                engine=args.engine,
+                faults=plan,
             )
         )
     cache = None if args.no_cache else ResultCache(args.cache_dir)

@@ -39,6 +39,7 @@ from repro.experiments import (  # noqa: F401
 )
 from repro.experiments.base import ExperimentResult
 from repro.experiments.catalog import ExperimentEntry, entries, get_entry
+from repro.faults.context import use_fault_plan
 from repro.net.engine import use_engine
 from repro.runtime.spec import RunSpec
 
@@ -98,13 +99,18 @@ def run_experiment(experiment_id: str) -> ExperimentResult:
 
 
 def run_spec(spec: RunSpec) -> ExperimentResult:
-    """Execute a RunSpec: resolve the entry, apply params, seed and engine.
+    """Execute a RunSpec: resolve the entry, apply params, seed, engine
+    and fault plan.
 
-    The spec's engine choice is applied as a scoped process default
-    (:func:`repro.net.engine.use_engine`) so it reaches every simulation
-    the experiment builds, without threading an argument through each
-    runner's signature.  This also holds inside executor worker processes:
-    the spec travels to the worker by pickle and is applied there.
+    The spec's engine choice and fault plan are applied as scoped process
+    defaults (:func:`repro.net.engine.use_engine` /
+    :func:`repro.faults.context.use_fault_plan`) so they reach every
+    simulation the experiment builds, without threading arguments through
+    each runner's signature.  This also holds inside executor worker
+    processes: the spec travels to the worker by pickle and is applied
+    there.  Unlike the engine, the fault plan is part of the spec's
+    content hash, so faulted and fault-free runs never share a cache
+    entry.
     """
     try:
         entry = EXPERIMENTS[spec.experiment_id]
@@ -113,7 +119,7 @@ def run_spec(spec: RunSpec) -> ExperimentResult:
         raise KeyError(
             f"unknown experiment {spec.experiment_id!r}; known ids: {known}"
         ) from None
-    with use_engine(spec.engine):
+    with use_engine(spec.engine), use_fault_plan(spec.fault_plan()):
         result = entry.runner(**entry.kwargs_for(spec))
     if result.experiment_id != spec.experiment_id:
         raise RuntimeError(

@@ -1,0 +1,50 @@
+"""Fault injection: declarative fault plans and their runtime.
+
+The paper's contribution is *correctness proofs* — mutual exclusion and
+deadline compliance under the unimodal ``a/w`` adversary — so the repo
+needs adversarial executions, not just the happy path.  This package turns
+faults into data: a :class:`~repro.faults.models.FaultPlan` is a list of
+typed, timed fault events (station crash/restart, babbling station,
+Gilbert–Elliott burst noise, per-station clock drift, arrival-burst
+overload, bus jam) that can be serialised to JSON, hashed into a
+:class:`~repro.runtime.spec.RunSpec` (faults are *content*, unlike the
+engine), and armed onto a :class:`~repro.net.channel.BroadcastChannel`
+through a :class:`~repro.faults.runtime.FaultInjector`.
+
+The online invariant monitors in :mod:`repro.sim.invariants` are the
+matching oracles: they watch every channel round — under either engine —
+and report structured violations of the paper's proved properties.
+"""
+
+from repro.faults.context import current_fault_plan, use_fault_plan
+from repro.faults.models import (
+    PLAN_PRESETS,
+    ArrivalBurst,
+    BabblingStation,
+    BernoulliNoise,
+    BusJam,
+    ClockDrift,
+    FaultModel,
+    FaultPlan,
+    GilbertElliottNoise,
+    StationCrash,
+    preset_plan,
+)
+from repro.faults.runtime import FaultInjector
+
+__all__ = [
+    "ArrivalBurst",
+    "BabblingStation",
+    "BernoulliNoise",
+    "BusJam",
+    "ClockDrift",
+    "FaultInjector",
+    "FaultModel",
+    "FaultPlan",
+    "GilbertElliottNoise",
+    "PLAN_PRESETS",
+    "StationCrash",
+    "current_fault_plan",
+    "preset_plan",
+    "use_fault_plan",
+]

@@ -1,0 +1,378 @@
+"""Typed fault models and the declarative :class:`FaultPlan`.
+
+Every fault is a frozen dataclass with integer bit-times for event times
+(the simulation clock unit) and a stable ``kind`` discriminator used by
+the JSON serialisation.  A :class:`FaultPlan` is an ordered tuple of fault
+events; it round-trips through :meth:`FaultPlan.to_dict` /
+:meth:`FaultPlan.from_dict` (and ``dumps``/``loads``/``dump``/``load`` for
+JSON), and canonicalises to a deterministic JSON string for inclusion in
+:class:`~repro.runtime.spec.RunSpec` content hashes — faults change the
+result, so unlike the engine they are part of a run's identity.
+
+The models themselves are pure data.  Arming them onto a live channel —
+scheduling crash/restart events, driving the Gilbert–Elliott chain,
+synthesising babble frames — is :mod:`repro.faults.runtime`'s job.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pathlib
+import typing
+
+__all__ = [
+    "ArrivalBurst",
+    "BabblingStation",
+    "BernoulliNoise",
+    "BusJam",
+    "ClockDrift",
+    "FaultModel",
+    "FaultPlan",
+    "GilbertElliottNoise",
+    "PLAN_PRESETS",
+    "StationCrash",
+    "preset_plan",
+]
+
+
+def _require(mapping: typing.Mapping, key: str, context: str) -> object:
+    if key not in mapping:
+        raise ValueError(f"{context}: missing required key {key!r}")
+    return mapping[key]
+
+
+def _check_probability(name: str, value: float) -> None:
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value}")
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultModel:
+    """Base class for all fault events.  Subclasses set :attr:`kind`."""
+
+    #: Stable serialisation discriminator, overridden per subclass.
+    kind: typing.ClassVar[str] = ""
+
+    def to_dict(self) -> dict:
+        payload: dict = {"kind": self.kind}
+        for field in dataclasses.fields(self):
+            payload[field.name] = getattr(self, field.name)
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: typing.Mapping) -> "FaultModel":
+        kwargs = {
+            field.name: payload[field.name]
+            for field in dataclasses.fields(cls)
+            if field.name in payload
+        }
+        missing = [
+            field.name
+            for field in dataclasses.fields(cls)
+            if field.name not in payload
+            and field.default is dataclasses.MISSING
+            and field.default_factory is dataclasses.MISSING
+        ]
+        if missing:
+            raise ValueError(
+                f"fault {cls.kind!r}: missing required keys {missing}"
+            )
+        return cls(**kwargs)
+
+
+@dataclasses.dataclass(frozen=True)
+class BernoulliNoise(FaultModel):
+    """Memoryless common-mode corruption: each slot carrying fewer than
+    two frames is garbled into a collision with probability ``rate``.
+
+    This is the typed form of the channel's historical ``noise_rate``
+    kwarg; both now arm the same gate through one code path."""
+
+    kind: typing.ClassVar[str] = "bernoulli_noise"
+
+    rate: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.rate < 1.0:
+            raise ValueError(f"rate must be in [0, 1), got {self.rate}")
+
+
+@dataclasses.dataclass(frozen=True)
+class GilbertElliottNoise(FaultModel):
+    """Two-state (GOOD/BAD) burst-error channel, generalising Bernoulli.
+
+    Each slot the chain first transitions — GOOD->BAD with probability
+    ``p_enter_bad``, BAD->GOOD with ``p_exit_bad`` — then corrupts the
+    slot with the state's error rate (``good_rate`` is usually 0).  Like
+    Bernoulli noise, corruption is common-mode and only meaningful on
+    slots carrying fewer than two frames (a collision is a collision).
+    Setting ``p_enter_bad = p_exit_bad = 0`` with ``start_bad = True``
+    degenerates to Bernoulli at ``bad_rate``."""
+
+    kind: typing.ClassVar[str] = "gilbert_elliott"
+
+    p_enter_bad: float
+    p_exit_bad: float
+    bad_rate: float
+    good_rate: float = 0.0
+    start: int = 0
+    start_bad: bool = False
+
+    def __post_init__(self) -> None:
+        _check_probability("p_enter_bad", self.p_enter_bad)
+        _check_probability("p_exit_bad", self.p_exit_bad)
+        _check_probability("bad_rate", self.bad_rate)
+        _check_probability("good_rate", self.good_rate)
+        if self.start < 0:
+            raise ValueError(f"start must be >= 0, got {self.start}")
+
+
+@dataclasses.dataclass(frozen=True)
+class BusJam(FaultModel):
+    """Permanent or windowed bus jam: every slot in ``[start, stop)`` is
+    observed as a collision by every station (broken termination).  This
+    is the typed form of the channel's ``jam_from`` knob; ``stop=None``
+    keeps the historical jam-forever semantics."""
+
+    kind: typing.ClassVar[str] = "bus_jam"
+
+    start: int
+    stop: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.start < 0:
+            raise ValueError(f"start must be >= 0, got {self.start}")
+        if self.stop is not None and self.stop <= self.start:
+            raise ValueError("stop must be > start")
+
+
+@dataclasses.dataclass(frozen=True)
+class StationCrash(FaultModel):
+    """Fail-stop crash at ``at``; optional restart at ``restart_at``.
+
+    While down the station neither offers, observes, nor accepts arrival
+    deliveries (its pending arrivals accumulate and flood in on restart).
+    A restart re-attaches a *fresh* MAC instance from the simulation's
+    protocol factory — the station rejoins as a newcomer with no shared
+    state, exactly the transient-fault recovery scenario self-stabilising
+    MAC work studies."""
+
+    kind: typing.ClassVar[str] = "station_crash"
+
+    station_id: int
+    at: int
+    restart_at: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise ValueError(f"at must be >= 0, got {self.at}")
+        if self.restart_at is not None and self.restart_at <= self.at:
+            raise ValueError("restart_at must be > at")
+
+
+@dataclasses.dataclass(frozen=True)
+class BabblingStation(FaultModel):
+    """Non-conforming transmitter: injects a junk frame every ``period``
+    rounds inside ``[start, stop)``, regardless of the channel state.
+
+    The babbler is *virtual* — it is not an attached station and runs no
+    MAC — so its ``station_id`` must not collide with any real station
+    (negative ids are conventional; ``None`` auto-assigns one at arming).
+    A lone babble frame is delivered as a foreign success the conforming
+    protocols must digest; a babble frame on top of real traffic destroys
+    it (collision)."""
+
+    kind: typing.ClassVar[str] = "babbler"
+
+    start: int
+    stop: int
+    period: int = 1
+    length: int = 1_000
+    station_id: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.start < 0:
+            raise ValueError(f"start must be >= 0, got {self.start}")
+        if self.stop <= self.start:
+            raise ValueError("stop must be > start")
+        if self.period < 1:
+            raise ValueError(f"period must be >= 1, got {self.period}")
+        if self.length < 1:
+            raise ValueError(f"length must be >= 1, got {self.length}")
+
+
+@dataclasses.dataclass(frozen=True)
+class ClockDrift(FaultModel):
+    """Deterministic carrier-sense clock skew on one station.
+
+    The station's local slot clock gains ``skew_per_slot`` bit-times per
+    round; whenever the accumulated skew crosses ``threshold`` (default:
+    half a slot, supplied at arming) the station mis-times its carrier
+    sense, loses that round's transmission opportunity (its offer is
+    suppressed), and resynchronises to the observed slot edge."""
+
+    kind: typing.ClassVar[str] = "clock_drift"
+
+    station_id: int
+    skew_per_slot: float
+    start: int = 0
+    stop: int | None = None
+    threshold: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.skew_per_slot <= 0:
+            raise ValueError(
+                f"skew_per_slot must be > 0, got {self.skew_per_slot}"
+            )
+        if self.start < 0:
+            raise ValueError(f"start must be >= 0, got {self.start}")
+        if self.stop is not None and self.stop <= self.start:
+            raise ValueError("stop must be > start")
+        if self.threshold is not None and self.threshold <= 0:
+            raise ValueError("threshold must be > 0")
+
+
+@dataclasses.dataclass(frozen=True)
+class ArrivalBurst(FaultModel):
+    """Overload injection: ``count`` extra arrivals of one message class
+    at one station, all at time ``at`` — deliberately violating the
+    class's declared unimodal ``(a, w)`` density bound when ``count``
+    exceeds ``a``.  ``class_name=None`` targets the station's first
+    declared class."""
+
+    kind: typing.ClassVar[str] = "arrival_burst"
+
+    station_id: int
+    at: int
+    count: int
+    class_name: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise ValueError(f"at must be >= 0, got {self.at}")
+        if self.count < 1:
+            raise ValueError(f"count must be >= 1, got {self.count}")
+
+
+#: kind discriminator -> model class, for deserialisation.
+FAULT_KINDS: dict[str, type[FaultModel]] = {
+    model.kind: model
+    for model in (
+        BernoulliNoise,
+        GilbertElliottNoise,
+        BusJam,
+        StationCrash,
+        BabblingStation,
+        ClockDrift,
+        ArrivalBurst,
+    )
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultPlan:
+    """An ordered, immutable list of fault events for one run."""
+
+    events: tuple[FaultModel, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.events, tuple):
+            object.__setattr__(self, "events", tuple(self.events))
+        for event in self.events:
+            if not isinstance(event, FaultModel) or not event.kind:
+                raise TypeError(
+                    f"FaultPlan events must be fault models, got {event!r}"
+                )
+
+    def __bool__(self) -> bool:
+        return bool(self.events)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.events
+
+    def of_kind(self, model: type[FaultModel]) -> tuple[FaultModel, ...]:
+        return tuple(e for e in self.events if isinstance(e, model))
+
+    # -- serialisation ---------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {"faults": [event.to_dict() for event in self.events]}
+
+    @classmethod
+    def from_dict(cls, payload: typing.Mapping) -> "FaultPlan":
+        raw = _require(payload, "faults", "fault plan")
+        if not isinstance(raw, (list, tuple)):
+            raise ValueError("fault plan: 'faults' must be a list")
+        events = []
+        for index, entry in enumerate(raw):
+            if not isinstance(entry, typing.Mapping):
+                raise ValueError(f"fault plan entry {index}: not a mapping")
+            kind = _require(entry, "kind", f"fault plan entry {index}")
+            model = FAULT_KINDS.get(kind)
+            if model is None:
+                raise ValueError(
+                    f"fault plan entry {index}: unknown fault kind {kind!r} "
+                    f"(known: {sorted(FAULT_KINDS)})"
+                )
+            events.append(model.from_dict(entry))
+        return cls(events=tuple(events))
+
+    def dumps(self) -> str:
+        """Canonical JSON: deterministic for a given plan, so it can key
+        :class:`~repro.runtime.spec.RunSpec` content hashes."""
+        return json.dumps(
+            self.to_dict(), sort_keys=True, separators=(",", ":")
+        )
+
+    @classmethod
+    def loads(cls, text: str) -> "FaultPlan":
+        return cls.from_dict(json.loads(text))
+
+    def dump(self, path: str | pathlib.Path) -> None:
+        pathlib.Path(path).write_text(
+            json.dumps(self.to_dict(), indent=2) + "\n"
+        )
+
+    @classmethod
+    def load(cls, path: str | pathlib.Path) -> "FaultPlan":
+        return cls.loads(pathlib.Path(path).read_text())
+
+
+_MS = 1_000_000  # bit-times per millisecond at 1 Gb/s
+
+#: Named presets for ``--fault <name>`` on the experiments CLI.  Times are
+#: absolute bit-times sized for the paper-scale horizons (tens of ms).
+PLAN_PRESETS: dict[str, FaultPlan] = {
+    "crash": FaultPlan(
+        (StationCrash(station_id=0, at=4 * _MS, restart_at=10 * _MS),)
+    ),
+    "babble": FaultPlan(
+        (BabblingStation(start=4 * _MS, stop=6 * _MS, period=8),)
+    ),
+    "burst-noise": FaultPlan(
+        (
+            GilbertElliottNoise(
+                p_enter_bad=0.002, p_exit_bad=0.05, bad_rate=0.5
+            ),
+        )
+    ),
+    "drift": FaultPlan(
+        (ClockDrift(station_id=0, skew_per_slot=4.0),)
+    ),
+    "overload": FaultPlan(
+        (ArrivalBurst(station_id=0, at=2 * _MS, count=64),)
+    ),
+    "jam-window": FaultPlan((BusJam(start=4 * _MS, stop=6 * _MS),)),
+}
+
+
+def preset_plan(name: str) -> FaultPlan:
+    """Look up a named preset plan, with a helpful error."""
+    try:
+        return PLAN_PRESETS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown fault preset {name!r} (known: {sorted(PLAN_PRESETS)})"
+        ) from None

@@ -80,11 +80,19 @@ class _RoundDriver:
     """One channel round, engine-independent, on an allocation diet.
 
     Built once per run: everything loop-invariant — the slot time, the
-    noise gate, whether tracing/consistency checks are on — is hoisted
-    into slots here, so the per-round body allocates nothing beyond the
-    :class:`SlotObservation` itself (and a Frame on successes).  Mutable
-    run state (``jam_from``, the station list object, stats) is still read
-    through the channel each round, so mid-run changes keep working.
+    armed noise gates, whether tracing/consistency checks/faults/monitors
+    are on — is hoisted into slots here, so the fault-free per-round body
+    allocates nothing beyond the :class:`SlotObservation` itself (and a
+    Frame on successes).  Mutable run state (``jam_from``/``jam_until``,
+    the station list object, stats) is still read through the channel
+    each round, so mid-run changes keep working.
+
+    Noise flows through one code path: the channel's legacy
+    ``noise_rate`` kwarg and any fault-plan noise models all arm gate
+    objects (:class:`repro.faults.runtime.BernoulliGate` /
+    :class:`~repro.faults.runtime.GilbertElliottGate`) consulted in a
+    fixed order on every non-jammed slot, so the RNG draw sequence — and
+    hence byte-identity across engines — is a pure function of the run.
     """
 
     __slots__ = (
@@ -94,8 +102,9 @@ class _RoundDriver:
         "slot_time",
         "transmission_time",
         "destructive",
-        "noise_rate",
-        "noise_random",
+        "noise_gates",
+        "faults",
+        "monitors",
         "trace",
         "trace_on",
         "check",
@@ -111,8 +120,19 @@ class _RoundDriver:
         self.slot_time = medium.slot_time
         self.transmission_time = medium.transmission_time
         self.destructive = medium.destructive_collisions
-        self.noise_rate = channel.noise_rate
-        self.noise_random = channel._noise_rng.random
+        gates: list = []
+        if channel.noise_rate > 0.0:
+            from repro.faults.runtime import BernoulliGate
+
+            gates.append(BernoulliGate(channel.noise_rate, channel._noise_rng))
+        self.faults = channel.faults
+        if self.faults is not None:
+            # Fault-plan gates are armed once on the injector and carry
+            # their own state, so a mid-run driver rebuild (the fast
+            # loop's DES rejoin) resumes them rather than resetting.
+            gates.extend(self.faults.noise_gates)
+        self.noise_gates = tuple(gates)
+        self.monitors = channel.monitors
         self.trace = channel.trace
         self.trace_on = channel.trace.enabled
         self.check = channel.check_consistency
@@ -123,22 +143,61 @@ class _RoundDriver:
         stations = self.stations
         stats = self.stats
         slot_time = self.slot_time
-        for station in stations:
-            pending = station._pending_arrivals
-            if pending and pending[0][0] <= now:
-                station.deliver_due(now)
-        transmitters = []
-        for station in stations:
-            message = station.mac.offer(now)
-            if message is not None:
-                transmitters.append((station, message))
+        faults = self.faults
+        if faults is None:
+            down = None
+            extra = None
+            for station in stations:
+                pending = station._pending_arrivals
+                if pending and pending[0][0] <= now:
+                    station.deliver_due(now)
+            transmitters = []
+            for station in stations:
+                message = station.mac.offer(now)
+                if message is not None:
+                    transmitters.append((station, message))
+            wire = len(transmitters)
+        else:
+            faults.begin_round(now)
+            down = faults.down or None
+            suppressed = faults.suppressed
+            extra = faults.extra or None
+            for station in stations:
+                if down is not None and station.station_id in down:
+                    continue  # crashed: arrivals keep pending
+                pending = station._pending_arrivals
+                if pending and pending[0][0] <= now:
+                    station.deliver_due(now)
+            transmitters = []
+            for station in stations:
+                sid = station.station_id
+                if down is not None and sid in down:
+                    continue
+                message = station.mac.offer(now)
+                if message is not None:
+                    if suppressed and sid in suppressed:
+                        # Clock drift: the offer never reached the wire.
+                        station.mac.suppress_offer()
+                    else:
+                        transmitters.append((station, message))
+            wire = len(transmitters)
+            if extra is not None:
+                wire += len(extra)
         jam_from = channel.jam_from
-        jammed = jam_from is not None and now >= jam_from
-        corrupted = jammed or (
-            self.noise_rate > 0.0
-            and len(transmitters) < 2
-            and self.noise_random() < self.noise_rate
+        jammed = jam_from is not None and now >= jam_from and (
+            channel.jam_until is None or now < channel.jam_until
         )
+        if jammed:
+            corrupted = True
+        elif self.noise_gates:
+            # Every gate is consulted every slot (stateful chains must
+            # advance even after the slot is already corrupt).
+            corrupted = False
+            for gate in self.noise_gates:
+                if gate(now, wire):
+                    corrupted = True
+        else:
+            corrupted = False
         if corrupted:
             # Common-mode corruption: everyone hears a collision; any
             # frame on the wire is destroyed (no completion).
@@ -156,8 +215,15 @@ class _RoundDriver:
                 occupied_children=None,
             )
             for station in stations:
+                if down is not None and station.station_id in down:
+                    continue
                 station.mac.observe(observation)
             channel.observations += 1
+            if self.monitors is not None:
+                self.monitors.on_slot(
+                    now, slot_time, _COLLISION, wire, None, True, jammed,
+                    stations, down,
+                )
             if self.trace_on:
                 self.trace.emit(
                     now, "slot", state="corrupted", duration=slot_time,
@@ -166,19 +232,25 @@ class _RoundDriver:
             if self.check:
                 channel._assert_lockstep(now)
             return slot_time
-        if not transmitters:
+        if wire == 0:
             state = _SILENCE
             duration = slot_time
             frame = None
             stats.silence_slots += 1
             stats.idle_time += slot_time
-        elif len(transmitters) == 1:
-            station, message = transmitters[0]
-            frame = Frame(
-                station_id=station.station_id,
-                message=message,
-                burst_continue=station.mac.wants_burst_continuation(now),
-            )
+        elif wire == 1:
+            if transmitters:
+                station, message = transmitters[0]
+                frame = Frame(
+                    station_id=station.station_id,
+                    message=message,
+                    burst_continue=station.mac.wants_burst_continuation(now),
+                )
+            else:
+                # A lone babble frame: delivered as a foreign success the
+                # conforming protocols must digest.
+                frame = extra[0]
+                message = frame.message
             state = _SUCCESS
             duration = self.transmission_time(message.length)
             if self.destructive and duration < slot_time:
@@ -195,7 +267,9 @@ class _RoundDriver:
             stats.collision_slots += 1
             stats.collision_time += slot_time
         occupied = None
-        if state is _COLLISION and not self.destructive:
+        if state is _COLLISION and not self.destructive and extra is None:
+            # (A babbler cannot tag itself, so occupancy information is
+            # withheld for slots its frames collide in — always safe.)
             tags = [
                 station.mac.contention_tag(now)
                 for station, _ in transmitters
@@ -210,8 +284,15 @@ class _RoundDriver:
             occupied_children=occupied,
         )
         for station in stations:
+            if down is not None and station.station_id in down:
+                continue
             station.mac.observe(observation)
         channel.observations += 1
+        if self.monitors is not None:
+            self.monitors.on_slot(
+                now, duration, state, wire, frame, False, False,
+                stations, down,
+            )
         if self.trace_on:
             self.trace.emit(
                 now,
@@ -248,7 +329,12 @@ class BroadcastChannel:
 
         ``noise_rng`` supplies the corruption stream directly (the
         simulation layer passes a :class:`~repro.sim.rng.SeedSequenceRegistry`
-        stream); when absent, one is derived from ``noise_seed``."""
+        stream); when absent, one is derived from ``noise_seed``.
+
+        Internally ``noise_rate`` arms the same typed gate
+        (:class:`repro.faults.runtime.BernoulliGate`) that fault plans
+        use, so there is exactly one corruption code path; richer noise
+        models (Gilbert–Elliott bursts) arrive via :attr:`faults`."""
         if not 0.0 <= noise_rate < 1.0:
             raise ValueError(f"noise_rate must be in [0, 1), got {noise_rate}")
         self.env = env
@@ -264,8 +350,19 @@ class BroadcastChannel:
         self.observations: int = 0
         #: When set, the bus is *jammed* from this time on: every slot is
         #: observed as a collision (broken termination / babbling idiot).
-        #: The dual-bus layer uses this to model a bus failure.
+        #: The dual-bus layer uses this to model a bus failure;
+        #: ``jam_until`` optionally ends the jam window (fault plans model
+        #: transient jams this way).
         self.jam_from: int | None = None
+        self.jam_until: int | None = None
+        #: An armed :class:`~repro.faults.runtime.FaultInjector`, or None.
+        #: Set by the simulation layer (or tests) after stations attach and
+        #: the injector's :meth:`~repro.faults.runtime.FaultInjector.arm`
+        #: ran against this channel.
+        self.faults = None
+        #: A :class:`~repro.sim.invariants.MonitorSuite`, or None.  The
+        #: round driver feeds it every slot under either engine.
+        self.monitors = None
 
     def attach(self, station: "Station") -> None:
         if any(s.station_id == station.station_id for s in self.stations):
@@ -332,9 +429,19 @@ class BroadcastChannel:
 
     def _assert_lockstep(self, now: int) -> None:
         """All stations running the same protocol class must agree on the
-        common-knowledge part of their state."""
+        common-knowledge part of their state.
+
+        Stations that ever crashed are exempt: a fail-stop station misses
+        observations while down and rejoins as a newcomer, so its replica
+        state legitimately diverges from the survivors' (the mutual
+        exclusion and deadline monitors still hold it to account)."""
+        desynced = (
+            self.faults.desynced if self.faults is not None else ()
+        )
         by_type: dict[type, tuple[object, ...]] = {}
         for station in self.stations:
+            if desynced and station.station_id in desynced:
+                continue
             key = station.mac.public_state()
             mac_type = type(station.mac)
             if mac_type in by_type and by_type[mac_type] != key:

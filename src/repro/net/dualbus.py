@@ -26,7 +26,6 @@ import dataclasses
 import itertools
 from collections.abc import Callable, Mapping
 
-from repro.core.trees import integer_log
 from repro.model.arrival import ArrivalProcess, GreedyBurstArrivals
 from repro.model.problem import HRTDMProblem
 from repro.model.source import SourceSpec
@@ -37,6 +36,11 @@ from repro.net.station import Station
 from repro.protocols.base import ChannelState, MACProtocol, SlotObservation
 from repro.protocols.ddcr.config import DDCRConfig
 from repro.sim.engine import Environment
+from repro.sim.invariants import (
+    InvariantReport,
+    MonitorSuite,
+    MutualExclusionMonitor,
+)
 from repro.sim.trace import TraceLog
 
 __all__ = [
@@ -53,15 +57,12 @@ def suggested_jam_threshold(config: DDCRConfig, margin: int = 8) -> int:
 
     The longest legitimate consecutive-collision run is a full descent of
     the time tree followed by a full descent of the static tree (every
-    probe on the path colliding), i.e. ``log_m(F) + log_m(q) + 1`` slots;
-    add a margin for back-to-back searches.
+    probe on the path colliding); delegate to
+    :meth:`~repro.protocols.ddcr.config.DDCRConfig.collision_run_bound`,
+    which the search-length invariant monitor shares, so the two
+    consumers of this bound can never drift apart.
     """
-    depth = (
-        integer_log(config.time_f, config.time_m)
-        + integer_log(config.static_q, config.static_m)
-        + 1
-    )
-    return depth + margin
+    return config.collision_run_bound(margin)
 
 
 class BusFailoverController:
@@ -164,6 +165,8 @@ class DualBusResult:
     bus_stats: tuple[ChannelStats, ChannelStats]
     failovers: int
     traces: tuple[TraceLog, TraceLog]
+    #: Per-bus invariant reports (``monitors=True``), else ``None``.
+    invariants: tuple[InvariantReport, InvariantReport] | None = None
 
     @property
     def completions(self):
@@ -198,6 +201,13 @@ class DualBusSimulation:
     foreign-process fallback (bus B's ``run_fast`` finds bus A's process
     already registered and rejoins the heap), which keeps that fallback
     exercised by real traffic rather than only by tests.
+
+    ``monitors=True`` arms a mutual-exclusion
+    :class:`~repro.sim.invariants.MonitorSuite` on each bus (per-bus
+    reports land in :attr:`DualBusResult.invariants`).  Only the
+    slot-level safety invariant applies per bus: deadline and
+    work-conservation accounting spans both busses (shared queues), so
+    those monitors belong to single-bus runs.
     """
 
     def __init__(
@@ -211,6 +221,7 @@ class DualBusSimulation:
         check_consistency: bool = False,
         trace: bool = False,
         engine: str | None = None,
+        monitors: bool = False,
     ) -> None:
         self.problem = problem
         self.medium = medium
@@ -223,6 +234,7 @@ class DualBusSimulation:
         if engine is not None:
             resolve_engine(engine)  # validate eagerly
         self.engine = engine
+        self.monitors = monitors
 
     def _arrival_process(self, class_name: str, source: SourceSpec):
         if class_name in self.arrivals:
@@ -248,7 +260,15 @@ class DualBusSimulation:
         )
         if self.fail_bus_at is not None:
             busses[0].jam_from = self.fail_bus_at
+        suites: tuple[MonitorSuite, MonitorSuite] | None = None
+        if self.monitors:
+            suites = tuple(
+                MonitorSuite([MutualExclusionMonitor()]) for _ in range(2)
+            )
+            for bus, suite in zip(busses, suites):
+                bus.monitors = suite
         primary_stations: list[Station] = []
+        bus_stations: tuple[list[Station], list[Station]] = ([], [])
         controllers: list[BusFailoverController] = []
         seq_source = itertools.count()  # run-local instance ids (see Station)
         for source in self.problem.sources:
@@ -282,6 +302,8 @@ class DualBusSimulation:
             busses[0].attach(station_a)
             busses[1].attach(station_b)
             primary_stations.append(station_a)
+            bus_stations[0].append(station_a)
+            bus_stations[1].append(station_b)
         if resolve_engine(self.engine) == "des":
             env.process(busses[0].run(horizon))
             env.process(busses[1].run(horizon))
@@ -292,10 +314,17 @@ class DualBusSimulation:
             # registering its own generator second, exactly as above.
             env.process(busses[0].run(horizon))
             busses[1].run_fast(horizon)
+        invariants = None
+        if suites is not None:
+            invariants = tuple(
+                suite.finalize(horizon, stations, down=None)
+                for suite, stations in zip(suites, bus_stations)
+            )
         return DualBusResult(
             horizon=horizon,
             stations=primary_stations,
             bus_stats=(busses[0].stats, busses[1].stats),
             failovers=max(c.failovers for c in controllers),
             traces=traces,
+            invariants=invariants,
         )

@@ -23,6 +23,11 @@ Both engines execute the *identical* round semantics (one shared driver,
 from the same RNG streams in the same order, so results — channel
 statistics, completion records, trace streams — are byte-identical.  The
 runtime layer therefore excludes the engine from result cache keys.
+This equivalence extends to the fault-injection and invariant layers:
+an armed :class:`~repro.faults.runtime.FaultInjector` and any
+:class:`~repro.sim.invariants.MonitorSuite` are driven from the shared
+round driver, so fault timelines and violation reports are also
+byte-identical across engines (enforced by the differential tests).
 
 The process-wide default is ``auto``; override it with the
 ``REPRO_ENGINE`` environment variable, per-simulation via

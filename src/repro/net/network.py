@@ -23,6 +23,8 @@ import functools
 import itertools
 from collections.abc import Callable, Mapping
 
+from repro.faults.context import current_fault_plan
+from repro.faults.models import FaultPlan
 from repro.model.arrival import ArrivalProcess, GreedyBurstArrivals
 from repro.model.problem import HRTDMProblem
 from repro.model.source import SourceSpec
@@ -32,6 +34,7 @@ from repro.net.phy import MediumProfile
 from repro.net.station import CompletionRecord, Station
 from repro.protocols.base import MACProtocol
 from repro.sim.engine import Environment
+from repro.sim.invariants import InvariantReport, MonitorSuite, standard_suite
 from repro.sim.rng import SeedSequenceRegistry
 from repro.sim.trace import TraceLog
 
@@ -55,6 +58,9 @@ class RunResult:
     stations: list[Station]
     stats: ChannelStats
     trace: TraceLog
+    #: Invariant-monitor report (:mod:`repro.sim.invariants`); ``None``
+    #: when the run had no monitors armed.
+    invariants: InvariantReport | None = None
 
     @functools.cached_property
     def completions(self) -> list[CompletionRecord]:
@@ -109,6 +115,21 @@ class NetworkSimulation:
     to the process-wide default (``auto`` unless overridden).  Engines
     are result-equivalent: the same run under ``des`` and ``fastloop``
     yields byte-identical statistics, completions and traces.
+
+    ``faults`` arms a :class:`~repro.faults.models.FaultPlan` on the
+    channel; ``None`` (default) picks up the ambient scoped plan
+    (:func:`repro.faults.context.use_fault_plan` — how the experiments
+    registry applies a spec's plan), pass an empty plan to force a
+    fault-free run.  The injector draws from its own named registry
+    stream, so arming faults never perturbs arrival or noise streams.
+
+    ``monitors`` arms online invariant monitors
+    (:mod:`repro.sim.invariants`): ``True`` for the standard suite, a
+    :class:`~repro.sim.invariants.MonitorSuite` for a custom one,
+    ``False`` for none.  The default ``None`` auto-arms the standard
+    suite exactly when a fault plan is active, and the resulting
+    :class:`~repro.sim.invariants.InvariantReport` lands in
+    :attr:`RunResult.invariants` — identical under both engines.
     """
 
     def __init__(
@@ -123,6 +144,8 @@ class NetworkSimulation:
         noise_seed: int = 0,
         root_seed: int = 0,
         engine: str | None = None,
+        faults: FaultPlan | None = None,
+        monitors: bool | MonitorSuite | None = None,
     ) -> None:
         self.problem = problem
         self.medium = medium
@@ -136,6 +159,8 @@ class NetworkSimulation:
         if engine is not None:
             resolve_engine(engine)  # validate eagerly
         self.engine = engine
+        self.faults = faults
+        self.monitors = monitors
 
     def _arrival_process(self, class_name: str, source: SourceSpec):
         if class_name in self.arrivals:
@@ -171,6 +196,7 @@ class NetworkSimulation:
             noise_rng=rng.stream(f"channel/noise/{self.noise_seed}"),
         )
         stations: list[Station] = []
+        sources_by_station: dict[int, SourceSpec] = {}
         # One run-local instance-id counter shared by all stations: message
         # identity (EDF FIFO tie-break, completion records) is then a pure
         # function of the run, identical across engines and repetitions.
@@ -194,6 +220,39 @@ class NetworkSimulation:
                 )
             channel.attach(station)
             stations.append(station)
+            sources_by_station[source.source_id] = source
+        plan = self.faults if self.faults is not None else current_fault_plan()
+        injector = None
+        if plan is not None and not plan.is_empty:
+            # Imported here, not at module top: the injector module needs
+            # ``repro.net.frames``, which would cycle back into this
+            # package when ``repro.faults`` is imported first.
+            from repro.faults.runtime import FaultInjector
+
+            # The injector's own stream: arming faults never perturbs the
+            # arrival or noise draws of an existing root seed.
+            injector = FaultInjector(plan, rng=rng.stream("faults/injector"))
+
+            def reset_mac(station: Station) -> None:
+                fresh = self.protocol_factory(
+                    sources_by_station[station.station_id]
+                )
+                station.mac = fresh
+                fresh.attach(station)
+
+            def resolve_class(station: Station, class_name: str | None):
+                source = sources_by_station[station.station_id]
+                if class_name is None:
+                    return source.message_classes[0]
+                return source.class_named(class_name)
+
+            injector.arm(
+                channel, reset_mac=reset_mac, resolve_class=resolve_class
+            )
+            channel.faults = injector
+        suite = self._resolve_monitors(stations, faulted=injector is not None)
+        if suite is not None:
+            channel.monitors = suite
         if engine_name == "des":
             env.process(channel.run(horizon))
             env.run(until=horizon)
@@ -202,6 +261,28 @@ class NetworkSimulation:
             # the environment (pre-registered or appearing mid-run) and
             # rejoins the general DES by itself.
             channel.run_fast(horizon)
+        invariants = None
+        if suite is not None:
+            invariants = suite.finalize(
+                horizon,
+                stations,
+                down=injector.down if injector is not None else None,
+            )
         return RunResult(
-            horizon=horizon, stations=stations, stats=channel.stats, trace=trace
+            horizon=horizon,
+            stations=stations,
+            stats=channel.stats,
+            trace=trace,
+            invariants=invariants,
         )
+
+    def _resolve_monitors(
+        self, stations: list[Station], faulted: bool
+    ) -> MonitorSuite | None:
+        """``monitors=None`` auto-arms the standard suite on faulted runs."""
+        monitors = self.monitors
+        if isinstance(monitors, MonitorSuite):
+            return monitors
+        if monitors is True or (monitors is None and faulted):
+            return standard_suite(stations)
+        return None

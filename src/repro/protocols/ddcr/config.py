@@ -90,6 +90,25 @@ class DDCRConfig:
         """The scheduling horizon c*F covered by one time tree."""
         return self.class_width * self.time_f
 
+    def collision_run_bound(self, margin: int = 8) -> int:
+        """Longest run of consecutive genuine collisions, plus ``margin``.
+
+        A full collision-resolution descent collides once per tree level:
+        the time-tree descent, the time-leaf collision opening the nested
+        static search, and the static-tree descent —
+        ``log_m(F) + log_m(q) + 1`` slots.  Consumers needing a safety
+        threshold above it (dual-bus jam detection, the search-length
+        invariant monitor) add a margin for back-to-back searches.
+        """
+        from repro.core.trees import integer_log
+
+        depth = (
+            integer_log(self.time_f, self.time_m)
+            + integer_log(self.static_q, self.static_m)
+            + 1
+        )
+        return depth + margin
+
     def time_tree(self) -> BalancedTree:
         return BalancedTree.of(m=self.time_m, leaves=self.time_f)
 

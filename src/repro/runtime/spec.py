@@ -22,7 +22,7 @@ import pathlib
 __all__ = ["RunSpec", "code_version", "freeze_params"]
 
 #: Bump when the cache payload layout changes incompatibly.
-CACHE_FORMAT_VERSION = 1
+CACHE_FORMAT_VERSION = 2
 
 
 @functools.lru_cache(maxsize=1)
@@ -75,6 +75,32 @@ def _jsonable(value: object) -> object:
     return value
 
 
+def _canonical_faults(faults: object) -> str | None:
+    """Normalise a fault-plan argument to canonical JSON (or ``None``).
+
+    Empty plans normalise to ``None``: they are proven byte-identical to
+    fault-free runs, so the two must share one content hash.
+    """
+    if faults is None:
+        return None
+    from repro.faults.models import FaultPlan
+
+    if isinstance(faults, str):
+        plan = FaultPlan.loads(faults)
+    elif isinstance(faults, FaultPlan):
+        plan = faults
+    elif isinstance(faults, dict):
+        plan = FaultPlan.from_dict(faults)
+    else:
+        raise TypeError(
+            "faults must be a FaultPlan, a plan dict, a JSON string or "
+            f"None, got {type(faults).__name__}"
+        )
+    if plan.is_empty:
+        return None
+    return plan.dumps()
+
+
 @dataclasses.dataclass(frozen=True)
 class RunSpec:
     """One experiment execution, identified by content.
@@ -84,6 +110,13 @@ class RunSpec:
     ``None`` to keep the experiment's own default seed — the seed path the
     original sequential suite used — or an int to override it.  ``salt``
     is ``None`` for "current code version".
+
+    ``faults`` is a fault plan in its canonical JSON form
+    (:meth:`repro.faults.models.FaultPlan.dumps`), or ``None`` for a
+    fault-free run.  Faults change the *result* — unlike the engine —
+    so they participate in :meth:`canonical_key`, :meth:`spec_hash` and
+    equality; an empty plan is normalised to ``None`` at :meth:`make`
+    time (it is proven byte-identical to a fault-free run).
 
     ``engine`` selects the simulation engine the run executes on (see
     :mod:`repro.net.engine`); ``None`` keeps the process default.  Both
@@ -97,6 +130,7 @@ class RunSpec:
     params: tuple[tuple[str, object], ...] = ()
     root_seed: int | None = None
     salt: str | None = None
+    faults: str | None = None
     engine: str | None = dataclasses.field(default=None, compare=False)
 
     @classmethod
@@ -106,10 +140,16 @@ class RunSpec:
         *,
         root_seed: int | None = None,
         salt: str | None = None,
+        faults: object = None,
         engine: str | None = None,
         **params: object,
     ) -> "RunSpec":
-        """Build a spec, canonicalising parameters."""
+        """Build a spec, canonicalising parameters.
+
+        ``faults`` accepts a :class:`~repro.faults.models.FaultPlan`, a
+        plan dict, or a JSON string; all are validated and canonicalised
+        through the plan's own serialisation.
+        """
         if engine is not None:
             from repro.net.engine import resolve_engine
 
@@ -123,8 +163,17 @@ class RunSpec:
             params=frozen,
             root_seed=root_seed,
             salt=salt,
+            faults=_canonical_faults(faults),
             engine=engine,
         )
+
+    def fault_plan(self):
+        """The spec's :class:`~repro.faults.models.FaultPlan`, or ``None``."""
+        if self.faults is None:
+            return None
+        from repro.faults.models import FaultPlan
+
+        return FaultPlan.loads(self.faults)
 
     def kwargs(self) -> dict[str, object]:
         """The keyword arguments this spec passes to the runner."""
@@ -145,6 +194,7 @@ class RunSpec:
             ],
             "root_seed": self.root_seed,
             "salt": self.salt if self.salt is not None else code_version(),
+            "faults": self.faults,
         }
         return json.dumps(payload, sort_keys=True, separators=(",", ":"))
 
@@ -162,4 +212,6 @@ class RunSpec:
             parts.append(f"({rendered})")
         if self.root_seed is not None:
             parts.append(f"seed={self.root_seed}")
+        if self.faults is not None:
+            parts.append("[faulted]")
         return " ".join(parts)

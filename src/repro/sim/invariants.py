@@ -1,0 +1,514 @@
+"""Online invariant monitors: the paper's proved properties as oracles.
+
+The correctness results of the paper — mutual exclusion on the broadcast
+bus, deadline compliance under the feasibility condition FC (theorems
+P5/P6), and the bounded collision-resolution cost ``xi(k, t)`` of Eq. 1 —
+are turned here into *online monitors* hooked into the channel round loop.
+Each monitor watches every slot (under either engine: the round driver is
+engine-independent, so violation reports are byte-identical across ``des``
+and ``fastloop``) and records structured :class:`Violation` entries
+instead of silently passing; the aggregated :class:`InvariantReport` is
+attached to :class:`~repro.net.network.RunResult`.
+
+Monitor-to-theorem mapping:
+
+* :class:`MutualExclusionMonitor` — safety: a slot is observed SUCCESS iff
+  exactly one uncorrupted frame was on the wire; corrupted slots must
+  read COLLISION and deliver nothing.
+* :class:`DeadlineMonitor` — timeliness (P5/P6): no message completes
+  after its absolute deadline ``DM = T + d``, and no past-due message is
+  still queued at the horizon.  Only meaningful when the caller knows the
+  workload satisfies FC (:func:`repro.core.feasibility.check_feasibility`)
+  and the fault plan stays within the ``a/w`` bound — an overload plan is
+  *expected* to trip it (that is the oracle's negative test).
+* :class:`WorkConservationMonitor` — the channel never idles for more
+  than a threshold of consecutive slots while some live station has a
+  queued message (DDCR's compressed time pulls any waiting class to the
+  frontier at theta(c) per empty run, so legitimate idle streaks are
+  bounded by ``d/c``-scale slot counts).
+* :class:`SearchLengthMonitor` — Eq. 1: no run of consecutive genuine
+  collisions exceeds a full time-tree + static-tree descent
+  (:meth:`DDCRConfig.collision_run_bound`), and on corruption-free runs
+  every completed TTs/STs record stays within its ``xi``-based slot
+  budget from :mod:`repro.core.search_cost`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.protocols.base import ChannelState
+
+if typing.TYPE_CHECKING:  # pragma: no cover - layering guard
+    from repro.net.frames import Frame
+    from repro.net.station import Station
+    from repro.protocols.ddcr.config import DDCRConfig
+
+__all__ = [
+    "DeadlineMonitor",
+    "InvariantMonitor",
+    "InvariantReport",
+    "MonitorSuite",
+    "MutualExclusionMonitor",
+    "SearchLengthMonitor",
+    "Violation",
+    "WorkConservationMonitor",
+    "standard_suite",
+]
+
+_SILENCE = ChannelState.SILENCE
+_SUCCESS = ChannelState.SUCCESS
+_COLLISION = ChannelState.COLLISION
+
+#: Per-monitor cap on stored violations; further ones are counted, not kept.
+MAX_VIOLATIONS_PER_MONITOR = 100
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class Violation:
+    """One observed breach of a proved property.
+
+    ``details`` is a sorted tuple of ``(key, value)`` pairs so reports are
+    deterministic, hashable and picklable — the engine-differential tests
+    compare them byte-for-byte.
+    """
+
+    invariant: str
+    time: int
+    message: str
+    details: tuple[tuple[str, object], ...] = ()
+
+    def detail(self, key: str) -> object:
+        for name, value in self.details:
+            if name == key:
+                return value
+        raise KeyError(key)
+
+
+def _details(**kwargs: object) -> tuple[tuple[str, object], ...]:
+    return tuple(sorted(kwargs.items()))
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class InvariantReport:
+    """Aggregated monitor output for one run."""
+
+    violations: tuple[Violation, ...]
+    slots_checked: int
+    monitors: tuple[str, ...]
+    #: Violations beyond the per-monitor cap, by invariant name.
+    truncated: tuple[tuple[str, int], ...] = ()
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    @property
+    def total_violations(self) -> int:
+        return len(self.violations) + sum(n for _, n in self.truncated)
+
+    def by_invariant(self, name: str) -> tuple[Violation, ...]:
+        return tuple(v for v in self.violations if v.invariant == name)
+
+    def summary(self) -> str:
+        if self.ok:
+            return (
+                f"invariants ok ({', '.join(self.monitors)}; "
+                f"{self.slots_checked} slots)"
+            )
+        counts: dict[str, int] = {}
+        for violation in self.violations:
+            counts[violation.invariant] = counts.get(violation.invariant, 0) + 1
+        for name, extra in self.truncated:
+            counts[name] = counts.get(name, 0) + extra
+        rendered = ", ".join(
+            f"{name}: {count}" for name, count in sorted(counts.items())
+        )
+        return f"INVARIANT VIOLATIONS ({rendered})"
+
+
+class InvariantMonitor:
+    """Base class: per-slot hook plus an end-of-run pass."""
+
+    name = "invariant"
+
+    def __init__(self) -> None:
+        self.violations: list[Violation] = []
+        self.dropped = 0
+
+    def record(self, time: int, message: str, **details: object) -> None:
+        if len(self.violations) >= MAX_VIOLATIONS_PER_MONITOR:
+            self.dropped += 1
+            return
+        self.violations.append(
+            Violation(
+                invariant=self.name,
+                time=time,
+                message=message,
+                details=_details(**details),
+            )
+        )
+
+    def on_slot(
+        self,
+        now: int,
+        duration: int,
+        state: ChannelState,
+        wire: int,
+        frame: "Frame | None",
+        corrupted: bool,
+        jammed: bool,
+        stations: list["Station"],
+        down: set[int] | None,
+    ) -> None:
+        """Digest one channel round.  ``wire`` counts frames on the wire
+        (real transmitters plus injected babble frames)."""
+
+    def finalize(
+        self,
+        horizon: int,
+        stations: list["Station"],
+        down: set[int] | None,
+    ) -> None:
+        """End-of-run checks (backlog, per-run records)."""
+
+
+class MutualExclusionMonitor(InvariantMonitor):
+    """Safety: at most one successful transmitter per slot, and the
+    observed channel state is exactly the resolution of the wire."""
+
+    name = "mutual_exclusion"
+
+    def on_slot(
+        self, now, duration, state, wire, frame, corrupted, jammed,
+        stations, down,
+    ) -> None:
+        if corrupted:
+            if state is not _COLLISION:
+                self.record(
+                    now,
+                    "corrupted slot not observed as collision",
+                    state=state.value,
+                )
+            if frame is not None:
+                self.record(
+                    now,
+                    "frame delivered on a corrupted slot",
+                    station=frame.station_id,
+                )
+            return
+        if state is _SUCCESS:
+            if wire != 1:
+                self.record(
+                    now,
+                    f"success observed with {wire} transmitters on the wire",
+                    wire=wire,
+                )
+            if frame is None:
+                self.record(now, "success observed without a frame")
+        elif state is _SILENCE:
+            if wire != 0:
+                self.record(
+                    now,
+                    f"silence observed with {wire} transmitters on the wire",
+                    wire=wire,
+                )
+        else:
+            if wire < 2:
+                self.record(
+                    now,
+                    f"collision observed with {wire} transmitters on an "
+                    "uncorrupted slot",
+                    wire=wire,
+                )
+
+
+class DeadlineMonitor(InvariantMonitor):
+    """Timeliness (P5/P6): no completion past its absolute deadline, no
+    past-due backlog at the horizon.  Arm only when FC is expected to
+    hold and the fault plan stays within the declared ``a/w`` bounds."""
+
+    name = "deadline"
+
+    def on_slot(
+        self, now, duration, state, wire, frame, corrupted, jammed,
+        stations, down,
+    ) -> None:
+        if corrupted or state is not _SUCCESS or frame is None:
+            return
+        if frame.station_id < 0:
+            return  # babble frames carry no real deadline
+        end = now + duration
+        message = frame.message
+        if end > message.absolute_deadline:
+            self.record(
+                now,
+                f"message completed {end - message.absolute_deadline} "
+                "bit-times past its deadline",
+                station=frame.station_id,
+                msg_class=message.msg_class.name,
+                deadline=message.absolute_deadline,
+                completion=end,
+            )
+
+    def finalize(self, horizon, stations, down) -> None:
+        for station in stations:
+            for message in station.backlog():
+                if message.absolute_deadline < horizon:
+                    self.record(
+                        horizon,
+                        "past-due message still queued at the horizon",
+                        station=station.station_id,
+                        msg_class=message.msg_class.name,
+                        deadline=message.absolute_deadline,
+                    )
+
+
+class WorkConservationMonitor(InvariantMonitor):
+    """The channel must not idle indefinitely while work is queued.
+
+    ``limit`` is the longest tolerated run of consecutive silent slots
+    with a non-empty queue on some *live* (not crashed) station.  DDCR's
+    compressed time advances ``reft`` by theta(c) per empty run, so any
+    queued message's deadline class reaches the covered horizon within
+    ``~d/c`` slots; the default limit in :func:`standard_suite` is sized
+    from the configuration with generous slack."""
+
+    name = "work_conservation"
+
+    def __init__(self, limit: int) -> None:
+        super().__init__()
+        if limit < 1:
+            raise ValueError(f"limit must be >= 1, got {limit}")
+        self.limit = limit
+        self._streak = 0
+        self._streak_started = 0
+        self._reported = False
+
+    def on_slot(
+        self, now, duration, state, wire, frame, corrupted, jammed,
+        stations, down,
+    ) -> None:
+        if state is _SILENCE and not corrupted:
+            backlogged = False
+            if down:
+                for station in stations:
+                    if station.station_id not in down and station.queue:
+                        backlogged = True
+                        break
+            else:
+                for station in stations:
+                    if station.queue:
+                        backlogged = True
+                        break
+            if backlogged:
+                if self._streak == 0:
+                    self._streak_started = now
+                self._streak += 1
+                if self._streak > self.limit and not self._reported:
+                    self._reported = True
+                    self.record(
+                        now,
+                        f"channel idle for {self._streak} consecutive slots "
+                        "with queued messages",
+                        since=self._streak_started,
+                        limit=self.limit,
+                    )
+                return
+        self._streak = 0
+        self._reported = False
+
+
+class SearchLengthMonitor(InvariantMonitor):
+    """Eq. 1: collision resolution terminates within the ``xi`` budget.
+
+    Online: a run of consecutive *genuine* (uncorrupted) collision slots
+    longer than a full time-tree + static-tree descent means the search
+    is not converging.  At finalize, on corruption- and desync-free runs,
+    every completed TTs/STs record is checked against its analytic slot
+    budget (``xi``/:func:`~repro.core.search_cost.heavy_search_bound`,
+    plus ``margin`` slack for arrivals that move ``msg*`` mid-search)."""
+
+    name = "search_length"
+
+    def __init__(self, config: "DDCRConfig", margin: int = 8) -> None:
+        super().__init__()
+        self.config = config
+        self.margin = margin
+        self._collision_bound = config.collision_run_bound(margin)
+        self._streak = 0
+        self._streak_started = 0
+        self._reported = False
+        self._tainted = False  # corruption or desync seen: skip record checks
+
+    def on_slot(
+        self, now, duration, state, wire, frame, corrupted, jammed,
+        stations, down,
+    ) -> None:
+        if corrupted or down or (frame is not None and frame.station_id < 0):
+            self._tainted = True
+        if state is _COLLISION:
+            if corrupted:
+                return  # excused: does not reset or extend the genuine run
+            if self._streak == 0:
+                self._streak_started = now
+            self._streak += 1
+            if self._streak > self._collision_bound and not self._reported:
+                self._reported = True
+                self.record(
+                    now,
+                    f"{self._streak} consecutive genuine collisions exceed "
+                    f"the descent bound {self._collision_bound}",
+                    since=self._streak_started,
+                    bound=self._collision_bound,
+                )
+            return
+        self._streak = 0
+        self._reported = False
+
+    def finalize(self, horizon, stations, down) -> None:
+        if self._tainted:
+            return
+        from repro.core.search_cost import exact_cost_table, heavy_search_bound
+
+        config = self.config
+        sts_budget = (
+            1
+            + max(exact_cost_table(config.static_m, config.static_q).costs)
+            + self.margin
+        )
+        for station in stations:
+            mac = station.mac
+            for rec in getattr(mac, "sts_records", ()):
+                if rec.wasted_slots > sts_budget:
+                    self.record(
+                        rec.ended_at,
+                        f"STs run wasted {rec.wasted_slots} slots, "
+                        f"budget {sts_budget}",
+                        station=station.station_id,
+                        started=rec.started_at,
+                        wasted=rec.wasted_slots,
+                        budget=sts_budget,
+                    )
+            for rec in getattr(mac, "tts_records", ()):
+                budget = (
+                    heavy_search_bound(
+                        rec.successes,
+                        rec.nested_sts_runs,
+                        config.time_f,
+                        config.time_m,
+                    )
+                    + self.margin
+                )
+                if rec.wasted_slots > budget:
+                    self.record(
+                        rec.ended_at,
+                        f"TTs run wasted {rec.wasted_slots} slots, "
+                        f"budget {budget}",
+                        station=station.station_id,
+                        started=rec.started_at,
+                        wasted=rec.wasted_slots,
+                        budget=budget,
+                    )
+            # Records are identical replicas across stations in lockstep;
+            # checking every station is O(z * runs) but catches replica
+            # divergence for free.  (Stations that crashed taint the run.)
+
+
+class MonitorSuite:
+    """The set of monitors armed on one channel.
+
+    The round driver calls :meth:`on_slot` exactly once per round — on
+    both the corrupted early-return path and the normal resolution path —
+    under either engine, so a suite's report is an engine-independent
+    function of the run."""
+
+    __slots__ = ("monitors", "slots_checked")
+
+    def __init__(self, monitors: typing.Sequence[InvariantMonitor]) -> None:
+        if not monitors:
+            raise ValueError("monitor suite needs at least one monitor")
+        self.monitors = tuple(monitors)
+        self.slots_checked = 0
+
+    def on_slot(
+        self,
+        now: int,
+        duration: int,
+        state: ChannelState,
+        wire: int,
+        frame: "Frame | None",
+        corrupted: bool,
+        jammed: bool,
+        stations: list["Station"],
+        down: set[int] | None,
+    ) -> None:
+        self.slots_checked += 1
+        for monitor in self.monitors:
+            monitor.on_slot(
+                now, duration, state, wire, frame, corrupted, jammed,
+                stations, down,
+            )
+
+    def finalize(
+        self,
+        horizon: int,
+        stations: list["Station"],
+        down: set[int] | None = None,
+    ) -> InvariantReport:
+        violations: list[Violation] = []
+        truncated: list[tuple[str, int]] = []
+        for monitor in self.monitors:
+            monitor.finalize(horizon, stations, down)
+            violations.extend(monitor.violations)
+            if monitor.dropped:
+                truncated.append((monitor.name, monitor.dropped))
+        violations.sort(key=lambda v: (v.time, v.invariant, v.message))
+        return InvariantReport(
+            violations=tuple(violations),
+            slots_checked=self.slots_checked,
+            monitors=tuple(m.name for m in self.monitors),
+            truncated=tuple(truncated),
+        )
+
+
+def standard_suite(
+    stations: list["Station"],
+    *,
+    deadline: bool = True,
+    work_conservation_limit: int | None = None,
+    search_margin: int = 8,
+) -> MonitorSuite:
+    """The default monitor set for a homogeneous network.
+
+    Always arms :class:`MutualExclusionMonitor`.  :class:`DeadlineMonitor`
+    is on unless ``deadline=False`` (disarm it for protocols that drop —
+    BEB — or workloads that violate FC on purpose).  The search-length
+    monitor arms only when every station runs CSMA/DDCR with one shared
+    config; work conservation arms unless a backoff protocol (which idles
+    legitimately for unbounded stretches) is present.
+    """
+    from repro.protocols.csma_cd import CSMACDProtocol
+    from repro.protocols.ddcr.protocol import DDCRProtocol
+
+    monitors: list[InvariantMonitor] = [MutualExclusionMonitor()]
+    macs = [station.mac for station in stations]
+    if deadline:
+        monitors.append(DeadlineMonitor())
+    ddcr_configs = [mac.config for mac in macs if isinstance(mac, DDCRProtocol)]
+    if len(ddcr_configs) == len(macs) and ddcr_configs:
+        config = ddcr_configs[0]
+        if all(other == config for other in ddcr_configs[1:]):
+            monitors.append(SearchLengthMonitor(config, margin=search_margin))
+            if work_conservation_limit is None:
+                # Compressed time reaches any queued class within ~d/c
+                # slots; 4F covers d <= 4*c*F with the descent on top.
+                work_conservation_limit = (
+                    4 * config.time_f + config.collision_run_bound()
+                )
+    if work_conservation_limit is None:
+        work_conservation_limit = 512
+    if not any(isinstance(mac, CSMACDProtocol) for mac in macs):
+        monitors.append(WorkConservationMonitor(work_conservation_limit))
+    return MonitorSuite(monitors)

@@ -118,7 +118,9 @@ def _bench_latency_bound(smoke: bool) -> tuple[float, str]:
     return 1.0, "bounds"
 
 
-def _channel_slot_rate(stations: int, engine: str, smoke: bool) -> tuple[float, str]:
+def _channel_slot_rate(
+    stations: int, engine: str, smoke: bool, monitors: bool = False
+) -> tuple[float, str]:
     """DDCR simulation throughput, in channel rounds per second."""
     from repro.model.workloads import uniform_problem
     from repro.net.network import NetworkSimulation
@@ -137,9 +139,12 @@ def _channel_slot_rate(stations: int, engine: str, smoke: bool) -> tuple[float, 
         ideal_medium(slot_time=64),
         protocol_factory=lambda s: DDCRProtocol(config),
         engine=engine,
+        monitors=monitors,
     )
     result = simulation.run(200_000 if smoke else 1_000_000)
     assert result.delivered > 0
+    if monitors:
+        assert result.invariants is not None and result.invariants.ok
     return float(result.stats.rounds), "rounds"
 
 
@@ -147,6 +152,14 @@ def _make_slot_rate_bench(
     stations: int, engine: str
 ) -> Callable[[bool], tuple[float, str]]:
     return lambda smoke: _channel_slot_rate(stations, engine, smoke)
+
+
+def _bench_invariant_overhead(smoke: bool) -> tuple[float, str]:
+    """The 16-station fastloop workload with the standard monitor suite
+    armed; compare against ``channel_slot_rate_16_fastloop`` (the same
+    workload, monitors off) for the per-round cost of online invariant
+    checking."""
+    return _channel_slot_rate(16, "fastloop", smoke, monitors=True)
 
 
 #: name -> (engine or None, bench callable).  A bench callable performs one
@@ -165,6 +178,7 @@ BENCHES: dict[str, tuple[str | None, Callable[[bool], tuple[float, str]]]] = {
         for stations in (4, 16)
         for engine in ("des", "fastloop")
     },
+    "invariant_overhead": ("fastloop", _bench_invariant_overhead),
 }
 
 

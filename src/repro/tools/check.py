@@ -19,11 +19,15 @@ composes with CI pipelines that gate configuration changes.
 It imports every module under ``repro`` (catching syntax/import rot),
 resolves the full experiment suite through the parallel runtime — cached
 results replay from ``.repro-cache`` so a no-change run is near-instant —
-and finishes with a perf-smoke step: one quick pass of the micro
-benchmarks (:mod:`repro.tools.bench` ``--smoke``), printing throughput so
+then runs an invariants-smoke step (one faulted scenario per protocol
+with online invariant monitors, :mod:`repro.sim.invariants`; any
+violation fails CI; ``--no-invariants`` skips it) and finishes with a
+perf-smoke step: one quick pass of the micro benchmarks
+(:mod:`repro.tools.bench` ``--smoke``), printing throughput so
 regressions surface next to correctness (``--no-perf`` skips it).  Exit 0
-when everything imports and every experiment's checks pass, 2 otherwise;
-perf numbers are informational and never change the exit status.
+when everything imports, every experiment's checks pass and every
+invariant holds, 2 otherwise; perf numbers are informational and never
+change the exit status.
 """
 
 from __future__ import annotations
@@ -84,6 +88,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip the --ci perf-smoke micro-benchmark step",
     )
     parser.add_argument(
+        "--no-invariants",
+        action="store_true",
+        help="skip the --ci invariants-smoke (faulted scenarios) step",
+    )
+    parser.add_argument(
         "--medium",
         choices=sorted(MEDIA),
         default=GIGABIT_ETHERNET.name,
@@ -118,6 +127,102 @@ def _import_all_modules() -> list[str]:
     return failures
 
 
+#: Invariants-smoke geometry: long enough for several full collision
+#: resolutions and a crash/restart cycle, short enough to stay sub-second.
+_SMOKE_HORIZON = 250_000
+
+
+def _run_invariants_smoke() -> list[str]:
+    """One faulted scenario per protocol with online invariant monitors.
+
+    Every scenario stays inside the feasibility bounds (crashes heal well
+    before deadlines, noise bursts are transient, drift only skews carrier
+    sense), so the monitors must stay silent: any violation is a genuine
+    protocol/fault-interaction regression and fails CI.  Returns failure
+    lines (empty = all invariants held).
+    """
+    from repro.experiments.harness import (
+        csma_cd_factory,
+        dcr_factory,
+        ddcr_factory,
+        default_ddcr_config,
+        tdma_factory,
+    )
+    from repro.faults.models import (
+        ClockDrift,
+        FaultPlan,
+        GilbertElliottNoise,
+        StationCrash,
+    )
+    from repro.model.workloads import uniform_problem
+    from repro.net.network import NetworkSimulation
+    from repro.net.phy import ideal_medium
+    from repro.sim.invariants import (
+        DeadlineMonitor,
+        MonitorSuite,
+        MutualExclusionMonitor,
+    )
+
+    problem = uniform_problem(
+        z=5, length=1_000, deadline=400_000, a=1, w=200_000
+    )
+    medium = ideal_medium(slot_time=64)
+    config = default_ddcr_config(problem, medium, time_f=16, time_m=2)
+    burst_noise = GilbertElliottNoise(
+        p_enter_bad=0.002, p_exit_bad=0.05, bad_rate=0.5
+    )
+    crash = StationCrash(0, at=40_000, restart_at=120_000)
+    # BEB offers no deadline guarantee and TDMA idles by design in foreign
+    # slots, so those scenarios check the invariants their protocols
+    # actually promise; DDCR and DCR run the full auto-armed suite.
+    scenarios = [
+        (
+            "ddcr+burst-noise+crash",
+            ddcr_factory(config),
+            FaultPlan((burst_noise, crash)),
+            None,
+        ),
+        (
+            "csma-cd+burst-noise",
+            csma_cd_factory(),
+            FaultPlan((burst_noise,)),
+            MonitorSuite([MutualExclusionMonitor()]),
+        ),
+        (
+            "dcr+clock-drift",
+            dcr_factory(problem),
+            FaultPlan((ClockDrift(0, skew_per_slot=4.0),)),
+            None,
+        ),
+        (
+            "tdma+crash",
+            tdma_factory(problem),
+            FaultPlan((crash,)),
+            MonitorSuite([MutualExclusionMonitor(), DeadlineMonitor()]),
+        ),
+    ]
+    failures: list[str] = []
+    for name, factory, plan, monitors in scenarios:
+        simulation = NetworkSimulation(
+            problem,
+            medium,
+            protocol_factory=factory,
+            faults=plan,
+            monitors=monitors,
+        )
+        report = simulation.run(_SMOKE_HORIZON).invariants
+        assert report is not None  # faulted runs always auto-arm monitors
+        if report.ok:
+            print(f"invariants-smoke: {name}: {report.summary()}")
+        else:
+            failures.append(f"{name}: {report.summary()}")
+            print(
+                f"invariants-smoke: {name}: FAILED\n{report.summary()}",
+                file=sys.stderr,
+            )
+    return failures
+
+
 def _run_perf_smoke() -> None:
     """One quick micro-benchmark pass (informational: never fails CI)."""
     from repro.tools.bench import run_benches
@@ -131,8 +236,13 @@ def _run_perf_smoke() -> None:
         print(f"perf-smoke: {result.describe()}")
 
 
-def run_ci(jobs: int, cache_dir: str, perf: bool = True) -> int:
-    """The ``--ci`` fast path: import sweep + suite + perf smoke."""
+def run_ci(
+    jobs: int,
+    cache_dir: str,
+    perf: bool = True,
+    invariants: bool = True,
+) -> int:
+    """``--ci`` fast path: imports + suite + invariants smoke + perf."""
     from repro.experiments.registry import EXPERIMENTS
     from repro.runtime import ParallelExecutor, ResultCache, RunSpec
 
@@ -162,10 +272,19 @@ def run_ci(jobs: int, cache_dir: str, perf: bool = True) -> int:
         f"suite: {len(records)} experiment(s), "
         f"{len(records) - cached} executed, {cached} from cache"
     )
+    violation_failures: list[str] = []
+    if invariants:
+        violation_failures = _run_invariants_smoke()
     if perf:
         _run_perf_smoke()
     if failed:
         print(f"FAILED checks: {', '.join(failed)}", file=sys.stderr)
+    if violation_failures:
+        print(
+            f"FAILED invariants: {', '.join(violation_failures)}",
+            file=sys.stderr,
+        )
+    if failed or violation_failures:
         return 2
     print("verdict: OK")
     return 0
@@ -176,7 +295,10 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if args.ci:
         return run_ci(
-            jobs=args.jobs, cache_dir=args.cache_dir, perf=not args.no_perf
+            jobs=args.jobs,
+            cache_dir=args.cache_dir,
+            perf=not args.no_perf,
+            invariants=not args.no_invariants,
         )
     if args.instance is None:
         parser.error("an instance file is required unless --ci is given")

@@ -1,0 +1,424 @@
+"""Unit and property tests for the online invariant monitors.
+
+Monitors are driven directly with synthetic slot streams here — no
+simulation loop — so each oracle's accept/reject boundary is explicit.
+The property tests establish the soundness direction: on any *consistent*
+slot stream (state derived from the wire by the channel's own resolution
+rule) the safety monitors never fire.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.model.message import DensityBound, MessageClass, MessageInstance
+from repro.net.frames import Frame
+from repro.protocols.base import ChannelState
+from repro.sim.invariants import (
+    MAX_VIOLATIONS_PER_MONITOR,
+    DeadlineMonitor,
+    MonitorSuite,
+    MutualExclusionMonitor,
+    SearchLengthMonitor,
+    WorkConservationMonitor,
+    standard_suite,
+)
+
+_SILENCE = ChannelState.SILENCE
+_SUCCESS = ChannelState.SUCCESS
+_COLLISION = ChannelState.COLLISION
+
+_CLASS = MessageClass(
+    name="cls", length=1_000, deadline=10_000, bound=DensityBound(a=1, w=10_000)
+)
+
+
+def _frame(station_id=0, arrival=0, deadline=10_000):
+    msg_class = MessageClass(
+        name="cls",
+        length=1_000,
+        deadline=deadline,
+        bound=DensityBound(a=1, w=max(deadline, 1)),
+    )
+    return Frame(
+        station_id=station_id,
+        message=MessageInstance.arrive(msg_class, arrival, station_id, seq=0),
+    )
+
+
+class _StubStation:
+    """The station surface monitors touch: id, queue, backlog."""
+
+    def __init__(self, station_id=0, queued=()):
+        self.station_id = station_id
+        self.queue = list(queued)
+
+    def backlog(self):
+        return list(self.queue)
+
+
+def _slot(
+    monitor,
+    now=0,
+    state=_SILENCE,
+    wire=0,
+    frame=None,
+    corrupted=False,
+    jammed=False,
+    stations=(),
+    down=None,
+    duration=64,
+):
+    monitor.on_slot(
+        now, duration, state, wire, frame, corrupted, jammed,
+        list(stations), down,
+    )
+
+
+class TestMutualExclusion:
+    def test_consistent_slots_are_clean(self):
+        monitor = MutualExclusionMonitor()
+        _slot(monitor, state=_SILENCE, wire=0)
+        _slot(monitor, state=_SUCCESS, wire=1, frame=_frame())
+        _slot(monitor, state=_COLLISION, wire=2)
+        _slot(monitor, state=_COLLISION, wire=1, corrupted=True)
+        assert monitor.violations == []
+
+    def test_two_transmitters_observed_as_success(self):
+        monitor = MutualExclusionMonitor()
+        _slot(monitor, state=_SUCCESS, wire=2, frame=_frame())
+        assert len(monitor.violations) == 1
+        assert monitor.violations[0].detail("wire") == 2
+
+    def test_success_without_frame(self):
+        monitor = MutualExclusionMonitor()
+        _slot(monitor, state=_SUCCESS, wire=1, frame=None)
+        assert len(monitor.violations) == 1
+
+    def test_phantom_collision(self):
+        monitor = MutualExclusionMonitor()
+        _slot(monitor, state=_COLLISION, wire=1, corrupted=False)
+        assert len(monitor.violations) == 1
+
+    def test_corrupted_slot_must_collide_and_deliver_nothing(self):
+        monitor = MutualExclusionMonitor()
+        _slot(monitor, state=_SUCCESS, wire=1, corrupted=True)
+        _slot(monitor, state=_COLLISION, wire=1, frame=_frame(),
+              corrupted=True)
+        assert len(monitor.violations) == 2
+
+    def test_silence_with_traffic(self):
+        monitor = MutualExclusionMonitor()
+        _slot(monitor, state=_SILENCE, wire=1)
+        assert len(monitor.violations) == 1
+
+
+class TestDeadline:
+    def test_on_time_completion_clean(self):
+        monitor = DeadlineMonitor()
+        _slot(monitor, now=100, state=_SUCCESS, wire=1,
+              frame=_frame(arrival=0, deadline=10_000))
+        assert monitor.violations == []
+
+    def test_late_completion_flagged(self):
+        monitor = DeadlineMonitor()
+        _slot(monitor, now=10_000, state=_SUCCESS, wire=1, duration=64,
+              frame=_frame(arrival=0, deadline=10_000))
+        (violation,) = monitor.violations
+        assert violation.detail("completion") == 10_064
+        assert violation.detail("deadline") == 10_000
+
+    def test_babble_frames_exempt(self):
+        monitor = DeadlineMonitor()
+        _slot(monitor, now=10_000, state=_SUCCESS, wire=1,
+              frame=_frame(station_id=-1, arrival=0, deadline=1))
+        assert monitor.violations == []
+
+    def test_finalize_flags_past_due_backlog(self):
+        monitor = DeadlineMonitor()
+        overdue = MessageInstance.arrive(_CLASS, 0, 0, seq=1)
+        fresh = MessageInstance.arrive(_CLASS, 95_000, 0, seq=2)
+        station = _StubStation(queued=[overdue, fresh])
+        monitor.finalize(100_000, [station], None)
+        (violation,) = monitor.violations
+        assert violation.detail("deadline") == 10_000
+
+
+class TestWorkConservation:
+    def test_streak_up_to_limit_tolerated(self):
+        monitor = WorkConservationMonitor(limit=5)
+        station = _StubStation(queued=["msg"])
+        for now in range(5):
+            _slot(monitor, now=now, state=_SILENCE, stations=[station])
+        assert monitor.violations == []
+
+    def test_streak_beyond_limit_reported_once(self):
+        monitor = WorkConservationMonitor(limit=5)
+        station = _StubStation(queued=["msg"])
+        for now in range(9):
+            _slot(monitor, now=now, state=_SILENCE, stations=[station])
+        assert len(monitor.violations) == 1  # one report per streak
+        assert monitor.violations[0].detail("since") == 0
+
+    def test_activity_resets_streak(self):
+        monitor = WorkConservationMonitor(limit=3)
+        station = _StubStation(queued=["msg"])
+        for now in range(20):
+            if now % 3 == 2:
+                _slot(monitor, now=now, state=_SUCCESS, wire=1,
+                      frame=_frame(), stations=[station])
+            else:
+                _slot(monitor, now=now, state=_SILENCE, stations=[station])
+        assert monitor.violations == []
+
+    def test_idle_without_backlog_is_fine(self):
+        monitor = WorkConservationMonitor(limit=2)
+        station = _StubStation(queued=[])
+        for now in range(10):
+            _slot(monitor, now=now, state=_SILENCE, stations=[station])
+        assert monitor.violations == []
+
+    def test_down_station_queue_excused(self):
+        monitor = WorkConservationMonitor(limit=2)
+        station = _StubStation(station_id=3, queued=["msg"])
+        for now in range(10):
+            _slot(monitor, now=now, state=_SILENCE, stations=[station],
+                  down={3})
+        assert monitor.violations == []
+
+    def test_limit_validation(self):
+        with pytest.raises(ValueError, match="limit"):
+            WorkConservationMonitor(limit=0)
+
+
+def _ddcr_config():
+    from repro.protocols.ddcr import DDCRConfig
+
+    return DDCRConfig(
+        time_f=16, time_m=2, class_width=65_536, static_q=4, static_m=2
+    )
+
+
+class TestSearchLength:
+    def test_collision_run_within_bound_clean(self):
+        config = _ddcr_config()
+        monitor = SearchLengthMonitor(config, margin=2)
+        bound = config.collision_run_bound(2)
+        for now in range(bound):
+            _slot(monitor, now=now, state=_COLLISION, wire=2)
+        _slot(monitor, now=bound, state=_SUCCESS, wire=1, frame=_frame())
+        assert monitor.violations == []
+
+    def test_collision_run_beyond_bound_flagged_once(self):
+        config = _ddcr_config()
+        monitor = SearchLengthMonitor(config, margin=2)
+        bound = config.collision_run_bound(2)
+        for now in range(bound + 3):
+            _slot(monitor, now=now, state=_COLLISION, wire=2)
+        assert len(monitor.violations) == 1
+        assert monitor.violations[0].detail("bound") == bound
+
+    def test_corrupted_collisions_excused(self):
+        """Noise-garbled slots neither extend nor reset the genuine run."""
+        config = _ddcr_config()
+        monitor = SearchLengthMonitor(config, margin=0)
+        bound = config.collision_run_bound(0)
+        for now in range(bound * 3):
+            _slot(monitor, now=now, state=_COLLISION, wire=1, corrupted=True)
+        assert monitor.violations == []
+
+    def test_taint_skips_record_checks(self):
+        config = _ddcr_config()
+        monitor = SearchLengthMonitor(config)
+        _slot(monitor, state=_COLLISION, wire=1, corrupted=True)
+
+        class _Record:
+            wasted_slots = 10**6
+            started_at = 0
+            ended_at = 0
+
+        class _Mac:
+            sts_records = (_Record(),)
+            tts_records = ()
+
+        station = _StubStation()
+        station.mac = _Mac()
+        monitor.finalize(1_000, [station], None)
+        assert monitor.violations == []  # tainted: records not judged
+
+
+class TestSuite:
+    def test_cap_truncates_with_count(self):
+        monitor = MutualExclusionMonitor()
+        suite = MonitorSuite([monitor])
+        for now in range(MAX_VIOLATIONS_PER_MONITOR + 25):
+            suite.on_slot(now, 64, _SILENCE, 1, None, False, False, [], None)
+        report = suite.finalize(10**6, [], None)
+        assert len(report.violations) == MAX_VIOLATIONS_PER_MONITOR
+        assert report.truncated == (("mutual_exclusion", 25),)
+        assert report.total_violations == MAX_VIOLATIONS_PER_MONITOR + 25
+        assert not report.ok
+        assert "mutual_exclusion" in report.summary()
+
+    def test_report_is_picklable_and_sorted(self):
+        mutex = MutualExclusionMonitor()
+        deadline = DeadlineMonitor()
+        suite = MonitorSuite([deadline, mutex])
+        suite.on_slot(200, 64, _SILENCE, 1, None, False, False, [], None)
+        suite.on_slot(
+            100, 64, _SUCCESS, 1,
+            _frame(arrival=0, deadline=50), False, False, [], None,
+        )
+        report = suite.finalize(10**6, [], None)
+        times = [violation.time for violation in report.violations]
+        assert times == sorted(times)
+        assert pickle.loads(pickle.dumps(report)) == report
+
+    def test_empty_suite_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            MonitorSuite([])
+
+    def test_slots_checked_counts_every_round(self):
+        suite = MonitorSuite([MutualExclusionMonitor()])
+        for now in range(7):
+            suite.on_slot(now, 64, _SILENCE, 0, None, False, False, [], None)
+        assert suite.finalize(7, [], None).slots_checked == 7
+
+
+class TestStandardSuite:
+    def _stations(self, factory, z=3):
+        import itertools
+
+        from repro.model.workloads import uniform_problem
+        from repro.net.station import Station
+
+        problem = uniform_problem(
+            z=z, length=1_000, deadline=400_000, a=1, w=200_000
+        )
+        seq = itertools.count()
+        return [
+            Station(
+                station_id=source.source_id,
+                mac=factory(source),
+                static_indices=source.static_indices,
+                seq_source=seq,
+            )
+            for source in problem.sources
+        ]
+
+    def test_homogeneous_ddcr_gets_full_suite(self):
+        from repro.protocols.ddcr import DDCRProtocol
+
+        config = _ddcr_config()
+        stations = self._stations(lambda s: DDCRProtocol(config))
+        names = [m.name for m in standard_suite(stations).monitors]
+        assert names == [
+            "mutual_exclusion",
+            "deadline",
+            "search_length",
+            "work_conservation",
+        ]
+
+    def test_backoff_protocol_disarms_work_conservation(self):
+        from repro.protocols.csma_cd import CSMACDProtocol
+
+        stations = self._stations(lambda s: CSMACDProtocol(seed=s.source_id))
+        names = [m.name for m in standard_suite(stations).monitors]
+        assert "work_conservation" not in names
+        assert "search_length" not in names
+
+    def test_mixed_macs_disarm_search_length(self):
+        from repro.protocols.ddcr import DDCRProtocol
+        from repro.protocols.tdma import TDMAProtocol
+
+        config = _ddcr_config()
+        roster = (0, 1, 2)
+        stations = self._stations(
+            lambda s: DDCRProtocol(config)
+            if s.source_id
+            else TDMAProtocol(roster)
+        )
+        names = [m.name for m in standard_suite(stations).monitors]
+        assert "search_length" not in names
+        assert "work_conservation" in names
+
+    def test_deadline_opt_out(self):
+        from repro.protocols.tdma import TDMAProtocol
+
+        stations = self._stations(lambda s: TDMAProtocol((0, 1, 2)))
+        names = [
+            m.name
+            for m in standard_suite(stations, deadline=False).monitors
+        ]
+        assert "deadline" not in names
+
+
+# -- property tests --------------------------------------------------------
+
+_consistent_slots = st.lists(
+    st.one_of(
+        st.just(("silence", 0)),
+        st.just(("success", 1)),
+        st.integers(min_value=2, max_value=6).map(lambda w: ("collision", w)),
+        st.integers(min_value=0, max_value=1).map(lambda w: ("corrupted", w)),
+    ),
+    max_size=200,
+)
+
+
+@given(_consistent_slots)
+def test_mutual_exclusion_sound_on_consistent_streams(slots):
+    """The safety oracle never fires on any stream the channel's own
+    resolution rule could actually produce."""
+    monitor = MutualExclusionMonitor()
+    for now, (kind, wire) in enumerate(slots):
+        if kind == "silence":
+            _slot(monitor, now=now, state=_SILENCE, wire=wire)
+        elif kind == "success":
+            _slot(monitor, now=now, state=_SUCCESS, wire=wire,
+                  frame=_frame())
+        elif kind == "collision":
+            _slot(monitor, now=now, state=_COLLISION, wire=wire)
+        else:
+            _slot(monitor, now=now, state=_COLLISION, wire=wire,
+                  corrupted=True)
+    assert monitor.violations == []
+
+
+@given(
+    st.integers(min_value=1, max_value=40),
+    st.integers(min_value=0, max_value=80),
+)
+def test_work_conservation_boundary_is_exact(limit, streak):
+    """A backlogged idle streak fires iff it strictly exceeds the limit."""
+    monitor = WorkConservationMonitor(limit=limit)
+    station = _StubStation(queued=["msg"])
+    for now in range(streak):
+        _slot(monitor, now=now, state=_SILENCE, stations=[station])
+    assert bool(monitor.violations) == (streak > limit)
+
+
+@given(st.lists(st.booleans(), max_size=120))
+def test_search_length_counts_only_genuine_collisions(pattern):
+    """Interleaving corrupted collisions must never push a genuine-run
+    count over the bound when the genuine slots alone stay under it."""
+    config = _ddcr_config()
+    monitor = SearchLengthMonitor(config, margin=0)
+    bound = config.collision_run_bound(0)
+    genuine = 0
+    for now, corrupted in enumerate(pattern):
+        if corrupted:
+            _slot(monitor, now=now, state=_COLLISION, wire=1, corrupted=True)
+        else:
+            genuine += 1
+            if genuine >= bound:
+                _slot(monitor, now=now, state=_SUCCESS, wire=1,
+                      frame=_frame())
+                genuine = 0
+            else:
+                _slot(monitor, now=now, state=_COLLISION, wire=2)
+    assert monitor.violations == []

@@ -1,0 +1,221 @@
+"""Fault model and plan unit tests: validation, serialisation, presets.
+
+The serialisation round-trip is also property-tested: a plan drawn from
+arbitrary valid models must survive ``dumps -> loads`` unchanged, and its
+canonical JSON must be deterministic (that string keys RunSpec content
+hashes).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.faults.models import (
+    FAULT_KINDS,
+    PLAN_PRESETS,
+    ArrivalBurst,
+    BabblingStation,
+    BernoulliNoise,
+    BusJam,
+    ClockDrift,
+    FaultPlan,
+    GilbertElliottNoise,
+    StationCrash,
+    preset_plan,
+)
+
+
+class TestModelValidation:
+    def test_bernoulli_rate_range(self):
+        BernoulliNoise(rate=0.0)
+        BernoulliNoise(rate=0.5)
+        with pytest.raises(ValueError, match="rate"):
+            BernoulliNoise(rate=1.0)
+        with pytest.raises(ValueError, match="rate"):
+            BernoulliNoise(rate=-0.1)
+
+    def test_gilbert_elliott_probabilities(self):
+        with pytest.raises(ValueError, match="p_enter_bad"):
+            GilbertElliottNoise(p_enter_bad=1.5, p_exit_bad=0.1, bad_rate=0.5)
+        with pytest.raises(ValueError, match="start"):
+            GilbertElliottNoise(
+                p_enter_bad=0.1, p_exit_bad=0.1, bad_rate=0.5, start=-1
+            )
+
+    def test_bus_jam_window(self):
+        BusJam(start=0)
+        BusJam(start=10, stop=20)
+        with pytest.raises(ValueError, match="stop"):
+            BusJam(start=10, stop=10)
+
+    def test_crash_restart_ordering(self):
+        StationCrash(station_id=0, at=5)
+        with pytest.raises(ValueError, match="restart_at"):
+            StationCrash(station_id=0, at=5, restart_at=5)
+        with pytest.raises(ValueError, match="at"):
+            StationCrash(station_id=0, at=-1)
+
+    def test_babbler_window_and_period(self):
+        with pytest.raises(ValueError, match="stop"):
+            BabblingStation(start=5, stop=5)
+        with pytest.raises(ValueError, match="period"):
+            BabblingStation(start=0, stop=10, period=0)
+        with pytest.raises(ValueError, match="length"):
+            BabblingStation(start=0, stop=10, length=0)
+
+    def test_drift_parameters(self):
+        with pytest.raises(ValueError, match="skew_per_slot"):
+            ClockDrift(station_id=0, skew_per_slot=0.0)
+        with pytest.raises(ValueError, match="threshold"):
+            ClockDrift(station_id=0, skew_per_slot=1.0, threshold=0.0)
+
+    def test_burst_count(self):
+        with pytest.raises(ValueError, match="count"):
+            ArrivalBurst(station_id=0, at=0, count=0)
+
+
+class TestFaultPlan:
+    def test_empty_plan_is_falsy(self):
+        assert not FaultPlan()
+        assert FaultPlan().is_empty
+        assert FaultPlan((BusJam(start=0),))
+
+    def test_rejects_non_models(self):
+        with pytest.raises(TypeError, match="fault models"):
+            FaultPlan(("not a fault",))
+
+    def test_of_kind_filters(self):
+        plan = FaultPlan(
+            (BusJam(start=0), BernoulliNoise(rate=0.1), BusJam(start=9))
+        )
+        assert len(plan.of_kind(BusJam)) == 2
+        assert len(plan.of_kind(BernoulliNoise)) == 1
+        assert plan.of_kind(StationCrash) == ()
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultPlan.from_dict({"faults": [{"kind": "meteor_strike"}]})
+
+    def test_missing_keys_rejected(self):
+        with pytest.raises(ValueError, match="missing required"):
+            FaultPlan.from_dict({"faults": [{"kind": "station_crash"}]})
+        with pytest.raises(ValueError, match="missing required key"):
+            FaultPlan.from_dict({})
+
+    def test_dump_load_file(self, tmp_path):
+        plan = preset_plan("crash")
+        path = tmp_path / "plan.json"
+        plan.dump(path)
+        assert FaultPlan.load(path) == plan
+        # The file is plain JSON an operator can write by hand.
+        payload = json.loads(path.read_text())
+        assert payload["faults"][0]["kind"] == "station_crash"
+
+    def test_presets_cover_every_kind_family(self):
+        kinds = {
+            event.kind
+            for plan in PLAN_PRESETS.values()
+            for event in plan.events
+        }
+        assert "station_crash" in kinds
+        assert "gilbert_elliott" in kinds
+        assert "babbler" in kinds
+        assert "clock_drift" in kinds
+        assert "arrival_burst" in kinds
+        assert "bus_jam" in kinds
+
+    def test_unknown_preset(self):
+        with pytest.raises(ValueError, match="unknown fault preset"):
+            preset_plan("asteroid")
+
+
+# -- property tests: serialisation round-trip -----------------------------
+
+_times = st.integers(min_value=0, max_value=10**9)
+_probs = st.floats(
+    min_value=0.0, max_value=1.0, allow_nan=False, allow_infinity=False
+)
+
+
+def _windows():
+    return st.tuples(_times, _times).map(
+        lambda pair: (min(pair), max(pair) + 1)
+    )
+
+
+_bernoulli = st.builds(
+    BernoulliNoise,
+    rate=st.floats(min_value=0.0, max_value=0.99, allow_nan=False),
+)
+_gilbert = st.builds(
+    GilbertElliottNoise,
+    p_enter_bad=_probs,
+    p_exit_bad=_probs,
+    bad_rate=_probs,
+    good_rate=_probs,
+    start=_times,
+    start_bad=st.booleans(),
+)
+_jam = _windows().map(lambda w: BusJam(start=w[0], stop=w[1]))
+_crash = st.tuples(
+    st.integers(min_value=0, max_value=63), _windows(), st.booleans()
+).map(
+    lambda t: StationCrash(
+        station_id=t[0],
+        at=t[1][0],
+        restart_at=t[1][1] if t[2] else None,
+    )
+)
+_babbler = st.tuples(
+    _windows(),
+    st.integers(min_value=1, max_value=64),
+    st.integers(min_value=1, max_value=10_000),
+).map(
+    lambda t: BabblingStation(
+        start=t[0][0], stop=t[0][1], period=t[1], length=t[2]
+    )
+)
+_drift = st.builds(
+    ClockDrift,
+    station_id=st.integers(min_value=0, max_value=63),
+    skew_per_slot=st.floats(
+        min_value=0.001, max_value=1000.0, allow_nan=False
+    ),
+    start=_times,
+)
+_burst = st.builds(
+    ArrivalBurst,
+    station_id=st.integers(min_value=0, max_value=63),
+    at=_times,
+    count=st.integers(min_value=1, max_value=10_000),
+)
+
+_any_fault = st.one_of(
+    _bernoulli, _gilbert, _jam, _crash, _babbler, _drift, _burst
+)
+_plans = st.lists(_any_fault, max_size=8).map(
+    lambda events: FaultPlan(tuple(events))
+)
+
+
+@given(_plans)
+def test_plan_round_trips_through_json(plan):
+    assert FaultPlan.loads(plan.dumps()) == plan
+    assert FaultPlan.from_dict(plan.to_dict()) == plan
+
+
+@given(_plans)
+def test_canonical_dumps_is_deterministic(plan):
+    """Equal plans serialise identically: the string can key content
+    hashes."""
+    assert plan.dumps() == FaultPlan.loads(plan.dumps()).dumps()
+
+
+@given(_any_fault)
+def test_kind_discriminator_is_registered(event):
+    assert FAULT_KINDS[event.kind] is type(event)
+    assert event.to_dict()["kind"] == event.kind

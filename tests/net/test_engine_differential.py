@@ -14,7 +14,16 @@ import pickle
 import random
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
+from repro.faults.models import (
+    BabblingStation,
+    ClockDrift,
+    FaultPlan,
+    GilbertElliottNoise,
+    StationCrash,
+)
 from repro.model.arrival import GreedyBurstArrivals
 from repro.model.workloads import uniform_problem
 from repro.net.channel import BroadcastChannel
@@ -60,7 +69,10 @@ def _snapshot(stats, completions, trace):
     return pickle.dumps((stats, completions, list(trace.records())))
 
 
-def _run_network(engine, protocol, z=6, noise=0.0, burst_limit=0, seed=0):
+def _run_network(
+    engine, protocol, z=6, noise=0.0, burst_limit=0, seed=0,
+    faults=None, horizon=_HORIZON,
+):
     problem = uniform_problem(
         z=z, length=1_000, deadline=400_000, a=1, w=200_000
     )
@@ -73,9 +85,18 @@ def _run_network(engine, protocol, z=6, noise=0.0, burst_limit=0, seed=0):
         noise_seed=seed,
         root_seed=seed,
         engine=engine,
+        faults=faults,
+        monitors=None if faults is not None else False,
     )
-    result = simulation.run(_HORIZON)
-    return _snapshot(result.stats, result.completions, result.trace)
+    result = simulation.run(horizon)
+    return pickle.dumps(
+        (
+            result.stats,
+            result.completions,
+            list(result.trace.records()),
+            result.invariants,
+        )
+    )
 
 
 @pytest.mark.parametrize("protocol", ["ddcr", "csma_cd", "tdma"])
@@ -302,6 +323,57 @@ def test_same_engine_repetition_is_deterministic():
         assert _run_network(engine, "ddcr", noise=0.01) == _run_network(
             engine, "ddcr", noise=0.01
         )
+
+
+@settings(max_examples=15)
+@given(
+    protocol=st.sampled_from(["ddcr", "csma_cd", "tdma"]),
+    noise=st.sampled_from([0.0, 0.02]),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+def test_empty_fault_plan_is_byte_identical_to_fault_free(
+    protocol, noise, seed
+):
+    """An empty FaultPlan must be indistinguishable from no plan at all —
+    same RNG draw order, same results — under both engines.  (This is the
+    premise that lets RunSpec normalise empty plans to fault-free hashes.)"""
+    for engine in ENGINES:
+        plain = _run_network(
+            engine, protocol, z=3, noise=noise, seed=seed, horizon=60_000
+        )
+        empty = _run_network(
+            engine, protocol, z=3, noise=noise, seed=seed, horizon=60_000,
+            faults=FaultPlan(),
+        )
+        assert plain == empty
+
+
+_FAULT_POOL = (
+    FaultPlan((GilbertElliottNoise(
+        p_enter_bad=0.002, p_exit_bad=0.05, bad_rate=0.5),)),
+    FaultPlan((StationCrash(station_id=0, at=40_000, restart_at=120_000),)),
+    FaultPlan((BabblingStation(start=40_000, stop=60_000, period=8),)),
+    FaultPlan((ClockDrift(station_id=0, skew_per_slot=4.0),)),
+    FaultPlan((
+        GilbertElliottNoise(p_enter_bad=0.002, p_exit_bad=0.05, bad_rate=0.5),
+        StationCrash(station_id=1, at=40_000, restart_at=120_000),
+    )),
+)
+
+
+def test_seed_randomized_faulted_equivalence():
+    """Random (plan, protocol, seed) combos agree across engines — stats,
+    completions, traces AND invariant-violation reports byte-for-byte."""
+    rng = random.Random(0xFA017)
+    for _ in range(6):
+        plan = rng.choice(_FAULT_POOL)
+        protocol = rng.choice(["ddcr", "tdma"])
+        seed = rng.randint(0, 2**31)
+        runs = [
+            _run_network(engine, protocol, seed=seed, faults=plan)
+            for engine in ENGINES
+        ]
+        assert runs[0] == runs[1], (plan, protocol, seed)
 
 
 def test_engine_resolution_and_scoping():

@@ -93,6 +93,40 @@ class TestCIFastPath:
         assert "0 executed, 19 from cache" in out
         assert "verdict: OK" in out
 
+    def test_ci_runs_invariants_smoke(self, warm_cache, capsys):
+        assert (
+            main(
+                [
+                    "--ci",
+                    "--cache-dir",
+                    str(warm_cache.directory),
+                    "--no-perf",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "invariants-smoke: ddcr+burst-noise+crash" in out
+        assert "invariants-smoke: csma-cd+burst-noise" in out
+        assert "invariants-smoke: dcr+clock-drift" in out
+        assert "invariants-smoke: tdma+crash" in out
+        assert "invariants ok" in out
+
+    def test_no_invariants_skips_the_smoke(self, warm_cache, capsys):
+        assert (
+            main(
+                [
+                    "--ci",
+                    "--cache-dir",
+                    str(warm_cache.directory),
+                    "--no-perf",
+                    "--no-invariants",
+                ]
+            )
+            == 0
+        )
+        assert "invariants-smoke" not in capsys.readouterr().out
+
     def test_ci_failing_experiment_exits_two(self, warm_cache, capsys):
         from repro.experiments.base import ExperimentResult
         from repro.runtime import RunSpec
