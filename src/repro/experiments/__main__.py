@@ -11,23 +11,36 @@ Usage::
     python -m repro.experiments PROTO --engine des   # force the DES engine
     python -m repro.experiments PROTO --fault crash  # preset fault plan
     python -m repro.experiments PROTO --faults plan.json  # plan from a file
+    python -m repro.experiments FIG1 --telemetry out.jsonl  # run manifests
+    python -m repro.experiments FIG1 --profile       # cProfile each run
 
 Runs resolve through the :mod:`repro.runtime` executor: results are
 cached content-addressed under ``--cache-dir`` (default ``.repro-cache``),
 so a second invocation after no code change replays from disk instead of
 re-simulating.  Per-run timing/progress records stream to stderr; reports
-print to stdout in suite order.
+print to stdout in suite order, followed by one cache accounting line.
+
+``--telemetry PATH`` collects a :class:`~repro.obs.manifest.RunTelemetry`
+document per run (slot counters, latency histograms, span timings,
+provenance) and writes them as JSON Lines; render them with
+``python -m repro.tools.obs summarize PATH``.  ``--profile`` wraps each
+run in :mod:`cProfile` (forcing serial execution — profiles cannot cross
+process boundaries) and prints a per-run pstats summary to stderr.
 """
 
 from __future__ import annotations
 
 import argparse
+import cProfile
+import io
 import pathlib
+import pstats
 import sys
 
 from repro.experiments.registry import EXPERIMENTS
 from repro.faults.models import PLAN_PRESETS, FaultPlan, preset_plan
 from repro.net.engine import ENGINES
+from repro.obs.manifest import write_manifests
 from repro.runtime import ParallelExecutor, ResultCache, RunSpec
 
 
@@ -87,6 +100,24 @@ def build_parser() -> argparse.ArgumentParser:
             "simulation engine (default: auto, or $REPRO_ENGINE); engines "
             "produce byte-identical results, so this never affects cache "
             "keys — only how fast a cold run computes"
+        ),
+    )
+    parser.add_argument(
+        "--telemetry",
+        metavar="PATH.jsonl",
+        default=None,
+        help=(
+            "collect a telemetry manifest per run (counters, histograms, "
+            "span timings, provenance) and write them as JSON Lines; "
+            "inspect with `python -m repro.tools.obs summarize PATH`"
+        ),
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help=(
+            "wrap each run in cProfile and print a pstats summary to "
+            "stderr (forces serial execution)"
         ),
     )
     faults = parser.add_mutually_exclusive_group()
@@ -163,10 +194,48 @@ def main(argv: list[str] | None = None) -> int:
             flush=True,
         )
 
+    jobs = args.jobs
+    if args.profile and jobs > 1:
+        print(
+            "--profile forces serial execution (profiles cannot cross "
+            "process boundaries); ignoring --jobs",
+            file=sys.stderr,
+        )
+        jobs = 1
     executor = ParallelExecutor(
-        jobs=args.jobs, cache=cache, force=args.force, progress=progress
+        jobs=jobs,
+        cache=cache,
+        force=args.force,
+        progress=progress,
+        collect_telemetry=args.telemetry is not None,
     )
-    records = executor.run(specs)
+    if args.profile:
+        records = []
+        for spec in specs:
+            profiler = cProfile.Profile()
+            profiler.enable()
+            try:
+                records.extend(executor.run([spec]))
+            finally:
+                profiler.disable()
+            stream = io.StringIO()
+            stats = pstats.Stats(profiler, stream=stream)
+            stats.sort_stats("cumulative").print_stats(15)
+            print(f"profile [{spec.experiment_id}]:", file=sys.stderr)
+            print(stream.getvalue(), file=sys.stderr, end="")
+    else:
+        records = executor.run(specs)
+    if args.telemetry is not None:
+        manifests = [
+            record.telemetry
+            for record in records
+            if record.telemetry is not None
+        ]
+        written = write_manifests(args.telemetry, manifests)
+        print(
+            f"wrote {written} telemetry manifest(s) to {args.telemetry}",
+            file=sys.stderr,
+        )
 
     failures = 0
     for record in records:
@@ -194,6 +263,8 @@ def main(argv: list[str] | None = None) -> int:
         f"{failures} failed",
         file=sys.stderr,
     )
+    if cache is not None:
+        print(cache.stats.summary(), file=sys.stderr)
     return 1 if failures else 0
 
 

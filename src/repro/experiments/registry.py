@@ -41,6 +41,7 @@ from repro.experiments.base import ExperimentResult
 from repro.experiments.catalog import ExperimentEntry, entries, get_entry
 from repro.faults.context import use_fault_plan
 from repro.net.engine import use_engine
+from repro.obs.context import current_telemetry
 from repro.runtime.spec import RunSpec
 
 __all__ = [
@@ -112,15 +113,20 @@ def run_spec(spec: RunSpec) -> ExperimentResult:
     content hash, so faulted and fault-free runs never share a cache
     entry.
     """
-    try:
-        entry = EXPERIMENTS[spec.experiment_id]
-    except KeyError:
-        known = ", ".join(sorted(EXPERIMENTS))
-        raise KeyError(
-            f"unknown experiment {spec.experiment_id!r}; known ids: {known}"
-        ) from None
-    with use_engine(spec.engine), use_fault_plan(spec.fault_plan()):
-        result = entry.runner(**entry.kwargs_for(spec))
+    telemetry = current_telemetry()
+    with telemetry.span("spec/resolve"):
+        try:
+            entry = EXPERIMENTS[spec.experiment_id]
+        except KeyError:
+            known = ", ".join(sorted(EXPERIMENTS))
+            raise KeyError(
+                f"unknown experiment {spec.experiment_id!r}; known ids: "
+                f"{known}"
+            ) from None
+        kwargs = entry.kwargs_for(spec)
+    with telemetry.span("spec/execute"):
+        with use_engine(spec.engine), use_fault_plan(spec.fault_plan()):
+            result = entry.runner(**kwargs)
     if result.experiment_id != spec.experiment_id:
         raise RuntimeError(
             f"experiment {spec.experiment_id} returned a result labelled "

@@ -149,6 +149,17 @@ class FaultInjector:
         #: Armed corruption gates, consulted by the channel driver after
         #: its own legacy gate.
         self.noise_gates: tuple = ()
+        #: Fault-gate fire accounting, purely additive: how often each
+        #: fault mechanism actually acted on the run.  The simulation
+        #: layer copies these into the run's telemetry at finalize time
+        #: (``faults/<kind>`` counters); noise-gate fires are counted by
+        #: the channel driver, which is where gates are consulted.
+        self.fire_counts: dict[str, int] = {
+            "crash": 0,
+            "restart": 0,
+            "drift_suppression": 0,
+            "babble_frame": 0,
+        }
         self._events: list[tuple[int, int, str, int]] = []
         self._cursor = 0
         self._next_event: float = math.inf
@@ -279,6 +290,7 @@ class FaultInjector:
                     if state.accum >= state.threshold:
                         state.accum -= state.threshold
                         self.suppressed.add(state.station_id)
+                        self.fire_counts["drift_suppression"] += 1
         if self._babblers:
             frames: list[Frame] = []
             for babbler in self._babblers:
@@ -286,6 +298,7 @@ class FaultInjector:
                     fire = babbler.counter % babbler.period == 0
                     babbler.counter += 1
                     if fire:
+                        self.fire_counts["babble_frame"] += 1
                         frames.append(
                             Frame(
                                 station_id=babbler.sid,
@@ -307,8 +320,10 @@ class FaultInjector:
             if action == "crash":
                 self.down.add(station_id)
                 self.desynced.add(station_id)
+                self.fire_counts["crash"] += 1
             else:  # restart
                 self.down.discard(station_id)
+                self.fire_counts["restart"] += 1
                 assert self._reset_mac is not None  # checked at arm time
                 self._reset_mac(self._stations[station_id])
         self._next_event = (

@@ -36,6 +36,7 @@ import typing
 
 from repro.net.frames import Frame
 from repro.net.phy import MediumProfile
+from repro.obs.instruments import LATENCY_EDGES, NULL_TELEMETRY, Telemetry
 from repro.protocols.base import ChannelState, SlotObservation
 from repro.sim.engine import Environment
 from repro.sim.process import ProcessGenerator
@@ -108,6 +109,15 @@ class _RoundDriver:
         "trace",
         "trace_on",
         "check",
+        "telemetry",
+        "telemetry_on",
+        "ctr_silence",
+        "ctr_success",
+        "ctr_collision",
+        "ctr_corrupted",
+        "ctr_jammed",
+        "ctr_noise_fires",
+        "latency_hists",
     )
 
     def __init__(self, channel: "BroadcastChannel") -> None:
@@ -136,6 +146,25 @@ class _RoundDriver:
         self.trace = channel.trace
         self.trace_on = channel.trace.enabled
         self.check = channel.check_consistency
+        # Telemetry instruments, hoisted once per driver build.  They are
+        # fetched by name from the registry, so a mid-run rebuild (the
+        # fast loop's DES rejoin) resumes the same counters.
+        telemetry = channel.telemetry
+        self.telemetry = telemetry
+        self.telemetry_on = telemetry.enabled
+        if self.telemetry_on:
+            prefix = channel.telemetry_prefix
+            self.ctr_silence = telemetry.counter(f"{prefix}slots/silence")
+            self.ctr_success = telemetry.counter(f"{prefix}slots/success")
+            self.ctr_collision = telemetry.counter(f"{prefix}slots/collision")
+            self.ctr_corrupted = telemetry.counter(f"{prefix}slots/corrupted")
+            self.ctr_jammed = telemetry.counter(f"{prefix}slots/jammed")
+            if self.noise_gates:
+                self.ctr_noise_fires = telemetry.counter(
+                    f"{prefix}faults/noise_gate_fires"
+                )
+            #: message-class name -> per-class latency histogram.
+            self.latency_hists: dict[str, object] = {}
 
     def round(self, now: int) -> int:
         """Run one channel round starting at ``now``; returns its duration."""
@@ -193,9 +222,12 @@ class _RoundDriver:
             # Every gate is consulted every slot (stateful chains must
             # advance even after the slot is already corrupt).
             corrupted = False
+            telemetry_on = self.telemetry_on
             for gate in self.noise_gates:
                 if gate(now, wire):
                     corrupted = True
+                    if telemetry_on:
+                        self.ctr_noise_fires.inc()
         else:
             corrupted = False
         if corrupted:
@@ -207,6 +239,9 @@ class _RoundDriver:
                 stats.corrupted_slots += 1
             stats.collision_slots += 1
             stats.collision_time += slot_time
+            if self.telemetry_on:
+                self.ctr_collision.inc()
+                (self.ctr_jammed if jammed else self.ctr_corrupted).inc()
             observation = SlotObservation(
                 state=_COLLISION,
                 start=now,
@@ -266,6 +301,24 @@ class _RoundDriver:
             frame = None
             stats.collision_slots += 1
             stats.collision_time += slot_time
+        if self.telemetry_on:
+            if state is _SILENCE:
+                self.ctr_silence.inc()
+            elif state is _SUCCESS:
+                self.ctr_success.inc()
+                # Per-class wire latency: completion (end of this slot)
+                # minus arrival, recorded for every delivered frame.
+                hist = self.latency_hists.get(message.msg_class.name)
+                if hist is None:
+                    hist = self.telemetry.histogram(
+                        f"{self.channel.telemetry_prefix}latency/"
+                        f"{message.msg_class.name}",
+                        LATENCY_EDGES,
+                    )
+                    self.latency_hists[message.msg_class.name] = hist
+                hist.record(now + duration - message.arrival)
+            else:
+                self.ctr_collision.inc()
         occupied = None
         if state is _COLLISION and not self.destructive and extra is None:
             # (A babbler cannot tag itself, so occupancy information is
@@ -319,6 +372,8 @@ class BroadcastChannel:
         noise_rate: float = 0.0,
         noise_seed: int = 0,
         noise_rng: random.Random | None = None,
+        telemetry: Telemetry | None = None,
+        telemetry_prefix: str = "",
     ) -> None:
         """``noise_rate`` injects *common-mode* slot corruption: with this
         per-slot probability a silence or success is garbled into a
@@ -334,7 +389,15 @@ class BroadcastChannel:
         Internally ``noise_rate`` arms the same typed gate
         (:class:`repro.faults.runtime.BernoulliGate`) that fault plans
         use, so there is exactly one corruption code path; richer noise
-        models (Gilbert–Elliott bursts) arrive via :attr:`faults`."""
+        models (Gilbert–Elliott bursts) arrive via :attr:`faults`.
+
+        ``telemetry`` is an :class:`~repro.obs.instruments.Telemetry`
+        registry the round driver records slot-outcome counters and
+        per-class latency histograms into (default: the shared
+        :data:`~repro.obs.instruments.NULL_TELEMETRY`, zero-cost);
+        ``telemetry_prefix`` namespaces instrument names, so a dual-bus
+        topology can share one registry with per-bus instruments
+        (``bus0/slots/...``)."""
         if not 0.0 <= noise_rate < 1.0:
             raise ValueError(f"noise_rate must be in [0, 1), got {noise_rate}")
         self.env = env
@@ -345,6 +408,8 @@ class BroadcastChannel:
         self._noise_rng = (
             noise_rng if noise_rng is not None else random.Random(noise_seed)
         )
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        self.telemetry_prefix = telemetry_prefix
         self.stations: list["Station"] = []
         self.stats = ChannelStats()
         self.observations: int = 0

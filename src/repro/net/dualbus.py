@@ -33,6 +33,9 @@ from repro.net.channel import BroadcastChannel, ChannelStats
 from repro.net.engine import resolve_engine
 from repro.net.phy import MediumProfile
 from repro.net.station import Station
+from repro.obs.context import current_telemetry
+from repro.obs.instruments import Telemetry
+from repro.obs.manifest import RunTelemetry
 from repro.protocols.base import ChannelState, MACProtocol, SlotObservation
 from repro.protocols.ddcr.config import DDCRConfig
 from repro.sim.engine import Environment
@@ -167,6 +170,9 @@ class DualBusResult:
     traces: tuple[TraceLog, TraceLog]
     #: Per-bus invariant reports (``monitors=True``), else ``None``.
     invariants: tuple[InvariantReport, InvariantReport] | None = None
+    #: Telemetry manifest with per-bus instruments (``bus0/...``,
+    #: ``bus1/...``); set when the simulation owned an explicit registry.
+    telemetry: RunTelemetry | None = None
 
     @property
     def completions(self):
@@ -222,6 +228,7 @@ class DualBusSimulation:
         trace: bool = False,
         engine: str | None = None,
         monitors: bool = False,
+        telemetry: Telemetry | None = None,
     ) -> None:
         self.problem = problem
         self.medium = medium
@@ -235,6 +242,7 @@ class DualBusSimulation:
             resolve_engine(engine)  # validate eagerly
         self.engine = engine
         self.monitors = monitors
+        self.telemetry = telemetry
 
     def _arrival_process(self, class_name: str, source: SourceSpec):
         if class_name in self.arrivals:
@@ -245,6 +253,10 @@ class DualBusSimulation:
 
     def run(self, horizon: int) -> DualBusResult:
         env = Environment()
+        telemetry = (
+            self.telemetry if self.telemetry is not None
+            else current_telemetry()
+        )
         traces = (
             TraceLog(enabled=self.trace_enabled),
             TraceLog(enabled=self.trace_enabled),
@@ -255,6 +267,8 @@ class DualBusSimulation:
                 self.medium,
                 trace=traces[i],
                 check_consistency=self.check_consistency,
+                telemetry=telemetry,
+                telemetry_prefix=f"bus{i}/",
             )
             for i in range(2)
         )
@@ -320,11 +334,22 @@ class DualBusSimulation:
                 suite.finalize(horizon, stations, down=None)
                 for suite, stations in zip(suites, bus_stations)
             )
+        failovers = max(c.failovers for c in controllers)
+        manifest = None
+        if telemetry.enabled:
+            telemetry.gauge("failovers").set(failovers)
+            if self.telemetry is not None:
+                manifest = RunTelemetry.from_registry(
+                    telemetry,
+                    run_id="dualbus",
+                    engine=resolve_engine(self.engine),
+                )
         return DualBusResult(
             horizon=horizon,
             stations=primary_stations,
             bus_stats=(busses[0].stats, busses[1].stats),
-            failovers=max(c.failovers for c in controllers),
+            failovers=failovers,
             traces=traces,
             invariants=invariants,
+            telemetry=manifest,
         )

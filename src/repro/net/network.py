@@ -21,6 +21,7 @@ from __future__ import annotations
 import dataclasses
 import functools
 import itertools
+import time
 from collections.abc import Callable, Mapping
 
 from repro.faults.context import current_fault_plan
@@ -32,6 +33,9 @@ from repro.net.channel import BroadcastChannel, ChannelStats
 from repro.net.engine import resolve_engine
 from repro.net.phy import MediumProfile
 from repro.net.station import CompletionRecord, Station
+from repro.obs.context import current_telemetry
+from repro.obs.instruments import SEARCH_DEPTH_EDGES, Telemetry
+from repro.obs.manifest import RunTelemetry
 from repro.protocols.base import MACProtocol
 from repro.sim.engine import Environment
 from repro.sim.invariants import InvariantReport, MonitorSuite, standard_suite
@@ -61,6 +65,10 @@ class RunResult:
     #: Invariant-monitor report (:mod:`repro.sim.invariants`); ``None``
     #: when the run had no monitors armed.
     invariants: InvariantReport | None = None
+    #: Per-run telemetry manifest (:mod:`repro.obs`); set when the
+    #: simulation owned an explicit telemetry registry, ``None`` when
+    #: telemetry was off or ambient (the scope owner collects it then).
+    telemetry: RunTelemetry | None = None
 
     @functools.cached_property
     def completions(self) -> list[CompletionRecord]:
@@ -130,6 +138,17 @@ class NetworkSimulation:
     suite exactly when a fault plan is active, and the resulting
     :class:`~repro.sim.invariants.InvariantReport` lands in
     :attr:`RunResult.invariants` — identical under both engines.
+
+    ``telemetry`` arms instrument collection (:mod:`repro.obs`): pass a
+    :class:`~repro.obs.instruments.Telemetry` registry to own the run's
+    instruments and receive a :class:`~repro.obs.manifest.RunTelemetry`
+    manifest on :attr:`RunResult.telemetry`; the default ``None`` picks
+    up the ambient scoped registry
+    (:func:`repro.obs.context.use_telemetry` — how the runtime executor
+    collects one document per spec execution), which is the shared no-op
+    :data:`~repro.obs.instruments.NULL_TELEMETRY` outside any scope.
+    Instrument values are a pure function of the run, identical under
+    both engines.
     """
 
     def __init__(
@@ -146,6 +165,7 @@ class NetworkSimulation:
         engine: str | None = None,
         faults: FaultPlan | None = None,
         monitors: bool | MonitorSuite | None = None,
+        telemetry: Telemetry | None = None,
     ) -> None:
         self.problem = problem
         self.medium = medium
@@ -161,6 +181,7 @@ class NetworkSimulation:
         self.engine = engine
         self.faults = faults
         self.monitors = monitors
+        self.telemetry = telemetry
 
     def _arrival_process(self, class_name: str, source: SourceSpec):
         if class_name in self.arrivals:
@@ -183,6 +204,11 @@ class NetworkSimulation:
         engine_name = resolve_engine(
             engine if engine is not None else self.engine
         )
+        started = time.perf_counter()
+        telemetry = (
+            self.telemetry if self.telemetry is not None
+            else current_telemetry()
+        )
         if env is None:
             env = Environment()
         rng = SeedSequenceRegistry(self.root_seed)
@@ -194,6 +220,7 @@ class NetworkSimulation:
             check_consistency=self.check_consistency,
             noise_rate=self.noise_rate,
             noise_rng=rng.stream(f"channel/noise/{self.noise_seed}"),
+            telemetry=telemetry,
         )
         stations: list[Station] = []
         sources_by_station: dict[int, SourceSpec] = {}
@@ -268,12 +295,26 @@ class NetworkSimulation:
                 stations,
                 down=injector.down if injector is not None else None,
             )
+        manifest = None
+        if telemetry.enabled:
+            _finalize_telemetry(telemetry, stations, injector)
+            if self.telemetry is not None:
+                manifest = RunTelemetry.from_registry(
+                    telemetry,
+                    run_id="simulation",
+                    engine=engine_name,
+                    seed=self.root_seed,
+                    faults=plan if plan is not None and not plan.is_empty
+                    else None,
+                    wall_seconds=time.perf_counter() - started,
+                )
         return RunResult(
             horizon=horizon,
             stations=stations,
             stats=channel.stats,
             trace=trace,
             invariants=invariants,
+            telemetry=manifest,
         )
 
     def _resolve_monitors(
@@ -286,3 +327,48 @@ class NetworkSimulation:
         if monitors is True or (monitors is None and faulted):
             return standard_suite(stations)
         return None
+
+
+def _finalize_telemetry(
+    telemetry: Telemetry,
+    stations: list[Station],
+    injector,
+) -> None:
+    """Fold end-of-run state into the registry.
+
+    Search-depth histograms come from the protocols' per-run search
+    records (every station holds a replica of the common-knowledge
+    searches, so entries are per-station views: a fault-free z-station
+    run records each search z times — counts scale by z, quantiles are
+    unaffected).  Fault-gate fire counts come from the armed injector.
+    All of it is a pure function of the run, identical across engines.
+    """
+    has_search = any(
+        hasattr(station.mac, "tts_records") for station in stations
+    )
+    if has_search:
+        tts_hist = telemetry.histogram(
+            "search/tts_wasted_slots", SEARCH_DEPTH_EDGES
+        )
+        sts_hist = telemetry.histogram(
+            "search/sts_wasted_slots", SEARCH_DEPTH_EDGES
+        )
+        tts_runs = telemetry.counter("search/tts_runs")
+        sts_runs = telemetry.counter("search/sts_runs")
+        empty_runs = telemetry.counter("search/empty_tts_runs")
+        for station in stations:
+            mac = station.mac
+            if not hasattr(mac, "tts_records"):
+                continue
+            for record in mac.tts_records:
+                tts_hist.record(record.wasted_slots)
+            for record in mac.sts_records:
+                sts_hist.record(record.wasted_slots)
+            tts_runs.inc(len(mac.tts_records))
+            sts_runs.inc(len(mac.sts_records))
+            empty_runs.inc(getattr(mac, "empty_tts_runs", 0))
+    if injector is not None:
+        for kind in sorted(injector.fire_counts):
+            count = injector.fire_counts[kind]
+            if count:
+                telemetry.counter(f"faults/{kind}").inc(count)

@@ -1,0 +1,42 @@
+"""Unified telemetry: typed instruments, run manifests, ambient scoping.
+
+One registry (:class:`~repro.obs.instruments.Telemetry`) collects every
+number a run produces — counters, gauges, fixed-bucket histograms and
+span timers — and one document (:class:`~repro.obs.manifest.RunTelemetry`)
+carries them out of the process as a JSONL manifest the
+``python -m repro.tools.obs`` tooling can render and diff.
+
+The disabled state is the shared :data:`~repro.obs.instruments.NULL_TELEMETRY`
+singleton, following the ``NULL_TRACE`` hoisted-gate pattern: hot call
+sites check ``telemetry.enabled`` once per run and skip all instrument
+work when it is off, so the slot-loop fast path stays allocation-free.
+"""
+
+from repro.obs.context import current_telemetry, use_telemetry
+from repro.obs.instruments import (
+    NULL_TELEMETRY,
+    Counter,
+    Gauge,
+    Histogram,
+    Telemetry,
+)
+from repro.obs.manifest import (
+    RunTelemetry,
+    git_rev,
+    read_manifests,
+    write_manifests,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "NULL_TELEMETRY",
+    "RunTelemetry",
+    "Telemetry",
+    "current_telemetry",
+    "git_rev",
+    "read_manifests",
+    "use_telemetry",
+    "write_manifests",
+]

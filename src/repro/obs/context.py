@@ -1,0 +1,40 @@
+"""Scoped ambient telemetry, mirroring :func:`repro.faults.context.use_fault_plan`.
+
+The runtime executor collects one telemetry document per spec execution,
+but an experiment runner may build many simulations deep inside its own
+call tree.  Threading a registry through every runner signature would be
+invasive, so the executor scopes it here and
+:class:`~repro.net.network.NetworkSimulation` picks it up at ``run()``
+time when none was passed explicitly — the same pattern the engine
+selector and the fault-plan context use.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import typing
+
+from repro.obs.instruments import NULL_TELEMETRY, Telemetry
+
+__all__ = ["current_telemetry", "use_telemetry"]
+
+_ACTIVE: list[Telemetry] = [NULL_TELEMETRY]
+
+
+def current_telemetry() -> Telemetry:
+    """The innermost scoped registry (:data:`NULL_TELEMETRY` outside any)."""
+    return _ACTIVE[-1]
+
+
+@contextlib.contextmanager
+def use_telemetry(telemetry: Telemetry | None) -> typing.Iterator[None]:
+    """Scope ``telemetry`` as ambient for the dynamic extent.
+
+    ``None`` scopes :data:`NULL_TELEMETRY` (shadowing any outer scope),
+    so nested code can explicitly run uninstrumented.
+    """
+    _ACTIVE.append(telemetry if telemetry is not None else NULL_TELEMETRY)
+    try:
+        yield
+    finally:
+        _ACTIVE.pop()

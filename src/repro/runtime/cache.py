@@ -43,6 +43,16 @@ class CacheStats:
     evictions: int = 0
     writes: int = 0
 
+    def summary(self) -> str:
+        """One human-readable line, as surfaced after CLI invocations."""
+        line = (
+            f"cache: {self.hits} hits / {self.misses} misses / "
+            f"{self.writes} writes"
+        )
+        if self.evictions:
+            line += f" / {self.evictions} evictions"
+        return line
+
 
 class ResultCache:
     """Pickle-backed result store keyed by RunSpec content hash."""

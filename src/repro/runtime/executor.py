@@ -26,6 +26,9 @@ import time
 import typing
 from collections.abc import Callable, Sequence
 
+from repro.obs.context import use_telemetry
+from repro.obs.instruments import Telemetry
+from repro.obs.manifest import RunTelemetry, fault_plan_hash, git_rev
 from repro.runtime.cache import ResultCache
 from repro.runtime.spec import RunSpec
 
@@ -48,6 +51,10 @@ class RunRecord:
     result: "ExperimentResult"
     duration: float
     source: str
+    #: Per-run telemetry manifest (:mod:`repro.obs`); collected when the
+    #: executor was built with ``collect_telemetry=True``, else ``None``.
+    #: Cache hits get a minimal manifest (provenance + the lookup span).
+    telemetry: RunTelemetry | None = None
 
     @property
     def cached(self) -> bool:
@@ -62,14 +69,39 @@ class RunRecord:
         )
 
 
-def execute_spec(spec: RunSpec) -> "tuple[ExperimentResult, float]":
+def execute_spec(
+    spec: RunSpec, collect_telemetry: bool = False
+) -> "tuple[ExperimentResult, float, RunTelemetry | None]":
     """Run one spec to completion; top-level so worker processes can
-    pickle it.  Returns the result and its wall-clock duration."""
+    pickle it.  Returns the result, its wall-clock duration, and — when
+    ``collect_telemetry`` is set — a :class:`RunTelemetry` manifest.
+
+    Telemetry collection scopes a fresh registry as ambient for the
+    whole execution (:func:`repro.obs.context.use_telemetry`), so every
+    simulation the experiment builds records into one document; the
+    registry adds ``spec/resolve`` / ``spec/execute`` spans around the
+    runner (:func:`repro.experiments.registry.run_spec`).
+    """
     from repro.experiments.registry import run_spec
 
     started = time.perf_counter()
-    result = run_spec(spec)
-    return result, time.perf_counter() - started
+    if not collect_telemetry:
+        result = run_spec(spec)
+        return result, time.perf_counter() - started, None
+    telemetry = Telemetry()
+    with use_telemetry(telemetry), telemetry.span("run"):
+        result = run_spec(spec)
+    duration = time.perf_counter() - started
+    manifest = RunTelemetry.from_registry(
+        telemetry,
+        run_id=spec.experiment_id,
+        engine=spec.engine,
+        seed=spec.root_seed,
+        faults=spec.faults,
+        source=SOURCE_SERIAL,
+        wall_seconds=duration,
+    )
+    return result, duration, manifest
 
 
 def _worker_init(extra_path: str) -> None:
@@ -87,6 +119,7 @@ class ParallelExecutor:
         cache: ResultCache | None = None,
         force: bool = False,
         progress: Callable[[RunRecord, int, int], None] | None = None,
+        collect_telemetry: bool = False,
     ) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -94,6 +127,9 @@ class ParallelExecutor:
         self.cache = cache
         self.force = force
         self.progress = progress
+        #: When set, every record carries a :class:`RunTelemetry` manifest
+        #: (cache hits get a minimal provenance-only document).
+        self.collect_telemetry = collect_telemetry
         #: Specs actually executed (cache misses) over this executor's life.
         self.submissions = 0
 
@@ -105,11 +141,20 @@ class ParallelExecutor:
         pending: list[tuple[int, RunSpec]] = []
         for index, spec in enumerate(specs):
             cached = None
+            lookup_started = time.perf_counter()
             if self.cache is not None and not self.force:
                 cached = self.cache.get(spec)
+            lookup_seconds = time.perf_counter() - lookup_started
             if cached is not None:
+                manifest = None
+                if self.collect_telemetry:
+                    manifest = self._cache_hit_manifest(spec, lookup_seconds)
                 record = RunRecord(
-                    spec=spec, result=cached, duration=0.0, source=SOURCE_CACHE
+                    spec=spec,
+                    result=cached,
+                    duration=0.0,
+                    source=SOURCE_CACHE,
+                    telemetry=manifest,
                 )
                 records[index] = record
                 self._report(record, index, total)
@@ -133,9 +178,17 @@ class ParallelExecutor:
     ) -> list[tuple[int, RunRecord]]:
         out: list[tuple[int, RunRecord]] = []
         for index, spec in pending:
-            result, duration = execute_spec(spec)
+            result, duration, manifest = execute_spec(
+                spec, self.collect_telemetry
+            )
             out.append(
-                (index, self._finish(spec, result, duration, SOURCE_SERIAL, index, total))
+                (
+                    index,
+                    self._finish(
+                        spec, result, duration, SOURCE_SERIAL, index, total,
+                        manifest,
+                    ),
+                )
             )
         return out
 
@@ -158,17 +211,20 @@ class ParallelExecutor:
         try:
             with pool:
                 futures = {
-                    pool.submit(execute_spec, spec): (index, spec)
+                    pool.submit(
+                        execute_spec, spec, self.collect_telemetry
+                    ): (index, spec)
                     for index, spec in pending
                 }
                 for future in concurrent.futures.as_completed(futures):
                     index, spec = futures[future]
-                    result, duration = future.result()
+                    result, duration, manifest = future.result()
                     out.append(
                         (
                             index,
                             self._finish(
-                                spec, result, duration, SOURCE_POOL, index, total
+                                spec, result, duration, SOURCE_POOL, index,
+                                total, manifest,
                             ),
                         )
                     )
@@ -180,6 +236,32 @@ class ParallelExecutor:
 
     # -- bookkeeping --------------------------------------------------------
 
+    def _cache_hit_manifest(
+        self, spec: RunSpec, lookup_seconds: float
+    ) -> RunTelemetry:
+        """A minimal manifest for a cache hit: provenance, no simulation.
+
+        The only span is the cache lookup itself — there was no run to
+        measure — so diffing a cold manifest against a warm one shows the
+        full simulation time collapsing into ``cache/lookup``.
+        """
+        return RunTelemetry(
+            run_id=spec.experiment_id,
+            engine=spec.engine,
+            seed=spec.root_seed,
+            git_rev=git_rev(),
+            fault_plan=fault_plan_hash(spec.faults),
+            source=SOURCE_CACHE,
+            wall_seconds=lookup_seconds,
+            spans=[
+                {
+                    "name": "cache/lookup",
+                    "calls": 1,
+                    "seconds": lookup_seconds,
+                }
+            ],
+        )
+
     def _finish(
         self,
         spec: RunSpec,
@@ -188,11 +270,18 @@ class ParallelExecutor:
         source: str,
         index: int,
         total: int,
+        manifest: RunTelemetry | None = None,
     ) -> RunRecord:
         if self.cache is not None:
             self.cache.put(spec, result, duration)
+        if manifest is not None:
+            manifest.source = source
         record = RunRecord(
-            spec=spec, result=result, duration=duration, source=source
+            spec=spec,
+            result=result,
+            duration=duration,
+            source=source,
+            telemetry=manifest,
         )
         self._report(record, index, total)
         return record

@@ -9,6 +9,8 @@ search slots and compare them against the analytic ``xi`` values.
 from __future__ import annotations
 
 import dataclasses
+import json
+import os
 from collections.abc import Callable, Iterator
 
 __all__ = ["TraceRecord", "TraceLog", "NULL_TRACE"]
@@ -78,6 +80,26 @@ class TraceLog:
 
     def clear(self) -> None:
         self._records.clear()
+
+    def to_jsonl(
+        self, path: str | os.PathLike[str], kind: str | None = None
+    ) -> int:
+        """Export records as JSON Lines; returns the number written.
+
+        Each line is ``{"time": ..., "kind": ..., **details}``; detail
+        values that are not JSON-native (message instances, enums...)
+        are serialised via ``str``, so the export never raises on
+        free-form payloads.  ``kind`` restricts the export to one record
+        kind, mirroring :meth:`records`.
+        """
+        count = 0
+        with open(path, "w", encoding="utf-8") as handle:
+            for record in self.records(kind):
+                doc = {"time": record.time, "kind": record.kind}
+                doc.update(record.details)
+                handle.write(json.dumps(doc, default=str) + "\n")
+                count += 1
+        return count
 
 
 class _NullTraceLog(TraceLog):

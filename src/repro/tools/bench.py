@@ -14,11 +14,20 @@ engine — and writes a machine-readable report::
 The report records the git revision and the engine each bench ran on, so
 successive runs are comparable across commits (``BENCH_micro.json`` at the
 repo root is the conventional landing spot; it is overwritten, not
-appended — history lives in git).
+appended).  Every write also appends one JSONL line to
+``BENCH_history.jsonl`` next to the report (``--history`` overrides,
+``--no-history`` skips), which the ``check --ci`` perf-trend gate reads:
+it compares the current run against the median of the last N same-mode
+history entries, so a gradual hot-path slowdown fails CI even when each
+individual commit looks like noise.
 
 ``--smoke`` is the CI-sized variant (one repetition, smaller simulation
 horizon); ``python -m repro.tools.check --ci`` runs it inline as a
 perf-smoke step so throughput regressions surface next to correctness.
+
+Timing: every bench runs one untimed warm-up pass, then ``repeats``
+measured passes; the report carries both the best (min) and median
+sample, and records the repeat count actually used.
 """
 
 from __future__ import annotations
@@ -28,6 +37,7 @@ import dataclasses
 import json
 import pathlib
 import platform
+import statistics
 import subprocess
 import sys
 import time
@@ -35,14 +45,27 @@ from collections.abc import Callable
 
 from repro.net.engine import ENGINES, default_engine, use_engine
 
-__all__ = ["BENCHES", "BenchResult", "run_benches", "main"]
+__all__ = [
+    "BENCHES",
+    "BenchResult",
+    "append_history",
+    "history_entry",
+    "load_history",
+    "run_benches",
+    "main",
+]
 
 _MS = 1_000_000
 
 
 @dataclasses.dataclass(frozen=True)
 class BenchResult:
-    """One bench's outcome: best-of-N throughput."""
+    """One bench's outcome: best-of-N and median-of-N throughput.
+
+    ``seconds``/``ops_per_sec`` are the best (minimum-time) sample —
+    the least-noise estimate of what the code can do; the median pair
+    is the robust estimate trend gates should compare.
+    """
 
     name: str
     engine: str | None
@@ -51,13 +74,21 @@ class BenchResult:
     seconds: float
     ops_per_sec: float
     repeats: int
+    median_seconds: float = 0.0
+    median_ops_per_sec: float = 0.0
 
     def describe(self) -> str:
         engine = f" [{self.engine}]" if self.engine else ""
-        return (
+        line = (
             f"{self.name:<28}{engine:<11} "
             f"{self.ops_per_sec:>14,.0f} {self.unit}/s"
         )
+        if self.repeats > 1:
+            line += (
+                f"  (median {self.median_ops_per_sec:,.0f}, "
+                f"n={self.repeats})"
+            )
+        return line
 
 
 def _bench_xi_dp_table(smoke: bool) -> tuple[float, str]:
@@ -119,7 +150,11 @@ def _bench_latency_bound(smoke: bool) -> tuple[float, str]:
 
 
 def _channel_slot_rate(
-    stations: int, engine: str, smoke: bool, monitors: bool = False
+    stations: int,
+    engine: str,
+    smoke: bool,
+    monitors: bool = False,
+    telemetry: bool = False,
 ) -> tuple[float, str]:
     """DDCR simulation throughput, in channel rounds per second."""
     from repro.model.workloads import uniform_problem
@@ -134,17 +169,26 @@ def _channel_slot_rate(
         time_f=16, time_m=2, class_width=65_536,
         static_q=problem.static_q, static_m=problem.static_m,
     )
+    registry = None
+    if telemetry:
+        from repro.obs.instruments import Telemetry
+
+        registry = Telemetry()
     simulation = NetworkSimulation(
         problem,
         ideal_medium(slot_time=64),
         protocol_factory=lambda s: DDCRProtocol(config),
         engine=engine,
         monitors=monitors,
+        telemetry=registry,
     )
     result = simulation.run(200_000 if smoke else 1_000_000)
     assert result.delivered > 0
     if monitors:
         assert result.invariants is not None and result.invariants.ok
+    if telemetry:
+        assert result.telemetry is not None
+        assert result.telemetry.counters["slots/success"] > 0
     return float(result.stats.rounds), "rounds"
 
 
@@ -160,6 +204,16 @@ def _bench_invariant_overhead(smoke: bool) -> tuple[float, str]:
     workload, monitors off) for the per-round cost of online invariant
     checking."""
     return _channel_slot_rate(16, "fastloop", smoke, monitors=True)
+
+
+def _bench_telemetry_overhead(smoke: bool) -> tuple[float, str]:
+    """The 16-station fastloop workload with a live telemetry registry
+    (slot counters plus per-class latency histograms recording every
+    round); compare against ``channel_slot_rate_16_fastloop`` for the
+    per-round cost of enabled telemetry.  The disabled case needs no
+    bench of its own: ``channel_slot_rate_16_fastloop`` *is* the
+    NULL_TELEMETRY path."""
+    return _channel_slot_rate(16, "fastloop", smoke, telemetry=True)
 
 
 #: name -> (engine or None, bench callable).  A bench callable performs one
@@ -179,6 +233,7 @@ BENCHES: dict[str, tuple[str | None, Callable[[bool], tuple[float, str]]]] = {
         for engine in ("des", "fastloop")
     },
     "invariant_overhead": ("fastloop", _bench_invariant_overhead),
+    "telemetry_overhead": ("fastloop", _bench_telemetry_overhead),
 }
 
 
@@ -202,14 +257,15 @@ def run_benches(
         engine, bench = BENCHES[name]
         with use_engine(engine):
             bench(smoke)  # warm-up: fill caches, import lazily
-            best_seconds = float("inf")
+            samples: list[float] = []
             ops = 0.0
             unit = "ops"
             for _ in range(repeats):
                 started = time.perf_counter()
                 ops, unit = bench(smoke)
-                elapsed = time.perf_counter() - started
-                best_seconds = min(best_seconds, elapsed)
+                samples.append(time.perf_counter() - started)
+        best_seconds = min(samples)
+        median_seconds = statistics.median(samples)
         results.append(
             BenchResult(
                 name=name,
@@ -219,6 +275,10 @@ def run_benches(
                 seconds=best_seconds,
                 ops_per_sec=ops / best_seconds if best_seconds > 0 else 0.0,
                 repeats=repeats,
+                median_seconds=median_seconds,
+                median_ops_per_sec=(
+                    ops / median_seconds if median_seconds > 0 else 0.0
+                ),
             )
         )
     return results
@@ -262,6 +322,64 @@ def report_payload(
     }
 
 
+def history_entry(results: list[BenchResult], smoke: bool) -> dict[str, object]:
+    """One JSONL history line: provenance plus per-bench throughput.
+
+    ``benches`` maps name to the *median* ops/sec — the robust sample the
+    perf-trend gate medians again across entries — with the best sample
+    kept alongside for inspection.
+    """
+    return {
+        "schema": 1,
+        "time": time.time(),
+        "git_rev": _git_rev(),
+        "smoke": smoke,
+        "benches": {
+            result.name: {
+                "ops_per_sec": result.median_ops_per_sec or result.ops_per_sec,
+                "best_ops_per_sec": result.ops_per_sec,
+                "repeats": result.repeats,
+            }
+            for result in results
+        },
+    }
+
+
+def append_history(
+    path: str | pathlib.Path, entry: dict[str, object]
+) -> None:
+    """Append one run's entry to the JSONL history file."""
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write(json.dumps(entry, sort_keys=True) + "\n")
+
+
+def load_history(path: str | pathlib.Path) -> list[dict]:
+    """All history entries, oldest first; missing file -> empty, and
+    unparsable lines are skipped (a truncated append must not brick CI)."""
+    entries: list[dict] = []
+    try:
+        handle = open(path, encoding="utf-8")
+    except OSError:
+        return entries
+    with handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if isinstance(entry, dict):
+                entries.append(entry)
+    return entries
+
+
+def default_history_path() -> pathlib.Path:
+    """``BENCH_history.jsonl`` next to the default report location."""
+    return _default_output().parent / "BENCH_history.jsonl"
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.tools.bench",
@@ -298,6 +416,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-write",
         action="store_true",
         help="print results only; do not write the report file",
+    )
+    parser.add_argument(
+        "--history",
+        metavar="FILE",
+        default=None,
+        help=(
+            "JSONL history file each run appends to (default: "
+            "BENCH_history.jsonl next to the report)"
+        ),
+    )
+    parser.add_argument(
+        "--no-history",
+        action="store_true",
+        help="do not append this run to the history file",
     )
     parser.add_argument(
         "--engine",
@@ -337,6 +469,14 @@ def main(argv: list[str] | None = None) -> int:
             json.dumps(report_payload(results, args.smoke), indent=2) + "\n"
         )
         print(f"wrote {output}", file=sys.stderr)
+        if not args.no_history:
+            history = (
+                pathlib.Path(args.history)
+                if args.history is not None
+                else output.parent / "BENCH_history.jsonl"
+            )
+            append_history(history, history_entry(results, args.smoke))
+            print(f"appended to {history}", file=sys.stderr)
     return 0
 
 

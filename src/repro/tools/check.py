@@ -21,21 +21,32 @@ resolves the full experiment suite through the parallel runtime — cached
 results replay from ``.repro-cache`` so a no-change run is near-instant —
 then runs an invariants-smoke step (one faulted scenario per protocol
 with online invariant monitors, :mod:`repro.sim.invariants`; any
-violation fails CI; ``--no-invariants`` skips it) and finishes with a
-perf-smoke step: one quick pass of the micro benchmarks
-(:mod:`repro.tools.bench` ``--smoke``), printing throughput so
-regressions surface next to correctness (``--no-perf`` skips it).  Exit 0
-when everything imports, every experiment's checks pass and every
-invariant holds, 2 otherwise; perf numbers are informational and never
-change the exit status.
+violation fails CI; ``--no-invariants`` skips it), an obs-smoke step
+(one run with telemetry collection on, then a ``repro.tools.obs``
+``summarize`` + ``diff`` round-trip over the manifest; ``--no-obs``
+skips it), and finishes with a perf-smoke step: one quick pass of the
+micro benchmarks (:mod:`repro.tools.bench` ``--smoke``), printing
+throughput so regressions surface next to correctness (``--no-perf``
+skips it).  The perf step feeds a *perf-trend gate*: the current run is
+compared against the median of the last N entries in
+``BENCH_history.jsonl`` (``--history`` overrides the file,
+``--no-perf-trend`` skips the gate), and each run is appended to the
+history afterwards.  Exit 0 when everything imports, every experiment's
+checks pass, every invariant holds, the obs round-trip succeeds and no
+bench fell below the trend threshold; 2 otherwise.  Absolute perf
+numbers stay informational — only a *relative* drop against this
+machine's own history fails CI.
 """
 
 from __future__ import annotations
 
 import argparse
 import importlib
+import os
 import pkgutil
+import statistics
 import sys
+import tempfile
 
 from repro.analysis.metrics import summarize
 from repro.analysis.report import format_table
@@ -91,6 +102,42 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-invariants",
         action="store_true",
         help="skip the --ci invariants-smoke (faulted scenarios) step",
+    )
+    parser.add_argument(
+        "--no-obs",
+        action="store_true",
+        help="skip the --ci obs-smoke (telemetry round-trip) step",
+    )
+    parser.add_argument(
+        "--no-perf-trend",
+        action="store_true",
+        help="run the perf smoke but skip the history trend gate",
+    )
+    parser.add_argument(
+        "--history",
+        metavar="FILE",
+        default=None,
+        help=(
+            "bench history file for the perf-trend gate (default: "
+            "BENCH_history.jsonl at the repo root)"
+        ),
+    )
+    parser.add_argument(
+        "--trend-window",
+        type=int,
+        default=5,
+        metavar="N",
+        help="history entries the trend gate medians over (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--trend-threshold",
+        type=float,
+        default=30.0,
+        metavar="PCT",
+        help=(
+            "fail when a bench drops more than PCT%% below its history "
+            "median (default: %(default)s)"
+        ),
     )
     parser.add_argument(
         "--medium",
@@ -223,17 +270,111 @@ def _run_invariants_smoke() -> list[str]:
     return failures
 
 
-def _run_perf_smoke() -> None:
-    """One quick micro-benchmark pass (informational: never fails CI)."""
+def _run_obs_smoke(cache_dir: str) -> list[str]:
+    """One telemetry-collecting run plus a summarize/diff round-trip.
+
+    Resolves FIG1 through the cache-aware executor with telemetry on
+    (a warm cache yields the minimal cache-hit manifest — the round-trip
+    exercises the same schema either way), writes the manifest JSONL,
+    renders it with ``repro.tools.obs summarize`` and diffs it against
+    itself (which must exit 0).  Returns failure lines.
+    """
+    from repro.obs.manifest import write_manifests
+    from repro.runtime import ParallelExecutor, ResultCache, RunSpec
+    from repro.tools import obs
+
+    failures: list[str] = []
+    executor = ParallelExecutor(
+        cache=ResultCache(cache_dir), collect_telemetry=True
+    )
+    records = executor.run([RunSpec.make("FIG1")])
+    manifests = [r.telemetry for r in records if r.telemetry is not None]
+    if not manifests:
+        return ["obs-smoke: executor produced no telemetry manifest"]
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "obs-smoke.jsonl")
+        write_manifests(path, manifests)
+        if obs.main(["summarize", path]) != 0:
+            failures.append("obs-smoke: summarize failed")
+        if obs.main(["diff", path, path, "--fail-over", "50"]) != 0:
+            failures.append("obs-smoke: self-diff did not exit 0")
+    if not failures:
+        print(
+            f"obs-smoke: telemetry round-trip ok "
+            f"({manifests[0].run_id}, source={manifests[0].source})"
+        )
+    return failures
+
+
+def _run_perf_smoke() -> "list | None":
+    """One quick micro-benchmark pass; returns results (None = skipped)."""
     from repro.tools.bench import run_benches
 
     try:
         results = run_benches(smoke=True)
     except Exception as error:  # noqa: BLE001 - perf is advisory
         print(f"perf-smoke: skipped ({error})", file=sys.stderr)
-        return
+        return None
     for result in results:
         print(f"perf-smoke: {result.describe()}")
+    return results
+
+
+def _run_perf_trend(
+    results: list,
+    history_path: "str | os.PathLike[str]",
+    window: int,
+    threshold: float,
+) -> list[str]:
+    """Gate current bench results against the history median.
+
+    Compares each bench's median ops/sec against the median of the last
+    ``window`` same-mode (smoke) history entries that measured it; a drop
+    of more than ``threshold`` percent is a regression.  The current run
+    is appended to the history *after* the comparison, so a regressed run
+    cannot vote itself into its own baseline.  Returns failure lines.
+    """
+    from repro.tools.bench import append_history, history_entry, load_history
+
+    smoke_entries = [
+        entry for entry in load_history(history_path) if entry.get("smoke")
+    ][-window:]
+    failures: list[str] = []
+    if len(smoke_entries) < 2:
+        print(
+            f"perf-trend: not enough history "
+            f"({len(smoke_entries)} smoke entr(y/ies) in {history_path}); "
+            "gate skipped, current run recorded"
+        )
+    else:
+        for result in results:
+            samples = [
+                entry["benches"][result.name]["ops_per_sec"]
+                for entry in smoke_entries
+                if result.name in entry.get("benches", {})
+            ]
+            if len(samples) < 2:
+                continue
+            baseline = statistics.median(samples)
+            current = result.median_ops_per_sec or result.ops_per_sec
+            if baseline <= 0:
+                continue
+            drop = (1.0 - current / baseline) * 100.0
+            if drop > threshold:
+                failures.append(
+                    f"{result.name}: {current:,.0f} ops/s is "
+                    f"{drop:.1f}% below the history median "
+                    f"{baseline:,.0f} (limit {threshold:.0f}%, "
+                    f"n={len(samples)})"
+                )
+        verdict = "FAILED" if failures else "ok"
+        print(
+            f"perf-trend: {verdict} "
+            f"({len(results)} bench(es) vs median of "
+            f"{len(smoke_entries)} run(s))"
+        )
+    append_history(history_path, history_entry(results, smoke=True))
+    return failures
 
 
 def run_ci(
@@ -241,8 +382,13 @@ def run_ci(
     cache_dir: str,
     perf: bool = True,
     invariants: bool = True,
+    obs: bool = True,
+    perf_trend: bool = True,
+    history: "str | None" = None,
+    trend_window: int = 5,
+    trend_threshold: float = 30.0,
 ) -> int:
-    """``--ci`` fast path: imports + suite + invariants smoke + perf."""
+    """``--ci`` fast path: imports + suite + smokes + perf trend gate."""
     from repro.experiments.registry import EXPERIMENTS
     from repro.runtime import ParallelExecutor, ResultCache, RunSpec
 
@@ -275,8 +421,21 @@ def run_ci(
     violation_failures: list[str] = []
     if invariants:
         violation_failures = _run_invariants_smoke()
+    obs_failures: list[str] = []
+    if obs:
+        obs_failures = _run_obs_smoke(cache_dir)
+    trend_failures: list[str] = []
     if perf:
-        _run_perf_smoke()
+        results = _run_perf_smoke()
+        if results is not None and perf_trend:
+            from repro.tools.bench import default_history_path
+
+            history_path = (
+                history if history is not None else default_history_path()
+            )
+            trend_failures = _run_perf_trend(
+                results, history_path, trend_window, trend_threshold
+            )
     if failed:
         print(f"FAILED checks: {', '.join(failed)}", file=sys.stderr)
     if violation_failures:
@@ -284,7 +443,11 @@ def run_ci(
             f"FAILED invariants: {', '.join(violation_failures)}",
             file=sys.stderr,
         )
-    if failed or violation_failures:
+    for failure in obs_failures:
+        print(f"FAILED obs: {failure}", file=sys.stderr)
+    for failure in trend_failures:
+        print(f"FAILED perf-trend: {failure}", file=sys.stderr)
+    if failed or violation_failures or obs_failures or trend_failures:
         return 2
     print("verdict: OK")
     return 0
@@ -299,6 +462,11 @@ def main(argv: list[str] | None = None) -> int:
             cache_dir=args.cache_dir,
             perf=not args.no_perf,
             invariants=not args.no_invariants,
+            obs=not args.no_obs,
+            perf_trend=not args.no_perf_trend,
+            history=args.history,
+            trend_window=args.trend_window,
+            trend_threshold=args.trend_threshold,
         )
     if args.instance is None:
         parser.error("an instance file is required unless --ci is given")

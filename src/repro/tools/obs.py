@@ -1,0 +1,320 @@
+"""Render and compare telemetry manifests (``python -m repro.tools.obs``).
+
+Usage::
+
+    python -m repro.tools.obs summarize run.jsonl
+    python -m repro.tools.obs diff baseline.jsonl current.jsonl
+    python -m repro.tools.obs diff base.jsonl cur.jsonl --fail-over 25
+
+``summarize`` renders each :class:`~repro.obs.manifest.RunTelemetry`
+document in a manifest file as text: provenance header, counters and
+gauges, histogram quantiles (p50/p90/p99 via the conservative upper-edge
+estimate), and the span call tree with wall-clock timings.
+
+``diff`` pairs documents by ``run_id`` across two manifest files and
+reports counter deltas, histogram quantile shifts and span-time ratios.
+With ``--fail-over PCT`` it exits 2 when any matched span slowed down by
+more than PCT percent (spans shorter than ``--min-seconds`` in the
+baseline are ignored as timing noise) — the building block the perf-trend
+gate and ad-hoc before/after comparisons share.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Iterator
+
+from repro.obs.manifest import RunTelemetry, read_manifests
+
+__all__ = [
+    "build_parser",
+    "diff_manifests",
+    "main",
+    "snapshot_quantile",
+    "summarize_manifest",
+]
+
+#: Quantiles every rendering reports, as (label, q) pairs.
+QUANTILES: tuple[tuple[str, float], ...] = (
+    ("p50", 0.50),
+    ("p90", 0.90),
+    ("p99", 0.99),
+)
+
+#: Baseline spans shorter than this are too noisy to gate on.
+DEFAULT_MIN_SECONDS = 0.001
+
+
+def snapshot_quantile(snap: dict, q: float) -> float | None:
+    """Upper-edge quantile estimate from a histogram snapshot dict.
+
+    Mirrors :meth:`repro.obs.instruments.Histogram.quantile`, but works
+    on the serialised form found in manifests (no live instrument).
+    """
+    count = snap["count"]
+    if count == 0:
+        return None
+    edges = snap["edges"]
+    rank = q * (count - 1)
+    seen = 0
+    for index, bucket in enumerate(snap["counts"]):
+        seen += bucket
+        if bucket and seen > rank:
+            if index >= len(edges):
+                return snap["max"]
+            return edges[index]
+    return snap["max"]
+
+
+def _format_value(value: float | None) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float) and not value.is_integer():
+        return f"{value:.3f}"
+    return str(int(value))
+
+
+def _span_lines(span: dict, depth: int = 0) -> Iterator[str]:
+    indent = "  " * depth
+    seconds = span.get("seconds")
+    timing = f"  {seconds:9.4f}s" if seconds is not None else ""
+    yield f"    {indent}{span['name']}  x{span['calls']}{timing}"
+    for child in span.get("children", ()):
+        yield from _span_lines(child, depth + 1)
+
+
+def summarize_manifest(doc: RunTelemetry) -> str:
+    """Multi-line text rendering of one manifest document."""
+    lines = [
+        f"run {doc.run_id}  [{doc.source}]"
+        f"  engine={doc.engine or 'auto'}"
+        f"  seed={doc.seed if doc.seed is not None else '-'}"
+        f"  rev={doc.git_rev}"
+        f"  faults={doc.fault_plan or '-'}"
+        f"  wall={doc.wall_seconds:.3f}s"
+    ]
+    if doc.counters:
+        lines.append("  counters:")
+        for name, value in sorted(doc.counters.items()):
+            lines.append(f"    {name:<40} {value:>12}")
+    if doc.gauges:
+        lines.append("  gauges:")
+        for name, value in sorted(doc.gauges.items()):
+            lines.append(f"    {name:<40} {_format_value(value):>12}")
+    if doc.histograms:
+        lines.append("  histograms:")
+        for name, snap in sorted(doc.histograms.items()):
+            quantiles = "  ".join(
+                f"{label}={_format_value(snapshot_quantile(snap, q))}"
+                for label, q in QUANTILES
+            )
+            mean = (
+                snap["total"] / snap["count"] if snap["count"] else None
+            )
+            lines.append(
+                f"    {name:<40} n={snap['count']:<9} "
+                f"mean={_format_value(mean)}  {quantiles}  "
+                f"max={_format_value(snap['max'])}"
+            )
+    if doc.spans:
+        lines.append("  spans:")
+        for span in doc.spans:
+            lines.extend(_span_lines(span))
+    return "\n".join(lines)
+
+
+def _flatten_spans(
+    spans: list[dict], prefix: str = ""
+) -> dict[str, dict]:
+    """Span forest -> ``{"run/spec/execute": span_dict, ...}``."""
+    flat: dict[str, dict] = {}
+    for span in spans:
+        path = f"{prefix}{span['name']}"
+        flat[path] = span
+        flat.update(_flatten_spans(span.get("children", ()), f"{path}/"))
+    return flat
+
+
+def diff_manifests(
+    baseline: RunTelemetry,
+    current: RunTelemetry,
+    fail_over: float | None = None,
+    min_seconds: float = DEFAULT_MIN_SECONDS,
+) -> tuple[str, list[str]]:
+    """Compare two documents; returns (report text, span regressions).
+
+    Regressions are matched spans whose wall time grew by more than
+    ``fail_over`` percent (empty when ``fail_over`` is ``None``); the
+    caller decides what an exit code owes them.
+    """
+    lines = [f"run {baseline.run_id}:"]
+    names = sorted(set(baseline.counters) | set(current.counters))
+    changed = False
+    for name in names:
+        a = baseline.counters.get(name, 0)
+        b = current.counters.get(name, 0)
+        if a != b:
+            changed = True
+            lines.append(f"  counter {name:<38} {a:>12} -> {b:<12} ({b - a:+d})")
+    for name in sorted(set(baseline.gauges) | set(current.gauges)):
+        a = baseline.gauges.get(name, 0)
+        b = current.gauges.get(name, 0)
+        if a != b:
+            changed = True
+            lines.append(
+                f"  gauge   {name:<38} "
+                f"{_format_value(a):>12} -> {_format_value(b)}"
+            )
+    for name in sorted(set(baseline.histograms) | set(current.histograms)):
+        snap_a = baseline.histograms.get(name)
+        snap_b = current.histograms.get(name)
+        if snap_a is None or snap_b is None:
+            changed = True
+            lines.append(
+                f"  hist    {name:<38} "
+                f"{'missing' if snap_a is None else 'present'} -> "
+                f"{'missing' if snap_b is None else 'present'}"
+            )
+            continue
+        shifts = []
+        for label, q in QUANTILES:
+            qa = snapshot_quantile(snap_a, q)
+            qb = snapshot_quantile(snap_b, q)
+            if qa != qb:
+                shifts.append(
+                    f"{label} {_format_value(qa)} -> {_format_value(qb)}"
+                )
+        if snap_a["count"] != snap_b["count"]:
+            shifts.append(f"n {snap_a['count']} -> {snap_b['count']}")
+        if shifts:
+            changed = True
+            lines.append(f"  hist    {name:<38} {', '.join(shifts)}")
+    regressions: list[str] = []
+    spans_a = _flatten_spans(baseline.spans)
+    spans_b = _flatten_spans(current.spans)
+    for path in sorted(set(spans_a) & set(spans_b)):
+        sec_a = spans_a[path].get("seconds")
+        sec_b = spans_b[path].get("seconds")
+        if sec_a is None or sec_b is None or sec_a < min_seconds:
+            continue
+        ratio = sec_b / sec_a
+        lines.append(
+            f"  span    {path:<38} {sec_a:9.4f}s -> {sec_b:9.4f}s "
+            f"(x{ratio:.2f})"
+        )
+        if fail_over is not None and ratio > 1.0 + fail_over / 100.0:
+            regressions.append(
+                f"{baseline.run_id}: span {path} regressed "
+                f"{(ratio - 1.0) * 100.0:.1f}% "
+                f"({sec_a:.4f}s -> {sec_b:.4f}s, limit {fail_over:.0f}%)"
+            )
+    if not changed and len(lines) == 1:
+        lines.append("  no differences")
+    return "\n".join(lines), regressions
+
+
+def _pair_by_run_id(
+    baseline: list[RunTelemetry], current: list[RunTelemetry]
+) -> list[tuple[RunTelemetry, RunTelemetry]]:
+    """First-occurrence pairing by run_id, in baseline order."""
+    by_id = {}
+    for doc in current:
+        by_id.setdefault(doc.run_id, doc)
+    pairs = []
+    seen = set()
+    for doc in baseline:
+        if doc.run_id in seen:
+            continue
+        seen.add(doc.run_id)
+        other = by_id.get(doc.run_id)
+        if other is not None:
+            pairs.append((doc, other))
+    return pairs
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.tools.obs",
+        description="Render and compare telemetry manifests.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+    summarize = commands.add_parser(
+        "summarize", help="render a manifest file as text"
+    )
+    summarize.add_argument("path", help="JSONL manifest file")
+    diff = commands.add_parser(
+        "diff", help="compare two manifest files run-by-run"
+    )
+    diff.add_argument("baseline", help="baseline JSONL manifest file")
+    diff.add_argument("current", help="current JSONL manifest file")
+    diff.add_argument(
+        "--fail-over",
+        type=float,
+        default=None,
+        metavar="PCT",
+        help=(
+            "exit 2 when any matched span's wall time regressed by more "
+            "than PCT percent"
+        ),
+    )
+    diff.add_argument(
+        "--min-seconds",
+        type=float,
+        default=DEFAULT_MIN_SECONDS,
+        metavar="S",
+        help=(
+            "ignore spans shorter than S seconds in the baseline "
+            "(timing noise; default: %(default)s)"
+        ),
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "summarize":
+        try:
+            documents = read_manifests(args.path)
+        except (OSError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        for doc in documents:
+            print(summarize_manifest(doc))
+            print()
+        print(f"{len(documents)} manifest(s) in {args.path}")
+        return 0
+    # diff
+    try:
+        baseline = read_manifests(args.baseline)
+        current = read_manifests(args.current)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    pairs = _pair_by_run_id(baseline, current)
+    if not pairs:
+        print("no runs in common between the two manifests", file=sys.stderr)
+        return 1
+    all_regressions: list[str] = []
+    for doc_a, doc_b in pairs:
+        report, regressions = diff_manifests(
+            doc_a,
+            doc_b,
+            fail_over=args.fail_over,
+            min_seconds=args.min_seconds,
+        )
+        print(report)
+        all_regressions.extend(regressions)
+    unmatched = {d.run_id for d in baseline} ^ {d.run_id for d in current}
+    if unmatched:
+        print(f"unmatched run ids: {', '.join(sorted(unmatched))}")
+    if all_regressions:
+        for regression in all_regressions:
+            print(f"REGRESSION: {regression}", file=sys.stderr)
+        return 2
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -128,6 +128,75 @@ class TestCsv:
         assert (out_dir / "fig1.csv").read_text() == "col\n1\n"
 
 
+class TestObservabilityFlags:
+    def test_telemetry_writes_manifests(self, warm_cache, tmp_path, capsys):
+        from repro.obs.manifest import read_manifests
+
+        out_path = tmp_path / "runs.jsonl"
+        assert (
+            main(
+                [
+                    "FIG1",
+                    "--cache-dir", str(warm_cache.directory),
+                    "--telemetry", str(out_path),
+                ]
+            )
+            == 0
+        )
+        err = capsys.readouterr().err
+        assert f"wrote 1 telemetry manifest(s) to {out_path}" in err
+        (doc,) = read_manifests(out_path)
+        assert doc.run_id == "FIG1"
+        assert doc.source == "cache"  # warm cache: only the lookup ran
+
+    def test_real_run_manifest_carries_spans(self, tmp_path, capsys):
+        from repro.obs.manifest import read_manifests
+
+        out_path = tmp_path / "runs.jsonl"
+        assert (
+            main(["FIG2", "--no-cache", "--telemetry", str(out_path)]) == 0
+        )
+        capsys.readouterr()
+        (doc,) = read_manifests(out_path)
+        assert doc.source == "serial"
+        (run_span,) = doc.spans
+        assert run_span["name"] == "run"
+
+    def test_profile_prints_pstats_to_stderr(self, warm_cache, capsys):
+        assert (
+            main(
+                ["FIG1", "--cache-dir", str(warm_cache.directory), "--profile"]
+            )
+            == 0
+        )
+        err = capsys.readouterr().err
+        assert "profile [FIG1]:" in err
+        assert "cumulative" in err
+
+    def test_profile_forces_serial(self, warm_cache, capsys):
+        assert (
+            main(
+                [
+                    "FIG1", "FIG2",
+                    "--cache-dir", str(warm_cache.directory),
+                    "--profile",
+                    "--jobs", "4",
+                ]
+            )
+            == 0
+        )
+        assert "ignoring --jobs" in capsys.readouterr().err
+
+    def test_cache_stats_line_always_printed(self, warm_cache, capsys):
+        assert main(["FIG1", "--cache-dir", str(warm_cache.directory)]) == 0
+        err = capsys.readouterr().err
+        assert "cache: 1 hits / 0 misses / 0 writes" in err
+
+    def test_no_cache_suppresses_stats_line(self, capsys):
+        assert main(["FIG2", "--no-cache"]) == 0
+        assert "cache:" not in capsys.readouterr().err
+
+
 class TestCacheFlags:
     def test_force_recomputes_despite_warm_cache(self, tmp_path, capsys):
         cache = ResultCache(tmp_path)

@@ -376,6 +376,85 @@ def test_seed_randomized_faulted_equivalence():
         assert runs[0] == runs[1], (plan, protocol, seed)
 
 
+def _run_telemetry(engine, protocol="ddcr", noise=0.0, seed=0, faults=None):
+    from repro.obs.instruments import Telemetry
+
+    problem = uniform_problem(
+        z=6, length=1_000, deadline=400_000, a=1, w=200_000
+    )
+    simulation = NetworkSimulation(
+        problem,
+        ideal_medium(slot_time=64),
+        protocol_factory=_protocol_factory(protocol, problem),
+        noise_rate=noise,
+        noise_seed=seed,
+        root_seed=seed,
+        engine=engine,
+        faults=faults,
+        monitors=False if faults is None else None,
+        telemetry=Telemetry(),
+    )
+    manifest = simulation.run(_HORIZON).telemetry
+    assert manifest is not None
+    return manifest
+
+
+@pytest.mark.parametrize("protocol", ["ddcr", "csma_cd", "tdma"])
+def test_telemetry_identical_across_engines(protocol):
+    """The deterministic manifest projection — counters, gauges,
+    histograms, span structure — is byte-identical across engines.
+    (Wall-clock span durations and the engine label are excluded by
+    :meth:`RunTelemetry.content_json`; they describe how the run was
+    driven, not what it computed.)"""
+    des, fast = (
+        _run_telemetry(engine, protocol, noise=0.01) for engine in ENGINES
+    )
+    assert des.content_json() == fast.content_json()
+    assert des.engine == "des" and fast.engine == "fastloop"
+
+
+def test_telemetry_identical_across_engines_under_faults():
+    """Fault-gate fire counters and faulted slot outcomes agree too."""
+    plan = _FAULT_POOL[4]  # burst noise + crash/restart
+    des, fast = (
+        _run_telemetry(engine, "ddcr", seed=7, faults=plan)
+        for engine in ENGINES
+    )
+    assert des.content_json() == fast.content_json()
+    assert des.counters["faults/crash"] == 1
+    assert des.counters["faults/restart"] == 1
+    assert des.fault_plan is not None
+
+
+def test_dualbus_telemetry_identical_across_engines():
+    """Per-bus instrument namespaces survive the dual-bus DES fallback."""
+    from repro.obs.instruments import Telemetry
+
+    def run(engine):
+        problem = uniform_problem(
+            z=4, length=1_000, deadline=400_000, a=1, w=200_000
+        )
+        config = _ddcr_config(problem)
+        simulation = DualBusSimulation(
+            problem,
+            ideal_medium(slot_time=64),
+            protocol_factory=lambda source: DDCRProtocol(config),
+            jam_threshold=suggested_jam_threshold(config),
+            fail_bus_at=_HORIZON // 3,
+            engine=engine,
+            telemetry=Telemetry(),
+        )
+        manifest = simulation.run(_HORIZON).telemetry
+        assert manifest is not None
+        return manifest
+
+    des, fast = (run(engine) for engine in ENGINES)
+    assert des.content_json() == fast.content_json()
+    assert des.counters["bus0/slots/success"] > 0
+    assert des.counters["bus1/slots/success"] > 0
+    assert des.gauges["failovers"] >= 1
+
+
 def test_engine_resolution_and_scoping():
     """`auto` resolves through the scoped default; bad names are rejected."""
     assert resolve_engine("des") == "des"

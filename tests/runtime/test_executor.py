@@ -107,6 +107,63 @@ class TestCachedExecution:
         assert sorted(seen) == [("FIG1", 0, 2), ("FIG2", 1, 2)]
 
 
+class TestTelemetryCollection:
+    def test_default_collects_nothing(self):
+        records = ParallelExecutor(jobs=1).run([FAST_SPECS[0]])
+        assert records[0].telemetry is None
+
+    def test_executed_spec_carries_a_manifest(self):
+        executor = ParallelExecutor(jobs=1, collect_telemetry=True)
+        (record,) = executor.run([FAST_SPECS[0]])
+        doc = record.telemetry
+        assert doc is not None
+        assert doc.run_id == "FIG1"
+        assert doc.source == "serial"
+        assert doc.wall_seconds > 0.0
+        # the registry pipeline spans are present and nested under "run"
+        (run_span,) = doc.spans
+        assert run_span["name"] == "run"
+        child_names = [c["name"] for c in run_span["children"]]
+        assert child_names == ["spec/resolve", "spec/execute"]
+
+    def test_cache_hit_carries_minimal_manifest(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        ParallelExecutor(jobs=1, cache=cache).run([FAST_SPECS[0]])
+        warm = ParallelExecutor(
+            jobs=1, cache=ResultCache(tmp_path), collect_telemetry=True
+        )
+        (record,) = warm.run([FAST_SPECS[0]])
+        doc = record.telemetry
+        assert doc is not None
+        assert doc.source == "cache"
+        assert doc.counters == {}
+        assert [s["name"] for s in doc.spans] == ["cache/lookup"]
+
+    def test_pool_manifests_travel_back_by_pickle(self):
+        executor = ParallelExecutor(jobs=2, collect_telemetry=True)
+        records = executor.run(FAST_SPECS[:2])
+        for record in records:
+            assert record.telemetry is not None
+            assert record.telemetry.run_id == record.spec.experiment_id
+            assert record.telemetry.source in ("pool", "serial")
+
+    def test_simulation_experiment_records_instruments(self):
+        spec = RunSpec.make(
+            "SIM-XI",
+            root_seed=11,
+            static_cases=((2, 8, 2),),
+            time_cases=((2, 16, 2),),
+            random_trials=1,
+        )
+        executor = ParallelExecutor(jobs=1, collect_telemetry=True)
+        (record,) = executor.run([spec])
+        doc = record.telemetry
+        assert doc is not None
+        assert doc.seed == 11
+        assert doc.counters["slots/success"] > 0
+        assert any(name.startswith("latency/") for name in doc.histograms)
+
+
 class TestSpecResolution:
     def test_seed_injection_through_seed_param(self):
         from repro.experiments.registry import run_spec

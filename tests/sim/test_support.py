@@ -81,6 +81,38 @@ class TestTraceLog:
         trace.clear()
         assert len(trace) == 0
 
+    def test_to_jsonl_round_trip(self, tmp_path):
+        import json
+
+        trace = TraceLog()
+        trace.emit(0, "slot", state="silence")
+        trace.emit(5, "slot", state="success", station=3)
+        trace.emit(7, "phase", mode="tts")
+        path = tmp_path / "trace.jsonl"
+        assert trace.to_jsonl(path) == 3
+        lines = [
+            json.loads(line)
+            for line in path.read_text().splitlines()
+        ]
+        assert lines[0] == {"time": 0, "kind": "slot", "state": "silence"}
+        assert lines[1]["station"] == 3
+        assert lines[2]["kind"] == "phase"
+
+    def test_to_jsonl_kind_filter_and_fallback_encoding(self, tmp_path):
+        import json
+
+        class Opaque:
+            def __str__(self):
+                return "<opaque>"
+
+        trace = TraceLog()
+        trace.emit(0, "slot", payload=Opaque())
+        trace.emit(1, "phase")
+        path = tmp_path / "trace.jsonl"
+        assert trace.to_jsonl(path, kind="slot") == 1
+        (line,) = path.read_text().splitlines()
+        assert json.loads(line)["payload"] == "<opaque>"
+
 
 class TestRunningStats:
     def test_basic_moments(self):

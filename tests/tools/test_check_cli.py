@@ -86,12 +86,25 @@ class TestCIFastPath:
             )
         return cache
 
-    def test_ci_ok_on_warm_cache(self, warm_cache, capsys):
-        assert main(["--ci", "--cache-dir", str(warm_cache.directory)]) == 0
+    def test_ci_ok_on_warm_cache(self, warm_cache, tmp_path, capsys):
+        history = tmp_path / "hist.jsonl"
+        assert (
+            main(
+                [
+                    "--ci",
+                    "--cache-dir", str(warm_cache.directory),
+                    "--history", str(history),
+                ]
+            )
+            == 0
+        )
         out = capsys.readouterr().out
         assert "all repro modules import cleanly" in out
         assert "0 executed, 19 from cache" in out
+        assert "obs-smoke: telemetry round-trip ok" in out
+        assert "perf-trend: not enough history" in out
         assert "verdict: OK" in out
+        assert history.exists()  # the run was recorded for next time
 
     def test_ci_runs_invariants_smoke(self, warm_cache, capsys):
         assert (
@@ -127,6 +140,29 @@ class TestCIFastPath:
         )
         assert "invariants-smoke" not in capsys.readouterr().out
 
+    def test_no_obs_skips_the_smoke(self, warm_cache, capsys):
+        assert (
+            main(
+                [
+                    "--ci",
+                    "--cache-dir", str(warm_cache.directory),
+                    "--no-perf",
+                    "--no-invariants",
+                    "--no-obs",
+                ]
+            )
+            == 0
+        )
+        assert "obs-smoke" not in capsys.readouterr().out
+
+    def test_obs_smoke_round_trips_on_warm_cache(self, warm_cache, capsys):
+        from repro.tools.check import _run_obs_smoke
+
+        assert _run_obs_smoke(str(warm_cache.directory)) == []
+        out = capsys.readouterr().out
+        assert "obs-smoke: telemetry round-trip ok" in out
+        assert "source=cache" in out
+
     def test_ci_failing_experiment_exits_two(self, warm_cache, capsys):
         from repro.experiments.base import ExperimentResult
         from repro.runtime import RunSpec
@@ -141,6 +177,131 @@ class TestCIFastPath:
                 checks={"ok": False},
             ),
         )
-        assert main(["--ci", "--cache-dir", str(warm_cache.directory)]) == 2
+        assert (
+            main(
+                [
+                    "--ci",
+                    "--cache-dir", str(warm_cache.directory),
+                    "--no-perf",
+                    "--no-obs",
+                ]
+            )
+            == 2
+        )
         captured = capsys.readouterr()
         assert "FAILED checks: FIG1" in captured.err
+
+
+class TestPerfTrendGate:
+    """The gate medians the bench history; driven directly (running the
+    full perf smoke per case would dominate the suite's runtime)."""
+
+    @staticmethod
+    def _result(ops: float):
+        from repro.tools.bench import BenchResult
+
+        return BenchResult(
+            name="channel_slot_rate_16_fastloop",
+            engine="fastloop",
+            unit="rounds",
+            ops=1000.0,
+            seconds=1000.0 / ops,
+            ops_per_sec=ops,
+            repeats=1,
+            median_seconds=1000.0 / ops,
+            median_ops_per_sec=ops,
+        )
+
+    @staticmethod
+    def _seed_history(path, ops: float, entries: int = 3):
+        from repro.tools.bench import append_history, history_entry
+
+        for _ in range(entries):
+            append_history(
+                path,
+                history_entry([TestPerfTrendGate._result(ops)], smoke=True),
+            )
+
+    def test_steady_throughput_passes(self, tmp_path, capsys):
+        from repro.tools.check import _run_perf_trend
+
+        history = tmp_path / "hist.jsonl"
+        self._seed_history(history, ops=10_000)
+        failures = _run_perf_trend(
+            [self._result(9_500)], history, window=5, threshold=30.0
+        )
+        assert failures == []
+        assert "perf-trend: ok" in capsys.readouterr().out
+
+    def test_regression_fails_the_gate(self, tmp_path, capsys):
+        from repro.tools.check import _run_perf_trend
+
+        history = tmp_path / "hist.jsonl"
+        self._seed_history(history, ops=10_000)
+        failures = _run_perf_trend(
+            [self._result(5_000)], history, window=5, threshold=30.0
+        )
+        assert len(failures) == 1
+        assert "below the history median" in failures[0]
+        assert "perf-trend: FAILED" in capsys.readouterr().out
+
+    def test_insufficient_history_skips_but_records(self, tmp_path, capsys):
+        from repro.tools.bench import load_history
+        from repro.tools.check import _run_perf_trend
+
+        history = tmp_path / "hist.jsonl"
+        failures = _run_perf_trend(
+            [self._result(10_000)], history, window=5, threshold=30.0
+        )
+        assert failures == []
+        assert "not enough history" in capsys.readouterr().out
+        assert len(load_history(history)) == 1
+
+    def test_run_is_recorded_after_comparison(self, tmp_path):
+        """A regressed run must not median itself into the baseline."""
+        from repro.tools.bench import load_history
+        from repro.tools.check import _run_perf_trend
+
+        history = tmp_path / "hist.jsonl"
+        self._seed_history(history, ops=10_000)
+        _run_perf_trend(
+            [self._result(5_000)], history, window=5, threshold=30.0
+        )
+        entries = load_history(history)
+        assert len(entries) == 4  # the bad run is recorded...
+        # ...but the comparison above used only the three seeded entries
+        bench = entries[-1]["benches"]["channel_slot_rate_16_fastloop"]
+        assert bench["ops_per_sec"] == 5_000
+
+    def test_window_limits_the_baseline(self, tmp_path):
+        """Only the last N entries vote: old fast entries age out."""
+        from repro.tools.check import _run_perf_trend
+
+        history = tmp_path / "hist.jsonl"
+        self._seed_history(history, ops=50_000, entries=2)  # ancient, fast
+        self._seed_history(history, ops=10_000, entries=3)  # recent
+        failures = _run_perf_trend(
+            [self._result(9_000)], history, window=3, threshold=30.0
+        )
+        assert failures == []
+
+    def test_non_smoke_entries_are_ignored(self, tmp_path, capsys):
+        import json
+
+        from repro.tools.check import _run_perf_trend
+
+        history = tmp_path / "hist.jsonl"
+        with open(history, "w") as handle:
+            entry = {
+                "smoke": False,
+                "benches": {
+                    "channel_slot_rate_16_fastloop": {"ops_per_sec": 99_999}
+                },
+            }
+            for _ in range(3):
+                handle.write(json.dumps(entry) + "\n")
+        failures = _run_perf_trend(
+            [self._result(1_000)], history, window=5, threshold=30.0
+        )
+        assert failures == []
+        assert "not enough history" in capsys.readouterr().out

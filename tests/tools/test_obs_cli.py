@@ -1,0 +1,148 @@
+"""The manifest consumer CLI (python -m repro.tools.obs)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.instruments import Telemetry
+from repro.obs.manifest import RunTelemetry, write_manifests
+from repro.tools.obs import main, snapshot_quantile
+
+
+def make_manifest(
+    run_id: str = "RUN",
+    success: int = 100,
+    latencies: tuple[int, ...] = (100, 200, 5_000),
+    run_seconds: float = 2.0,
+) -> RunTelemetry:
+    telemetry = Telemetry()
+    telemetry.counter("slots/success").inc(success)
+    telemetry.counter("slots/silence").inc(10)
+    telemetry.gauge("failovers").set(1)
+    hist = telemetry.histogram("latency/a")
+    for value in latencies:
+        hist.record(value)
+    with telemetry.span("run"):
+        with telemetry.span("spec/execute"):
+            pass
+    doc = RunTelemetry.from_registry(
+        telemetry, run_id=run_id, engine="fastloop", seed=3
+    )
+    # deterministic span timings for diff/ratio tests
+    doc.spans[0]["seconds"] = run_seconds
+    doc.spans[0]["children"][0]["seconds"] = run_seconds * 0.9
+    return doc
+
+
+class TestSnapshotQuantile:
+    def test_matches_live_histogram(self):
+        from repro.obs.instruments import Histogram
+
+        hist = Histogram("h", edges=(10, 20, 30))
+        for value in (1, 12, 25, 28, 40):
+            hist.record(value)
+        snap = hist.snapshot()
+        for q in (0.0, 0.5, 0.9, 0.99, 1.0):
+            assert snapshot_quantile(snap, q) == hist.quantile(q)
+
+    def test_empty_histogram(self):
+        assert snapshot_quantile(
+            {"edges": [10], "counts": [0, 0], "count": 0, "max": None}, 0.5
+        ) is None
+
+
+class TestSummarize:
+    def test_renders_instruments_and_spans(self, tmp_path, capsys):
+        path = tmp_path / "run.jsonl"
+        write_manifests(path, [make_manifest()])
+        assert main(["summarize", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "run RUN" in out
+        assert "engine=fastloop" in out
+        assert "slots/success" in out
+        assert "latency/a" in out
+        assert "p50=" in out and "p99=" in out
+        assert "spec/execute" in out
+        assert "1 manifest(s)" in out
+
+    def test_missing_file_exits_one(self, tmp_path, capsys):
+        assert main(["summarize", str(tmp_path / "nope.jsonl")]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_corrupt_file_exits_one(self, tmp_path, capsys):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("not json\n")
+        assert main(["summarize", str(path)]) == 1
+        assert "not valid JSON" in capsys.readouterr().err
+
+
+class TestDiff:
+    def test_identical_manifests_diff_clean(self, tmp_path, capsys):
+        path = tmp_path / "a.jsonl"
+        write_manifests(path, [make_manifest()])
+        assert main(["diff", str(path), str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "run RUN" in out
+        assert "(x1.00)" in out  # span ratios are reported even when flat
+
+    def test_counter_and_quantile_deltas(self, tmp_path, capsys):
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        # p99 of 100 samples: the tail moving out two decades must show
+        write_manifests(
+            a, [make_manifest(success=100, latencies=(100,) * 100)]
+        )
+        write_manifests(
+            b,
+            [
+                make_manifest(
+                    success=90, latencies=(100,) * 90 + (400_000,) * 10
+                )
+            ],
+        )
+        assert main(["diff", str(a), str(b)]) == 0
+        out = capsys.readouterr().out
+        assert "slots/success" in out and "(-10)" in out
+        assert "latency/a" in out and "p99" in out
+
+    def test_fail_over_trips_on_span_regression(self, tmp_path, capsys):
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        write_manifests(a, [make_manifest(run_seconds=2.0)])
+        write_manifests(b, [make_manifest(run_seconds=3.0)])  # +50%
+        assert main(["diff", str(a), str(b), "--fail-over", "25"]) == 2
+        err = capsys.readouterr().err
+        assert "REGRESSION" in err
+        assert "run" in err
+
+    def test_fail_over_tolerates_small_drift(self, tmp_path):
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        write_manifests(a, [make_manifest(run_seconds=2.0)])
+        write_manifests(b, [make_manifest(run_seconds=2.2)])  # +10%
+        assert main(["diff", str(a), str(b), "--fail-over", "25"]) == 0
+
+    def test_min_seconds_ignores_noise_spans(self, tmp_path):
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        write_manifests(a, [make_manifest(run_seconds=0.0001)])
+        write_manifests(b, [make_manifest(run_seconds=0.01)])  # 100x, tiny
+        assert main(["diff", str(a), str(b), "--fail-over", "25"]) == 0
+
+    def test_runs_paired_by_run_id(self, tmp_path, capsys):
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        write_manifests(
+            a, [make_manifest("X"), make_manifest("ONLY-IN-A")]
+        )
+        write_manifests(b, [make_manifest("X", success=101)])
+        assert main(["diff", str(a), str(b)]) == 0
+        out = capsys.readouterr().out
+        assert "run X" in out
+        assert "unmatched run ids: ONLY-IN-A" in out
+
+    def test_no_common_runs_exits_one(self, tmp_path, capsys):
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        write_manifests(a, [make_manifest("A")])
+        write_manifests(b, [make_manifest("B")])
+        assert main(["diff", str(a), str(b)]) == 1
+        assert "no runs in common" in capsys.readouterr().err
+
+    def test_usage_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            main([])
