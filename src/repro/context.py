@@ -1,0 +1,110 @@
+"""Generic ambient-value scoping: one substrate for every ``use_*`` helper.
+
+Three subsystems hand a value down a deep call tree without threading it
+through every signature: the engine selector
+(:func:`repro.net.engine.use_engine`), the fault plan
+(:func:`repro.faults.context.use_fault_plan`) and telemetry
+(:func:`repro.obs.context.use_telemetry`).  They used to be three
+copy-pasted stack implementations; all three are now thin wrappers over
+:class:`ScopedValue`, and new ambient values (the sweep layer, future
+backends) get scoping for free.
+
+A :class:`ScopedValue` is a stack whose bottom element is the process
+default and whose top is the innermost active scope:
+
+* :meth:`current` reads the top (lazily initialising the bottom from the
+  ``default`` factory on first read);
+* :meth:`using` is a context manager pushing a value for a dynamic
+  extent — scopes nest, and unwinding is exception-safe;
+* :meth:`set_default` replaces the top in place (outside any scope that
+  is the process default; inside a scope the change dies with the
+  scope), returning the previous value — the semantics
+  ``set_default_engine`` always had.
+
+Two knobs cover the behavioural differences between the original three:
+
+* ``coerce`` — applied to every value entering the stack (validation,
+  or mapping ``None`` to a sentinel like ``NULL_TELEMETRY``);
+* ``none_is_noop`` — when true, ``using(None)`` pushes nothing and
+  yields the current value (the engine's "``None`` means inherit");
+  when false, ``None`` is scoped like any other value (the fault plan's
+  "``None`` shadows an outer plan").
+"""
+
+from __future__ import annotations
+
+import contextlib
+import typing
+from collections.abc import Callable, Iterator
+
+__all__ = ["ScopedValue"]
+
+T = typing.TypeVar("T")
+
+#: Placeholder for a lazily-initialised stack bottom.
+_UNSET = object()
+
+
+class ScopedValue(typing.Generic[T]):
+    """A named ambient value with stack-scoped overrides."""
+
+    def __init__(
+        self,
+        name: str,
+        default: Callable[[], T],
+        *,
+        coerce: Callable[[T], T] | None = None,
+        none_is_noop: bool = False,
+    ) -> None:
+        self.name = name
+        self._default = default
+        self._coerce = coerce
+        self._none_is_noop = none_is_noop
+        self._stack: list[object] = [_UNSET]
+
+    def _enter(self, value: T) -> T:
+        return self._coerce(value) if self._coerce is not None else value
+
+    def current(self) -> T:
+        """The innermost scoped value (the process default outside any)."""
+        top = self._stack[-1]
+        if top is _UNSET:
+            top = self._stack[-1] = self._enter(self._default())
+        return typing.cast("T", top)
+
+    def set_default(self, value: T) -> T:
+        """Replace the innermost value in place; returns the previous one.
+
+        Outside any scope this mutates the process default; inside a
+        scope the replacement only lives until that scope exits.
+        """
+        previous = self.current()
+        self._stack[-1] = self._enter(value)
+        return previous
+
+    @contextlib.contextmanager
+    def using(self, value: T | None) -> Iterator[T]:
+        """Scope ``value`` for the dynamic extent; yields the active value.
+
+        With ``none_is_noop`` set, ``using(None)`` pushes nothing and
+        yields whatever is already current.
+        """
+        if value is None and self._none_is_noop:
+            yield self.current()
+            return
+        self._stack.append(self._enter(typing.cast("T", value)))
+        try:
+            yield self.current()
+        finally:
+            self._stack.pop()
+
+    @property
+    def depth(self) -> int:
+        """Number of active scopes (0 outside any ``using`` block)."""
+        return len(self._stack) - 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ScopedValue({self.name!r}, depth={self.depth}, "
+            f"current={self._stack[-1]!r})"
+        )

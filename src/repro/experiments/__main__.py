@@ -13,6 +13,13 @@ Usage::
     python -m repro.experiments PROTO --faults plan.json  # plan from a file
     python -m repro.experiments FIG1 --telemetry out.jsonl  # run manifests
     python -m repro.experiments FIG1 --profile       # cProfile each run
+    python -m repro.experiments sweep                # sweep campaigns
+
+``sweep`` dispatches to the campaign runner (:mod:`repro.sweep.cli`):
+declarative parameter grids sharded over the executor with resumable
+JSONL checkpoints.  The common flags (``--jobs``, ``--seed``,
+``--engine``, ``--telemetry``, cache options) are shared parent parsers
+(:mod:`repro.cliopts`), spelled identically across every repro CLI.
 
 Runs resolve through the :mod:`repro.runtime` executor: results are
 cached content-addressed under ``--cache-dir`` (default ``.repro-cache``),
@@ -37,9 +44,9 @@ import pathlib
 import pstats
 import sys
 
+from repro.cliopts import cache_options, execution_options, validate_jobs
 from repro.experiments.registry import EXPERIMENTS
 from repro.faults.models import PLAN_PRESETS, FaultPlan, preset_plan
-from repro.net.engine import ENGINES
 from repro.obs.manifest import write_manifests
 from repro.runtime import ParallelExecutor, ResultCache, RunSpec
 
@@ -48,69 +55,21 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
         description="Reproduce the paper's figures and bound tables.",
+        parents=[execution_options(), cache_options()],
     )
     parser.add_argument(
         "ids",
         nargs="*",
-        help="experiment ids (see DESIGN.md); empty lists them",
+        help="experiment ids (see DESIGN.md); empty lists them; "
+        "'sweep' dispatches to the campaign runner",
     )
     parser.add_argument(
         "--all", action="store_true", help="run the full suite"
     )
     parser.add_argument(
-        "--jobs",
-        type=int,
-        default=1,
-        metavar="N",
-        help="run up to N experiments in parallel worker processes",
-    )
-    parser.add_argument(
-        "--force",
-        action="store_true",
-        help="recompute even when a cached result exists",
-    )
-    parser.add_argument(
-        "--cache-dir",
-        default=".repro-cache",
-        metavar="DIR",
-        help="result cache directory (default: %(default)s)",
-    )
-    parser.add_argument(
-        "--no-cache",
-        action="store_true",
-        help="disable the result cache entirely",
-    )
-    parser.add_argument(
-        "--seed",
-        type=int,
-        default=None,
-        metavar="N",
-        help="override the root seed of seeded experiments",
-    )
-    parser.add_argument(
         "--csv",
         metavar="DIR",
         help="also write each experiment's rows as CSV into DIR",
-    )
-    parser.add_argument(
-        "--engine",
-        choices=ENGINES,
-        default=None,
-        help=(
-            "simulation engine (default: auto, or $REPRO_ENGINE); engines "
-            "produce byte-identical results, so this never affects cache "
-            "keys — only how fast a cold run computes"
-        ),
-    )
-    parser.add_argument(
-        "--telemetry",
-        metavar="PATH.jsonl",
-        default=None,
-        help=(
-            "collect a telemetry manifest per run (counters, histograms, "
-            "span timings, provenance) and write them as JSON Lines; "
-            "inspect with `python -m repro.tools.obs summarize PATH`"
-        ),
     )
     parser.add_argument(
         "--profile",
@@ -146,10 +105,15 @@ def _list_experiments() -> None:
 
 
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "sweep":
+        from repro.sweep.cli import main as sweep_main
+
+        return sweep_main(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
-    if args.jobs < 1:
-        parser.error(f"--jobs must be >= 1, got {args.jobs}")
+    validate_jobs(parser, args.jobs)
     ids = list(EXPERIMENTS) if args.all else args.ids
     if not ids:
         _list_experiments()

@@ -23,6 +23,7 @@ from repro.experiments.catalog import register
 from repro.experiments.harness import default_ddcr_config
 from repro.model.workloads import uniform_problem
 from repro.net.phy import GIGABIT_ETHERNET, MediumProfile
+from repro.sweep import Campaign, register_campaign
 
 __all__ = ["run", "DEFAULT_DEADLINES_MS"]
 
@@ -98,3 +99,18 @@ def run(
         "frontier is where B_DDCR(s, M) = d(M) for the binding class."
     )
     return result
+
+
+# The canonical campaign over this experiment: the frontier re-derived
+# for several class counts z (``python -m repro.experiments sweep
+# fc-frontier``).  The axis is z — each point keeps the full deadline
+# sweep, so the cross-deadline monotonicity checks stay meaningful.
+register_campaign(
+    Campaign.make(
+        "fc-frontier",
+        experiment="FC",
+        axes={"z": (4, 8, 16)},
+        batch_size=2,
+        description="FC feasibility frontier across class counts z",
+    )
+)

@@ -29,6 +29,7 @@ from repro.experiments.harness import (
 )
 from repro.model.workloads import uniform_problem
 from repro.net.phy import GIGABIT_ETHERNET, MediumProfile
+from repro.sweep import Campaign, register_campaign
 
 __all__ = ["run", "DEFAULT_SCALES"]
 
@@ -131,3 +132,19 @@ def run(
         rows=rows,
         checks=checks,
     )
+
+
+# The canonical campaign over this experiment: seed replicas of the full
+# comparison (``python -m repro.experiments sweep proto-seeds``).  Each
+# point runs the complete scale sweep — the cross-scale checks ("a load
+# exists where BEB misses but DDCR does not") only hold over the whole
+# set, so the replica axis is the seed, never the scale.
+register_campaign(
+    Campaign.make(
+        "proto-seeds",
+        experiment="PROTO",
+        seeds=(7, 11, 13),
+        batch_size=1,
+        description="PROTO protocol comparison across adversary seeds",
+    )
+)

@@ -6,35 +6,31 @@ nineteen runner signatures would be invasive and error-prone.  Instead the
 registry scopes the spec's plan here, and :class:`NetworkSimulation` picks
 it up at ``run()`` time when no plan was passed explicitly — the same
 pattern the engine selector uses.
+
+Implemented on the shared :class:`repro.context.ScopedValue` substrate;
+this module only pins down the fault-specific semantics: ``None`` is a
+real value here (*no plan*, shadowing any outer scope), so nested code
+can explicitly run fault-free.
 """
 
 from __future__ import annotations
 
-import contextlib
 import typing
+
+from repro.context import ScopedValue
 
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.faults.models import FaultPlan
 
 __all__ = ["current_fault_plan", "use_fault_plan"]
 
-_ACTIVE_PLAN: list["FaultPlan | None"] = [None]
+_SCOPE: ScopedValue["FaultPlan | None"] = ScopedValue(
+    "fault-plan", default=lambda: None
+)
 
+#: The innermost scoped fault plan, or ``None`` outside any scope.
+current_fault_plan = _SCOPE.current
 
-def current_fault_plan() -> "FaultPlan | None":
-    """The innermost scoped fault plan, or ``None`` outside any scope."""
-    return _ACTIVE_PLAN[-1]
-
-
-@contextlib.contextmanager
-def use_fault_plan(plan: "FaultPlan | None") -> typing.Iterator[None]:
-    """Scope ``plan`` as the ambient fault plan for the dynamic extent.
-
-    ``None`` scopes *no plan* (shadowing any outer scope), so nested code
-    can explicitly run fault-free.
-    """
-    _ACTIVE_PLAN.append(plan)
-    try:
-        yield
-    finally:
-        _ACTIVE_PLAN.pop()
+#: Scope a plan as the ambient fault plan for the dynamic extent;
+#: ``None`` scopes *no plan* (shadowing any outer scope).
+use_fault_plan = _SCOPE.using

@@ -16,6 +16,7 @@ from repro.net.dualbus import (
 )
 from repro.net.frames import Frame
 from repro.net.network import NetworkSimulation, ProtocolFactory, RunResult
+from repro.net.scenario import Scenario
 from repro.net.phy import (
     ATM_BUS,
     CLASSIC_ETHERNET,
@@ -37,6 +38,7 @@ __all__ = [
     "NetworkSimulation",
     "ProtocolFactory",
     "RunResult",
+    "Scenario",
     "ATM_BUS",
     "CLASSIC_ETHERNET",
     "GIGABIT_ETHERNET",

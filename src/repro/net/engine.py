@@ -37,9 +37,9 @@ The process-wide default is ``auto``; override it with the
 
 from __future__ import annotations
 
-import contextlib
 import os
-from collections.abc import Iterator
+
+from repro.context import ScopedValue
 
 __all__ = [
     "ENGINES",
@@ -52,8 +52,6 @@ __all__ = [
 #: Legal engine names.
 ENGINES = ("auto", "des", "fastloop")
 
-_default: str | None = None
-
 
 def _validate(name: str) -> str:
     if name not in ENGINES:
@@ -63,20 +61,30 @@ def _validate(name: str) -> str:
     return name
 
 
-def default_engine() -> str:
-    """The process-wide engine default (``REPRO_ENGINE`` or ``auto``)."""
-    global _default
-    if _default is None:
-        _default = _validate(os.environ.get("REPRO_ENGINE", "auto"))
-    return _default
+#: The ambient engine choice.  ``None`` entering a scope means "inherit"
+#: (``use_engine(None)`` is a no-op), matching the CLI convention that an
+#: absent ``--engine`` keeps the process default.
+_SCOPE: ScopedValue[str] = ScopedValue(
+    "engine",
+    default=lambda: os.environ.get("REPRO_ENGINE", "auto"),
+    coerce=_validate,
+    none_is_noop=True,
+)
 
+#: The process-wide engine default (``REPRO_ENGINE`` or ``auto``),
+#: shadowed inside any active :func:`use_engine` scope.
+default_engine = _SCOPE.current
 
-def set_default_engine(name: str) -> str:
-    """Set the process-wide default; returns the previous value."""
-    global _default
-    previous = default_engine()
-    _default = _validate(name)
-    return previous
+#: Set the innermost engine default; returns the previous value.  Outside
+#: any scope this is the process-wide default; inside a scope the change
+#: dies when the scope exits.
+set_default_engine = _SCOPE.set_default
+
+#: Scoped default-engine override (no-op when the name is ``None``).  The
+#: runtime executor wraps each spec execution in this, so a spec's engine
+#: choice reaches every simulation the experiment builds without
+#: threading a parameter through all 19 experiment modules.
+use_engine = _SCOPE.using
 
 
 def resolve_engine(name: str | None) -> str:
@@ -84,21 +92,3 @@ def resolve_engine(name: str | None) -> str:
     if name is None:
         return default_engine()
     return _validate(name)
-
-
-@contextlib.contextmanager
-def use_engine(name: str | None) -> Iterator[str]:
-    """Scoped default-engine override (no-op when ``name`` is None).
-
-    The runtime executor wraps each spec execution in this, so a spec's
-    engine choice reaches every simulation the experiment builds without
-    threading a parameter through all 19 experiment modules.
-    """
-    if name is None:
-        yield default_engine()
-        return
-    previous = set_default_engine(name)
-    try:
-        yield name
-    finally:
-        set_default_engine(previous)

@@ -22,7 +22,7 @@ import dataclasses
 import functools
 import itertools
 import time
-from collections.abc import Callable, Mapping
+from collections.abc import Mapping
 
 from repro.faults.context import current_fault_plan
 from repro.faults.models import FaultPlan
@@ -32,20 +32,17 @@ from repro.model.source import SourceSpec
 from repro.net.channel import BroadcastChannel, ChannelStats
 from repro.net.engine import resolve_engine
 from repro.net.phy import MediumProfile
+from repro.net.scenario import ProtocolFactory, Scenario
 from repro.net.station import CompletionRecord, Station
 from repro.obs.context import current_telemetry
 from repro.obs.instruments import SEARCH_DEPTH_EDGES, Telemetry
 from repro.obs.manifest import RunTelemetry
-from repro.protocols.base import MACProtocol
 from repro.sim.engine import Environment
 from repro.sim.invariants import InvariantReport, MonitorSuite, standard_suite
 from repro.sim.rng import SeedSequenceRegistry
 from repro.sim.trace import TraceLog
 
-__all__ = ["RunResult", "NetworkSimulation", "ProtocolFactory"]
-
-#: Builds one MAC instance for a source (stations must not share MACs).
-ProtocolFactory = Callable[[SourceSpec], MACProtocol]
+__all__ = ["RunResult", "NetworkSimulation", "ProtocolFactory", "Scenario"]
 
 
 @dataclasses.dataclass
@@ -149,6 +146,12 @@ class NetworkSimulation:
     :data:`~repro.obs.instruments.NULL_TELEMETRY` outside any scope.
     Instrument values are a pure function of the run, identical under
     both engines.
+
+    The full configuration also exists as one immutable value:
+    :class:`~repro.net.scenario.Scenario`.  This constructor is a thin
+    shim that freezes its keywords into a scenario and delegates to
+    :meth:`from_scenario`; sweep code should build scenarios directly
+    and derive grid points with :meth:`Scenario.replace`.
     """
 
     def __init__(
@@ -167,21 +170,47 @@ class NetworkSimulation:
         monitors: bool | MonitorSuite | None = None,
         telemetry: Telemetry | None = None,
     ) -> None:
-        self.problem = problem
-        self.medium = medium
-        self.protocol_factory = protocol_factory
-        self.arrivals = dict(arrivals) if arrivals else {}
-        self.trace_enabled = trace
-        self.check_consistency = check_consistency
-        self.noise_rate = noise_rate
-        self.noise_seed = noise_seed
-        self.root_seed = root_seed
-        if engine is not None:
-            resolve_engine(engine)  # validate eagerly
-        self.engine = engine
-        self.faults = faults
-        self.monitors = monitors
-        self.telemetry = telemetry
+        self._configure(
+            Scenario(
+                problem=problem,
+                medium=medium,
+                protocol_factory=protocol_factory,
+                arrivals=arrivals,
+                trace=trace,
+                check_consistency=check_consistency,
+                noise_rate=noise_rate,
+                noise_seed=noise_seed,
+                root_seed=root_seed,
+                engine=engine,
+                faults=faults,
+                monitors=monitors,
+                telemetry=telemetry,
+            )
+        )
+
+    @classmethod
+    def from_scenario(cls, scenario: Scenario) -> "NetworkSimulation":
+        """Build a simulation from one frozen :class:`Scenario`."""
+        simulation = cls.__new__(cls)
+        simulation._configure(scenario)
+        return simulation
+
+    def _configure(self, scenario: Scenario) -> None:
+        """Unpack a scenario onto the historical attribute names."""
+        self.scenario = scenario
+        self.problem = scenario.problem
+        self.medium = scenario.medium
+        self.protocol_factory = scenario.protocol_factory
+        self.arrivals = dict(scenario.arrivals) if scenario.arrivals else {}
+        self.trace_enabled = scenario.trace
+        self.check_consistency = scenario.check_consistency
+        self.noise_rate = scenario.noise_rate
+        self.noise_seed = scenario.noise_seed
+        self.root_seed = scenario.root_seed
+        self.engine = scenario.engine
+        self.faults = scenario.faults
+        self.monitors = scenario.monitors
+        self.telemetry = scenario.telemetry
 
     def _arrival_process(self, class_name: str, source: SourceSpec):
         if class_name in self.arrivals:

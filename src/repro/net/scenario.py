@@ -1,0 +1,91 @@
+"""Declarative simulation scenarios: one frozen object per configuration.
+
+:class:`~repro.net.network.NetworkSimulation` grew thirteen keyword
+arguments over five PRs; sweeping over them meant re-spelling the whole
+constructor call at every grid point.  A :class:`Scenario` freezes the
+complete configuration into a single immutable value with explicit
+defaults, so that
+
+* ``NetworkSimulation.from_scenario(scenario)`` builds a simulation from
+  one object (the kwargs constructor remains as a thin delegating shim);
+* ``scenario.replace(noise_rate=0.01, root_seed=3)`` derives a grid
+  point's variant without touching the other twelve fields — the sweep
+  layer's axis-override idiom;
+* a scenario can be passed around, stored on fixtures and compared
+  (identity-wise) without consulting a constructor signature.
+
+A scenario is *configuration*, not identity: it may hold live objects
+(arrival processes, protocol factories, a telemetry registry), so unlike
+:class:`~repro.runtime.spec.RunSpec` it has no content hash and no
+serialised form.  Specs name cacheable computations; scenarios describe
+one concrete simulation build.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+from collections.abc import Callable, Mapping
+
+from repro.net.engine import resolve_engine
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.faults.models import FaultPlan
+    from repro.model.arrival import ArrivalProcess
+    from repro.model.problem import HRTDMProblem
+    from repro.model.source import SourceSpec
+    from repro.net.phy import MediumProfile
+    from repro.obs.instruments import Telemetry
+    from repro.protocols.base import MACProtocol
+    from repro.sim.invariants import MonitorSuite
+
+__all__ = ["ProtocolFactory", "Scenario"]
+
+#: Builds one MAC instance for a source (stations must not share MACs).
+ProtocolFactory = Callable[["SourceSpec"], "MACProtocol"]
+
+
+@dataclasses.dataclass(frozen=True)
+class Scenario:
+    """Everything that defines one simulation build, immutably.
+
+    The field semantics are exactly those of
+    :class:`~repro.net.network.NetworkSimulation`'s keyword arguments
+    (see its docstring for the full contract of each); this class only
+    consolidates them.  ``arrivals`` is normalised to a plain dict copy
+    at construction so later mutation of the caller's mapping cannot
+    leak into a frozen scenario.
+    """
+
+    problem: "HRTDMProblem"
+    medium: "MediumProfile"
+    protocol_factory: ProtocolFactory
+    arrivals: Mapping[str, "ArrivalProcess"] | None = None
+    trace: bool = False
+    check_consistency: bool = False
+    noise_rate: float = 0.0
+    noise_seed: int = 0
+    root_seed: int = 0
+    engine: str | None = None
+    faults: "FaultPlan | None" = None
+    monitors: "bool | MonitorSuite | None" = None
+    telemetry: "Telemetry | None" = None
+
+    def __post_init__(self) -> None:
+        if self.engine is not None:
+            resolve_engine(self.engine)  # validate eagerly
+        if self.arrivals is not None:
+            object.__setattr__(self, "arrivals", dict(self.arrivals))
+
+    def replace(self, **overrides: object) -> "Scenario":
+        """A copy with ``overrides`` applied — the sweep-axis idiom.
+
+        Unknown field names raise ``TypeError`` (via
+        :func:`dataclasses.replace`), so a typo'd axis fails loudly at
+        grid-definition time instead of silently sweeping nothing.
+        """
+        return dataclasses.replace(self, **overrides)
+
+    def field_names(self) -> tuple[str, ...]:
+        """The sweepable field names, in declaration order."""
+        return tuple(field.name for field in dataclasses.fields(self))

@@ -7,34 +7,30 @@ invasive, so the executor scopes it here and
 :class:`~repro.net.network.NetworkSimulation` picks it up at ``run()``
 time when none was passed explicitly — the same pattern the engine
 selector and the fault-plan context use.
+
+Implemented on the shared :class:`repro.context.ScopedValue` substrate;
+the telemetry-specific semantics are that ``None`` coerces to
+:data:`NULL_TELEMETRY` (shadowing any outer scope), so nested code can
+explicitly run uninstrumented and :func:`current_telemetry` never
+returns ``None``.
 """
 
 from __future__ import annotations
 
-import contextlib
-import typing
-
+from repro.context import ScopedValue
 from repro.obs.instruments import NULL_TELEMETRY, Telemetry
 
 __all__ = ["current_telemetry", "use_telemetry"]
 
-_ACTIVE: list[Telemetry] = [NULL_TELEMETRY]
+_SCOPE: ScopedValue[Telemetry] = ScopedValue(
+    "telemetry",
+    default=lambda: NULL_TELEMETRY,
+    coerce=lambda value: NULL_TELEMETRY if value is None else value,
+)
 
+#: The innermost scoped registry (:data:`NULL_TELEMETRY` outside any).
+current_telemetry = _SCOPE.current
 
-def current_telemetry() -> Telemetry:
-    """The innermost scoped registry (:data:`NULL_TELEMETRY` outside any)."""
-    return _ACTIVE[-1]
-
-
-@contextlib.contextmanager
-def use_telemetry(telemetry: Telemetry | None) -> typing.Iterator[None]:
-    """Scope ``telemetry`` as ambient for the dynamic extent.
-
-    ``None`` scopes :data:`NULL_TELEMETRY` (shadowing any outer scope),
-    so nested code can explicitly run uninstrumented.
-    """
-    _ACTIVE.append(telemetry if telemetry is not None else NULL_TELEMETRY)
-    try:
-        yield
-    finally:
-        _ACTIVE.pop()
+#: Scope a registry as ambient for the dynamic extent; ``None`` scopes
+#: :data:`NULL_TELEMETRY` (shadowing any outer scope).
+use_telemetry = _SCOPE.using

@@ -11,11 +11,12 @@ This package is the substrate every experiment execution flows through
   over worker processes with deterministic result ordering.
 """
 
-from repro.runtime.cache import CacheStats, ResultCache
+from repro.runtime.cache import CacheEntry, CacheStats, ResultCache
 from repro.runtime.executor import ParallelExecutor, RunRecord, execute_spec
 from repro.runtime.spec import RunSpec, code_version, freeze_params
 
 __all__ = [
+    "CacheEntry",
     "CacheStats",
     "ResultCache",
     "ParallelExecutor",

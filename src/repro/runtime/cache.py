@@ -13,6 +13,15 @@ truncated or otherwise corrupted entry is treated as a miss and evicted —
 the runtime then recomputes and overwrites it.  Writes go through a
 temporary file plus :func:`os.replace` so concurrent workers never observe
 a half-written entry.
+
+An entry may also carry the run's telemetry manifest (the
+:meth:`~repro.obs.manifest.RunTelemetry.to_dict` document) when the
+executor collected one.  Telemetry is a pure function of the run, so
+replaying it from the cache is exactly as valid as replaying the result
+— this is what lets a resumed sweep campaign rebuild its telemetry
+roll-ups byte-identically without re-simulating (:mod:`repro.sweep`).
+Entries written without telemetry stay readable (the field is simply
+``None``).
 """
 
 from __future__ import annotations
@@ -31,7 +40,20 @@ if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 import pathlib
 
-__all__ = ["ResultCache", "CacheStats"]
+__all__ = ["CacheEntry", "ResultCache", "CacheStats"]
+
+
+@dataclasses.dataclass
+class CacheEntry:
+    """One deserialised cache hit: the result plus stored sidecars."""
+
+    result: "ExperimentResult"
+    #: Wall-clock seconds the original computation took.
+    duration: float = 0.0
+    #: The run's telemetry manifest document
+    #: (:meth:`repro.obs.manifest.RunTelemetry.to_dict`), or ``None``
+    #: when the original run did not collect telemetry.
+    telemetry: dict | None = None
 
 
 @dataclasses.dataclass
@@ -66,7 +88,12 @@ class ResultCache:
         return self.directory / digest[:2] / f"{digest}.pkl"
 
     def get(self, spec: RunSpec) -> "ExperimentResult | None":
-        """The cached result for ``spec``, or ``None`` on any miss.
+        """The cached result for ``spec``, or ``None`` on any miss."""
+        entry = self.get_entry(spec)
+        return entry.result if entry is not None else None
+
+    def get_entry(self, spec: RunSpec) -> CacheEntry | None:
+        """The full cached entry for ``spec``, or ``None`` on any miss.
 
         Corruption (bad pickle, wrong payload shape, stale key) never
         raises: the entry is evicted and the caller recomputes.
@@ -89,14 +116,20 @@ class ResultCache:
             self._evict(path)
             self.stats.misses += 1
             return None
+        telemetry = payload.get("telemetry")
         self.stats.hits += 1
-        return payload["result"]
+        return CacheEntry(
+            result=payload["result"],
+            duration=payload.get("duration", 0.0),
+            telemetry=telemetry if isinstance(telemetry, dict) else None,
+        )
 
     def put(
         self,
         spec: RunSpec,
         result: "ExperimentResult",
         duration: float = 0.0,
+        telemetry: dict | None = None,
     ) -> pathlib.Path:
         """Atomically store ``result`` under the spec's content address."""
         path = self.path_for(spec)
@@ -105,6 +138,7 @@ class ResultCache:
             "key": spec.canonical_key(),
             "result": result,
             "duration": duration,
+            "telemetry": telemetry,
             "stored_at": time.time(),
         }
         handle, tmp_name = tempfile.mkstemp(

@@ -53,7 +53,9 @@ class RunRecord:
     source: str
     #: Per-run telemetry manifest (:mod:`repro.obs`); collected when the
     #: executor was built with ``collect_telemetry=True``, else ``None``.
-    #: Cache hits get a minimal manifest (provenance + the lookup span).
+    #: Cache hits replay the manifest stored with the entry when the
+    #: original run collected one, and fall back to a minimal manifest
+    #: (provenance + the lookup span) otherwise.
     telemetry: RunTelemetry | None = None
 
     @property
@@ -143,15 +145,29 @@ class ParallelExecutor:
             cached = None
             lookup_started = time.perf_counter()
             if self.cache is not None and not self.force:
-                cached = self.cache.get(spec)
+                cached = self.cache.get_entry(spec)
             lookup_seconds = time.perf_counter() - lookup_started
             if cached is not None:
                 manifest = None
                 if self.collect_telemetry:
-                    manifest = self._cache_hit_manifest(spec, lookup_seconds)
+                    if cached.telemetry is not None:
+                        # The original run collected telemetry: replay the
+                        # stored document.  Only provenance is rewritten
+                        # (source/wall time are excluded from the content
+                        # projection), so a cache hit reproduces the cold
+                        # run's instruments byte-identically — what lets
+                        # resumed sweep campaigns rebuild their roll-ups
+                        # without re-simulating.
+                        manifest = RunTelemetry.from_dict(cached.telemetry)
+                        manifest.source = SOURCE_CACHE
+                        manifest.wall_seconds = lookup_seconds
+                    else:
+                        manifest = self._cache_hit_manifest(
+                            spec, lookup_seconds
+                        )
                 record = RunRecord(
                     spec=spec,
-                    result=cached,
+                    result=cached.result,
                     duration=0.0,
                     source=SOURCE_CACHE,
                     telemetry=manifest,
@@ -239,11 +255,12 @@ class ParallelExecutor:
     def _cache_hit_manifest(
         self, spec: RunSpec, lookup_seconds: float
     ) -> RunTelemetry:
-        """A minimal manifest for a cache hit: provenance, no simulation.
+        """A minimal manifest for a cache hit with no stored telemetry.
 
-        The only span is the cache lookup itself — there was no run to
-        measure — so diffing a cold manifest against a warm one shows the
-        full simulation time collapsing into ``cache/lookup``.
+        The only span is the cache lookup itself — the original run
+        collected nothing — so diffing a cold manifest against a warm
+        one shows the full simulation time collapsing into
+        ``cache/lookup``.
         """
         return RunTelemetry(
             run_id=spec.experiment_id,
@@ -272,10 +289,15 @@ class ParallelExecutor:
         total: int,
         manifest: RunTelemetry | None = None,
     ) -> RunRecord:
-        if self.cache is not None:
-            self.cache.put(spec, result, duration)
         if manifest is not None:
             manifest.source = source
+        if self.cache is not None:
+            self.cache.put(
+                spec,
+                result,
+                duration,
+                telemetry=manifest.to_dict() if manifest is not None else None,
+            )
         record = RunRecord(
             spec=spec,
             result=result,

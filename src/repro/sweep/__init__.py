@@ -1,0 +1,42 @@
+"""Sweep campaigns: declarative grids, sharded execution, resumable runs.
+
+The campaign subsystem turns a declarative parameter grid
+(:class:`~repro.sweep.grid.Grid` — cartesian axes, zipped axes, seed
+replicas) into content-addressed :class:`~repro.runtime.spec.RunSpec`
+batches, runs them through the cache-aware executor shard by shard,
+checkpoints every completed shard to a JSONL journal
+(:class:`~repro.sweep.journal.CampaignJournal`), and aggregates the
+results into tidy per-axis tables with telemetry roll-ups
+(:class:`~repro.sweep.aggregate.CampaignResult`).
+
+Killing a campaign and resuming it (``--resume``) resubmits zero
+completed shards — they replay from the result cache, telemetry
+included — and the resumed aggregate document is byte-identical to an
+uninterrupted run's.
+
+CLI: ``python -m repro.experiments sweep`` (:mod:`repro.sweep.cli`).
+"""
+
+from repro.sweep.aggregate import CampaignResult, PointOutcome
+from repro.sweep.campaign import Campaign, CampaignPoint, run_campaign
+from repro.sweep.grid import Grid
+from repro.sweep.journal import CampaignJournal, JournalMismatch
+from repro.sweep.registry import (
+    builtin_campaigns,
+    get_campaign,
+    register_campaign,
+)
+
+__all__ = [
+    "Campaign",
+    "CampaignJournal",
+    "CampaignPoint",
+    "CampaignResult",
+    "Grid",
+    "JournalMismatch",
+    "PointOutcome",
+    "builtin_campaigns",
+    "get_campaign",
+    "register_campaign",
+    "run_campaign",
+]

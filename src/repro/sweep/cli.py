@@ -1,0 +1,236 @@
+"""CLI: run sweep campaigns (``python -m repro.experiments sweep``).
+
+Usage::
+
+    python -m repro.experiments sweep                  # list campaigns
+    python -m repro.experiments sweep fc-frontier      # run a built-in
+    python -m repro.experiments sweep campaign.json    # run from a file
+    python -m repro.experiments sweep fc-frontier --resume
+    python -m repro.experiments sweep fc-frontier --max-shards 2
+    python -m repro.experiments sweep fc-frontier --json agg.json
+
+A campaign runs in shards of ``batch_size`` grid points; each completed
+shard is checkpointed to a JSONL journal (default:
+``<cache-dir>/campaigns/<name>.journal.jsonl``).  ``--resume`` replays
+journaled shards straight from the result cache — a resumed campaign
+resubmits zero completed work and its ``--json`` aggregate is
+byte-identical to an uninterrupted run's.  ``--max-shards N`` time-boxes
+an invocation to N new shards (finish later with ``--resume``).
+
+Exit status: 0 on success, 1 when any point fails its checks, 3 when
+the campaign is incomplete (``--max-shards`` budget spent).
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+from repro.cliopts import cache_options, execution_options, validate_jobs
+from repro.net.engine import use_engine
+from repro.obs.manifest import write_manifests
+from repro.runtime import ResultCache
+from repro.sweep.campaign import Campaign, run_campaign
+from repro.sweep.journal import JournalMismatch
+from repro.sweep.registry import builtin_campaigns, get_campaign
+
+__all__ = ["build_parser", "main"]
+
+#: Exit status for a campaign stopped short of completion.
+EXIT_INCOMPLETE = 3
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments sweep",
+        description="Run a sharded, resumable sweep campaign.",
+        parents=[execution_options(), cache_options()],
+    )
+    parser.add_argument(
+        "campaign",
+        nargs="?",
+        help="registered campaign name or a campaign JSON file; "
+        "empty lists the registered campaigns",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list registered campaigns"
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip shards already recorded in the journal (replayed "
+        "from the result cache, zero resubmissions)",
+    )
+    parser.add_argument(
+        "--journal",
+        metavar="FILE.jsonl",
+        default=None,
+        help="checkpoint journal path (default: "
+        "<cache-dir>/campaigns/<name>.journal.jsonl)",
+    )
+    parser.add_argument(
+        "--no-journal",
+        action="store_true",
+        help="disable checkpointing (campaign cannot be resumed)",
+    )
+    parser.add_argument(
+        "--max-shards",
+        type=int,
+        default=None,
+        metavar="N",
+        help="execute at most N new shards, then stop (exit 3); "
+        "finish the campaign later with --resume",
+    )
+    parser.add_argument(
+        "--batch-size",
+        type=int,
+        default=None,
+        metavar="N",
+        help="override the campaign's shard size",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="FILE",
+        help="write the deterministic aggregate document to FILE",
+    )
+    parser.add_argument(
+        "--csv",
+        metavar="FILE",
+        help="write the tidy per-point table as CSV to FILE",
+    )
+    return parser
+
+
+def _list_campaigns() -> None:
+    campaigns = builtin_campaigns()
+    if not campaigns:
+        print("no campaigns registered")
+        return
+    print("registered campaigns:")
+    for name, campaign in campaigns.items():
+        grid = campaign.grid
+        print(
+            f"  {name:<16} {grid.size:>4} point(s) x "
+            f"batch {campaign.batch_size:<3} {campaign.description}"
+        )
+
+
+def _resolve_campaign(
+    parser: argparse.ArgumentParser, token: str
+) -> Campaign:
+    path = pathlib.Path(token)
+    if token.endswith(".json") or path.exists():
+        try:
+            return Campaign.load(path)
+        except (OSError, ValueError) as exc:
+            parser.error(f"cannot load campaign {token!r}: {exc}")
+    try:
+        return get_campaign(token)
+    except KeyError as exc:
+        parser.error(str(exc.args[0]))
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+def _validate_points(
+    parser: argparse.ArgumentParser, campaign: Campaign
+) -> None:
+    """Fail fast on unknown experiments or seeds on seedless ones."""
+    from repro.experiments.registry import EXPERIMENTS
+
+    for point in campaign.points():
+        entry = EXPERIMENTS.get(point.spec.experiment_id)
+        if entry is None:
+            parser.error(
+                f"campaign {campaign.name!r}: point {point.index} names "
+                f"unknown experiment {point.spec.experiment_id!r}"
+            )
+        if point.spec.root_seed is not None and entry.seed_param is None:
+            parser.error(
+                f"campaign {campaign.name!r}: experiment "
+                f"{point.spec.experiment_id} takes no seed, but point "
+                f"{point.index} sets one"
+            )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    validate_jobs(parser, args.jobs)
+    if args.list or not args.campaign:
+        _list_campaigns()
+        return 0
+    campaign = _resolve_campaign(parser, args.campaign)
+    if args.batch_size is not None:
+        if args.batch_size < 1:
+            parser.error(f"--batch-size must be >= 1, got {args.batch_size}")
+        campaign = campaign.replace(batch_size=args.batch_size)
+    if args.seed is not None:
+        campaign = campaign.with_seeds((args.seed,))
+    _validate_points(parser, campaign)
+    if args.max_shards is not None and args.max_shards < 0:
+        parser.error(f"--max-shards must be >= 0, got {args.max_shards}")
+
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    journal_path: pathlib.Path | None = None
+    if args.journal is not None:
+        journal_path = pathlib.Path(args.journal)
+    elif not args.no_journal and cache is not None:
+        journal_path = (
+            cache.directory / "campaigns" / f"{campaign.name}.journal.jsonl"
+        )
+    if args.resume and journal_path is None:
+        parser.error("--resume needs a journal (drop --no-journal)")
+    if args.resume and cache is None:
+        parser.error("--resume needs the result cache (drop --no-cache)")
+
+    def progress(record, index, total):
+        print(
+            f"  [{index + 1:>2}/{total}] {record.describe()}",
+            file=sys.stderr,
+            flush=True,
+        )
+
+    try:
+        with use_engine(args.engine):
+            result = run_campaign(
+                campaign,
+                jobs=args.jobs,
+                cache=cache,
+                force=args.force,
+                journal_path=journal_path,
+                resume=args.resume,
+                max_shards=args.max_shards,
+                progress=progress,
+            )
+    except JournalMismatch as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    print(result.render())
+    if args.json:
+        pathlib.Path(args.json).write_text(result.aggregate_json() + "\n")
+        print(f"wrote {args.json}", file=sys.stderr)
+    if args.csv:
+        pathlib.Path(args.csv).write_text(result.csv() + "\n")
+        print(f"wrote {args.csv}", file=sys.stderr)
+    if args.telemetry is not None:
+        manifests = [
+            outcome.telemetry
+            for outcome in result.outcomes
+            if outcome.telemetry is not None
+        ]
+        written = write_manifests(args.telemetry, manifests)
+        print(
+            f"wrote {written} telemetry manifest(s) to {args.telemetry}",
+            file=sys.stderr,
+        )
+    if cache is not None:
+        print(cache.stats.summary(), file=sys.stderr)
+    if not result.complete:
+        return EXIT_INCOMPLETE
+    return 0 if result.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,144 @@
+"""Crash-safe JSONL checkpoint journal for sweep campaigns.
+
+One journal file per campaign run.  The first line is a header binding
+the file to a campaign content hash; every subsequent line records one
+*completed shard* (a batch of grid points whose results all landed in
+the result cache).  Appends are flushed and fsynced per shard, so a
+killed campaign loses at most the shard it was executing — never a
+recorded one — and a truncated trailing line (the kill landing
+mid-write) is skipped on load rather than poisoning the resume.
+
+Resume contract (:func:`repro.sweep.campaign.run_campaign`): shard
+indexes listed in the journal are *not* resubmitted; their results are
+replayed straight from the result cache.  The journal therefore stores
+no results itself — it is an index into the cache, which is why resuming
+against a different campaign (hash mismatch) is refused instead of
+silently mixing grids.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import time
+
+__all__ = ["CampaignJournal", "JournalMismatch"]
+
+#: Bump when the journal line layout changes incompatibly.
+JOURNAL_SCHEMA = 1
+
+
+class JournalMismatch(ValueError):
+    """The journal on disk belongs to a different campaign (or schema)."""
+
+
+class CampaignJournal:
+    """Append-only shard checkpoint file for one campaign."""
+
+    def __init__(self, path: str | os.PathLike[str]) -> None:
+        self.path = pathlib.Path(path)
+
+    def begin(
+        self, campaign_hash: str, total_shards: int, resume: bool
+    ) -> set[int]:
+        """Open the journal; returns the shard indexes already completed.
+
+        A fresh start (``resume=False``) truncates any existing file and
+        writes a new header.  A resume validates the stored header
+        against ``campaign_hash`` — mismatches raise
+        :class:`JournalMismatch` so a renamed or edited campaign cannot
+        replay the wrong shards — and returns the recorded shard set
+        (empty when the file does not exist yet, which degrades resume
+        to a fresh run).
+        """
+        if resume and self.path.exists():
+            completed = self._load(campaign_hash)
+        else:
+            completed = set()
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._write_line(
+                {
+                    "kind": "campaign",
+                    "schema": JOURNAL_SCHEMA,
+                    "campaign": campaign_hash,
+                    "shards": total_shards,
+                    "started_at": time.time(),
+                },
+                append=False,
+            )
+        return completed
+
+    def record(
+        self,
+        shard_index: int,
+        spec_hashes: list[str],
+        ok: bool,
+        duration: float,
+    ) -> None:
+        """Checkpoint one completed shard (flush + fsync before return)."""
+        self._write_line(
+            {
+                "kind": "shard",
+                "shard": shard_index,
+                "specs": spec_hashes,
+                "ok": ok,
+                "duration": round(duration, 6),
+                "recorded_at": time.time(),
+            },
+            append=True,
+        )
+
+    # -- internals ---------------------------------------------------------
+
+    def _write_line(self, doc: dict, append: bool) -> None:
+        line = json.dumps(doc, sort_keys=True, separators=(",", ":"))
+        with open(
+            self.path, "a" if append else "w", encoding="utf-8"
+        ) as handle:
+            handle.write(line + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def _load(self, campaign_hash: str) -> set[int]:
+        completed: set[int] = set()
+        header: dict | None = None
+        with open(self.path, encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    doc = json.loads(line)
+                except json.JSONDecodeError:
+                    # A kill mid-append leaves at most one truncated
+                    # trailing line; everything before it is intact.
+                    break
+                if not isinstance(doc, dict):
+                    break
+                if header is None:
+                    if (
+                        doc.get("kind") != "campaign"
+                        or doc.get("schema") != JOURNAL_SCHEMA
+                    ):
+                        raise JournalMismatch(
+                            f"{self.path}: not a campaign journal "
+                            "(bad or missing header)"
+                        )
+                    if doc.get("campaign") != campaign_hash:
+                        raise JournalMismatch(
+                            f"{self.path}: journal belongs to campaign "
+                            f"{doc.get('campaign')!r}, not "
+                            f"{campaign_hash!r}; pick a different "
+                            "--journal path or drop --resume"
+                        )
+                    header = doc
+                elif doc.get("kind") == "shard" and isinstance(
+                    doc.get("shard"), int
+                ):
+                    completed.add(doc["shard"])
+        if header is None:
+            raise JournalMismatch(
+                f"{self.path}: empty or headerless journal"
+            )
+        return completed

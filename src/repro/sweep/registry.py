@@ -1,0 +1,48 @@
+"""Named campaign registry.
+
+Experiment modules register their canonical sweeps at import time
+(:func:`register_campaign` as a declaration next to the experiment
+code), and the CLI resolves names through :func:`builtin_campaigns`,
+which imports the experiment registry first so every built-in campaign
+has had the chance to register — the same lazy-registration pattern the
+experiment catalog itself uses.
+"""
+
+from __future__ import annotations
+
+from repro.sweep.campaign import Campaign
+
+__all__ = ["builtin_campaigns", "get_campaign", "register_campaign"]
+
+_CAMPAIGNS: dict[str, Campaign] = {}
+
+
+def register_campaign(campaign: Campaign) -> Campaign:
+    """Register a campaign under its name; returns it for assignment."""
+    existing = _CAMPAIGNS.get(campaign.name)
+    if existing is not None and existing != campaign:
+        raise ValueError(
+            f"campaign name {campaign.name!r} already registered"
+        )
+    _CAMPAIGNS[campaign.name] = campaign
+    return campaign
+
+
+def builtin_campaigns() -> dict[str, Campaign]:
+    """All registered campaigns by name (triggers built-in registration)."""
+    # Importing the experiment catalog imports every experiment module,
+    # whose module-level register_campaign() calls populate _CAMPAIGNS.
+    import repro.experiments.registry  # noqa: F401
+
+    return dict(sorted(_CAMPAIGNS.items()))
+
+
+def get_campaign(name: str) -> Campaign:
+    campaigns = builtin_campaigns()
+    try:
+        return campaigns[name]
+    except KeyError:
+        known = ", ".join(sorted(campaigns)) or "<none>"
+        raise KeyError(
+            f"unknown campaign {name!r} (known: {known})"
+        ) from None

@@ -33,6 +33,7 @@ sample, and records the repeat count actually used.
 from __future__ import annotations
 
 import argparse
+import contextlib
 import dataclasses
 import json
 import pathlib
@@ -41,9 +42,11 @@ import statistics
 import subprocess
 import sys
 import time
+import typing
 from collections.abc import Callable
 
-from repro.net.engine import ENGINES, default_engine, use_engine
+from repro.cliopts import execution_options
+from repro.net.engine import default_engine, use_engine
 
 __all__ = [
     "BENCHES",
@@ -91,7 +94,7 @@ class BenchResult:
         return line
 
 
-def _bench_xi_dp_table(smoke: bool) -> tuple[float, str]:
+def _bench_xi_dp_table(smoke: bool, seed: int = 0) -> tuple[float, str]:
     """Ground-truth DP over Eq. 1 for a 1024-leaf quaternary tree."""
     from repro.core.search_cost import _cost_tuple
 
@@ -101,7 +104,9 @@ def _bench_xi_dp_table(smoke: bool) -> tuple[float, str]:
     return 1.0, "tables"
 
 
-def _bench_divide_conquer_table(smoke: bool) -> tuple[float, str]:
+def _bench_divide_conquer_table(
+    smoke: bool, seed: int = 0
+) -> tuple[float, str]:
     """Eq. 2-4 route for the same 1024-leaf shape."""
     from repro.core.divide_conquer import _dc_tuple, divide_conquer_table
 
@@ -111,7 +116,7 @@ def _bench_divide_conquer_table(smoke: bool) -> tuple[float, str]:
     return 1.0, "tables"
 
 
-def _bench_closed_form_grid(smoke: bool) -> tuple[float, str]:
+def _bench_closed_form_grid(smoke: bool, seed: int = 0) -> tuple[float, str]:
     """Eq. 10 evaluated over every k of a 4096-leaf binary tree."""
     from repro.core.closed_form import xi_closed_form
 
@@ -121,7 +126,7 @@ def _bench_closed_form_grid(smoke: bool) -> tuple[float, str]:
     return float(t + 1), "evals"
 
 
-def _bench_simulate_search(smoke: bool) -> tuple[float, str]:
+def _bench_simulate_search(smoke: bool, seed: int = 0) -> tuple[float, str]:
     """Reference search semantics on a worst-case 64-of-256 placement."""
     from repro.core.search_cost import simulate_search, worst_case_placement
 
@@ -131,7 +136,7 @@ def _bench_simulate_search(smoke: bool) -> tuple[float, str]:
     return float(outcome.total_slots), "slots"
 
 
-def _bench_latency_bound(smoke: bool) -> tuple[float, str]:
+def _bench_latency_bound(smoke: bool, seed: int = 0) -> tuple[float, str]:
     """One B_DDCR evaluation on a 16-source instance."""
     from repro.core.feasibility import TreeParameters, latency_bound
     from repro.model.workloads import uniform_problem
@@ -155,6 +160,7 @@ def _channel_slot_rate(
     smoke: bool,
     monitors: bool = False,
     telemetry: bool = False,
+    seed: int = 0,
 ) -> tuple[float, str]:
     """DDCR simulation throughput, in channel rounds per second."""
     from repro.model.workloads import uniform_problem
@@ -178,6 +184,7 @@ def _channel_slot_rate(
         problem,
         ideal_medium(slot_time=64),
         protocol_factory=lambda s: DDCRProtocol(config),
+        root_seed=seed,
         engine=engine,
         monitors=monitors,
         telemetry=registry,
@@ -194,31 +201,36 @@ def _channel_slot_rate(
 
 def _make_slot_rate_bench(
     stations: int, engine: str
-) -> Callable[[bool], tuple[float, str]]:
-    return lambda smoke: _channel_slot_rate(stations, engine, smoke)
+) -> "Callable[[bool, int], tuple[float, str]]":
+    return lambda smoke, seed=0: _channel_slot_rate(
+        stations, engine, smoke, seed=seed
+    )
 
 
-def _bench_invariant_overhead(smoke: bool) -> tuple[float, str]:
+def _bench_invariant_overhead(smoke: bool, seed: int = 0) -> tuple[float, str]:
     """The 16-station fastloop workload with the standard monitor suite
     armed; compare against ``channel_slot_rate_16_fastloop`` (the same
     workload, monitors off) for the per-round cost of online invariant
     checking."""
-    return _channel_slot_rate(16, "fastloop", smoke, monitors=True)
+    return _channel_slot_rate(16, "fastloop", smoke, monitors=True, seed=seed)
 
 
-def _bench_telemetry_overhead(smoke: bool) -> tuple[float, str]:
+def _bench_telemetry_overhead(smoke: bool, seed: int = 0) -> tuple[float, str]:
     """The 16-station fastloop workload with a live telemetry registry
     (slot counters plus per-class latency histograms recording every
     round); compare against ``channel_slot_rate_16_fastloop`` for the
     per-round cost of enabled telemetry.  The disabled case needs no
     bench of its own: ``channel_slot_rate_16_fastloop`` *is* the
     NULL_TELEMETRY path."""
-    return _channel_slot_rate(16, "fastloop", smoke, telemetry=True)
+    return _channel_slot_rate(16, "fastloop", smoke, telemetry=True, seed=seed)
 
 
 #: name -> (engine or None, bench callable).  A bench callable performs one
-#: measured operation batch and returns ``(ops_done, unit)``.
-BENCHES: dict[str, tuple[str | None, Callable[[bool], tuple[float, str]]]] = {
+#: measured operation batch — ``(smoke, seed)`` in, ``(ops_done, unit)``
+#: out; analytic benches ignore the seed.
+BENCHES: dict[
+    str, tuple[str | None, Callable[[bool, int], tuple[float, str]]]
+] = {
     "xi_dp_table": (None, _bench_xi_dp_table),
     "divide_conquer_table": (None, _bench_divide_conquer_table),
     "closed_form_grid": (None, _bench_closed_form_grid),
@@ -241,8 +253,18 @@ def run_benches(
     names: list[str] | None = None,
     smoke: bool = False,
     repeats: int | None = None,
+    seed: int = 0,
+    telemetry_sink: "list | None" = None,
 ) -> list[BenchResult]:
-    """Run the selected benches; best-of-``repeats`` throughput each."""
+    """Run the selected benches; best-of-``repeats`` throughput each.
+
+    ``seed`` feeds the simulation benches' ``root_seed`` (analytic
+    benches ignore it).  When ``telemetry_sink`` is a list, every bench
+    runs under a fresh ambient telemetry registry and one
+    :class:`~repro.obs.manifest.RunTelemetry` manifest per bench is
+    appended to it — note the armed instruments then contribute to the
+    measured time.
+    """
     selected = list(BENCHES) if not names else names
     unknown = [name for name in selected if name not in BENCHES]
     if unknown:
@@ -255,16 +277,37 @@ def run_benches(
     results: list[BenchResult] = []
     for name in selected:
         engine, bench = BENCHES[name]
-        with use_engine(engine):
-            bench(smoke)  # warm-up: fill caches, import lazily
+        registry = None
+        scope: typing.ContextManager = contextlib.nullcontext()
+        if telemetry_sink is not None:
+            from repro.obs.context import use_telemetry
+            from repro.obs.instruments import Telemetry
+
+            registry = Telemetry()
+            scope = use_telemetry(registry)
+        with use_engine(engine), scope:
+            bench(smoke, seed)  # warm-up: fill caches, import lazily
             samples: list[float] = []
             ops = 0.0
             unit = "ops"
             for _ in range(repeats):
                 started = time.perf_counter()
-                ops, unit = bench(smoke)
+                ops, unit = bench(smoke, seed)
                 samples.append(time.perf_counter() - started)
         best_seconds = min(samples)
+        if registry is not None and telemetry_sink is not None:
+            from repro.obs.manifest import RunTelemetry
+
+            telemetry_sink.append(
+                RunTelemetry.from_registry(
+                    registry,
+                    run_id=f"bench/{name}",
+                    engine=engine,
+                    seed=seed,
+                    source="bench",
+                    wall_seconds=sum(samples),
+                )
+            )
         median_seconds = statistics.median(samples)
         results.append(
             BenchResult(
@@ -384,6 +427,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.tools.bench",
         description="Micro-benchmark the library's hot primitives.",
+        parents=[execution_options()],
     )
     parser.add_argument(
         "--only",
@@ -431,12 +475,6 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="do not append this run to the history file",
     )
-    parser.add_argument(
-        "--engine",
-        choices=ENGINES,
-        default=None,
-        help="default engine for engine-independent benches",
-    )
     return parser
 
 
@@ -450,15 +488,38 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     if args.repeats is not None and args.repeats < 1:
         parser.error(f"--repeats must be >= 1, got {args.repeats}")
+    if args.jobs > 1:
+        # Shared flag, bench-specific semantics: concurrent benches
+        # would time each other's scheduler noise.
+        print(
+            "benches are timing-sensitive and always run serially; "
+            "ignoring --jobs",
+            file=sys.stderr,
+        )
+    telemetry_sink: list | None = (
+        [] if args.telemetry is not None else None
+    )
     try:
         with use_engine(args.engine):
             results = run_benches(
-                names=args.only, smoke=args.smoke, repeats=args.repeats
+                names=args.only,
+                smoke=args.smoke,
+                repeats=args.repeats,
+                seed=args.seed if args.seed is not None else 0,
+                telemetry_sink=telemetry_sink,
             )
     except KeyError as error:
         parser.error(str(error.args[0]))
     for result in results:
         print(result.describe())
+    if telemetry_sink is not None:
+        from repro.obs.manifest import write_manifests
+
+        written = write_manifests(args.telemetry, telemetry_sink)
+        print(
+            f"wrote {written} telemetry manifest(s) to {args.telemetry}",
+            file=sys.stderr,
+        )
     if not args.no_write:
         output = (
             pathlib.Path(args.output)
@@ -469,7 +530,14 @@ def main(argv: list[str] | None = None) -> int:
             json.dumps(report_payload(results, args.smoke), indent=2) + "\n"
         )
         print(f"wrote {output}", file=sys.stderr)
-        if not args.no_history:
+        if telemetry_sink is not None and not args.no_history:
+            # Armed instruments skew throughput; keep such runs out of
+            # the history the perf-trend gate medians over.
+            print(
+                "telemetry-armed run: not appending to bench history",
+                file=sys.stderr,
+            )
+        elif not args.no_history:
             history = (
                 pathlib.Path(args.history)
                 if args.history is not None

@@ -24,18 +24,26 @@ with online invariant monitors, :mod:`repro.sim.invariants`; any
 violation fails CI; ``--no-invariants`` skips it), an obs-smoke step
 (one run with telemetry collection on, then a ``repro.tools.obs``
 ``summarize`` + ``diff`` round-trip over the manifest; ``--no-obs``
-skips it), and finishes with a perf-smoke step: one quick pass of the
-micro benchmarks (:mod:`repro.tools.bench` ``--smoke``), printing
-throughput so regressions surface next to correctness (``--no-perf``
-skips it).  The perf step feeds a *perf-trend gate*: the current run is
-compared against the median of the last N entries in
-``BENCH_history.jsonl`` (``--history`` overrides the file,
-``--no-perf-trend`` skips the gate), and each run is appended to the
-history afterwards.  Exit 0 when everything imports, every experiment's
-checks pass, every invariant holds, the obs round-trip succeeds and no
+skips it), a sweep-smoke step (a 4-point campaign cold-run then resumed
+on the warm cache, asserting zero resubmissions and a byte-identical
+aggregate, :mod:`repro.sweep`; ``--no-sweep`` skips it), and finishes
+with a perf-smoke step: one quick pass of the micro benchmarks
+(:mod:`repro.tools.bench` ``--smoke``), printing throughput so
+regressions surface next to correctness (``--no-perf`` skips it).  The
+perf step feeds a *perf-trend gate*: the current run is compared
+against the median of the last N entries in ``BENCH_history.jsonl``
+(``--history`` overrides the file, ``--no-perf-trend`` skips the gate),
+and each run is appended to the history afterwards.  Exit 0 when
+everything imports, every experiment's checks pass, every invariant
+holds, the obs round-trip succeeds, the sweep resume is clean and no
 bench fell below the trend threshold; 2 otherwise.  Absolute perf
 numbers stay informational — only a *relative* drop against this
 machine's own history fails CI.
+
+The common execution flags (``--jobs``, ``--seed``, ``--engine``,
+``--telemetry``) and cache flags (``--cache-dir``, ``--no-cache``,
+``--force``) are shared parent parsers (:mod:`repro.cliopts`), spelled
+identically across every repro CLI.
 """
 
 from __future__ import annotations
@@ -50,8 +58,10 @@ import tempfile
 
 from repro.analysis.metrics import summarize
 from repro.analysis.report import format_table
+from repro.cliopts import cache_options, execution_options, validate_jobs
 from repro.core.feasibility import TreeParameters, check_feasibility
 from repro.model.serialize import load_problem
+from repro.net.engine import use_engine
 from repro.net.phy import (
     ATM_BUS,
     CLASSIC_ETHERNET,
@@ -71,6 +81,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.tools.check",
         description="Evaluate HRTDM feasibility conditions (B_DDCR <= d).",
+        parents=[execution_options(), cache_options()],
     )
     parser.add_argument(
         "instance", nargs="?", default=None, help="JSON instance file"
@@ -81,22 +92,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="repo health fast-path: import all modules, run the suite",
     )
     parser.add_argument(
-        "--jobs",
-        type=int,
-        default=1,
-        metavar="N",
-        help="parallel workers for --ci suite execution",
-    )
-    parser.add_argument(
-        "--cache-dir",
-        default=".repro-cache",
-        metavar="DIR",
-        help="result cache for --ci (default: %(default)s)",
-    )
-    parser.add_argument(
         "--no-perf",
         action="store_true",
         help="skip the --ci perf-smoke micro-benchmark step",
+    )
+    parser.add_argument(
+        "--no-sweep",
+        action="store_true",
+        help="skip the --ci sweep-smoke (campaign resume) step",
     )
     parser.add_argument(
         "--no-invariants",
@@ -306,6 +309,66 @@ def _run_obs_smoke(cache_dir: str) -> list[str]:
     return failures
 
 
+def _run_sweep_smoke(cache_dir: str, jobs: int) -> list[str]:
+    """A 4-point campaign cold-run, then resumed on the warm cache.
+
+    Exercises the sweep contract end to end: grid expansion, sharded
+    execution, journal checkpointing, and the resume guarantee — the
+    resumed run must resubmit **zero** specs (everything replays from
+    the journal + result cache) and rebuild a byte-identical aggregate
+    document.  Returns failure lines (empty = contract held).
+    """
+    from repro.runtime import ResultCache
+    from repro.sweep import Campaign, run_campaign
+
+    # FIG1 needs t to be a power of m, so the shapes are a zipped axis.
+    campaign = Campaign.make(
+        "ci-sweep-smoke",
+        experiment="FIG1",
+        zipped={"m": (2, 2, 3, 3), "t": (8, 16, 9, 27)},
+        batch_size=2,
+        description="CI smoke: FIG1 search-cost tables across tree shapes",
+    )
+    failures: list[str] = []
+    with tempfile.TemporaryDirectory() as tmp:
+        journal = os.path.join(tmp, "sweep-smoke.journal.jsonl")
+        cold = run_campaign(
+            campaign,
+            jobs=jobs,
+            cache=ResultCache(cache_dir),
+            journal_path=journal,
+        )
+        if not cold.ok:
+            failures.append("sweep-smoke: campaign checks failed")
+        resumed = run_campaign(
+            campaign,
+            jobs=jobs,
+            cache=ResultCache(cache_dir),
+            journal_path=journal,
+            resume=True,
+        )
+        if resumed.submissions != 0:
+            failures.append(
+                f"sweep-smoke: resume resubmitted "
+                f"{resumed.submissions} spec(s)"
+            )
+        if resumed.replayed_shards != resumed.total_shards:
+            failures.append(
+                f"sweep-smoke: resume replayed only "
+                f"{resumed.replayed_shards}/{resumed.total_shards} shard(s)"
+            )
+        if resumed.aggregate_json() != cold.aggregate_json():
+            failures.append(
+                "sweep-smoke: resumed aggregate differs from the cold run"
+            )
+    if not failures:
+        print(
+            f"sweep-smoke: {campaign.grid.size}-point campaign resumed "
+            "byte-identically (0 resubmissions)"
+        )
+    return failures
+
+
 def _run_perf_smoke() -> "list | None":
     """One quick micro-benchmark pass; returns results (None = skipped)."""
     from repro.tools.bench import run_benches
@@ -383,10 +446,15 @@ def run_ci(
     perf: bool = True,
     invariants: bool = True,
     obs: bool = True,
+    sweep: bool = True,
     perf_trend: bool = True,
     history: "str | None" = None,
     trend_window: int = 5,
     trend_threshold: float = 30.0,
+    seed: "int | None" = None,
+    force: bool = False,
+    no_cache: bool = False,
+    telemetry: "str | None" = None,
 ) -> int:
     """``--ci`` fast path: imports + suite + smokes + perf trend gate."""
     from repro.experiments.registry import EXPERIMENTS
@@ -403,10 +471,25 @@ def run_ci(
         print(f"[{index + 1:>2}/{total}] {record.describe()}", flush=True)
 
     executor = ParallelExecutor(
-        jobs=jobs, cache=ResultCache(cache_dir), progress=progress
+        jobs=jobs,
+        cache=None if no_cache else ResultCache(cache_dir),
+        force=force,
+        progress=progress,
+        collect_telemetry=telemetry is not None,
     )
     records = executor.run(
-        [RunSpec.make(experiment_id) for experiment_id in EXPERIMENTS]
+        [
+            RunSpec.make(
+                experiment_id,
+                root_seed=(
+                    seed
+                    if seed is not None
+                    and EXPERIMENTS[experiment_id].seed_param is not None
+                    else None
+                ),
+            )
+            for experiment_id in EXPERIMENTS
+        ]
     )
     failed = [
         record.spec.experiment_id
@@ -418,12 +501,27 @@ def run_ci(
         f"suite: {len(records)} experiment(s), "
         f"{len(records) - cached} executed, {cached} from cache"
     )
+    if telemetry is not None:
+        from repro.obs.manifest import write_manifests
+
+        manifests = [
+            record.telemetry
+            for record in records
+            if record.telemetry is not None
+        ]
+        written = write_manifests(telemetry, manifests)
+        print(f"suite: wrote {written} telemetry manifest(s) to {telemetry}")
     violation_failures: list[str] = []
     if invariants:
         violation_failures = _run_invariants_smoke()
     obs_failures: list[str] = []
     if obs:
         obs_failures = _run_obs_smoke(cache_dir)
+    sweep_failures: list[str] = []
+    if sweep and no_cache:
+        print("sweep-smoke: skipped (needs the result cache)")
+    elif sweep:
+        sweep_failures = _run_sweep_smoke(cache_dir, jobs)
     trend_failures: list[str] = []
     if perf:
         results = _run_perf_smoke()
@@ -445,9 +543,17 @@ def run_ci(
         )
     for failure in obs_failures:
         print(f"FAILED obs: {failure}", file=sys.stderr)
+    for failure in sweep_failures:
+        print(f"FAILED sweep: {failure}", file=sys.stderr)
     for failure in trend_failures:
         print(f"FAILED perf-trend: {failure}", file=sys.stderr)
-    if failed or violation_failures or obs_failures or trend_failures:
+    if (
+        failed
+        or violation_failures
+        or obs_failures
+        or sweep_failures
+        or trend_failures
+    ):
         return 2
     print("verdict: OK")
     return 0
@@ -456,18 +562,25 @@ def run_ci(
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    validate_jobs(parser, args.jobs)
     if args.ci:
-        return run_ci(
-            jobs=args.jobs,
-            cache_dir=args.cache_dir,
-            perf=not args.no_perf,
-            invariants=not args.no_invariants,
-            obs=not args.no_obs,
-            perf_trend=not args.no_perf_trend,
-            history=args.history,
-            trend_window=args.trend_window,
-            trend_threshold=args.trend_threshold,
-        )
+        with use_engine(args.engine):
+            return run_ci(
+                jobs=args.jobs,
+                cache_dir=args.cache_dir,
+                perf=not args.no_perf,
+                invariants=not args.no_invariants,
+                obs=not args.no_obs,
+                sweep=not args.no_sweep,
+                perf_trend=not args.no_perf_trend,
+                history=args.history,
+                trend_window=args.trend_window,
+                trend_threshold=args.trend_threshold,
+                seed=args.seed,
+                force=args.force,
+                no_cache=args.no_cache,
+                telemetry=args.telemetry,
+            )
     if args.instance is None:
         parser.error("an instance file is required unless --ci is given")
     medium = MEDIA[args.medium]
@@ -515,9 +628,10 @@ def main(argv: list[str] | None = None) -> int:
         config = default_ddcr_config(
             problem, medium, time_f=args.time_f, time_m=args.time_m
         )
-        result = build_simulation(
-            problem, medium, ddcr_factory(config)
-        ).run(round(args.simulate * _MS))
+        with use_engine(args.engine):
+            result = build_simulation(
+                problem, medium, ddcr_factory(config)
+            ).run(round(args.simulate * _MS))
         metrics = summarize(result)
         print(
             f"simulation ({args.simulate} ms peak load): "

@@ -1,0 +1,109 @@
+"""Scenario: the frozen configuration object behind NetworkSimulation."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.model.workloads import uniform_problem
+from repro.net import Scenario
+from repro.net.network import NetworkSimulation
+from repro.net.phy import ideal_medium
+from repro.protocols.ddcr.config import DDCRConfig
+from repro.protocols.ddcr.protocol import DDCRProtocol
+
+_MS = 1_000_000
+
+
+def _problem():
+    return uniform_problem(z=4, deadline=10 * _MS, a=1, w=5 * _MS)
+
+
+def _factory(problem):
+    config = DDCRConfig(
+        time_f=64,
+        time_m=4,
+        class_width=max(1, 2 * 10 * _MS // 64),
+        static_q=problem.static_q,
+        static_m=problem.static_m,
+        theta_factor=1.0,
+    )
+    return lambda source: DDCRProtocol(config)
+
+
+def _scenario(**overrides):
+    problem = _problem()
+    base = Scenario(
+        problem=problem,
+        medium=ideal_medium(slot_time=512),
+        protocol_factory=_factory(problem),
+    )
+    return base.replace(**overrides) if overrides else base
+
+
+def _digest(result):
+    return (
+        result.delivered,
+        result.dropped,
+        tuple(
+            (record.message.msg_class.name, record.completion)
+            for record in result.completions
+        ),
+    )
+
+
+class TestFromScenario:
+    def test_from_scenario_matches_kwargs_constructor(self):
+        problem = _problem()
+        medium = ideal_medium(slot_time=512)
+        factory = _factory(problem)
+        via_kwargs = NetworkSimulation(problem, medium, factory).run(20 * _MS)
+        via_scenario = NetworkSimulation.from_scenario(
+            Scenario(
+                problem=problem, medium=medium, protocol_factory=factory
+            )
+        ).run(20 * _MS)
+        assert _digest(via_scenario) == _digest(via_kwargs)
+
+    def test_kwargs_constructor_records_its_scenario(self):
+        problem = _problem()
+        simulation = NetworkSimulation(
+            problem, ideal_medium(slot_time=512), _factory(problem)
+        )
+        assert isinstance(simulation.scenario, Scenario)
+        assert simulation.scenario.problem is problem
+
+    def test_replace_overrides_one_field(self):
+        base = _scenario()
+        noisy = base.replace(noise_rate=0.05, root_seed=3)
+        assert noisy.noise_rate == 0.05
+        assert noisy.root_seed == 3
+        # Untouched fields carry over; the original is unmodified.
+        assert noisy.problem is base.problem
+        assert base.noise_rate == 0.0
+
+    def test_replace_rejects_unknown_field(self):
+        with pytest.raises(TypeError):
+            _scenario().replace(noise_rte=0.05)
+
+
+class TestInvariants:
+    def test_scenario_is_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            _scenario().noise_rate = 0.5
+
+    def test_arrivals_copied_at_construction(self):
+        arrivals = {}
+        scenario = _scenario(arrivals=arrivals)
+        arrivals["uniform-0"] = object()
+        assert scenario.arrivals == {}
+
+    def test_bad_engine_rejected_eagerly(self):
+        with pytest.raises(ValueError, match="unknown engine"):
+            _scenario(engine="warp-drive")
+
+    def test_field_names_cover_the_constructor(self):
+        names = _scenario().field_names()
+        assert names[:3] == ("problem", "medium", "protocol_factory")
+        assert len(names) == 13

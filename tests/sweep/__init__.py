@@ -1,0 +1,1 @@
+"""Sweep campaign tests."""

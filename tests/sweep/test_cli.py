@@ -1,0 +1,152 @@
+"""The sweep CLI: listing, running, resuming, exit codes, artifacts."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments.__main__ import main as experiments_main
+from repro.sweep.cli import main as sweep_main
+
+
+@pytest.fixture()
+def campaign_file(tmp_path):
+    doc = {
+        "name": "cli-fig1",
+        "experiment": "FIG1",
+        "zip": {"m": [2, 2], "t": [8, 16]},
+        "batch_size": 1,
+    }
+    path = tmp_path / "campaign.json"
+    path.write_text(json.dumps(doc))
+    return path
+
+
+def run_cli(campaign_file, tmp_path, *extra):
+    return sweep_main(
+        [str(campaign_file), "--cache-dir", str(tmp_path / "cache"), *extra]
+    )
+
+
+class TestListing:
+    def test_bare_invocation_lists_builtins(self, capsys):
+        assert sweep_main([]) == 0
+        out = capsys.readouterr().out
+        assert "fc-frontier" in out
+        assert "proto-seeds" in out
+
+    def test_list_flag(self, capsys):
+        assert sweep_main(["--list"]) == 0
+        assert "registered campaigns" in capsys.readouterr().out
+
+    def test_experiments_module_dispatches_sweep(self, capsys):
+        assert experiments_main(["sweep", "--list"]) == 0
+        assert "fc-frontier" in capsys.readouterr().out
+
+
+class TestRunning:
+    def test_run_from_json_file(self, campaign_file, tmp_path, capsys):
+        assert run_cli(campaign_file, tmp_path) == 0
+        out = capsys.readouterr().out
+        assert "cli-fig1" in out
+        assert "points: 2/2" in out
+
+    def test_json_and_csv_artifacts(self, campaign_file, tmp_path, capsys):
+        agg = tmp_path / "agg.json"
+        csv = tmp_path / "table.csv"
+        code = run_cli(
+            campaign_file, tmp_path, "--json", str(agg), "--csv", str(csv)
+        )
+        assert code == 0
+        doc = json.loads(agg.read_text())
+        assert doc["campaign"] == "cli-fig1"
+        assert len(doc["points"]) == 2
+        assert csv.read_text().count("\n") >= 3  # header + 2 rows
+
+    def test_telemetry_manifests_written(
+        self, campaign_file, tmp_path, capsys
+    ):
+        sink = tmp_path / "telemetry.jsonl"
+        assert run_cli(campaign_file, tmp_path, "--telemetry", str(sink)) == 0
+        lines = sink.read_text().splitlines()
+        assert len(lines) == 2
+
+    def test_batch_size_override(self, campaign_file, tmp_path, capsys):
+        assert run_cli(campaign_file, tmp_path, "--batch-size", "2") == 0
+        assert "1 total" in capsys.readouterr().out
+
+
+class TestResumeFlow:
+    def test_max_shards_exits_incomplete_then_resume_finishes(
+        self, campaign_file, tmp_path, capsys
+    ):
+        assert run_cli(campaign_file, tmp_path, "--max-shards", "1") == 3
+        assert "INCOMPLETE" in capsys.readouterr().out
+        assert run_cli(campaign_file, tmp_path, "--resume") == 0
+        err = capsys.readouterr().err
+        # One shard replayed from the journal, one executed fresh.
+        assert "0 executed" not in err
+
+    def test_resumed_aggregate_matches_uninterrupted(
+        self, campaign_file, tmp_path, capsys
+    ):
+        cold = tmp_path / "cold.json"
+        resumed = tmp_path / "resumed.json"
+        other = tmp_path / "other-cache"
+        assert sweep_main(
+            [
+                str(campaign_file),
+                "--cache-dir",
+                str(other),
+                "--json",
+                str(cold),
+            ]
+        ) == 0
+        assert run_cli(campaign_file, tmp_path, "--max-shards", "1") == 3
+        assert (
+            run_cli(
+                campaign_file, tmp_path, "--resume", "--json", str(resumed)
+            )
+            == 0
+        )
+        assert resumed.read_bytes() == cold.read_bytes()
+
+    def test_stale_journal_exits_2(self, campaign_file, tmp_path, capsys):
+        assert run_cli(campaign_file, tmp_path) == 0
+        edited = json.loads(campaign_file.read_text())
+        edited["zip"] = {"m": [2], "t": [8]}
+        campaign_file.write_text(json.dumps(edited))
+        assert run_cli(campaign_file, tmp_path, "--resume") == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestValidation:
+    def test_unknown_campaign_name(self, capsys):
+        with pytest.raises(SystemExit):
+            sweep_main(["no-such-campaign"])
+        assert "unknown campaign" in capsys.readouterr().err
+
+    def test_unknown_experiment_in_file(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"name": "bad", "experiment": "NOPE"}))
+        with pytest.raises(SystemExit):
+            sweep_main([str(path)])
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_seed_on_seedless_experiment(self, tmp_path, capsys):
+        path = tmp_path / "seedless.json"
+        path.write_text(json.dumps({"name": "s", "experiment": "FIG1"}))
+        with pytest.raises(SystemExit):
+            sweep_main([str(path), "--seed", "3"])
+        assert "takes no seed" in capsys.readouterr().err
+
+    def test_resume_requires_cache(self, campaign_file, capsys):
+        with pytest.raises(SystemExit):
+            sweep_main([str(campaign_file), "--resume", "--no-cache"])
+        assert "--no-cache" in capsys.readouterr().err
+
+    def test_resume_requires_journal(self, campaign_file, tmp_path, capsys):
+        with pytest.raises(SystemExit):
+            run_cli(campaign_file, tmp_path, "--resume", "--no-journal")
+        assert "--no-journal" in capsys.readouterr().err

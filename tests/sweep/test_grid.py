@@ -1,0 +1,119 @@
+"""Grid expansion: ordering, zipped axes, seeds, serialisation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sweep import Grid
+
+
+class TestExpansion:
+    def test_cartesian_order_first_axis_outermost(self):
+        grid = Grid.make(axes={"a": [1, 2], "b": [10, 20]})
+        assert grid.points() == [
+            {"a": 1, "b": 10},
+            {"a": 1, "b": 20},
+            {"a": 2, "b": 10},
+            {"a": 2, "b": 20},
+        ]
+
+    def test_zipped_axes_vary_together(self):
+        grid = Grid.make(zipped={"m": [2, 3], "t": [8, 27]})
+        assert grid.points() == [{"m": 2, "t": 8}, {"m": 3, "t": 27}]
+
+    def test_seeds_are_the_innermost_axis(self):
+        grid = Grid.make(axes={"z": [4, 8]}, seeds=[7, 11])
+        assert grid.points() == [
+            {"z": 4, "seed": 7},
+            {"z": 4, "seed": 11},
+            {"z": 8, "seed": 7},
+            {"z": 8, "seed": 11},
+        ]
+
+    def test_cartesian_times_zip_times_seeds(self):
+        grid = Grid.make(
+            axes={"a": [1, 2]},
+            zipped={"m": [2, 3], "t": [8, 27]},
+            seeds=[5],
+        )
+        assert grid.size == 4
+        assert grid.points() == [
+            {"a": 1, "m": 2, "t": 8, "seed": 5},
+            {"a": 1, "m": 3, "t": 27, "seed": 5},
+            {"a": 2, "m": 2, "t": 8, "seed": 5},
+            {"a": 2, "m": 3, "t": 27, "seed": 5},
+        ]
+
+    def test_empty_grid_is_one_point(self):
+        assert Grid.make().points() == [{}]
+        assert Grid.make().size == 1
+
+    def test_axis_names_in_point_order(self):
+        grid = Grid.make(
+            axes={"a": [1]}, zipped={"b": [2]}, seeds=[3]
+        )
+        assert grid.axis_names() == ("a", "b", "seed")
+
+    def test_expansion_is_deterministic(self):
+        grid = Grid.make(axes={"x": [3, 1, 2]}, seeds=[9, 8])
+        assert grid.points() == grid.points()
+
+    def test_values_are_frozen(self):
+        grid = Grid.make(axes={"shapes": [[[2, 8]], [[2, 16]]]})
+        (point_a, point_b) = grid.points()
+        assert point_a["shapes"] == ((2, 8),)
+        assert point_b["shapes"] == ((2, 16),)
+
+
+class TestValidation:
+    def test_zipped_length_mismatch(self):
+        with pytest.raises(ValueError, match="same length"):
+            Grid.make(zipped={"a": [1, 2], "b": [1]})
+
+    def test_duplicate_axis_across_kinds(self):
+        with pytest.raises(ValueError, match="declared twice"):
+            Grid.make(axes={"a": [1]}, zipped={"a": [2]})
+
+    def test_seed_axis_is_reserved(self):
+        with pytest.raises(ValueError, match="implicit"):
+            Grid.make(axes={"seed": [1, 2]})
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ValueError, match="no values"):
+            Grid.make(axes={"a": []})
+
+    def test_scalar_axis_value_rejected(self):
+        with pytest.raises(TypeError, match="sequence"):
+            Grid.make(axes={"a": 3})
+
+    def test_string_axis_value_rejected(self):
+        # A string is iterable but almost never means per-character axes.
+        with pytest.raises(TypeError, match="sequence"):
+            Grid.make(axes={"a": "abc"})
+
+    def test_non_int_seed_rejected(self):
+        with pytest.raises(TypeError, match="seeds must be ints"):
+            Grid.make(seeds=[1.5])
+
+    def test_unfreezable_value_rejected(self):
+        with pytest.raises(TypeError, match="unsupported"):
+            Grid.make(axes={"a": [object()]})
+
+
+class TestSerialisation:
+    def test_round_trip(self):
+        grid = Grid.make(
+            axes={"z": [4, 8]},
+            zipped={"m": [2, 3], "t": [8, 27]},
+            seeds=[7, 11],
+        )
+        assert Grid.from_dict(grid.to_dict()) == grid
+
+    def test_round_trip_preserves_expansion(self):
+        grid = Grid.make(axes={"shapes": [[[2, 8]]]}, seeds=[1])
+        clone = Grid.from_dict(grid.to_dict())
+        assert clone.points() == grid.points()
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ValueError, match="unknown grid key"):
+            Grid.from_dict({"axes": {}, "bogus": 1})

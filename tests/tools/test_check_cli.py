@@ -103,6 +103,8 @@ class TestCIFastPath:
         assert "0 executed, 19 from cache" in out
         assert "obs-smoke: telemetry round-trip ok" in out
         assert "perf-trend: not enough history" in out
+        assert "sweep-smoke:" in out
+        assert "0 resubmissions" in out
         assert "verdict: OK" in out
         assert history.exists()  # the run was recorded for next time
 
@@ -154,6 +156,43 @@ class TestCIFastPath:
             == 0
         )
         assert "obs-smoke" not in capsys.readouterr().out
+
+    def test_no_sweep_skips_the_smoke(self, warm_cache, capsys):
+        assert (
+            main(
+                [
+                    "--ci",
+                    "--cache-dir", str(warm_cache.directory),
+                    "--no-perf",
+                    "--no-invariants",
+                    "--no-obs",
+                    "--no-sweep",
+                ]
+            )
+            == 0
+        )
+        assert "sweep-smoke" not in capsys.readouterr().out
+
+    def test_no_cache_skips_the_sweep_smoke(self, capsys, monkeypatch):
+        # The sweep smoke resumes against the result cache; without one
+        # it reports the skip instead of failing.  Empty the suite so the
+        # uncached run costs nothing.
+        import repro.experiments.registry as registry
+
+        monkeypatch.setattr(registry, "EXPERIMENTS", {})
+        assert (
+            main(
+                [
+                    "--ci",
+                    "--no-cache",
+                    "--no-perf",
+                    "--no-invariants",
+                    "--no-obs",
+                ]
+            )
+            == 0
+        )
+        assert "sweep-smoke: skipped" in capsys.readouterr().out
 
     def test_obs_smoke_round_trips_on_warm_cache(self, warm_cache, capsys):
         from repro.tools.check import _run_obs_smoke
