@@ -8,7 +8,7 @@ as in half-duplex Gigabit Ethernet), and feeds the identical
 :class:`~repro.protocols.base.SlotObservation` back to every station — the
 common-knowledge substrate all protocols rely on.
 
-The round semantics live in one place — :class:`_RoundDriver` — and two
+The round semantics live in one place — :class:`_RoundDriver` — and three
 engines turn the crank:
 
 * :meth:`BroadcastChannel.run` is the general-DES path: a generator
@@ -20,12 +20,18 @@ engines turn the crank:
   skipping the event heap, the generator suspend/resume and the per-round
   timeout allocation.  The moment any foreign event appears on the queue
   it rejoins the DES mid-run, so it is always safe to select.
+* :meth:`BroadcastChannel.run_batch` is the struct-of-arrays kernel
+  (:mod:`repro.net.batch`): per-station state lives in array columns and
+  one shadow protocol replica digests each slot, so the per-slot cost is
+  near-constant in the station count.  It is structurally limited to
+  plain single-bus CSMA/DDCR runs; anything else auto-falls-back to
+  ``run_fast`` with the reason reported (and recorded in run manifests).
 
-Both engines execute the same driver and draw from the same RNG in the
-same order, so their results are byte-identical (the differential tests
-assert this).  The channel also keeps slot-level accounting (how many
-slots of each kind, payload bits delivered) and emits one trace record per
-round when tracing is enabled.
+All engines draw from the same RNG in the same order, so their results
+are byte-identical (the differential tests assert this, three ways).  The
+channel also keeps slot-level accounting (how many slots of each kind,
+payload bits delivered) and emits one trace record per round when tracing
+is enabled.
 """
 
 from __future__ import annotations
@@ -486,6 +492,31 @@ class BroadcastChannel:
                 return
             now += duration
             env.advance_to(now if now < horizon else horizon)
+
+    def run_batch(self, horizon: int) -> str | None:
+        """Run to ``horizon`` on the batch kernel; returns a fallback note.
+
+        Structural eligibility is decided up front
+        (:func:`repro.net.batch.batch_unavailable_reason`): ineligible runs
+        delegate to :meth:`run_fast` — behavior-identical, just slower —
+        and the reason is returned so callers can surface it (the
+        simulation layer records it in the run manifest as
+        ``engine_fallback``).  Eligible runs return the kernel's backend
+        note: ``None`` on the vectorized backend, or why the pure-Python
+        one was used (numpy missing).  Either way the result is
+        byte-identical to the other engines, and a foreign event appearing
+        mid-run rejoins the general DES exactly as ``run_fast`` does.
+        """
+        self._check_runnable(horizon)
+        from repro.net.batch import BatchKernel, batch_unavailable_reason
+
+        reason = batch_unavailable_reason(self)
+        if reason is not None:
+            self.run_fast(horizon)
+            return f"batch engine unavailable ({reason}): ran fastloop"
+        kernel = BatchKernel(self)
+        kernel.run(horizon)
+        return kernel.backend_note
 
     def _rejoin_des(self, horizon: int, delay: int) -> ProcessGenerator:
         """Resume the round loop on the event heap after ``delay``."""

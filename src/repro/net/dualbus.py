@@ -318,10 +318,20 @@ class DualBusSimulation:
             primary_stations.append(station_a)
             bus_stations[0].append(station_a)
             bus_stations[1].append(station_b)
-        if resolve_engine(self.engine) == "des":
+        engine_name = resolve_engine(self.engine)
+        engine_fallback = None
+        if engine_name == "des":
             env.process(busses[0].run(horizon))
             env.process(busses[1].run(horizon))
             env.run(until=horizon)
+        elif engine_name == "batch":
+            # Two channels on one clock: bus A's process is a foreign
+            # process to bus B's batch kernel, so eligibility fails at
+            # entry and the run delegates through the fast loop to the
+            # DES — the structural fallback the engine contract promises,
+            # with the reason surfaced in the manifest.
+            env.process(busses[0].run(horizon))
+            engine_fallback = busses[1].run_batch(horizon)
         else:
             # Bus A is a registered process, so bus B's fast loop detects
             # a foreign process at entry and falls back to the DES —
@@ -342,7 +352,8 @@ class DualBusSimulation:
                 manifest = RunTelemetry.from_registry(
                     telemetry,
                     run_id="dualbus",
-                    engine=resolve_engine(self.engine),
+                    engine=engine_name,
+                    engine_fallback=engine_fallback,
                 )
         return DualBusResult(
             horizon=horizon,

@@ -1,6 +1,6 @@
-"""Simulation engine selection: the generic DES vs the slot-loop fast path.
+"""Simulation engine selection: DES, the slot-loop fast path, or batch.
 
-Two engines can turn the broadcast channel's crank:
+Three engines can turn the broadcast channel's crank:
 
 * ``des`` — the general discrete-event kernel: the channel runs as a
   generator process on :class:`~repro.sim.engine.Environment`, every round
@@ -13,21 +13,31 @@ Two engines can turn the broadcast channel's crank:
   itself, bypassing the event heap entirely.  It falls back to the DES
   automatically the moment any foreign event is scheduled (dual-bus
   topologies, host extension processes), so selecting it is always safe.
+* ``batch`` — the struct-of-arrays kernel (:mod:`repro.net.batch`):
+  per-station EDF keys and tree positions live in array columns (numpy
+  when the ``[perf]`` extra is installed, a pure-Python twin otherwise)
+  and one shadow protocol replica digests each slot, so per-slot cost is
+  near-constant in the station count.  Structurally limited to plain
+  single-bus CSMA/DDCR runs; anything else (foreign MAC types, bursting,
+  fault injectors, dual-bus, non-destructive media) auto-falls-back to
+  ``fastloop`` with the reason recorded in the run manifest
+  (``engine_fallback``).  Selecting it is therefore always safe too.
 * ``auto`` — pick ``fastloop`` where structurally possible, ``des``
   otherwise.  Since the fast loop already self-detects foreign processes,
   ``auto`` and ``fastloop`` take the same code path today; ``auto`` is the
-  forward-compatible spelling.
+  forward-compatible spelling.  ``batch`` stays opt-in for now: it is the
+  newest tier, and keeping ``auto`` on the fast loop preserves one
+  engine-independent reference path in every default run.
 
-Both engines execute the *identical* round semantics (one shared driver,
-:class:`~repro.net.channel.BroadcastChannel`'s ``_RoundDriver``) and draw
-from the same RNG streams in the same order, so results — channel
-statistics, completion records, trace streams — are byte-identical.  The
-runtime layer therefore excludes the engine from result cache keys.
-This equivalence extends to the fault-injection and invariant layers:
-an armed :class:`~repro.faults.runtime.FaultInjector` and any
-:class:`~repro.sim.invariants.MonitorSuite` are driven from the shared
-round driver, so fault timelines and violation reports are also
-byte-identical across engines (enforced by the differential tests).
+All engines execute the *identical* round semantics and draw from the
+same RNG streams in the same order, so results — channel statistics,
+completion records, trace streams — are byte-identical.  The runtime
+layer therefore excludes the engine from result cache keys.  This
+equivalence extends to the fault-injection and invariant layers: an armed
+:class:`~repro.faults.runtime.FaultInjector` and any
+:class:`~repro.sim.invariants.MonitorSuite` are driven identically, so
+fault timelines and violation reports are also byte-identical across
+engines (enforced by the three-way differential tests).
 
 The process-wide default is ``auto``; override it with the
 ``REPRO_ENGINE`` environment variable, per-simulation via
@@ -43,6 +53,7 @@ from repro.context import ScopedValue
 
 __all__ = [
     "ENGINES",
+    "batch_capability",
     "default_engine",
     "set_default_engine",
     "resolve_engine",
@@ -50,7 +61,7 @@ __all__ = [
 ]
 
 #: Legal engine names.
-ENGINES = ("auto", "des", "fastloop")
+ENGINES = ("auto", "des", "fastloop", "batch")
 
 
 def _validate(name: str) -> str:
@@ -92,3 +103,17 @@ def resolve_engine(name: str | None) -> str:
     if name is None:
         return default_engine()
     return _validate(name)
+
+
+def batch_capability() -> str | None:
+    """Why the batch engine's vectorized backend is unavailable, or None.
+
+    ``None`` means numpy imported fine and batch runs vectorized.  A
+    string means batch still works — on the pure-Python twin backend,
+    byte-identical but slower — and explains why; the simulation layer
+    surfaces the same string in the run manifest's ``engine_fallback``
+    field when a batch run degrades.
+    """
+    from repro.net.batch import numpy_unavailable_reason
+
+    return numpy_unavailable_reason()

@@ -116,10 +116,13 @@ class NetworkSimulation:
     :mod:`repro.net.engine`): ``"des"`` runs it as a process on the
     event-heap kernel, ``"fastloop"``/``"auto"`` as a direct slot loop
     that bypasses the heap and falls back to the DES automatically when
-    foreign processes share the environment.  ``None`` (default) defers
+    foreign processes share the environment, and ``"batch"`` on the
+    struct-of-arrays kernel (:mod:`repro.net.batch`) with automatic
+    fallback to the fast loop on structurally ineligible runs (the
+    reason is recorded in the run manifest).  ``None`` (default) defers
     to the process-wide default (``auto`` unless overridden).  Engines
-    are result-equivalent: the same run under ``des`` and ``fastloop``
-    yields byte-identical statistics, completions and traces.
+    are result-equivalent: the same run under any engine yields
+    byte-identical statistics, completions and traces.
 
     ``faults`` arms a :class:`~repro.faults.models.FaultPlan` on the
     channel; ``None`` (default) picks up the ambient scoped plan
@@ -309,9 +312,15 @@ class NetworkSimulation:
         suite = self._resolve_monitors(stations, faulted=injector is not None)
         if suite is not None:
             channel.monitors = suite
+        engine_fallback = None
         if engine_name == "des":
             env.process(channel.run(horizon))
             env.run(until=horizon)
+        elif engine_name == "batch":
+            # Structurally ineligible runs (foreign MACs, bursting, armed
+            # faults, ...) delegate to the fast loop; either way the note
+            # says what actually executed and lands in the manifest.
+            engine_fallback = channel.run_batch(horizon)
         else:
             # auto / fastloop: the slot loop detects foreign processes on
             # the environment (pre-registered or appearing mid-run) and
@@ -332,6 +341,7 @@ class NetworkSimulation:
                     telemetry,
                     run_id="simulation",
                     engine=engine_name,
+                    engine_fallback=engine_fallback,
                     seed=self.root_seed,
                     faults=plan if plan is not None and not plan.is_empty
                     else None,

@@ -131,6 +131,22 @@ class Station:
     def undelivered_arrivals(self) -> int:
         return len(self._pending_arrivals)
 
+    # -- state accessors (the seam engines read through) ---------------------
+
+    def peek_next_arrival(self) -> int | None:
+        """Time of the earliest undelivered arrival, or None when drained.
+
+        The accessor seam the engines share: the batch kernel caches this
+        per station to know when its struct-of-arrays columns next change,
+        and the round drivers use it to decide whether ``deliver_due`` has
+        work — so DES and batch views of arrival state stay coherent.
+        """
+        return self._pending_arrivals[0][0] if self._pending_arrivals else None
+
+    def queue_head(self) -> MessageInstance | None:
+        """The EDF head of Q (the message LA would service next), or None."""
+        return self.queue.peek()
+
     # -- completion bookkeeping (called by the MAC) -------------------------
 
     def complete(

@@ -79,6 +79,12 @@ class RunTelemetry:
 
     run_id: str
     engine: str | None = None
+    #: Why the requested engine degraded or delegated (e.g. the batch
+    #: kernel ran on the pure-Python backend, or fell back to the fast
+    #: loop on a structurally ineligible run); ``None`` when it ran as
+    #: requested.  Execution provenance, excluded from the content
+    #: projection like ``engine`` itself.
+    engine_fallback: str | None = None
     seed: int | None = None
     git_rev: str = "unknown"
     fault_plan: str | None = None
@@ -96,6 +102,7 @@ class RunTelemetry:
         run_id: str,
         *,
         engine: str | None = None,
+        engine_fallback: str | None = None,
         seed: int | None = None,
         faults: "FaultPlan | str | None" = None,
         source: str = "direct",
@@ -115,6 +122,7 @@ class RunTelemetry:
         return cls(
             run_id=run_id,
             engine=engine,
+            engine_fallback=engine_fallback,
             seed=seed,
             git_rev=git_rev(),
             fault_plan=fault_plan_hash(faults),

@@ -236,13 +236,18 @@ BENCHES: dict[
     "closed_form_grid": (None, _bench_closed_form_grid),
     "simulate_search": (None, _bench_simulate_search),
     "latency_bound": (None, _bench_latency_bound),
+    # The scaling story in one grid: per-station Python call overhead
+    # makes des/fastloop degrade linearly in z (fastloop loses its edge
+    # by z=16 already), while the batch kernel's struct-of-arrays slot
+    # stays near-constant — the 64/256 sizes exist to keep that claim
+    # measured, not asserted.
     **{
         f"channel_slot_rate_{stations}_{engine}": (
             engine,
             _make_slot_rate_bench(stations, engine),
         )
-        for stations in (4, 16)
-        for engine in ("des", "fastloop")
+        for stations in (4, 16, 64, 256)
+        for engine in ("des", "fastloop", "batch")
     },
     "invariant_overhead": ("fastloop", _bench_invariant_overhead),
     "telemetry_overhead": ("fastloop", _bench_telemetry_overhead),

@@ -21,7 +21,9 @@ resolves the full experiment suite through the parallel runtime — cached
 results replay from ``.repro-cache`` so a no-change run is near-instant —
 then runs an invariants-smoke step (one faulted scenario per protocol
 with online invariant monitors, :mod:`repro.sim.invariants`; any
-violation fails CI; ``--no-invariants`` skips it), an obs-smoke step
+violation fails CI; ``--no-invariants`` skips it — each scenario is also
+re-run on the ``batch`` engine and its results must match the default
+engine's exactly; ``--no-batch`` skips the batch re-runs), an obs-smoke step
 (one run with telemetry collection on, then a ``repro.tools.obs``
 ``summarize`` + ``diff`` round-trip over the manifest; ``--no-obs``
 skips it), a sweep-smoke step (a 4-point campaign cold-run then resumed
@@ -112,6 +114,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip the --ci obs-smoke (telemetry round-trip) step",
     )
     parser.add_argument(
+        "--no-batch",
+        action="store_true",
+        help=(
+            "skip the --ci batch-engine coverage (invariants-smoke "
+            "re-runs and the *_batch perf benches)"
+        ),
+    )
+    parser.add_argument(
         "--no-perf-trend",
         action="store_true",
         help="run the perf smoke but skip the history trend gate",
@@ -182,7 +192,7 @@ def _import_all_modules() -> list[str]:
 _SMOKE_HORIZON = 250_000
 
 
-def _run_invariants_smoke() -> list[str]:
+def _run_invariants_smoke(batch: bool = True) -> list[str]:
     """One faulted scenario per protocol with online invariant monitors.
 
     Every scenario stays inside the feasibility bounds (crashes heal well
@@ -190,6 +200,12 @@ def _run_invariants_smoke() -> list[str]:
     sense), so the monitors must stay silent: any violation is a genuine
     protocol/fault-interaction regression and fails CI.  Returns failure
     lines (empty = all invariants held).
+
+    With ``batch`` (the default) every scenario is re-run on the batch
+    engine and its statistics, completions and invariant report must match
+    the default engine's exactly — the faulted scenarios exercise the
+    structural fallback path, the clean monitored DDCR scenario the kernel
+    itself.
     """
     from repro.experiments.harness import (
         csma_cd_factory,
@@ -236,7 +252,7 @@ def _run_invariants_smoke() -> list[str]:
             "csma-cd+burst-noise",
             csma_cd_factory(),
             FaultPlan((burst_noise,)),
-            MonitorSuite([MutualExclusionMonitor()]),
+            lambda: MonitorSuite([MutualExclusionMonitor()]),
         ),
         (
             "dcr+clock-drift",
@@ -248,20 +264,54 @@ def _run_invariants_smoke() -> list[str]:
             "tdma+crash",
             tdma_factory(problem),
             FaultPlan((crash,)),
-            MonitorSuite([MutualExclusionMonitor(), DeadlineMonitor()]),
+            lambda: MonitorSuite(
+                [MutualExclusionMonitor(), DeadlineMonitor()]
+            ),
+        ),
+        # Fault-free but monitored: the one scenario the batch kernel
+        # actually executes (armed injectors structurally fall back), so
+        # the batch re-run below covers the kernel, not just the fallback.
+        (
+            "ddcr-clean+monitors",
+            ddcr_factory(config),
+            None,
+            True,
         ),
     ]
-    failures: list[str] = []
-    for name, factory, plan, monitors in scenarios:
+
+    def execute(factory, plan, monitors, engine=None):
         simulation = NetworkSimulation(
             problem,
             medium,
             protocol_factory=factory,
+            # Monitor suites are stateful, so scenarios supply them as
+            # factories — each engine run gets its own fresh suite.
             faults=plan,
-            monitors=monitors,
+            monitors=monitors() if callable(monitors) else monitors,
+            engine=engine,
         )
-        report = simulation.run(_SMOKE_HORIZON).invariants
-        assert report is not None  # faulted runs always auto-arm monitors
+        return simulation.run(_SMOKE_HORIZON)
+
+    def digest(result) -> bytes:
+        import pickle
+
+        return pickle.dumps(
+            (
+                result.stats,
+                [
+                    (r.message.seq, r.completion, r.started, r.dropped)
+                    for r in result.completions
+                ],
+                result.invariants.summary(),
+            )
+        )
+
+    failures: list[str] = []
+    batch_matches = 0
+    for name, factory, plan, monitors in scenarios:
+        result = execute(factory, plan, monitors)
+        report = result.invariants
+        assert report is not None  # every scenario arms monitors
         if report.ok:
             print(f"invariants-smoke: {name}: {report.summary()}")
         else:
@@ -270,6 +320,23 @@ def _run_invariants_smoke() -> list[str]:
                 f"invariants-smoke: {name}: FAILED\n{report.summary()}",
                 file=sys.stderr,
             )
+        if batch:
+            batch_result = execute(factory, plan, monitors, engine="batch")
+            if digest(batch_result) != digest(result):
+                failures.append(
+                    f"{name}: batch engine diverged from the default engine"
+                )
+                print(
+                    f"invariants-smoke: {name}: batch engine DIVERGED",
+                    file=sys.stderr,
+                )
+            else:
+                batch_matches += 1
+    if batch and batch_matches == len(scenarios):
+        print(
+            f"invariants-smoke: batch engine matched the default engine "
+            f"on {batch_matches}/{len(scenarios)} scenario(s)"
+        )
     return failures
 
 
@@ -369,12 +436,16 @@ def _run_sweep_smoke(cache_dir: str, jobs: int) -> list[str]:
     return failures
 
 
-def _run_perf_smoke() -> "list | None":
+def _run_perf_smoke(batch: bool = True) -> "list | None":
     """One quick micro-benchmark pass; returns results (None = skipped)."""
-    from repro.tools.bench import run_benches
+    from repro.tools.bench import BENCHES, run_benches
 
+    names = (
+        None if batch
+        else [name for name in BENCHES if not name.endswith("_batch")]
+    )
     try:
-        results = run_benches(smoke=True)
+        results = run_benches(names=names, smoke=True)
     except Exception as error:  # noqa: BLE001 - perf is advisory
         print(f"perf-smoke: skipped ({error})", file=sys.stderr)
         return None
@@ -447,6 +518,7 @@ def run_ci(
     invariants: bool = True,
     obs: bool = True,
     sweep: bool = True,
+    batch: bool = True,
     perf_trend: bool = True,
     history: "str | None" = None,
     trend_window: int = 5,
@@ -513,7 +585,7 @@ def run_ci(
         print(f"suite: wrote {written} telemetry manifest(s) to {telemetry}")
     violation_failures: list[str] = []
     if invariants:
-        violation_failures = _run_invariants_smoke()
+        violation_failures = _run_invariants_smoke(batch=batch)
     obs_failures: list[str] = []
     if obs:
         obs_failures = _run_obs_smoke(cache_dir)
@@ -524,7 +596,7 @@ def run_ci(
         sweep_failures = _run_sweep_smoke(cache_dir, jobs)
     trend_failures: list[str] = []
     if perf:
-        results = _run_perf_smoke()
+        results = _run_perf_smoke(batch=batch)
         if results is not None and perf_trend:
             from repro.tools.bench import default_history_path
 
@@ -572,6 +644,7 @@ def main(argv: list[str] | None = None) -> int:
                 invariants=not args.no_invariants,
                 obs=not args.no_obs,
                 sweep=not args.no_sweep,
+                batch=not args.no_batch,
                 perf_trend=not args.no_perf_trend,
                 history=args.history,
                 trend_window=args.trend_window,

@@ -1,10 +1,12 @@
-"""Differential tests: the DES and fastloop engines are byte-identical.
+"""Differential tests: all three engines are byte-identical.
 
-The slot-loop fast path (:meth:`BroadcastChannel.run_fast`) must be
-indistinguishable from the general DES by results: same
+The slot-loop fast path (:meth:`BroadcastChannel.run_fast`) and the
+struct-of-arrays batch kernel (:meth:`BroadcastChannel.run_batch`) must
+be indistinguishable from the general DES by results: same
 :class:`ChannelStats`, same completion records, same trace stream, same
 final clock — across protocols, noise, jamming, bursting, and the
-automatic fallback paths (foreign processes at entry and mid-run).
+automatic fallback paths (foreign processes at entry and mid-run,
+structural batch ineligibility).
 """
 
 from __future__ import annotations
@@ -39,7 +41,7 @@ from repro.protocols.tdma import TDMAProtocol
 from repro.sim.engine import Environment
 from repro.sim.trace import TraceLog
 
-ENGINES = ("des", "fastloop")
+ENGINES = ("des", "fastloop", "batch")
 _HORIZON = 250_000
 
 
@@ -104,7 +106,7 @@ def _run_network(
 def test_engines_identical_across_protocols(protocol, noise):
     """Stats, completions and traces match byte-for-byte, noise or not."""
     runs = [_run_network(engine, protocol, noise=noise) for engine in ENGINES]
-    assert runs[0] == runs[1]
+    assert len(set(runs)) == 1
 
 
 def test_engines_identical_with_bursting():
@@ -113,7 +115,7 @@ def test_engines_identical_with_bursting():
         _run_network(engine, "ddcr", noise=0.01, burst_limit=3_000)
         for engine in ENGINES
     ]
-    assert runs[0] == runs[1]
+    assert len(set(runs)) == 1
 
 
 def _run_manual_channel(engine, jam_from=None, noise=0.0):
@@ -150,6 +152,8 @@ def _run_manual_channel(engine, jam_from=None, noise=0.0):
     if engine == "des":
         env.process(channel.run(_HORIZON))
         env.run(until=_HORIZON)
+    elif engine == "batch":
+        channel.run_batch(_HORIZON)
     else:
         channel.run_fast(_HORIZON)
     assert env.now == _HORIZON
@@ -166,7 +170,7 @@ def test_engines_identical_under_mid_run_jamming(noise):
         _run_manual_channel(engine, jam_from=_HORIZON // 2, noise=noise)
         for engine in ENGINES
     ]
-    assert runs[0] == runs[1]
+    assert len(set(runs)) == 1
 
 
 class _ForeignRegistrar(MACProtocol):
@@ -248,6 +252,10 @@ def _run_with_foreign_process(engine):
     if engine == "des":
         env.process(channel.run(_HORIZON))
         env.run(until=_HORIZON)
+    elif engine == "batch":
+        # Station 0's MAC is a wrapper type, so batch structurally falls
+        # back (through the fast loop, into the mid-run DES rejoin).
+        channel.run_batch(_HORIZON)
     else:
         channel.run_fast(_HORIZON)
     assert env.now == _HORIZON
@@ -261,9 +269,10 @@ def test_fast_loop_rejoins_des_mid_run():
     """A foreign process appearing mid-run is interleaved identically."""
     des_ticks, des_run = _run_with_foreign_process("des")
     fast_ticks, fast_run = _run_with_foreign_process("fastloop")
+    batch_ticks, batch_run = _run_with_foreign_process("batch")
     assert len(des_ticks) == len(fast_ticks) == 5  # ticker actually ran
-    assert des_ticks == fast_ticks
-    assert des_run == fast_run
+    assert des_ticks == fast_ticks == batch_ticks
+    assert des_run == fast_run == batch_run
 
 
 def _run_dualbus(engine):
@@ -292,9 +301,9 @@ def _run_dualbus(engine):
 
 
 def test_dualbus_engine_fallback_is_identical():
-    """Two channels on one clock: fastloop must fall back to the DES and
-    still produce byte-identical results (including the failover)."""
-    assert _run_dualbus("des") == _run_dualbus("fastloop")
+    """Two channels on one clock: fastloop and batch must fall back to
+    the DES and still produce byte-identical results (failover included)."""
+    assert _run_dualbus("des") == _run_dualbus("fastloop") == _run_dualbus("batch")
 
 
 def test_seed_randomized_engine_equivalence():
@@ -313,7 +322,7 @@ def test_seed_randomized_engine_equivalence():
             )
             for engine in ENGINES
         ]
-        assert runs[0] == runs[1], (protocol, z, noise, burst, seed)
+        assert len(set(runs)) == 1, (protocol, z, noise, burst, seed)
 
 
 def test_same_engine_repetition_is_deterministic():
@@ -373,7 +382,7 @@ def test_seed_randomized_faulted_equivalence():
             _run_network(engine, protocol, seed=seed, faults=plan)
             for engine in ENGINES
         ]
-        assert runs[0] == runs[1], (plan, protocol, seed)
+        assert len(set(runs)) == 1, (plan, protocol, seed)
 
 
 def _run_telemetry(engine, protocol="ddcr", noise=0.0, seed=0, faults=None):
@@ -406,24 +415,38 @@ def test_telemetry_identical_across_engines(protocol):
     (Wall-clock span durations and the engine label are excluded by
     :meth:`RunTelemetry.content_json`; they describe how the run was
     driven, not what it computed.)"""
-    des, fast = (
+    des, fast, batch = (
         _run_telemetry(engine, protocol, noise=0.01) for engine in ENGINES
     )
-    assert des.content_json() == fast.content_json()
+    assert des.content_json() == fast.content_json() == batch.content_json()
     assert des.engine == "des" and fast.engine == "fastloop"
+    assert batch.engine == "batch"
+    if protocol == "ddcr":
+        # Eligible run: the kernel itself executed (the note is only
+        # non-None when numpy is missing and the pure-Python twin ran).
+        from repro.net.engine import batch_capability
+
+        assert batch.engine_fallback == batch_capability()
+    else:
+        # Foreign MAC types: structural fallback, reason recorded.
+        assert "batch engine unavailable" in batch.engine_fallback
 
 
 def test_telemetry_identical_across_engines_under_faults():
     """Fault-gate fire counters and faulted slot outcomes agree too."""
     plan = _FAULT_POOL[4]  # burst noise + crash/restart
-    des, fast = (
+    des, fast, batch = (
         _run_telemetry(engine, "ddcr", seed=7, faults=plan)
         for engine in ENGINES
     )
-    assert des.content_json() == fast.content_json()
+    assert des.content_json() == fast.content_json() == batch.content_json()
     assert des.counters["faults/crash"] == 1
     assert des.counters["faults/restart"] == 1
     assert des.fault_plan is not None
+    # An armed injector is structurally ineligible for the batch kernel:
+    # the run fell back and the manifest says why.
+    assert "fault injector armed" in batch.engine_fallback
+    assert des.engine_fallback is None and fast.engine_fallback is None
 
 
 def test_dualbus_telemetry_identical_across_engines():
@@ -448,11 +471,14 @@ def test_dualbus_telemetry_identical_across_engines():
         assert manifest is not None
         return manifest
 
-    des, fast = (run(engine) for engine in ENGINES)
-    assert des.content_json() == fast.content_json()
+    des, fast, batch = (run(engine) for engine in ENGINES)
+    assert des.content_json() == fast.content_json() == batch.content_json()
     assert des.counters["bus0/slots/success"] > 0
     assert des.counters["bus1/slots/success"] > 0
     assert des.gauges["failovers"] >= 1
+    # Dual-bus shares one clock between two channels, so batch falls
+    # back at entry (bus A's process is pending) and the manifest says so.
+    assert "batch engine unavailable" in batch.engine_fallback
 
 
 def test_engine_resolution_and_scoping():
