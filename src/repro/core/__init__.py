@@ -10,7 +10,11 @@ Public surface:
 * Problem P2 — multiple consecutive trees: :func:`multi_tree_bound`
   (Eq. 19) and the exhaustive :func:`multi_tree_exact_optimum` (Eq. 16).
 * Feasibility conditions — :func:`check_feasibility` and
-  :func:`latency_bound` (``B_DDCR``, section 4.3).
+  :func:`latency_bound` (``B_DDCR``, section 4.3), plus the fast path:
+  vectorized :func:`check_feasibility_batch` / :func:`feasibility_grid`,
+  the incremental :class:`FeasibilityEngine`, and the persistent xi-table
+  store in :mod:`repro.core.xi_store` — all value-identical to the scalar
+  oracle.
 """
 
 from repro.core.asymptotic import (
@@ -34,6 +38,14 @@ from repro.core.divide_conquer import (
     xi_full,
     xi_knee,
     xi_two,
+)
+from repro.core import xi_store
+from repro.core.feas_engine import FeasibilityEngine
+from repro.core.feas_grid import (
+    BatchEvaluator,
+    FeasibilityGrid,
+    check_feasibility_batch,
+    feasibility_grid,
 )
 from repro.core.feasibility import (
     ClassFeasibility,
@@ -145,4 +157,11 @@ __all__ = [
     "max_feasible_scale",
     "queue_rank_bound",
     "static_tree_count",
+    # feasibility fast path
+    "BatchEvaluator",
+    "FeasibilityEngine",
+    "FeasibilityGrid",
+    "check_feasibility_batch",
+    "feasibility_grid",
+    "xi_store",
 ]

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import functools
 
+from repro.core import xi_store
 from repro.core.trees import (
     BalancedTree,
     floor_log,
@@ -45,10 +46,33 @@ __all__ = [
 ]
 
 
-@functools.lru_cache(maxsize=None)
+#: In-memory cache bound (see :mod:`repro.core.search_cost`'s note on the
+#: memory/speed trade-off): entries are O(t) ints, long sweep campaigns
+#: used to grow the unbounded cache in every worker, and an evicted shape
+#: restores cheaply — the recursion is O(t log t), and large shapes
+#: reload from the persistent store.
+_LRU_TABLES = 64
+
+#: Persist tables of at least this many leaves.  The Eq. 2-4 recursion is
+#: much cheaper than the DP, so only genuinely large scheduling horizons
+#: are worth a disk round-trip.
+_PERSIST_MIN_LEAVES = 4096
+
+
+@functools.lru_cache(maxsize=_LRU_TABLES)
 def _dc_tuple(m: int, n: int) -> tuple[int, ...]:
-    """Eq. 2-4 evaluated for all k in [0, t], t = m**n."""
+    """Eq. 2-4 evaluated for all k in [0, t], t = m**n.
+
+    Cache tiers as in :func:`repro.core.search_cost._cost_tuple`: the
+    per-process LRU, then the persistent store for large shapes, then
+    the recursion.
+    """
     t = m**n
+    persist = t >= _PERSIST_MIN_LEAVES
+    if persist:
+        cached = xi_store.load("dc", m, n, empty_cost=1)
+        if cached is not None:
+            return cached
     costs = [0] * (t + 1)
     costs[0] = 1
     if n == 1:
@@ -67,7 +91,10 @@ def _dc_tuple(m: int, n: int) -> tuple[int, ...]:
     # Eq. 3: odd values.
     for p in range((t + 1) // 2):
         costs[2 * p + 1] = costs[2 * p] - 1
-    return tuple(costs)
+    result = tuple(costs)
+    if persist:
+        xi_store.store("dc", m, n, empty_cost=1, costs=result)
+    return result
 
 
 def divide_conquer_table(m: int, t: int) -> tuple[int, ...]:

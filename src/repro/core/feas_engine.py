@@ -1,0 +1,398 @@
+"""Incremental feasibility evaluation under class add/remove/rescale.
+
+An admission-control loop (ROADMAP item 5) and a frontier bisection both
+ask the same question over and over: *is this instance still feasible
+after a small change?*  Rebuilding a scalar
+:class:`~repro.core.feasibility.FeasibilityReport` costs O(C^2) per
+probe; this module maintains the FC integer state and applies deltas.
+
+The interference sum decomposes per contributor::
+
+    u(M_i) = sum_j f(i, j),   f(i, j) = ceil((d_i + d_j - l'_i) / w_j) * a_j
+                                        (0 when the window span is <= 0)
+
+so adding, removing or rescaling one class k only changes the k-th
+contributor column: every existing ``u_i`` (and the matching transmission
+sum, weighted by ``l'_j``) moves by ``f(i, k)`` — an O(C) update — and
+only the mutated class needs a fresh O(C) row.  Ranks ``r(M)`` involve a
+single source's classes, so a mutation touches one source block.  A
+global density rescale invalidates every window and falls back to the
+vectorized bulk recompute from :mod:`repro.core.feas_grid`.
+
+Reports are exactly equal to the scalar path's: the engine keeps only
+exact integers and hands them to the shared
+:meth:`~repro.core.feas_grid.BatchEvaluator.assemble_rows` float combine.
+"""
+
+from __future__ import annotations
+
+import math
+import typing
+
+from repro.core.feas_grid import BatchEvaluator
+from repro.core.feasibility import FeasibilityReport, TreeParameters
+from repro.model.message import MessageClass
+from repro.model.problem import HRTDMProblem
+
+if typing.TYPE_CHECKING:  # pragma: no cover - layering: core must not pull net
+    from repro.net.phy import MediumProfile
+
+__all__ = ["FeasibilityEngine"]
+
+
+class _ClassState:
+    """One message class's exact integer FC state."""
+
+    __slots__ = ("name", "length", "deadline", "lp", "a", "w", "w0",
+                 "rank", "u", "tx")
+
+    def __init__(self, name, length, deadline, lp, a, w):
+        self.name = name
+        self.length = length
+        self.deadline = deadline
+        self.lp = lp
+        self.a = a
+        self.w = w
+        #: scale-1.0 base window; ``rescale_density`` derives ``w`` from it
+        #: and explicit per-class rescales rebase it.
+        self.w0 = w
+        self.rank = 0
+        self.u = 0
+        self.tx = 0
+
+
+class _SourceState:
+    __slots__ = ("source_id", "nu", "classes")
+
+    def __init__(self, source_id: int, nu: int):
+        self.source_id = source_id
+        self.nu = nu
+        self.classes: list[_ClassState] = []
+
+    def find(self, name: str) -> _ClassState | None:
+        for cls in self.classes:
+            if cls.name == name:
+                return cls
+        return None
+
+
+def _interference_term(target: _ClassState, contrib: _ClassState) -> int:
+    """``f(i, j)``: contributor j's share of ``u(M_i)``."""
+    span = target.deadline + contrib.deadline - target.lp
+    if span <= 0:
+        return 0
+    return -(-span // contrib.w) * contrib.a
+
+
+def _rank_term(deadline: int, contrib: _ClassState) -> int:
+    """Contributor j's share of ``r(M_i)`` (same-source classes only)."""
+    return -(-deadline // contrib.w) * contrib.a
+
+
+class FeasibilityEngine:
+    """FC state machine over a mutable set of message classes.
+
+    Mutations (:meth:`add_class`, :meth:`remove_class`,
+    :meth:`rescale_class`) cost O(C) exact-integer work instead of the
+    O(C^2) of a fresh scalar report; :meth:`rescale_density` revalidates
+    everything through the vectorized backend.  :meth:`report` is lazy
+    and cached between mutations, and always equals scalar
+    ``check_feasibility`` on the equivalent instance.
+
+    Ordering contract (it shapes the report's row order): sources keep
+    first-seen order and classes keep insertion order within a source; a
+    source whose last class is removed is dropped, and re-adding to that
+    ``source_id`` later appends it as a new, last source.
+    """
+
+    def __init__(
+        self,
+        medium: "MediumProfile",
+        trees: TreeParameters,
+        backend=None,
+        evaluator: BatchEvaluator | None = None,
+    ) -> None:
+        # Sharing one evaluator across engines shares its encapsulation
+        # and S1 memos (it must be bound to the same medium/trees).
+        self.evaluator = (
+            evaluator
+            if evaluator is not None
+            else BatchEvaluator(medium, trees, backend=backend)
+        )
+        self._sources: list[_SourceState] = []
+        self._report: FeasibilityReport | None = None
+        self._scale = 1.0
+
+    @classmethod
+    def from_problem(
+        cls,
+        problem: HRTDMProblem,
+        medium: "MediumProfile",
+        trees: TreeParameters,
+        backend=None,
+        evaluator: BatchEvaluator | None = None,
+    ) -> "FeasibilityEngine":
+        """Bulk-build the engine state from an instance (vectorized)."""
+        engine = cls(medium, trees, backend=backend, evaluator=evaluator)
+        for source in problem.sources:
+            state = _SourceState(source.source_id, source.nu)
+            for msg in source.message_classes:
+                state.classes.append(
+                    _ClassState(
+                        msg.name,
+                        msg.length,
+                        msg.deadline,
+                        engine.evaluator.encapsulate(msg.length),
+                        msg.bound.a,
+                        msg.bound.w,
+                    )
+                )
+            engine._sources.append(state)
+        engine._recompute_all()
+        return engine
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def class_count(self) -> int:
+        return sum(len(s.classes) for s in self._sources)
+
+    @property
+    def scale(self) -> float:
+        """The density scale last applied by :meth:`rescale_density`."""
+        return self._scale
+
+    @property
+    def feasible(self) -> bool:
+        return self.report().feasible
+
+    def report(self) -> FeasibilityReport:
+        """The FC report for the current class set (cached until mutated)."""
+        if self._report is None:
+            meta = []
+            ranks = []
+            u = []
+            tx = []
+            for source in self._sources:
+                for cls in source.classes:
+                    meta.append(
+                        (source.source_id, source.nu, cls.name, cls.deadline)
+                    )
+                    ranks.append(cls.rank)
+                    u.append(cls.u)
+                    tx.append(cls.tx)
+            self._report = self.evaluator.assemble_rows(meta, ranks, u, tx)
+        return self._report
+
+    # -- mutations -----------------------------------------------------------
+
+    def add_class(
+        self, source_id: int, message_class: MessageClass, nu: int | None = None
+    ) -> None:
+        """Admit a class; ``nu`` is required when ``source_id`` is new."""
+        source = self._find_source(source_id)
+        if source is None:
+            if nu is None:
+                raise ValueError(
+                    f"source {source_id} is new: its nu (static-leaf count) "
+                    "is required"
+                )
+            source = _SourceState(source_id, nu)
+            self._sources.append(source)
+        elif nu is not None and nu != source.nu:
+            raise ValueError(
+                f"source {source_id} already has nu={source.nu}, got {nu}"
+            )
+        if source.find(message_class.name) is not None:
+            raise ValueError(
+                f"source {source_id} already has a class named "
+                f"{message_class.name!r}"
+            )
+        added = _ClassState(
+            message_class.name,
+            message_class.length,
+            message_class.deadline,
+            self.evaluator.encapsulate(message_class.length),
+            message_class.bound.a,
+            message_class.bound.w,
+        )
+        # Contributor column: every existing class gains f(i, k).
+        for state in self._iter_classes():
+            term = _interference_term(state, added)
+            state.u += term
+            state.tx += term * added.lp
+        source.classes.append(added)
+        # Fresh row for the newcomer (includes its own contribution).
+        for contrib in self._iter_classes():
+            term = _interference_term(added, contrib)
+            added.u += term
+            added.tx += term * contrib.lp
+        # Ranks move only within the newcomer's source.
+        for state in source.classes[:-1]:
+            state.rank += _rank_term(state.deadline, added)
+        added.rank = (
+            sum(_rank_term(added.deadline, c) for c in source.classes) - 1
+        )
+        self._report = None
+
+    def remove_class(self, source_id: int, class_name: str) -> MessageClass:
+        """Retire a class; drops the source once its last class goes."""
+        source, removed = self._require_class(source_id, class_name)
+        source.classes.remove(removed)
+        for state in self._iter_classes():
+            term = _interference_term(state, removed)
+            state.u -= term
+            state.tx -= term * removed.lp
+        for state in source.classes:
+            state.rank -= _rank_term(state.deadline, removed)
+        if not source.classes:
+            self._sources.remove(source)
+        self._report = None
+        return _to_message_class(removed)
+
+    def rescale_class(
+        self,
+        source_id: int,
+        class_name: str,
+        a: int | None = None,
+        w: int | None = None,
+    ) -> None:
+        """Change one class's arrival bound ``(a, w)`` in place.
+
+        The new window becomes the class's scale-1.0 base for future
+        :meth:`rescale_density` calls.
+        """
+        source, target = self._require_class(source_id, class_name)
+        new_a = target.a if a is None else a
+        new_w = target.w if w is None else w
+        if new_a < 1 or new_w < 1:
+            raise ValueError(f"need a >= 1 and w >= 1, got a={new_a} w={new_w}")
+        if (new_a, new_w) == (target.a, target.w):
+            target.w0 = new_w
+            return
+        old_a, old_w = target.a, target.w
+        # The k-th contributor column shifts by f_new - f_old; the target's
+        # own deadlines/l' are untouched, so its row needs no other update.
+        for state in self._iter_classes():
+            span = state.deadline + target.deadline - state.lp
+            if span <= 0:
+                continue
+            delta = (
+                -(-span // new_w) * new_a - -(-span // old_w) * old_a
+            )
+            state.u += delta
+            state.tx += delta * target.lp
+        for state in source.classes:
+            state.rank += (
+                -(-state.deadline // new_w) * new_a
+                - -(-state.deadline // old_w) * old_a
+            )
+        target.a = new_a
+        target.w = new_w
+        target.w0 = new_w
+        self._report = None
+
+    def rescale_density(self, scale: float) -> None:
+        """Scale every class's arrival density, exactly like the workloads.
+
+        Applies ``w = max(1, ceil(w0 / scale))`` per class — the same
+        expression as :func:`repro.model.workloads._scaled_bound` — so an
+        engine built from a scale-1.0 workload instance matches the
+        workload factory at any scale.  Every window changes, so this
+        revalidates through the vectorized backend instead of deltas.
+        """
+        if scale <= 0:
+            raise ValueError(f"scale must be > 0, got {scale}")
+        for state in self._iter_classes():
+            state.w = max(1, math.ceil(state.w0 / scale))
+        self._scale = scale
+        self._recompute_all()
+
+    def max_feasible_density(
+        self, lo: float = 0.01, hi: float = 1.0, tolerance: float = 1e-3
+    ) -> float:
+        """Largest scale in ``[lo, hi]`` keeping the class set feasible.
+
+        Binary search assuming density monotonicity, probing through
+        :meth:`rescale_density`; 0.0 when even ``lo`` is infeasible.  The
+        engine is left rescaled to ``max(result, lo)`` so :meth:`report`
+        describes the returned operating point.
+        """
+        self.rescale_density(hi)
+        if self.feasible:
+            return hi
+        self.rescale_density(lo)
+        if not self.feasible:
+            return 0.0
+        feasible, infeasible = lo, hi
+        while infeasible - feasible > tolerance:
+            mid = (feasible + infeasible) / 2
+            self.rescale_density(mid)
+            if self.feasible:
+                feasible = mid
+            else:
+                infeasible = mid
+        if self._scale != feasible:
+            self.rescale_density(feasible)
+        return feasible
+
+    # -- internals -----------------------------------------------------------
+
+    def _iter_classes(self):
+        for source in self._sources:
+            yield from source.classes
+
+    def _find_source(self, source_id: int) -> _SourceState | None:
+        for source in self._sources:
+            if source.source_id == source_id:
+                return source
+        return None
+
+    def _require_class(
+        self, source_id: int, class_name: str
+    ) -> tuple[_SourceState, _ClassState]:
+        source = self._find_source(source_id)
+        if source is None:
+            raise KeyError(f"no source {source_id}")
+        state = source.find(class_name)
+        if state is None:
+            raise KeyError(f"source {source_id} has no class {class_name!r}")
+        return source, state
+
+    def _recompute_all(self) -> None:
+        """Vectorized bulk refresh of every rank/u/tx column."""
+        d: list[int] = []
+        lp: list[int] = []
+        a: list[int] = []
+        w: list[int] = []
+        blocks: list[tuple[int, int]] = []
+        states: list[_ClassState] = []
+        for source in self._sources:
+            lo = len(d)
+            for cls in source.classes:
+                d.append(cls.deadline)
+                lp.append(cls.lp)
+                a.append(cls.a)
+                w.append(cls.w)
+                states.append(cls)
+            blocks.append((lo, len(d)))
+        if states:
+            ops = self.evaluator.ops
+            ranks = ops.ranks(d, a, w, blocks)
+            u, tx = ops.interference(d, lp, a, w)
+            for state, rank, ui, txi in zip(states, ranks, u, tx):
+                state.rank = rank
+                state.u = ui
+                state.tx = txi
+        self._report = None
+
+
+def _to_message_class(state: _ClassState) -> MessageClass:
+    from repro.model.message import DensityBound
+
+    return MessageClass(
+        name=state.name,
+        length=state.length,
+        deadline=state.deadline,
+        bound=DensityBound(a=state.a, w=state.w),
+    )

@@ -232,6 +232,7 @@ def max_feasible_scale(
     lo: float = 0.01,
     hi: float = 1.0,
     tolerance: float = 1e-3,
+    evaluator=None,
 ) -> float:
     """Largest load scale s in [lo, hi] such that factory(s) is feasible.
 
@@ -239,15 +240,25 @@ def max_feasible_scale(
     arrival densities grow with ``scale``.  Binary search assuming
     monotonicity (denser arrivals can only hurt); returns 0.0 when even
     ``lo`` is infeasible.  Used by the FC frontier bench.
+
+    ``hi`` is probed first so an everywhere-feasible factory costs one
+    evaluation.  Every probe goes through one shared
+    :class:`~repro.core.feas_grid.BatchEvaluator` — pass ``evaluator``
+    (already bound to the same ``medium``/``trees``) to share its
+    search-cost memos across calls, e.g. across a frontier's deadlines.
     """
-    if not check_feasibility(problem_factory(lo), medium, trees).feasible:
-        return 0.0
-    if check_feasibility(problem_factory(hi), medium, trees).feasible:
+    if evaluator is None:
+        from repro.core.feas_grid import BatchEvaluator
+
+        evaluator = BatchEvaluator(medium, trees)
+    if evaluator(problem_factory(hi)).feasible:
         return hi
+    if not evaluator(problem_factory(lo)).feasible:
+        return 0.0
     feasible, infeasible = lo, hi
     while infeasible - feasible > tolerance:
         mid = (feasible + infeasible) / 2
-        if check_feasibility(problem_factory(mid), medium, trees).feasible:
+        if evaluator(problem_factory(mid)).feasible:
             feasible = mid
         else:
             infeasible = mid

@@ -29,6 +29,7 @@ import itertools
 from bisect import bisect_left
 from collections.abc import Iterable, Sequence
 
+from repro.core import xi_store
 from repro.core.trees import BalancedTree, LeafInterval, TreeShapeError, integer_log
 
 __all__ = [
@@ -91,7 +92,20 @@ def _max_plus_convolve(
     return out
 
 
-@functools.lru_cache(maxsize=None)
+#: In-memory cache bound for DP tables.  Each entry is O(t) ints (a
+#: 1024-leaf table is ~8 KB of payload), so an unbounded cache used to
+#: grow without limit in every long-lived sweep worker; 64 shapes cover
+#: any realistic working set, and an evicted shape is cheap to restore —
+#: large tables reload from the persistent store instead of recomputing.
+_LRU_TABLES = 64
+
+#: Persist tables of at least this many leaves: below it the O(m * t^2)
+#: DP beats a disk round-trip, above it the store turns a once-per-process
+#: recomputation into a once-per-machine one.
+_PERSIST_MIN_LEAVES = 256
+
+
+@functools.lru_cache(maxsize=_LRU_TABLES)
 def _cost_tuple(m: int, n: int, empty_cost: int = 1) -> tuple[int, ...]:
     """Exact DP over Eq. 1 for ``t = m**n``, cached per shape.
 
@@ -99,7 +113,16 @@ def _cost_tuple(m: int, n: int, empty_cost: int = 1) -> tuple[int, ...]:
     destructive medium (Eq. 1's xi(0, t) = 1), 0 on a non-destructive
     (XOR/OR) bus where collision slots reveal child occupancy and empty
     subtrees are never probed (section 3.2's ATM-switch remark).
+
+    Cache tiers: this per-process LRU, then — for shapes of at least
+    ``_PERSIST_MIN_LEAVES`` leaves — the persistent cross-process store
+    (:mod:`repro.core.xi_store`), then the DP itself.
     """
+    persist = n > 0 and m**n >= _PERSIST_MIN_LEAVES
+    if persist:
+        cached = xi_store.load("cost", m, n, empty_cost)
+        if cached is not None:
+            return cached
     if n == 0:
         return (empty_cost, 0)
     child = _cost_tuple(m, n - 1, empty_cost)
@@ -113,7 +136,10 @@ def _cost_tuple(m: int, n: int, empty_cost: int = 1) -> tuple[int, ...]:
     costs[1] = 0
     for k in range(2, t + 1):
         costs[k] = 1 + int(acc[k])
-    return tuple(costs)
+    result = tuple(costs)
+    if persist:
+        xi_store.store("cost", m, n, empty_cost, result)
+    return result
 
 
 def exact_cost_table(m: int, t: int) -> SearchCostTable:

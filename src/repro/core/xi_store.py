@@ -1,0 +1,258 @@
+"""Persistent, content-addressed store for xi search-cost tables.
+
+The exact DP (:func:`repro.core.search_cost.exact_cost_table`) and the
+divide-and-conquer recursion
+(:func:`repro.core.divide_conquer.divide_conquer_table`) are pure
+functions of ``(m, n, empty_cost)`` and the core source code, yet every
+process — each sweep-shard worker, each CLI invocation, each executor
+child — used to recompute them from scratch because the only cache was a
+per-process ``functools.lru_cache``.  This module adds the missing tier:
+a small on-disk store, layered *under* the in-memory caches, so a table
+is computed once per machine and then loaded everywhere.
+
+Layout mirrors the runtime result cache (:mod:`repro.runtime.cache`):
+
+    .repro-cache/xi/
+        ab/abcdef....pkl      # sharded by the key digest's first two chars
+
+Each file stores the full canonical key next to the costs tuple, so a hit
+is only served when the stored key matches exactly (a digest collision
+degrades to a miss).  The key includes a *code salt* — a digest over every
+``repro/core/*.py`` source file — so editing the analytical core
+invalidates stale tables without manual version bumps.  Any unreadable,
+truncated or shape-inconsistent entry is evicted and recomputed; writes
+go through a temporary file plus :func:`os.replace` so concurrent workers
+never observe a half-written entry (last writer wins, and both writers
+wrote the same bytes anyway).
+
+The active store is an ambient :class:`repro.context.ScopedValue`:
+
+* default — resolved once from ``REPRO_XI_CACHE`` (a directory path;
+  ``off``/``0``/empty disables persistence) and falling back to
+  ``.repro-cache/xi`` under the current directory;
+* :func:`use_xi_store` scopes a store (or directory, or ``None`` to
+  disable) for a dynamic extent — benches use this to measure honest
+  cold/warm rates;
+* :func:`set_default_store` rebinds the process default (the test suite
+  points it at a temporary directory).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import functools
+import hashlib
+import os
+import pathlib
+import pickle
+import tempfile
+
+from repro.context import ScopedValue
+
+__all__ = [
+    "XiTableStore",
+    "XiStoreStats",
+    "active_store",
+    "use_xi_store",
+    "set_default_store",
+    "core_code_salt",
+    "load",
+    "store",
+]
+
+#: Environment variable selecting the default store directory
+#: (``off``/``0``/empty string disables persistence process-wide).
+ENV_VAR = "REPRO_XI_CACHE"
+
+#: Default directory, sharing the runtime cache root so one ``rm -rf``
+#: clears both tiers.
+DEFAULT_DIRECTORY = os.path.join(".repro-cache", "xi")
+
+
+@functools.lru_cache(maxsize=1)
+def core_code_salt() -> str:
+    """Digest over every ``repro/core/*.py`` file, as a cache-busting salt.
+
+    Narrower than the runtime cache's whole-package salt on purpose: the
+    tables depend only on the analytical core, so editing simulation or
+    tooling code must not invalidate them.
+    """
+    package_root = pathlib.Path(__file__).resolve().parent
+    digest = hashlib.sha256()
+    for path in sorted(package_root.glob("*.py")):
+        digest.update(path.name.encode())
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+        digest.update(b"\0")
+    return digest.hexdigest()[:16]
+
+
+@dataclasses.dataclass
+class XiStoreStats:
+    """Hit/miss accounting over one store handle's lifetime."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    writes: int = 0
+
+    def summary(self) -> str:
+        line = (
+            f"xi-store: {self.hits} hits / {self.misses} misses / "
+            f"{self.writes} writes"
+        )
+        if self.evictions:
+            line += f" / {self.evictions} evictions"
+        return line
+
+
+class XiTableStore:
+    """Pickle-backed table store keyed by ``(kind, m, n, empty_cost, salt)``."""
+
+    def __init__(self, directory: str | os.PathLike[str] = DEFAULT_DIRECTORY):
+        self.directory = pathlib.Path(directory)
+        self.stats = XiStoreStats()
+
+    def canonical_key(
+        self, kind: str, m: int, n: int, empty_cost: int
+    ) -> tuple:
+        return (kind, m, n, empty_cost, core_code_salt())
+
+    def path_for(self, kind: str, m: int, n: int, empty_cost: int) -> pathlib.Path:
+        key = self.canonical_key(kind, m, n, empty_cost)
+        digest = hashlib.sha256(repr(key).encode()).hexdigest()
+        return self.directory / digest[:2] / f"{digest}.pkl"
+
+    def load(
+        self, kind: str, m: int, n: int, empty_cost: int
+    ) -> tuple[int, ...] | None:
+        """The stored costs tuple, or ``None`` on any miss.
+
+        Corruption (bad pickle, wrong payload shape, stale key, wrong
+        table length) never raises: the entry is evicted and the caller
+        recomputes.
+        """
+        path = self.path_for(kind, m, n, empty_cost)
+        try:
+            payload = pickle.loads(path.read_bytes())
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except Exception:
+            self._evict(path)
+            self.stats.misses += 1
+            return None
+        if (
+            not isinstance(payload, dict)
+            or payload.get("key") != self.canonical_key(kind, m, n, empty_cost)
+            or not isinstance(payload.get("costs"), tuple)
+            or len(payload["costs"]) != m**n + 1
+            or not all(isinstance(c, int) for c in payload["costs"])
+        ):
+            self._evict(path)
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return payload["costs"]
+
+    def store(
+        self,
+        kind: str,
+        m: int,
+        n: int,
+        empty_cost: int,
+        costs: tuple[int, ...],
+    ) -> pathlib.Path:
+        """Atomically persist ``costs`` under the table's content address."""
+        path = self.path_for(kind, m, n, empty_cost)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "key": self.canonical_key(kind, m, n, empty_cost),
+            "costs": tuple(costs),
+        }
+        handle, tmp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=path.name, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(handle, "wb") as tmp:
+                pickle.dump(payload, tmp, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        self.stats.writes += 1
+        return path
+
+    def _evict(self, path: pathlib.Path) -> None:
+        try:
+            path.unlink()
+            self.stats.evictions += 1
+        except OSError:
+            pass
+
+    def clear(self) -> int:
+        """Remove every entry; returns the number of files deleted."""
+        removed = 0
+        if not self.directory.exists():
+            return 0
+        for path in self.directory.rglob("*.pkl"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+
+def _store_from_env() -> XiTableStore | None:
+    """The process-default store, resolved from ``REPRO_XI_CACHE``."""
+    value = os.environ.get(ENV_VAR)
+    if value is not None and value.strip().lower() in ("", "0", "off", "none"):
+        return None
+    return XiTableStore(value if value else DEFAULT_DIRECTORY)
+
+
+def _coerce(value: "XiTableStore | str | os.PathLike | None"):
+    if value is None or isinstance(value, XiTableStore):
+        return value
+    return XiTableStore(value)
+
+
+_ACTIVE: ScopedValue = ScopedValue(
+    "xi-store", default=_store_from_env, coerce=_coerce
+)
+
+
+def active_store() -> XiTableStore | None:
+    """The ambient store (``None`` = persistence disabled)."""
+    return _ACTIVE.current()
+
+
+def use_xi_store(value: "XiTableStore | str | os.PathLike | None"):
+    """Scope a store (or directory, or ``None`` to disable) for a block."""
+    return _ACTIVE.using(value)
+
+
+def set_default_store(
+    value: "XiTableStore | str | os.PathLike | None",
+) -> XiTableStore | None:
+    """Rebind the process-default store; returns the previous one."""
+    return _ACTIVE.set_default(value)
+
+
+def load(kind: str, m: int, n: int, empty_cost: int) -> tuple[int, ...] | None:
+    """Load through the ambient store (``None`` when disabled or missing)."""
+    store_ = active_store()
+    return store_.load(kind, m, n, empty_cost) if store_ is not None else None
+
+
+def store(
+    kind: str, m: int, n: int, empty_cost: int, costs: tuple[int, ...]
+) -> None:
+    """Persist through the ambient store (no-op when disabled)."""
+    store_ = active_store()
+    if store_ is not None:
+        store_.store(kind, m, n, empty_cost, costs)

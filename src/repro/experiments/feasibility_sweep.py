@@ -3,9 +3,10 @@
 Two sweeps over the uniform workload on Gigabit Ethernet:
 
 * load sweep: for several deadlines, the largest arrival-density scale the
-  FCs accept (binary search via
-  :func:`repro.core.feasibility.max_feasible_scale`) — the feasibility
-  frontier an operator dimensioning a network would read off;
+  FCs accept (binary search on an incremental
+  :class:`repro.core.feas_engine.FeasibilityEngine`, value-identical to
+  scalar :func:`repro.core.feasibility.max_feasible_scale`) — the
+  feasibility frontier an operator dimensioning a network would read off;
 * anatomy: for one instance, the per-class decomposition of B_DDCR
   (transmission time vs S1 static-search vs S2 time-search slots),
   showing where the budget goes.
@@ -17,7 +18,8 @@ transmission time at long deadlines and by search overhead at short ones.
 
 from __future__ import annotations
 
-from repro.core.feasibility import check_feasibility, max_feasible_scale
+from repro.core.feas_engine import FeasibilityEngine
+from repro.core.feas_grid import BatchEvaluator
 from repro.experiments.base import ExperimentResult
 from repro.experiments.catalog import register
 from repro.experiments.harness import default_ddcr_config
@@ -46,6 +48,7 @@ def run(
     rows: list[list[object]] = []
     checks: dict[str, bool] = {}
     frontier: list[float] = []
+    evaluator: BatchEvaluator | None = None
     for deadline_ms in deadlines_ms:
         deadline = deadline_ms * _MS
 
@@ -57,9 +60,20 @@ def run(
 
         config = default_ddcr_config(factory(1.0), medium)
         trees = config.tree_parameters()
-        best = max_feasible_scale(factory, medium, trees, lo=0.01, hi=64.0)
+        # One shared evaluator across the whole frontier (the tree shapes
+        # don't vary with the deadline) keeps the S1 search-cost memo and
+        # encapsulation map warm across every bisection probe.
+        if evaluator is None or evaluator.trees != trees:
+            evaluator = BatchEvaluator(medium, trees)
+        # The uniform workload scales densities exactly like the engine's
+        # rescale_density, so the bisection runs on delta state instead of
+        # rebuilding a problem and a scalar report per probe.
+        engine = FeasibilityEngine.from_problem(
+            factory(1.0), medium, trees, evaluator=evaluator
+        )
+        best = engine.max_feasible_density(lo=0.01, hi=64.0)
         frontier.append(best)
-        report = check_feasibility(factory(max(best, 0.01)), medium, trees)
+        report = engine.report()  # engine sits at max(best, lo) after search
         worst = report.worst
         rows.append(
             [

@@ -23,7 +23,10 @@ then runs an invariants-smoke step (one faulted scenario per protocol
 with online invariant monitors, :mod:`repro.sim.invariants`; any
 violation fails CI; ``--no-invariants`` skips it — each scenario is also
 re-run on the ``batch`` engine and its results must match the default
-engine's exactly; ``--no-batch`` skips the batch re-runs), an obs-smoke step
+engine's exactly; ``--no-batch`` skips the batch re-runs), a feas-smoke
+step (the FC frontier grid evaluated scalar vs vectorized vs
+engine-incremental and digest-compared, :mod:`repro.core.feas_grid` /
+:mod:`repro.core.feas_engine`; ``--no-feas`` skips it), an obs-smoke step
 (one run with telemetry collection on, then a ``repro.tools.obs``
 ``summarize`` + ``diff`` round-trip over the manifest; ``--no-obs``
 skips it), a sweep-smoke step (a 4-point campaign cold-run then resumed
@@ -61,7 +64,8 @@ import tempfile
 from repro.analysis.metrics import summarize
 from repro.analysis.report import format_table
 from repro.cliopts import cache_options, execution_options, validate_jobs
-from repro.core.feasibility import TreeParameters, check_feasibility
+from repro.core.feas_grid import check_feasibility_batch
+from repro.core.feasibility import TreeParameters
 from repro.model.serialize import load_problem
 from repro.net.engine import use_engine
 from repro.net.phy import (
@@ -112,6 +116,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-obs",
         action="store_true",
         help="skip the --ci obs-smoke (telemetry round-trip) step",
+    )
+    parser.add_argument(
+        "--no-feas",
+        action="store_true",
+        help="skip the --ci feas-smoke (feasibility kernel parity) step",
     )
     parser.add_argument(
         "--no-batch",
@@ -340,6 +349,99 @@ def _run_invariants_smoke(batch: bool = True) -> list[str]:
     return failures
 
 
+def _run_feas_smoke() -> list[str]:
+    """Feasibility-kernel parity: scalar vs vectorized vs incremental.
+
+    Evaluates an FC-frontier-shaped grid (deadline x scale on the uniform
+    workload) three ways — the scalar oracle, :func:`feasibility_grid` on
+    the default *and* the pure-Python backend, and a
+    :class:`FeasibilityEngine` driven incrementally through
+    ``rescale_density`` — and digest-compares the full reports, mirroring
+    the batch-engine invariants smoke.  A final mutation check removes a
+    class through the engine's delta path and compares against a fresh
+    scalar report on the reduced instance.  Returns failure lines.
+    """
+    import pickle
+
+    from repro.core.feas_engine import FeasibilityEngine
+    from repro.core.feas_grid import _PythonFeasOps, feasibility_grid
+    from repro.core.feasibility import check_feasibility
+    from repro.experiments.harness import default_ddcr_config
+    from repro.model.problem import HRTDMProblem
+    from repro.model.workloads import uniform_problem
+
+    medium = GIGABIT_ETHERNET
+    deadlines = tuple(ms * _MS for ms in (2, 8, 32))
+    scales = (0.5, 2.0, 8.0, 32.0)
+
+    def factory(deadline: int, scale: float) -> HRTDMProblem:
+        return uniform_problem(
+            z=8, length=8_000, deadline=deadline, a=1, w=4 * _MS, scale=scale
+        )
+
+    config = default_ddcr_config(factory(deadlines[0], 1.0), medium)
+    trees = config.tree_parameters()
+
+    def digest(reports) -> tuple[bytes, ...]:
+        # Reports are pickled one by one: a whole-list pickle memoizes
+        # string objects the engine *reuses* across its reports, so equal
+        # values would digest differently from the scalar path's.
+        return tuple(pickle.dumps(report) for report in reports)
+
+    scalar = [
+        check_feasibility(factory(d, s), medium, trees)
+        for d in deadlines
+        for s in scales
+    ]
+    reference = digest(scalar)
+    failures: list[str] = []
+    axes = {"deadline": deadlines, "scale": scales}
+    for label, backend in (("default", None), ("python", _PythonFeasOps())):
+        grid = feasibility_grid(factory, axes, medium, trees, backend=backend)
+        if digest(grid.reports) != reference:
+            failures.append(
+                f"feasibility_grid[{label}] diverged from the scalar oracle"
+            )
+    engine_reports = []
+    for deadline in deadlines:
+        engine = FeasibilityEngine.from_problem(
+            factory(deadline, 1.0), medium, trees
+        )
+        for scale in scales:
+            engine.rescale_density(scale)
+            engine_reports.append(engine.report())
+    if digest(engine_reports) != reference:
+        failures.append(
+            "FeasibilityEngine (incremental rescale) diverged from the "
+            "scalar oracle"
+        )
+    # Mutation parity: drop one class through the O(C) delta path (the
+    # uniform sources are single-class, so its source goes with it) and
+    # compare against a fresh scalar report on the reduced instance.
+    base = factory(deadlines[0], 2.0)
+    engine = FeasibilityEngine.from_problem(base, medium, trees)
+    victim = base.sources[0]
+    engine.remove_class(victim.source_id, victim.message_classes[0].name)
+    reduced = HRTDMProblem(
+        sources=base.sources[1:],
+        static_q=base.static_q,
+        static_m=base.static_m,
+    )
+    if digest([engine.report()]) != digest(
+        [check_feasibility(reduced, medium, trees)]
+    ):
+        failures.append(
+            "FeasibilityEngine remove_class diverged from the scalar oracle"
+        )
+    if not failures:
+        points = len(deadlines) * len(scales)
+        print(
+            f"feas-smoke: scalar, vectorized (2 backends) and incremental "
+            f"paths agree on {points} grid points + 1 mutation"
+        )
+    return failures
+
+
 def _run_obs_smoke(cache_dir: str) -> list[str]:
     """One telemetry-collecting run plus a summarize/diff round-trip.
 
@@ -517,6 +619,7 @@ def run_ci(
     perf: bool = True,
     invariants: bool = True,
     obs: bool = True,
+    feas: bool = True,
     sweep: bool = True,
     batch: bool = True,
     perf_trend: bool = True,
@@ -586,6 +689,9 @@ def run_ci(
     violation_failures: list[str] = []
     if invariants:
         violation_failures = _run_invariants_smoke(batch=batch)
+    feas_failures: list[str] = []
+    if feas:
+        feas_failures = _run_feas_smoke()
     obs_failures: list[str] = []
     if obs:
         obs_failures = _run_obs_smoke(cache_dir)
@@ -613,6 +719,8 @@ def run_ci(
             f"FAILED invariants: {', '.join(violation_failures)}",
             file=sys.stderr,
         )
+    for failure in feas_failures:
+        print(f"FAILED feas: {failure}", file=sys.stderr)
     for failure in obs_failures:
         print(f"FAILED obs: {failure}", file=sys.stderr)
     for failure in sweep_failures:
@@ -622,6 +730,7 @@ def run_ci(
     if (
         failed
         or violation_failures
+        or feas_failures
         or obs_failures
         or sweep_failures
         or trend_failures
@@ -643,6 +752,7 @@ def main(argv: list[str] | None = None) -> int:
                 perf=not args.no_perf,
                 invariants=not args.no_invariants,
                 obs=not args.no_obs,
+                feas=not args.no_feas,
                 sweep=not args.no_sweep,
                 batch=not args.no_batch,
                 perf_trend=not args.no_perf_trend,
@@ -668,7 +778,9 @@ def main(argv: list[str] | None = None) -> int:
         static_q=problem.static_q,
         static_m=problem.static_m,
     )
-    report = check_feasibility(problem, medium, trees)
+    # The vectorized path; value-identical to scalar check_feasibility
+    # (the `check --ci` feas-smoke digest-compares them).
+    (report,) = check_feasibility_batch([problem], medium, trees)
     print(problem.describe())
     print()
     print(

@@ -1,10 +1,15 @@
 """Shared test configuration.
 
-Registers a CI-friendly hypothesis profile (deterministic, bounded) and a
-couple of grid fixtures used across the suite.
+Registers a CI-friendly hypothesis profile (deterministic, bounded), a
+couple of grid fixtures used across the suite, and routes the persistent
+xi-table store into a per-session temporary directory so tests never read
+or write the working tree's ``.repro-cache``.
 """
 
 from __future__ import annotations
+
+import os
+import tempfile
 
 import pytest
 from hypothesis import HealthCheck, settings
@@ -33,3 +38,22 @@ def small_shape(request) -> tuple[int, int]:
 @pytest.fixture(params=LARGE_SHAPES, ids=lambda s: f"m{s[0]}t{s[1]}")
 def large_shape(request) -> tuple[int, int]:
     return request.param
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_xi_store():
+    """Point the xi-table store at a session temp dir (env + default)."""
+    from repro.core import xi_store
+
+    with tempfile.TemporaryDirectory(prefix="repro-test-xi-") as tmp:
+        previous_env = os.environ.get(xi_store.ENV_VAR)
+        os.environ[xi_store.ENV_VAR] = tmp
+        previous_store = xi_store.set_default_store(tmp)
+        try:
+            yield
+        finally:
+            xi_store.set_default_store(previous_store)
+            if previous_env is None:
+                os.environ.pop(xi_store.ENV_VAR, None)
+            else:
+                os.environ[xi_store.ENV_VAR] = previous_env

@@ -142,6 +142,49 @@ def test_load_history_tolerates_missing_and_corrupt(tmp_path):
     assert bench.load_history(path) == [{"smoke": True}]
 
 
+def test_list_includes_feasibility_fast_path_benches(capsys):
+    assert bench.main(["--list"]) == 0
+    out = capsys.readouterr().out
+    for name in (
+        "xi_dp_table_cold",
+        "xi_dp_table_warm_mem",
+        "xi_dp_table_warm_disk",
+        "feasibility_grid",
+        "feasibility_grid_scalar",
+    ):
+        assert name in out
+
+
+def test_xi_cache_tiers_order_as_expected():
+    """Warm in-memory lookups must beat recomputing the DP from cold."""
+    results = bench.run_benches(
+        names=[
+            "xi_dp_table_cold",
+            "xi_dp_table_warm_mem",
+            "xi_dp_table_warm_disk",
+        ],
+        smoke=True,
+    )
+    by_name = {result.name: result for result in results}
+    for result in results:
+        assert result.ops_per_sec > 0
+        assert result.unit == "tables"
+    assert (
+        by_name["xi_dp_table_warm_mem"].ops_per_sec
+        > by_name["xi_dp_table_cold"].ops_per_sec
+    )
+    assert (
+        by_name["xi_dp_table_warm_disk"].ops_per_sec
+        > by_name["xi_dp_table_cold"].ops_per_sec
+    )
+
+
+def test_feasibility_grid_bench_runs_in_smoke():
+    (result,) = bench.run_benches(names=["feasibility_grid"], smoke=True)
+    assert result.ops_per_sec > 0
+    assert result.unit == "reports"
+
+
 def test_telemetry_overhead_within_budget():
     """Enabled telemetry must stay within a modest fraction of the plain
     fastloop throughput (the ISSUE budget is <=10%; the assertion allows

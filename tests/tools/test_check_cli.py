@@ -173,6 +173,47 @@ class TestCIFastPath:
         )
         assert "sweep-smoke" not in capsys.readouterr().out
 
+    def test_ci_runs_feas_smoke(self, warm_cache, capsys):
+        assert (
+            main(
+                [
+                    "--ci",
+                    "--cache-dir", str(warm_cache.directory),
+                    "--no-perf",
+                    "--no-invariants",
+                    "--no-obs",
+                    "--no-sweep",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "feas-smoke: scalar, vectorized (2 backends)" in out
+
+    def test_no_feas_skips_the_smoke(self, warm_cache, capsys):
+        assert (
+            main(
+                [
+                    "--ci",
+                    "--cache-dir", str(warm_cache.directory),
+                    "--no-perf",
+                    "--no-invariants",
+                    "--no-obs",
+                    "--no-sweep",
+                    "--no-feas",
+                ]
+            )
+            == 0
+        )
+        assert "feas-smoke" not in capsys.readouterr().out
+
+    def test_feas_smoke_agrees_across_paths(self, capsys):
+        from repro.tools.check import _run_feas_smoke
+
+        assert _run_feas_smoke() == []
+        out = capsys.readouterr().out
+        assert "incremental paths agree" in out
+
     def test_no_cache_skips_the_sweep_smoke(self, capsys, monkeypatch):
         # The sweep smoke resumes against the result cache; without one
         # it reports the skip instead of failing.  Empty the suite so the
