@@ -14,7 +14,15 @@ import argparse
 
 from repro.net.engine import ENGINES
 
-__all__ = ["cache_options", "execution_options"]
+__all__ = ["cache_options", "execution_options", "positive_int"]
+
+
+def positive_int(text: str) -> int:
+    """Argparse type for strictly positive integer flags."""
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
 
 
 def execution_options() -> argparse.ArgumentParser:

@@ -158,6 +158,15 @@ class FeasibilityEngine:
         return sum(len(s.classes) for s in self._sources)
 
     @property
+    def source_count(self) -> int:
+        return len(self._sources)
+
+    @property
+    def total_nu(self) -> int:
+        """Static leaves claimed by the current sources (sum of nu_i)."""
+        return sum(s.nu for s in self._sources)
+
+    @property
     def scale(self) -> float:
         """The density scale last applied by :meth:`rescale_density`."""
         return self._scale
@@ -165,6 +174,128 @@ class FeasibilityEngine:
     @property
     def feasible(self) -> bool:
         return self.report().feasible
+
+    def source_nu(self, source_id: int) -> int | None:
+        """The source's nu, or ``None`` when it holds no classes."""
+        source = self._find_source(source_id)
+        return None if source is None else source.nu
+
+    def class_state(
+        self, source_id: int, class_name: str
+    ) -> tuple[int, int, int]:
+        """The class's current ``(a, w, w0)`` — enough for an exact undo.
+
+        ``w`` is the effective window, ``w0`` the scale-1.0 base window
+        that :meth:`rescale_density` derives it from.  Feeding all three
+        back through :meth:`rescale_class` (with its ``w0`` override)
+        restores the class bit-for-bit, including its rebase behaviour
+        under later density rescales.
+        """
+        _, state = self._require_class(source_id, class_name)
+        return state.a, state.w, state.w0
+
+    def snapshot(self) -> tuple:
+        """A picklable, value-only image of the whole engine state.
+
+        Shape: ``(scale, ((source_id, nu, ((name, length, deadline, a, w,
+        w0), ...)), ...))`` — everything :meth:`restore` needs, nothing
+        derived.  Derived columns (ranks, interference) are *recomputed*
+        on restore rather than trusted, so a snapshot can never smuggle a
+        corrupted column past the scalar oracle.
+        """
+        return (
+            self._scale,
+            tuple(
+                (
+                    source.source_id,
+                    source.nu,
+                    tuple(
+                        (c.name, c.length, c.deadline, c.a, c.w, c.w0)
+                        for c in source.classes
+                    ),
+                )
+                for source in self._sources
+            ),
+        )
+
+    @classmethod
+    def restore(
+        cls,
+        snapshot: tuple,
+        medium: "MediumProfile",
+        trees: TreeParameters,
+        backend=None,
+        evaluator: BatchEvaluator | None = None,
+    ) -> "FeasibilityEngine":
+        """Rebuild an engine from :meth:`snapshot` output (vectorized).
+
+        The restored engine's :meth:`report` equals the original's
+        exactly: source/class ordering is part of the snapshot, and the
+        rank/u/tx columns come from the same bulk recompute
+        ``from_problem`` uses.
+        """
+        scale, sources = snapshot
+        engine = cls(medium, trees, backend=backend, evaluator=evaluator)
+        for source_id, nu, classes in sources:
+            state = _SourceState(source_id, nu)
+            for name, length, deadline, a, w, w0 in classes:
+                cls_state = _ClassState(
+                    name,
+                    length,
+                    deadline,
+                    engine.evaluator.encapsulate(length),
+                    a,
+                    w,
+                )
+                cls_state.w0 = w0
+                state.classes.append(cls_state)
+            engine._sources.append(state)
+        engine._scale = scale
+        engine._recompute_all()
+        return engine
+
+    def to_problem(self) -> HRTDMProblem:
+        """Materialise the current class set as an :class:`HRTDMProblem`.
+
+        Static indices are assigned contiguously in source order (they
+        never enter the FC formulas — only ``nu`` does), so the scalar
+        ``check_feasibility`` on the returned problem is the engine's
+        oracle.  Requires at least one class, globally unique class
+        names, and ``total_nu <= static_q`` (the admission service
+        enforces all three before mutating the engine).
+        """
+        from repro.model.message import DensityBound
+        from repro.model.source import SourceSpec
+
+        if not self._sources:
+            raise ValueError("cannot materialise an empty engine")
+        trees = self.evaluator.trees
+        sources = []
+        offset = 0
+        for source in self._sources:
+            sources.append(
+                SourceSpec(
+                    source_id=source.source_id,
+                    message_classes=tuple(
+                        MessageClass(
+                            name=c.name,
+                            length=c.length,
+                            deadline=c.deadline,
+                            bound=DensityBound(a=c.a, w=c.w),
+                        )
+                        for c in source.classes
+                    ),
+                    static_indices=tuple(
+                        range(offset, offset + source.nu)
+                    ),
+                )
+            )
+            offset += source.nu
+        return HRTDMProblem(
+            sources=tuple(sources),
+            static_q=trees.static_q,
+            static_m=trees.static_m,
+        )
 
     def report(self) -> FeasibilityReport:
         """The FC report for the current class set (cached until mutated)."""
@@ -256,19 +387,26 @@ class FeasibilityEngine:
         class_name: str,
         a: int | None = None,
         w: int | None = None,
+        w0: int | None = None,
     ) -> None:
         """Change one class's arrival bound ``(a, w)`` in place.
 
         The new window becomes the class's scale-1.0 base for future
-        :meth:`rescale_density` calls.
+        :meth:`rescale_density` calls, unless ``w0`` overrides the base
+        explicitly — the exact-undo path: replaying the triple from
+        :meth:`class_state` restores both the effective window and its
+        rebase behaviour.
         """
         source, target = self._require_class(source_id, class_name)
         new_a = target.a if a is None else a
         new_w = target.w if w is None else w
         if new_a < 1 or new_w < 1:
             raise ValueError(f"need a >= 1 and w >= 1, got a={new_a} w={new_w}")
+        new_w0 = new_w if w0 is None else w0
+        if new_w0 < 1:
+            raise ValueError(f"need w0 >= 1, got w0={new_w0}")
         if (new_a, new_w) == (target.a, target.w):
-            target.w0 = new_w
+            target.w0 = new_w0
             return
         old_a, old_w = target.a, target.w
         # The k-th contributor column shifts by f_new - f_old; the target's
@@ -289,7 +427,7 @@ class FeasibilityEngine:
             )
         target.a = new_a
         target.w = new_w
-        target.w0 = new_w
+        target.w0 = new_w0
         self._report = None
 
     def rescale_density(self, scale: float) -> None:

@@ -34,6 +34,7 @@ from repro.experiments import (  # noqa: F401
     multitree,
     protocol_comparison,
     recursions,
+    serve_check,
     sim_vs_bound,
     tightness,
 )
@@ -73,6 +74,7 @@ _ORDER: tuple[str, ...] = (
     "EXT-HOST",
     "EXT-NOISE",
     "EXT-UTIL",
+    "SERVE-CHECK",
 )
 
 EXPERIMENTS: dict[str, ExperimentEntry] = {

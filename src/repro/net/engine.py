@@ -94,7 +94,7 @@ set_default_engine = _SCOPE.set_default
 #: Scoped default-engine override (no-op when the name is ``None``).  The
 #: runtime executor wraps each spec execution in this, so a spec's engine
 #: choice reaches every simulation the experiment builds without
-#: threading a parameter through all 19 experiment modules.
+#: threading a parameter through every experiment module.
 use_engine = _SCOPE.using
 
 

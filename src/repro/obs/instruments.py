@@ -35,6 +35,7 @@ from contextlib import contextmanager
 
 __all__ = [
     "Counter",
+    "DECISION_LATENCY_EDGES",
     "Gauge",
     "Histogram",
     "LATENCY_EDGES",
@@ -49,6 +50,13 @@ __all__ = [
 #: Geometric buckets keep relative quantile error bounded (~2x) across
 #: five orders of magnitude without per-workload tuning.
 LATENCY_EDGES: tuple[int, ...] = tuple(1 << k for k in range(6, 26))
+
+#: Admission-decision latency bucket upper bounds, in *microseconds of
+#: wall clock* (the one instrument measuring real time, not simulated
+#: bit-times): powers of two from 1 us to ~1 s.  Wall-clock values are
+#: telemetry only — they never enter the decision log, which must stay a
+#: pure function of the request stream.
+DECISION_LATENCY_EDGES: tuple[int, ...] = tuple(1 << k for k in range(0, 21))
 
 #: Default search-depth bucket upper bounds, in wasted slots per search
 #: run.  Linear at the bottom (where the paper's xi bounds live), then

@@ -1,0 +1,39 @@
+"""Long-running admission control over the incremental feasibility engine.
+
+The serve layer turns the repo's batch-oriented FC machinery into a
+*service*: a stream of join/leave/rescale/reconfigure requests answered
+admit/reject from incrementally updated B_DDCR bounds, with the decision
+log persisted for deterministic replay and the admitted set periodically
+counter-checked by the scalar oracle and a background CSMA/DDCR
+simulation (the ``SERVE-CHECK`` experiment, resolved through the normal
+cache-aware executor).
+
+``python -m repro.serve`` is the operator CLI (trace / run / replay /
+verify).  Importing this package also registers the ``serve-traces``
+sweep campaign.
+"""
+
+from repro.serve import traces as _traces  # noqa: F401 - campaign registration
+from repro.serve.model import Decision, Incident, Request
+from repro.serve.service import (
+    MEDIA,
+    AdmissionService,
+    ServeConfig,
+    read_event_log,
+    replay_event_log,
+)
+from repro.serve.traces import TEMPLATES, TraceConfig, generate_trace
+
+__all__ = [
+    "AdmissionService",
+    "Decision",
+    "Incident",
+    "MEDIA",
+    "Request",
+    "ServeConfig",
+    "TEMPLATES",
+    "TraceConfig",
+    "generate_trace",
+    "read_event_log",
+    "replay_event_log",
+]

@@ -1,0 +1,8 @@
+"""Module entry point: ``python -m repro.serve``."""
+
+import sys
+
+from repro.serve.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

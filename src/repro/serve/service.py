@@ -1,0 +1,592 @@
+"""The admission-control service: streaming FC decisions with an oracle.
+
+:class:`AdmissionService` wraps an incremental
+:class:`~repro.core.feas_engine.FeasibilityEngine` and answers a stream
+of :class:`~repro.serve.model.Request` events:
+
+* ``join``/``rescale`` mutate the engine *tentatively* — the class (or
+  its new bound) is applied through the O(C) delta path, the FC report
+  is consulted, and an infeasible outcome is rolled back exactly
+  (``rescale_class`` with the saved ``(a, w, w0)`` triple), so a reject
+  leaves the engine bit-identical to before the request;
+* ``leave`` retires a class; ``reconfigure`` applies a global density
+  rescale and evicts the most recently admitted classes (LIFO) until the
+  surviving set is feasible again.
+
+Every decision is a pure function of the request stream (see
+:mod:`repro.serve.model`), persisted as JSONL: ``events.jsonl`` (one
+header line with the service config, then one line per request+decision
+pair) and ``decisions.jsonl`` (raw decision lines — the byte-identity
+artifact replay is compared against).
+
+Counter-checking: :meth:`AdmissionService.counter_check` re-derives the
+admitted set's feasibility two independent ways — the scalar
+``check_feasibility`` oracle on a materialised
+:class:`~repro.model.problem.HRTDMProblem` (digest-compared per report
+row against the engine's), and, when an executor is attached, a
+``SERVE-CHECK`` simulation spec resolved through the cache-aware sweep
+executor.  Divergence is recorded as a structured
+:class:`~repro.serve.model.Incident`, never an exception: the service
+keeps serving and the operator (or CI) inspects ``incidents``.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import pickle
+import time
+import typing
+
+from repro.core.feas_engine import FeasibilityEngine
+from repro.core.feasibility import TreeParameters, check_feasibility
+from repro.model.message import DensityBound, MessageClass
+from repro.net.phy import (
+    ATM_BUS,
+    CLASSIC_ETHERNET,
+    GIGABIT_ETHERNET,
+    MediumProfile,
+)
+from repro.obs.instruments import DECISION_LATENCY_EDGES, NULL_TELEMETRY
+from repro.serve.model import Decision, Incident, Request
+
+if typing.TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.executor import ParallelExecutor
+    from repro.runtime.spec import RunSpec
+
+__all__ = [
+    "AdmissionService",
+    "MEDIA",
+    "ServeConfig",
+    "read_event_log",
+    "replay_event_log",
+]
+
+#: Media the service config can name (the same set ``tools.check`` uses).
+MEDIA: dict[str, MediumProfile] = {
+    profile.name: profile
+    for profile in (GIGABIT_ETHERNET, CLASSIC_ETHERNET, ATM_BUS)
+}
+
+#: Event-log schema version (bump on incompatible layout changes).
+LOG_SCHEMA = 1
+
+EVENTS_FILE = "events.jsonl"
+DECISIONS_FILE = "decisions.jsonl"
+INCIDENTS_FILE = "incidents.jsonl"
+
+
+class ServeConfig(typing.NamedTuple):
+    """Deterministic service parameters (everything replay needs).
+
+    ``check_every`` is the counter-check cadence in handled requests
+    (0 disables periodic checks; explicit :meth:`~AdmissionService.
+    counter_check` calls always work).  ``sim_horizon``/``sim_seed``
+    parameterise the background SERVE-CHECK simulation.
+    """
+
+    static_q: int = 256
+    static_m: int = 2
+    time_f: int = 64
+    time_m: int = 4
+    medium: str = GIGABIT_ETHERNET.name
+    check_every: int = 0
+    sim_horizon: int = 4_000_000
+    sim_seed: int = 0
+
+    def trees(self) -> TreeParameters:
+        return TreeParameters(
+            time_f=self.time_f,
+            time_m=self.time_m,
+            static_q=self.static_q,
+            static_m=self.static_m,
+        )
+
+    def medium_profile(self) -> MediumProfile:
+        try:
+            return MEDIA[self.medium]
+        except KeyError:
+            raise ValueError(
+                f"unknown medium {self.medium!r} "
+                f"(known: {', '.join(sorted(MEDIA))})"
+            ) from None
+
+    def to_dict(self) -> dict[str, object]:
+        return dict(self._asdict())
+
+    @classmethod
+    def from_dict(cls, doc: dict[str, object]) -> "ServeConfig":
+        return cls(**doc)  # type: ignore[arg-type]
+
+
+class AdmissionService:
+    """Streaming admit/reject over an incremental feasibility engine."""
+
+    def __init__(
+        self,
+        config: ServeConfig | None = None,
+        *,
+        backend=None,
+        telemetry=None,
+        executor: "ParallelExecutor | None" = None,
+        log_dir: "str | pathlib.Path | None" = None,
+    ) -> None:
+        self.config = config if config is not None else ServeConfig()
+        # Validate eagerly: a bad medium/tree shape must fail at
+        # construction, not at the first decision.
+        medium = self.config.medium_profile()
+        trees = self.config.trees()
+        self.engine = FeasibilityEngine(medium, trees, backend=backend)
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        self.executor = executor
+        self.incidents: list[Incident] = []
+        #: (source_id, name) in admission order — the reconfigure
+        #: eviction policy pops from the tail (LIFO).
+        self._admission_order: list[tuple[int, str]] = []
+        #: Globally unique class names (an HRTDM model constraint the
+        #: engine alone does not enforce across sources).
+        self._names: set[str] = set()
+        self._last_seq = -1
+        self.handled = 0
+        self._log_dir: pathlib.Path | None = None
+        self._events_handle = None
+        self._decisions_handle = None
+        if log_dir is not None:
+            self.attach_log_dir(log_dir)
+
+    # -- log plumbing ------------------------------------------------------
+
+    def attach_log_dir(self, log_dir: "str | pathlib.Path") -> None:
+        """Append subsequent events to ``log_dir``'s JSONL logs.
+
+        A fresh ``events.jsonl`` gets a header line carrying the service
+        config, so the log is self-describing and replay needs no side
+        channel.
+        """
+        self._log_dir = pathlib.Path(log_dir)
+        self._log_dir.mkdir(parents=True, exist_ok=True)
+        events = self._log_dir / EVENTS_FILE
+        fresh = not events.exists() or events.stat().st_size == 0
+        self._events_handle = open(events, "a", encoding="utf-8")
+        self._decisions_handle = open(
+            self._log_dir / DECISIONS_FILE, "a", encoding="utf-8"
+        )
+        if fresh:
+            header = {
+                "kind": "header",
+                "schema": LOG_SCHEMA,
+                "config": self.config.to_dict(),
+            }
+            self._events_handle.write(
+                json.dumps(header, sort_keys=True, separators=(",", ":"))
+                + "\n"
+            )
+            self._events_handle.flush()
+
+    def close(self) -> None:
+        for handle in (self._events_handle, self._decisions_handle):
+            if handle is not None:
+                handle.close()
+        self._events_handle = None
+        self._decisions_handle = None
+
+    def __enter__(self) -> "AdmissionService":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def _log(self, request: Request, decision: Decision) -> None:
+        if self._events_handle is not None:
+            event = {
+                "kind": "event",
+                "request": request.to_dict(),
+                "decision": decision.to_dict(),
+            }
+            self._events_handle.write(
+                json.dumps(event, sort_keys=True, separators=(",", ":"))
+                + "\n"
+            )
+            self._events_handle.flush()
+        if self._decisions_handle is not None:
+            self._decisions_handle.write(decision.to_json() + "\n")
+            self._decisions_handle.flush()
+
+    def _record_incident(self, incident: Incident) -> None:
+        self.incidents.append(incident)
+        self.telemetry.counter("serve/incidents").inc()
+        if self._log_dir is not None:
+            with open(
+                self._log_dir / INCIDENTS_FILE, "a", encoding="utf-8"
+            ) as handle:
+                handle.write(incident.to_json() + "\n")
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def class_count(self) -> int:
+        return self.engine.class_count
+
+    @property
+    def admitted(self) -> tuple[tuple[int, str], ...]:
+        """(source_id, name) pairs in admission order."""
+        return tuple(self._admission_order)
+
+    def frozen_classes(self) -> tuple[tuple, ...]:
+        """The admitted set as spec-safe nested tuples.
+
+        Shape: ``((source_id, nu, name, length, deadline, a, w), ...)``
+        in engine (report) order — the ``classes`` parameter of the
+        SERVE-CHECK experiment.
+        """
+        _, sources = self.engine.snapshot()
+        return tuple(
+            (source_id, nu, name, length, deadline, a, w)
+            for source_id, nu, classes in sources
+            for name, length, deadline, a, w, _w0 in classes
+        )
+
+    # -- the decision loop -------------------------------------------------
+
+    def handle(self, request: Request) -> Decision:
+        """Decide one request; logs, counts and (periodically) checks."""
+        enabled = self.telemetry.enabled
+        started = time.perf_counter() if enabled else 0.0
+        if request.seq <= self._last_seq:
+            decision = self._decide_error(
+                request,
+                f"out-of-order seq {request.seq} (last {self._last_seq})",
+            )
+        else:
+            handler = {
+                "join": self._decide_join,
+                "leave": self._decide_leave,
+                "rescale": self._decide_rescale,
+                "reconfigure": self._decide_reconfigure,
+            }[request.kind]
+            decision = handler(request)
+            self._last_seq = request.seq
+        self.handled += 1
+        if enabled:
+            elapsed_us = (time.perf_counter() - started) * 1e6
+            self.telemetry.histogram(
+                "serve/decision_latency_us", DECISION_LATENCY_EDGES
+            ).record(elapsed_us)
+            self.telemetry.counter("serve/requests").inc()
+            self.telemetry.counter(f"serve/{decision.verdict}").inc()
+            if decision.evicted:
+                self.telemetry.counter("serve/evict").inc(
+                    len(decision.evicted)
+                )
+        self._log(request, decision)
+        if (
+            self.config.check_every > 0
+            and self.handled % self.config.check_every == 0
+        ):
+            self.counter_check()
+        return decision
+
+    def run_trace(self, requests: typing.Iterable[Request]) -> list[Decision]:
+        return [self.handle(request) for request in requests]
+
+    # -- per-kind decisions ------------------------------------------------
+
+    def _finish(
+        self,
+        request: Request,
+        verdict: str,
+        reason: str | None = None,
+        evicted: tuple[tuple[int, str], ...] = (),
+    ) -> Decision:
+        count = self.engine.class_count
+        slack = self.engine.report().worst.slack if count else None
+        return Decision(
+            seq=request.seq,
+            kind=request.kind,
+            verdict=verdict,
+            reason=reason,
+            source_id=request.source_id,
+            name=request.name,
+            class_count=count,
+            total_nu=self.engine.total_nu,
+            scale=self.engine.scale,
+            slack=slack,
+            evicted=evicted,
+        )
+
+    def _decide_error(self, request: Request, reason: str) -> Decision:
+        return self._finish(request, "error", reason)
+
+    def _decide_join(self, request: Request) -> Decision:
+        missing = [
+            field
+            for field in ("source_id", "name", "length", "deadline", "a", "w")
+            if getattr(request, field) is None
+        ]
+        if missing:
+            return self._decide_error(
+                request, f"join needs {', '.join(missing)}"
+            )
+        if request.name in self._names:
+            return self._decide_error(
+                request, f"class name {request.name!r} already admitted"
+            )
+        try:
+            message = MessageClass(
+                name=request.name,
+                length=request.length,
+                deadline=request.deadline,
+                bound=DensityBound(a=request.a, w=request.w),
+            )
+        except ValueError as error:
+            return self._decide_error(request, str(error))
+        if self.engine.source_nu(request.source_id) is None:
+            needed = request.nu
+            if needed is None or needed < 1:
+                return self._decide_error(
+                    request,
+                    f"new source {request.source_id} needs nu >= 1",
+                )
+            if self.engine.total_nu + needed > self.config.static_q:
+                return self._finish(
+                    request,
+                    "reject",
+                    f"capacity: {self.engine.total_nu}+{needed} static "
+                    f"leaves exceed q={self.config.static_q}",
+                )
+        try:
+            self.engine.add_class(request.source_id, message, nu=request.nu)
+        except ValueError as error:
+            return self._decide_error(request, str(error))
+        report = self.engine.report()
+        if report.feasible:
+            self._names.add(request.name)
+            self._admission_order.append((request.source_id, request.name))
+            return self._finish(request, "admit")
+        worst = report.worst
+        self.engine.remove_class(request.source_id, request.name)
+        return self._finish(
+            request,
+            "reject",
+            f"infeasible: B_DDCR exceeds deadline for "
+            f"{worst.class_name} (slack {worst.slack})",
+        )
+
+    def _decide_leave(self, request: Request) -> Decision:
+        if request.source_id is None or request.name is None:
+            return self._decide_error(request, "leave needs source_id, name")
+        try:
+            self.engine.remove_class(request.source_id, request.name)
+        except KeyError as error:
+            return self._decide_error(request, str(error.args[0]))
+        self._names.discard(request.name)
+        self._admission_order.remove((request.source_id, request.name))
+        return self._finish(request, "ok")
+
+    def _decide_rescale(self, request: Request) -> Decision:
+        if request.source_id is None or request.name is None:
+            return self._decide_error(
+                request, "rescale needs source_id, name"
+            )
+        if request.a is None and request.w is None:
+            return self._decide_error(request, "rescale needs a and/or w")
+        try:
+            old_a, old_w, old_w0 = self.engine.class_state(
+                request.source_id, request.name
+            )
+        except KeyError as error:
+            return self._decide_error(request, str(error.args[0]))
+        try:
+            self.engine.rescale_class(
+                request.source_id, request.name, a=request.a, w=request.w
+            )
+        except ValueError as error:
+            return self._decide_error(request, str(error))
+        if self.engine.report().feasible:
+            return self._finish(request, "admit")
+        worst = self.engine.report().worst
+        # Exact rollback: effective bound and rebase base both restored.
+        self.engine.rescale_class(
+            request.source_id, request.name, a=old_a, w=old_w, w0=old_w0
+        )
+        return self._finish(
+            request,
+            "reject",
+            f"infeasible: B_DDCR exceeds deadline for "
+            f"{worst.class_name} (slack {worst.slack})",
+        )
+
+    def _decide_reconfigure(self, request: Request) -> Decision:
+        if request.scale is None or request.scale <= 0:
+            return self._decide_error(
+                request, f"reconfigure needs scale > 0, got {request.scale}"
+            )
+        self.engine.rescale_density(request.scale)
+        evicted: list[tuple[int, str]] = []
+        while self._admission_order and not self.engine.report().feasible:
+            source_id, name = self._admission_order.pop()
+            self.engine.remove_class(source_id, name)
+            self._names.discard(name)
+            evicted.append((source_id, name))
+        return self._finish(request, "ok", evicted=tuple(evicted))
+
+    # -- counter-checking --------------------------------------------------
+
+    def sim_spec(self) -> "RunSpec":
+        """The SERVE-CHECK spec for the current admitted set."""
+        from repro.runtime.spec import RunSpec
+
+        return RunSpec.make(
+            "SERVE-CHECK",
+            root_seed=self.config.sim_seed,
+            classes=self.frozen_classes(),
+            static_q=self.config.static_q,
+            static_m=self.config.static_m,
+            time_f=self.config.time_f,
+            time_m=self.config.time_m,
+            medium=self.config.medium,
+            horizon=self.config.sim_horizon,
+        )
+
+    def counter_check(self) -> list[Incident]:
+        """Re-derive the admitted set's feasibility independently.
+
+        Always runs the scalar oracle (materialise the engine state as an
+        :class:`HRTDMProblem`, ``check_feasibility``, digest-compare
+        every report row); runs the SERVE-CHECK simulation through the
+        attached executor when one is present.  Returns the incidents
+        *this* check raised (also appended to :attr:`incidents`).
+        """
+        self.telemetry.counter("serve/checks").inc()
+        raised: list[Incident] = []
+        if self.engine.class_count:
+            oracle = check_feasibility(
+                self.engine.to_problem(),
+                self.config.medium_profile(),
+                self.config.trees(),
+            )
+            mine = self.engine.report()
+            # Row-by-row pickles: a whole-report pickle memoizes shared
+            # strings differently across construction paths.
+            mismatches = [
+                row.class_name
+                for row, expected in zip(mine.classes, oracle.classes)
+                if pickle.dumps(row) != pickle.dumps(expected)
+            ]
+            if len(mine.classes) != len(oracle.classes) or mismatches:
+                raised.append(
+                    Incident(
+                        kind="oracle-divergence",
+                        at_seq=self._last_seq,
+                        detail=(
+                            f"engine report differs from scalar oracle on "
+                            f"{len(mismatches)}/{len(oracle.classes)} "
+                            f"class(es): {', '.join(mismatches[:5])}"
+                        ),
+                    )
+                )
+            if self.executor is not None:
+                records = self.executor.run([self.sim_spec()])
+                result = records[0].result
+                if not result.all_checks_pass:
+                    raised.append(
+                        Incident(
+                            kind="sim-check-failed",
+                            at_seq=self._last_seq,
+                            detail=(
+                                "SERVE-CHECK simulation failed: "
+                                + ", ".join(result.failed_checks())
+                            ),
+                        )
+                    )
+        for incident in raised:
+            self._record_incident(incident)
+        return raised
+
+
+# -- replay / resume --------------------------------------------------------
+
+
+def read_event_log(
+    log_dir: "str | pathlib.Path",
+) -> tuple[ServeConfig, list[tuple[Request, Decision]]]:
+    """Parse ``events.jsonl``: the header config plus all event pairs."""
+    path = pathlib.Path(log_dir) / EVENTS_FILE
+    config: ServeConfig | None = None
+    events: list[tuple[Request, Decision]] = []
+    with open(path, encoding="utf-8") as handle:
+        for line_no, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            doc = json.loads(line)
+            kind = doc.get("kind")
+            if kind == "header":
+                if doc.get("schema") != LOG_SCHEMA:
+                    raise ValueError(
+                        f"{path}:{line_no}: unsupported log schema "
+                        f"{doc.get('schema')!r}"
+                    )
+                config = ServeConfig.from_dict(doc["config"])
+            elif kind == "event":
+                events.append(
+                    (
+                        Request.from_dict(doc["request"]),
+                        Decision.from_dict(doc["decision"]),
+                    )
+                )
+            else:
+                raise ValueError(
+                    f"{path}:{line_no}: unknown log line kind {kind!r}"
+                )
+    if config is None:
+        raise ValueError(f"{path}: no header line")
+    return config, events
+
+
+def replay_event_log(
+    log_dir: "str | pathlib.Path",
+    *,
+    backend=None,
+    telemetry=None,
+    executor: "ParallelExecutor | None" = None,
+    upto: int | None = None,
+    attach: bool = False,
+) -> AdmissionService:
+    """Rebuild a service by re-deciding the logged requests.
+
+    Every recomputed decision is byte-compared against the logged one; a
+    difference becomes a ``replay-mismatch`` incident (determinism is a
+    *checked* property, not an assumption).  ``upto`` replays only the
+    first N events — the mid-trace resume path; ``attach`` re-opens the
+    log files for appending so the resumed service continues the same
+    run.  Periodic counter-checks are suppressed during replay (the
+    decisions are already being verified against the log).
+    """
+    config, events = read_event_log(log_dir)
+    service = AdmissionService(
+        # check_every=0 during replay; restored before handing back.
+        config._replace(check_every=0),
+        backend=backend,
+        telemetry=telemetry,
+        executor=executor,
+    )
+    if upto is not None:
+        events = events[:upto]
+    for request, logged in events:
+        recomputed = service.handle(request)
+        if recomputed.to_json() != logged.to_json():
+            service._record_incident(
+                Incident(
+                    kind="replay-mismatch",
+                    at_seq=request.seq,
+                    detail=(
+                        f"replayed decision differs at seq {request.seq}: "
+                        f"{recomputed.to_json()} != {logged.to_json()}"
+                    ),
+                )
+            )
+    service.config = config
+    if attach:
+        service.attach_log_dir(log_dir)
+    return service

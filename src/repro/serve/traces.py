@@ -1,0 +1,205 @@
+"""Synthetic admission traces: city-scale churn over workload templates.
+
+A trace is a deterministic list of :class:`~repro.serve.model.Request`
+events — joins, leaves, rescales and density reconfigurations — drawn
+from the same application class shapes the workload factories use
+(:mod:`repro.model.workloads`: videoconference, trading floor, air
+traffic control).  Arrival of *requests* is modelled as Poisson-thinned
+churn with optional join bursts (a station powering up brings several
+classes at once), the adversarial-arrival analogue at control-plane
+timescale.
+
+Determinism: every draw comes from named
+:class:`~repro.sim.rng.SeedSequenceRegistry` streams keyed by the trace
+seed, so the same :class:`TraceConfig` always yields the same byte-level
+request list — the substrate of the replay byte-identity tests.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.serve.model import Request
+from repro.sim.rng import SeedSequenceRegistry
+from repro.sweep import Campaign, register_campaign
+
+__all__ = ["ClassTemplate", "TEMPLATES", "TraceConfig", "generate_trace"]
+
+_MS = 1_000_000
+
+#: Window jitter factors a join/rescale may apply to a template window.
+_WINDOW_FACTORS = (0.75, 1.0, 1.0, 1.0, 1.5, 2.0)
+
+#: Density scales a reconfigure event draws from.
+_RECONFIGURE_SCALES = (0.5, 0.75, 1.0, 1.0, 1.5, 2.0)
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class ClassTemplate:
+    """One application class shape (scale-1.0 base, 1 Gb/s bit-times)."""
+
+    key: str
+    length: int
+    deadline: int
+    a: int
+    w: int
+
+
+#: The workload factories' class shapes, reusable as trace ingredients.
+_VIDEO = ClassTemplate("video", 12_000, 5 * _MS, 1, 1 * _MS)
+_AUDIO = ClassTemplate("audio", 1_600, 2 * _MS, 1, 2 * _MS)
+_CONTROL = ClassTemplate("control", 500, 10 * _MS, 1, 20 * _MS)
+_ORDER = ClassTemplate("order", 2_000, 1 * _MS, 4, 1 * _MS)
+_TICKER = ClassTemplate("ticker", 8_000, 8 * _MS, 2, 4 * _MS)
+_TRACKS = ClassTemplate("tracks", 24_000, 12 * _MS, 2, 4 * _MS)
+_COMMAND = ClassTemplate("command", 1_000, 4 * _MS, 1, 10 * _MS)
+_STATUS = ClassTemplate("status", 4_000, 50 * _MS, 1, 50 * _MS)
+
+TEMPLATES: dict[str, tuple[ClassTemplate, ...]] = {
+    "videoconference": (_VIDEO, _AUDIO, _CONTROL),
+    "trading": (_ORDER, _TICKER),
+    "atc": (_TRACKS, _COMMAND, _STATUS),
+    #: The city-scale mixture: every application sharing one segment.
+    "city": (
+        _VIDEO, _AUDIO, _CONTROL, _ORDER, _TICKER, _TRACKS, _COMMAND,
+        _STATUS,
+    ),
+}
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class TraceConfig:
+    """Shape of one synthetic trace (all fields deterministic inputs).
+
+    ``churn`` is the probability a steady-state event retires an admitted
+    class rather than joining a new one; ``rescale_rate`` and
+    ``reconfigure_rate`` thin off their event kinds first; ``burst`` is
+    the probability a join turns into a burst of 2-7 consecutive joins
+    (geometrically shaped, bounded).  ``nu`` is the static-leaf count a
+    new source requests.
+    """
+
+    events: int = 1_000
+    stations: int = 64
+    seed: int = 0
+    template: str = "city"
+    nu: int = 1
+    churn: float = 0.4
+    rescale_rate: float = 0.12
+    reconfigure_rate: float = 0.02
+    burst: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.events < 1:
+            raise ValueError(f"events must be >= 1, got {self.events}")
+        if self.stations < 1:
+            raise ValueError(f"stations must be >= 1, got {self.stations}")
+        if self.template not in TEMPLATES:
+            raise ValueError(
+                f"unknown template {self.template!r} "
+                f"(known: {', '.join(sorted(TEMPLATES))})"
+            )
+        if self.nu < 1:
+            raise ValueError(f"nu must be >= 1, got {self.nu}")
+        for field in ("churn", "rescale_rate", "reconfigure_rate", "burst"):
+            value = getattr(self, field)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{field} must be in [0, 1], got {value}")
+
+
+def generate_trace(config: TraceConfig) -> list[Request]:
+    """The deterministic request list a :class:`TraceConfig` describes.
+
+    The generator tracks an *optimistic* view of the admitted set (it
+    assumes every join is admitted) so leaves and rescales mostly target
+    live classes; the service may still answer ``error`` for a class it
+    actually rejected — a deliberately exercised path, not a bug.
+    """
+    registry = SeedSequenceRegistry(config.seed).spawn("serve-trace")
+    ops = registry.stream("ops")
+    picks = registry.stream("picks")
+    templates = TEMPLATES[config.template]
+    #: Optimistic admitted view, admission order: (source_id, name, a, w).
+    admitted: list[tuple[int, str, int, int]] = []
+    requests: list[Request] = []
+    counter = 0
+    pending_burst = 0
+
+    def make_join(seq: int) -> Request:
+        nonlocal counter
+        source = picks.randrange(config.stations)
+        template = templates[picks.randrange(len(templates))]
+        factor = _WINDOW_FACTORS[picks.randrange(len(_WINDOW_FACTORS))]
+        w = max(1, int(template.w * factor))
+        name = f"{template.key}-{source}-{counter}"
+        counter += 1
+        admitted.append((source, name, template.a, w))
+        return Request(
+            seq=seq,
+            kind="join",
+            source_id=source,
+            name=name,
+            nu=config.nu,
+            length=template.length,
+            deadline=template.deadline,
+            a=template.a,
+            w=w,
+        )
+
+    for seq in range(config.events):
+        if pending_burst > 0:
+            pending_burst -= 1
+            requests.append(make_join(seq))
+            continue
+        roll = ops.random()
+        if roll < config.reconfigure_rate:
+            scale = _RECONFIGURE_SCALES[
+                picks.randrange(len(_RECONFIGURE_SCALES))
+            ]
+            requests.append(Request(seq=seq, kind="reconfigure", scale=scale))
+            continue
+        roll -= config.reconfigure_rate
+        if admitted and roll < config.rescale_rate:
+            index = picks.randrange(len(admitted))
+            source, name, a, w = admitted[index]
+            factor = _WINDOW_FACTORS[picks.randrange(len(_WINDOW_FACTORS))]
+            new_w = max(1, int(w * factor))
+            admitted[index] = (source, name, a, new_w)
+            requests.append(
+                Request(seq=seq, kind="rescale", source_id=source,
+                        name=name, a=a, w=new_w)
+            )
+            continue
+        roll -= config.rescale_rate
+        if admitted and ops.random() < config.churn:
+            index = picks.randrange(len(admitted))
+            source, name, _, _ = admitted.pop(index)
+            requests.append(
+                Request(seq=seq, kind="leave", source_id=source, name=name)
+            )
+            continue
+        if ops.random() < config.burst:
+            pending_burst = 1 + picks.randrange(6)
+        requests.append(make_join(seq))
+    return requests
+
+
+#: Canonical serve sweep: SERVE-CHECK over trace sizes and sim seeds —
+#: each point generates a trace, runs it through the admission service,
+#: then counter-checks the surviving set against the scalar oracle and a
+#: short DDCR simulation.  Registered here so the sweep CLI lists it
+#: (``repro.sweep.registry`` imports :mod:`repro.serve` lazily).
+register_campaign(
+    Campaign.make(
+        "serve-traces",
+        experiment="SERVE-CHECK",
+        axes={"events": (32, 64)},
+        seeds=(0, 1),
+        params={"stations": 12},
+        batch_size=2,
+        description=(
+            "Admission-service traces counter-checked against the scalar "
+            "FC oracle and a peak-load DDCR simulation"
+        ),
+    )
+)

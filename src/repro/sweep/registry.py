@@ -32,7 +32,9 @@ def builtin_campaigns() -> dict[str, Campaign]:
     """All registered campaigns by name (triggers built-in registration)."""
     # Importing the experiment catalog imports every experiment module,
     # whose module-level register_campaign() calls populate _CAMPAIGNS.
+    # The serve package registers its trace campaign the same way.
     import repro.experiments.registry  # noqa: F401
+    import repro.serve  # noqa: F401
 
     return dict(sorted(_CAMPAIGNS.items()))
 

@@ -328,6 +328,109 @@ def _make_slot_rate_bench(
     )
 
 
+#: Lazy warm admission service (128 classes full-size, 32 smoke) plus a
+#: monotone request-seq counter, so the timed passes measure decisions
+#: only, not bootstrap.  Keyed by smoke like ``_FEAS_GRID_CACHE``.
+_SERVE_CACHE: "dict[bool, list] | None" = None
+
+
+def _serve_problem(smoke: bool):
+    from repro.model.workloads import uniform_problem
+
+    # Comfortably feasible at z classes so churn rejoins always re-admit
+    # (a reject would shrink the set and change what later passes time).
+    return uniform_problem(
+        z=32 if smoke else 128, length=8_000, deadline=96 * _MS, a=1,
+        w=48 * _MS,
+    )
+
+
+def _serve_bootstrap(problem, next_seq: int = 0):
+    """A service with every class of ``problem`` admitted through the
+    normal join path; returns ``(service, next_seq)``."""
+    from repro.serve.model import Request
+    from repro.serve.service import AdmissionService, ServeConfig
+
+    service = AdmissionService(ServeConfig(static_q=problem.static_q))
+    for source in problem.sources:
+        for msg in source.message_classes:
+            decision = service.handle(Request(
+                seq=next_seq, kind="join", source_id=source.source_id,
+                name=msg.name, nu=source.nu, length=msg.length,
+                deadline=msg.deadline, a=msg.bound.a, w=msg.bound.w,
+            ))
+            assert decision.verdict == "admit", decision.reason
+            next_seq += 1
+    return service, next_seq
+
+
+def _serve_workload(smoke: bool):
+    global _SERVE_CACHE
+    if _SERVE_CACHE is None:
+        _SERVE_CACHE = {}
+    if smoke not in _SERVE_CACHE:
+        problem = _serve_problem(smoke)
+        service, next_seq = _serve_bootstrap(problem)
+        _SERVE_CACHE[smoke] = [problem, service, next_seq]
+    return _SERVE_CACHE[smoke]
+
+
+def _bench_admission_decisions(
+    smoke: bool, seed: int = 0
+) -> tuple[float, str]:
+    """Steady-state admit/reject throughput at the 128-class point.
+
+    Mass-conserving churn against the prebuilt warm service: half the
+    sources leave and immediately rejoin (full remove + add + feasibility
+    consult each), a quarter renegotiate their bound in place — so every
+    pass starts and ends at the identical 128-class state and passes are
+    comparable."""
+    from repro.serve.model import Request
+
+    state = _serve_workload(smoke)
+    problem, service, next_seq = state
+    sources = problem.sources
+    half = len(sources) // 2
+    decisions = 0
+    for source in sources[:half]:
+        msg = source.message_classes[0]
+        for request in (
+            Request(seq=next_seq, kind="leave",
+                    source_id=source.source_id, name=msg.name),
+            Request(seq=next_seq + 1, kind="join",
+                    source_id=source.source_id, name=msg.name, nu=source.nu,
+                    length=msg.length, deadline=msg.deadline,
+                    a=msg.bound.a, w=msg.bound.w),
+        ):
+            assert service.handle(request).applied
+            next_seq += 1
+            decisions += 1
+    for source in sources[half:half + half // 2]:
+        msg = source.message_classes[0]
+        request = Request(seq=next_seq, kind="rescale",
+                          source_id=source.source_id, name=msg.name,
+                          a=msg.bound.a, w=msg.bound.w)
+        assert service.handle(request).verdict == "admit"
+        next_seq += 1
+        decisions += 1
+    state[2] = next_seq
+    return float(decisions), "decisions"
+
+
+def _bench_admission_bootstrap_cold(
+    smoke: bool, seed: int = 0
+) -> tuple[float, str]:
+    """Cold tier: a fresh service admitting the whole 128-class roster.
+
+    Each pass rebuilds the service from nothing and pays the per-join
+    incremental feasibility consult at every intermediate size — the rate
+    an operator sees bringing a city segment up from empty."""
+    problem = _serve_problem(smoke)
+    service, next_seq = _serve_bootstrap(problem)
+    assert service.class_count == len(problem.sources)
+    return float(next_seq), "decisions"
+
+
 def _bench_invariant_overhead(smoke: bool, seed: int = 0) -> tuple[float, str]:
     """The 16-station fastloop workload with the standard monitor suite
     armed; compare against ``channel_slot_rate_16_fastloop`` (the same
@@ -364,6 +467,10 @@ BENCHES: dict[
     "latency_bound": (None, _bench_latency_bound),
     "feasibility_grid": (None, _bench_feasibility_grid),
     "feasibility_grid_scalar": (None, _bench_feasibility_grid_scalar),
+    # Admission service: cold bootstrap vs steady-state churn on the same
+    # 128-class operating point (the serve layer's headline rate).
+    "admission_bootstrap_cold": (None, _bench_admission_bootstrap_cold),
+    "admission_decisions_per_sec": (None, _bench_admission_decisions),
     # The scaling story in one grid: per-station Python call overhead
     # makes des/fastloop degrade linearly in z (fastloop loses its edge
     # by z=16 already), while the batch kernel's struct-of-arrays slot

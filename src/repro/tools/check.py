@@ -31,7 +31,10 @@ engine-incremental and digest-compared, :mod:`repro.core.feas_grid` /
 ``summarize`` + ``diff`` round-trip over the manifest; ``--no-obs``
 skips it), a sweep-smoke step (a 4-point campaign cold-run then resumed
 on the warm cache, asserting zero resubmissions and a byte-identical
-aggregate, :mod:`repro.sweep`; ``--no-sweep`` skips it), and finishes
+aggregate, :mod:`repro.sweep`; ``--no-sweep`` skips it), a serve-smoke
+step (a short admission trace served with counter-checks, replayed
+byte-identically, and re-checked with zero executor resubmissions,
+:mod:`repro.serve`; ``--no-serve`` skips it), and finishes
 with a perf-smoke step: one quick pass of the micro benchmarks
 (:mod:`repro.tools.bench` ``--smoke``), printing throughput so
 regressions surface next to correctness (``--no-perf`` skips it).  The
@@ -121,6 +124,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-feas",
         action="store_true",
         help="skip the --ci feas-smoke (feasibility kernel parity) step",
+    )
+    parser.add_argument(
+        "--no-serve",
+        action="store_true",
+        help="skip the --ci serve-smoke (admission service) step",
     )
     parser.add_argument(
         "--no-batch",
@@ -538,6 +546,89 @@ def _run_sweep_smoke(cache_dir: str, jobs: int) -> list[str]:
     return failures
 
 
+def _run_serve_smoke(cache_dir: str, jobs: int, use_cache: bool = True) -> list[str]:
+    """A short admission trace served, counter-checked and replayed.
+
+    Exercises the serve contract end to end: a cold run with periodic
+    counter-checks (scalar oracle + SERVE-CHECK simulation through the
+    cache-aware executor) must raise **zero** incidents; a replay of the
+    persisted event log must reproduce every decision byte for byte; and
+    a re-counter-check through a fresh executor sharing the cache must
+    resubmit **zero** specs.  Without the result cache the simulation leg
+    is skipped (oracle + replay still run).  Returns failure lines.
+    """
+    from repro.runtime import ParallelExecutor, ResultCache
+    from repro.serve import (
+        AdmissionService,
+        ServeConfig,
+        TraceConfig,
+        generate_trace,
+        replay_event_log,
+    )
+
+    failures: list[str] = []
+    trace = generate_trace(
+        TraceConfig(events=48, stations=10, seed=11, template="city")
+    )
+    config = ServeConfig(static_q=64, check_every=16)
+    with tempfile.TemporaryDirectory() as tmp:
+        log_dir = os.path.join(tmp, "serve-log")
+        executor = (
+            ParallelExecutor(jobs=jobs, cache=ResultCache(cache_dir))
+            if use_cache
+            else None
+        )
+        with AdmissionService(
+            config, executor=executor, log_dir=log_dir
+        ) as service:
+            decisions = service.run_trace(trace)
+            service.counter_check()
+            if service.incidents:
+                failures.append(
+                    f"serve-smoke: cold run raised "
+                    f"{len(service.incidents)} incident(s): "
+                    f"{service.incidents[0].detail}"
+                )
+            admitted = service.class_count
+        replayed = replay_event_log(log_dir)
+        mismatches = [
+            incident
+            for incident in replayed.incidents
+            if incident.kind == "replay-mismatch"
+        ]
+        if mismatches:
+            failures.append(
+                f"serve-smoke: replay diverged on "
+                f"{len(mismatches)} decision(s): {mismatches[0].detail}"
+            )
+        if replayed.class_count != admitted:
+            failures.append(
+                f"serve-smoke: replay admitted {replayed.class_count} "
+                f"class(es), cold run {admitted}"
+            )
+        if use_cache:
+            recheck = ParallelExecutor(jobs=jobs, cache=ResultCache(cache_dir))
+            replayed.executor = recheck
+            replayed.counter_check()
+            if recheck.submissions != 0:
+                failures.append(
+                    f"serve-smoke: replay counter-check resubmitted "
+                    f"{recheck.submissions} spec(s)"
+                )
+            if replayed.incidents != mismatches:
+                failures.append(
+                    "serve-smoke: replay counter-check raised incident(s)"
+                )
+    if not failures:
+        sim = "counter-checked" if use_cache else "oracle-checked (no cache)"
+        print(
+            f"serve-smoke: {len(trace)}-event trace served, {sim} and "
+            f"replayed byte-identically ({admitted} class(es) admitted, "
+            "0 incidents)"
+        )
+    return failures
+
+
 def _run_perf_smoke(batch: bool = True) -> "list | None":
     """One quick micro-benchmark pass; returns results (None = skipped)."""
     from repro.tools.bench import BENCHES, run_benches
@@ -621,6 +712,7 @@ def run_ci(
     obs: bool = True,
     feas: bool = True,
     sweep: bool = True,
+    serve: bool = True,
     batch: bool = True,
     perf_trend: bool = True,
     history: "str | None" = None,
@@ -700,6 +792,11 @@ def run_ci(
         print("sweep-smoke: skipped (needs the result cache)")
     elif sweep:
         sweep_failures = _run_sweep_smoke(cache_dir, jobs)
+    serve_failures: list[str] = []
+    if serve:
+        serve_failures = _run_serve_smoke(
+            cache_dir, jobs, use_cache=not no_cache
+        )
     trend_failures: list[str] = []
     if perf:
         results = _run_perf_smoke(batch=batch)
@@ -725,6 +822,8 @@ def run_ci(
         print(f"FAILED obs: {failure}", file=sys.stderr)
     for failure in sweep_failures:
         print(f"FAILED sweep: {failure}", file=sys.stderr)
+    for failure in serve_failures:
+        print(f"FAILED serve: {failure}", file=sys.stderr)
     for failure in trend_failures:
         print(f"FAILED perf-trend: {failure}", file=sys.stderr)
     if (
@@ -733,6 +832,7 @@ def run_ci(
         or feas_failures
         or obs_failures
         or sweep_failures
+        or serve_failures
         or trend_failures
     ):
         return 2
@@ -754,6 +854,7 @@ def main(argv: list[str] | None = None) -> int:
                 obs=not args.no_obs,
                 feas=not args.no_feas,
                 sweep=not args.no_sweep,
+                serve=not args.no_serve,
                 batch=not args.no_batch,
                 perf_trend=not args.no_perf_trend,
                 history=args.history,

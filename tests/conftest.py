@@ -23,6 +23,19 @@ settings.register_profile(
 )
 settings.load_profile("repro")
 
+def pytest_collection_modifyitems(config, items):
+    """Keep ``slow``-marked tests out of the tier-1 fast path.
+
+    An explicit ``-m`` expression (e.g. ``pytest -m slow``) opts back in.
+    """
+    if config.getoption("-m"):
+        return
+    skip = pytest.mark.skip(reason="slow: run with `pytest -m slow`")
+    for item in items:
+        if "slow" in item.keywords:
+            item.add_marker(skip)
+
+
 #: (m, t) shapes small enough for any exact computation in a test.
 SMALL_SHAPES = [(2, 4), (2, 8), (2, 16), (3, 9), (3, 27), (4, 16), (4, 64), (5, 25)]
 

@@ -1,7 +1,9 @@
-"""Persistent xi-table store: roundtrips, corruption recovery, layering."""
+"""Persistent xi-table store: roundtrips, corruption recovery, layering,
+and multi-process contention over one shared shard tree."""
 
 from __future__ import annotations
 
+import multiprocessing
 import os
 import pickle
 
@@ -217,3 +219,107 @@ class TestCacheTierLayering:
 
 def test_default_directory_is_under_repro_cache():
     assert xi_store.DEFAULT_DIRECTORY == os.path.join(".repro-cache", "xi")
+
+
+# -- multi-process contention ------------------------------------------------
+#
+# Worker functions live at module level so they pickle across the
+# process boundary.  The fork start method keeps the workers cheap and is
+# always available on the platforms CI runs on (linux).
+
+def _hammer_writer(directory: str, rounds: int, table: tuple) -> None:
+    store = XiTableStore(directory)
+    for _ in range(rounds):
+        store.store("cost", 2, 8, 1, table)
+
+
+def _hammer_reader(directory: str, rounds: int, expected: tuple,
+                   queue) -> None:
+    store = XiTableStore(directory)
+    seen = corrupt = 0
+    for _ in range(rounds):
+        value = store.load("cost", 2, 8, 1)
+        if value is not None:
+            seen += 1
+            if value != expected:
+                corrupt += 1
+    queue.put((seen, corrupt, store.stats.evictions))
+
+
+def _compute_through_store(directory: str, queue) -> None:
+    search_cost._cost_tuple.cache_clear()
+    with use_xi_store(XiTableStore(directory)):
+        table = search_cost._cost_tuple(2, 9)
+    queue.put(table)
+
+
+class TestMultiProcessContention:
+    """Writers and readers race over one shard tree; the atomic
+    mkstemp+rename write protocol must never let a reader observe a
+    corrupt or partial table."""
+
+    def test_concurrent_writers_and_readers_never_see_corruption(
+        self, tmp_path
+    ):
+        directory = str(tmp_path / "shared-xi")
+        with use_xi_store(None):
+            search_cost._cost_tuple.cache_clear()
+            table = search_cost._cost_tuple(2, 8)
+        search_cost._cost_tuple.cache_clear()
+        context = multiprocessing.get_context("fork")
+        queue = context.Queue()
+        rounds = 200
+        writers = [
+            context.Process(
+                target=_hammer_writer, args=(directory, rounds, table)
+            )
+            for _ in range(2)
+        ]
+        readers = [
+            context.Process(
+                target=_hammer_reader,
+                args=(directory, rounds, table, queue),
+            )
+            for _ in range(2)
+        ]
+        for process in writers + readers:
+            process.start()
+        for process in writers + readers:
+            process.join(timeout=60)
+            assert process.exitcode == 0
+        total_seen = 0
+        for _ in readers:
+            seen, corrupt, evictions = queue.get(timeout=10)
+            total_seen += seen
+            assert corrupt == 0, "a reader served a wrong table"
+            assert evictions == 0, "a reader evicted a mid-write entry"
+        # The writers started immediately, so readers overlapped live
+        # writes; at least some loads must have hit.
+        assert total_seen > 0
+        # The surviving entry is intact.
+        assert XiTableStore(directory).load("cost", 2, 8, 1) == table
+
+    def test_two_processes_compute_the_same_table_through_one_store(
+        self, tmp_path
+    ):
+        """Both processes race the (2, 9) DP through the same empty
+        store: whoever wins the write, both must return the true table
+        and the store must end with a loadable, correct entry."""
+        directory = str(tmp_path / "shared-xi")
+        context = multiprocessing.get_context("fork")
+        queue = context.Queue()
+        processes = [
+            context.Process(
+                target=_compute_through_store, args=(directory, queue)
+            )
+            for _ in range(2)
+        ]
+        for process in processes:
+            process.start()
+        for process in processes:
+            process.join(timeout=120)
+            assert process.exitcode == 0
+        first = queue.get(timeout=10)
+        second = queue.get(timeout=10)
+        assert first == second
+        assert XiTableStore(directory).load("cost", 2, 9, 1) == first

@@ -1,6 +1,6 @@
 """CLI integrity: every registry id round-trips through the CLI.
 
-Running all 19 experiments for real takes minutes, so the suite-wide
+Running every experiment for real takes minutes, so the suite-wide
 round-trips resolve through a pre-warmed result cache (the CLI's own
 storage format, written with stub results keyed by the exact specs the
 CLI builds); a couple of fast experiments additionally run for real with

@@ -71,6 +71,25 @@ class TestSimulationExperiments:
         result = ablation_theta.run(thetas=(0.0, 1.0), horizon=24_000_000)
         assert result.all_checks_pass, result.failed_checks()
 
+    def test_serve_check_trace_mode(self):
+        from repro.experiments import serve_check
+
+        result = serve_check.run(events=24, stations=6, horizon=1_000_000)
+        assert result.all_checks_pass, result.failed_checks()
+        assert result.checks["decisions-deterministic"]
+
+    def test_serve_check_admitted_set_mode(self):
+        from repro.experiments import serve_check
+
+        # One feasible two-source set, passed as the service would.
+        classes = (
+            (0, 1, "a", 8_000, 12_000_000, 1, 4_000_000),
+            (1, 2, "b", 4_000, 8_000_000, 1, 4_000_000),
+        )
+        result = serve_check.run(classes=classes, horizon=1_000_000)
+        assert result.all_checks_pass, result.failed_checks()
+        assert len(result.rows) == 2
+
 
 class TestRegistry:
     def test_all_ids_registered(self):
@@ -94,6 +113,7 @@ class TestRegistry:
             "EXT-HOST",
             "EXT-NOISE",
             "EXT-UTIL",
+            "SERVE-CHECK",
         }
         assert set(EXPERIMENTS) == expected
 

@@ -1,0 +1,243 @@
+"""Property suite: the service is the scalar oracle, policy included.
+
+An independent reference model replicates the admission policy using
+*only* scalar ``check_feasibility`` over explicit class lists — no
+engine, no incremental state.  For arbitrary interleaved
+join/leave/rescale/reconfigure traces, the service must agree with the
+reference on every verdict, and its engine state must end exactly equal
+to what the surviving class set implies: per-row pickle digests of the
+engine report against a fresh scalar report, and the engine snapshot
+against one rebuilt from the reference's bookkeeping.
+"""
+
+from __future__ import annotations
+
+import math
+import pickle
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.feasibility import check_feasibility
+from repro.model.message import DensityBound, MessageClass
+from repro.model.problem import HRTDMProblem
+from repro.model.source import SourceSpec
+from repro.serve.model import Request
+from repro.serve.service import AdmissionService, ServeConfig
+
+_MS = 1_000_000
+_Q = 16
+_NAMES = tuple(f"n{i}" for i in range(6))
+_SCALES = (0.5, 1.0, 2.0, 8.0)
+
+
+class ReferenceModel:
+    """The admission policy, re-derived from scalar feasibility only."""
+
+    def __init__(self, config: ServeConfig) -> None:
+        self.config = config
+        self.medium = config.medium_profile()
+        self.trees = config.trees()
+        #: [source_id, nu, [ {name, length, deadline, a, w, w0} ]]
+        self.sources: list[list] = []
+        self.order: list[tuple[int, str]] = []
+        self.names: set[str] = set()
+        self.scale = 1.0
+
+    def _find(self, source_id: int):
+        for source in self.sources:
+            if source[0] == source_id:
+                return source
+        return None
+
+    def _total_nu(self) -> int:
+        return sum(source[1] for source in self.sources)
+
+    def problem(self) -> HRTDMProblem | None:
+        if not self.sources:
+            return None
+        specs = []
+        offset = 0
+        for source_id, nu, classes in self.sources:
+            specs.append(SourceSpec(
+                source_id=source_id,
+                message_classes=tuple(
+                    MessageClass(
+                        name=c["name"], length=c["length"],
+                        deadline=c["deadline"],
+                        bound=DensityBound(a=c["a"], w=c["w"]),
+                    )
+                    for c in classes
+                ),
+                static_indices=tuple(range(offset, offset + nu)),
+            ))
+            offset += nu
+        return HRTDMProblem(
+            sources=tuple(specs),
+            static_q=self.config.static_q,
+            static_m=self.config.static_m,
+        )
+
+    def _feasible(self) -> bool:
+        problem = self.problem()
+        if problem is None:
+            return True
+        return check_feasibility(problem, self.medium, self.trees).feasible
+
+    def _remove(self, source_id: int, name: str) -> None:
+        source = self._find(source_id)
+        source[2] = [c for c in source[2] if c["name"] != name]
+        if not source[2]:
+            self.sources.remove(source)
+        self.names.discard(name)
+        self.order.remove((source_id, name))
+
+    def join(self, request: Request) -> str:
+        if request.name in self.names:
+            return "error"
+        source = self._find(request.source_id)
+        if source is None:
+            if self._total_nu() + request.nu > self.config.static_q:
+                return "reject"
+            source = [request.source_id, request.nu, []]
+            self.sources.append(source)
+        source[2].append({
+            "name": request.name, "length": request.length,
+            "deadline": request.deadline, "a": request.a, "w": request.w,
+            "w0": request.w,
+        })
+        self.names.add(request.name)
+        self.order.append((request.source_id, request.name))
+        if self._feasible():
+            return "admit"
+        self._remove(request.source_id, request.name)
+        return "reject"
+
+    def leave(self, request: Request) -> str:
+        if (request.source_id, request.name) not in self.order:
+            return "error"
+        self._remove(request.source_id, request.name)
+        return "ok"
+
+    def rescale(self, request: Request) -> str:
+        if (request.source_id, request.name) not in self.order:
+            return "error"
+        source = self._find(request.source_id)
+        target = next(c for c in source[2] if c["name"] == request.name)
+        saved = dict(target)
+        if request.a is not None:
+            target["a"] = request.a
+        if request.w is not None:
+            target["w"] = request.w
+        target["w0"] = target["w"]
+        if self._feasible():
+            return "admit"
+        target.update(saved)
+        return "reject"
+
+    def reconfigure(self, request: Request) -> str:
+        self.scale = request.scale
+        for _, _, classes in self.sources:
+            for c in classes:
+                c["w"] = max(1, math.ceil(c["w0"] / self.scale))
+        while self.order and not self._feasible():
+            source_id, name = self.order[-1]
+            self._remove(source_id, name)
+        return "ok"
+
+    def apply(self, request: Request) -> str:
+        return getattr(self, request.kind)(request)
+
+    def snapshot(self) -> tuple:
+        """The engine-snapshot shape the service must end up in."""
+        return (
+            self.scale,
+            tuple(
+                (
+                    source_id, nu,
+                    tuple(
+                        (c["name"], c["length"], c["deadline"], c["a"],
+                         c["w"], c["w0"])
+                        for c in classes
+                    ),
+                )
+                for source_id, nu, classes in self.sources
+            ),
+        )
+
+
+def _ops():
+    lengths = st.sampled_from((500, 2_000, 8_000))
+    deadlines = st.sampled_from((2 * _MS, 8 * _MS, 32 * _MS))
+    arrivals = st.sampled_from((1, 2, 8))
+    windows = st.sampled_from((200_000, 1 * _MS, 4 * _MS))
+    source_ids = st.integers(0, 3)
+    names = st.sampled_from(_NAMES)
+    join = st.tuples(st.just("join"), source_ids, names, lengths,
+                     deadlines, arrivals, windows)
+    leave = st.tuples(st.just("leave"), source_ids, names)
+    rescale = st.tuples(st.just("rescale"), source_ids, names, arrivals,
+                        windows)
+    reconfigure = st.tuples(st.just("reconfigure"),
+                            st.sampled_from(_SCALES))
+    return st.lists(st.one_of(join, leave, rescale, reconfigure),
+                    min_size=1, max_size=30)
+
+
+def _to_request(seq: int, op: tuple) -> Request:
+    kind = op[0]
+    if kind == "join":
+        _, source_id, name, length, deadline, a, w = op
+        return Request(seq=seq, kind="join", source_id=source_id,
+                       name=name, nu=2, length=length, deadline=deadline,
+                       a=a, w=w)
+    if kind == "leave":
+        return Request(seq=seq, kind="leave", source_id=op[1], name=op[2])
+    if kind == "rescale":
+        _, source_id, name, a, w = op
+        return Request(seq=seq, kind="rescale", source_id=source_id,
+                       name=name, a=a, w=w)
+    return Request(seq=seq, kind="reconfigure", scale=op[1])
+
+
+@given(_ops())
+def test_service_agrees_with_scalar_reference(ops):
+    config = ServeConfig(static_q=_Q)
+    service = AdmissionService(config)
+    reference = ReferenceModel(config)
+    for seq, op in enumerate(ops):
+        request = _to_request(seq, op)
+        decision = service.handle(request)
+        expected = reference.apply(request)
+        assert decision.verdict == expected, (
+            f"seq {seq} {op}: service said {decision.verdict} "
+            f"({decision.reason}), reference said {expected}"
+        )
+    # Terminal state: the engine must be exactly the surviving set.
+    assert service.engine.snapshot() == reference.snapshot()
+    problem = reference.problem()
+    if problem is None:
+        assert service.class_count == 0
+    else:
+        oracle = check_feasibility(
+            problem, reference.medium, reference.trees
+        )
+        mine = service.engine.report()
+        assert len(mine.classes) == len(oracle.classes)
+        for row, expected_row in zip(mine.classes, oracle.classes):
+            assert pickle.dumps(row) == pickle.dumps(expected_row)
+
+
+@given(_ops())
+def test_rejections_leave_no_residue(ops):
+    """Digest check after *every* request, not just at the end: any
+    rollback residue (a half-applied join or rescale) surfaces at the
+    first infeasible request rather than being masked by later ones."""
+    config = ServeConfig(static_q=_Q)
+    service = AdmissionService(config)
+    reference = ReferenceModel(config)
+    for seq, op in enumerate(ops):
+        request = _to_request(seq, op)
+        service.handle(request)
+        reference.apply(request)
+        assert service.engine.snapshot() == reference.snapshot()

@@ -1,0 +1,88 @@
+"""Request/Decision/Incident: validation, JSON round-trips, determinism."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.serve.model import Decision, Incident, Request
+
+
+class TestRequest:
+    def test_join_round_trips(self):
+        request = Request(seq=3, kind="join", source_id=1, name="video-1-0",
+                          nu=2, length=12_000, deadline=5_000_000, a=1,
+                          w=1_000_000)
+        assert Request.from_dict(json.loads(request.to_json())) == request
+
+    def test_unused_fields_dropped_from_json(self):
+        request = Request(seq=0, kind="leave", source_id=4, name="x")
+        doc = request.to_dict()
+        assert set(doc) == {"seq", "kind", "source_id", "name"}
+
+    def test_reconfigure_carries_scale(self):
+        request = Request(seq=9, kind="reconfigure", scale=1.5)
+        assert Request.from_dict(request.to_dict()) == request
+
+    def test_rejects_negative_seq(self):
+        with pytest.raises(ValueError, match="seq"):
+            Request(seq=-1, kind="join")
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="kind"):
+            Request(seq=0, kind="merge")
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ValueError, match="unknown"):
+            Request.from_dict({"seq": 0, "kind": "join", "priority": 7})
+
+    def test_json_is_compact_and_sorted(self):
+        text = Request(seq=1, kind="leave", source_id=2, name="a").to_json()
+        assert ": " not in text and ", " not in text
+        keys = list(json.loads(text))
+        assert keys == sorted(keys)
+
+
+class TestDecision:
+    def test_round_trips_with_evicted(self):
+        decision = Decision(seq=5, kind="reconfigure", verdict="ok",
+                            class_count=2, total_nu=2, scale=2.0,
+                            slack=125.5, evicted=((3, "video-3-1"),))
+        assert Decision.from_dict(
+            json.loads(decision.to_json())
+        ) == decision
+
+    def test_applied_property(self):
+        admit = Decision(seq=0, kind="join", verdict="admit")
+        reject = Decision(seq=0, kind="join", verdict="reject")
+        ok = Decision(seq=0, kind="leave", verdict="ok")
+        error = Decision(seq=0, kind="leave", verdict="error")
+        assert admit.applied and ok.applied
+        assert not reject.applied and not error.applied
+
+    def test_rejects_unknown_verdict(self):
+        with pytest.raises(ValueError, match="verdict"):
+            Decision(seq=0, kind="join", verdict="maybe")
+
+    def test_no_wall_clock_fields(self):
+        """The determinism contract: decisions never carry timestamps."""
+        decision = Decision(seq=0, kind="join", verdict="admit",
+                            class_count=1, total_nu=1, slack=10.0)
+        doc = decision.to_dict()
+        assert not any("time" in key or "latency" in key for key in doc)
+
+    def test_json_byte_stability(self):
+        make = lambda: Decision(seq=2, kind="rescale", verdict="reject",
+                                reason="infeasible", source_id=1, name="c",
+                                class_count=4, total_nu=4, slack=0.5)
+        assert make().to_json() == make().to_json()
+
+
+class TestIncident:
+    def test_round_trips(self):
+        incident = Incident(kind="oracle-divergence", at_seq=17,
+                            detail="engine != scalar on 1 class")
+        assert Incident.from_dict(
+            json.loads(incident.to_json())
+        ) == incident

@@ -1,0 +1,109 @@
+"""Differential replay: cold run, log replay and mid-trace resume must
+produce byte-identical decision logs — across both feasibility-grid
+backends and with the persistent xi store disabled."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.feas_grid import _PythonFeasOps
+from repro.core.xi_store import use_xi_store
+from repro.serve.service import (
+    AdmissionService,
+    ServeConfig,
+    read_event_log,
+    replay_event_log,
+)
+from repro.serve.traces import TraceConfig, generate_trace
+
+_CONFIG = ServeConfig(static_q=64)
+_TRACE = TraceConfig(events=120, stations=12, seed=21, template="city")
+
+BACKENDS = {"default": None, "python": _PythonFeasOps()}
+
+
+def _decision_lines(log_dir) -> list[str]:
+    return (log_dir / "decisions.jsonl").read_text().splitlines()
+
+
+def _cold_run(log_dir, backend=None) -> list[str]:
+    with AdmissionService(
+        _CONFIG, backend=backend, log_dir=log_dir
+    ) as service:
+        decisions = service.run_trace(generate_trace(_TRACE))
+        assert not service.incidents
+    return [decision.to_json() for decision in decisions]
+
+
+@pytest.mark.parametrize("backend_name", sorted(BACKENDS))
+def test_replay_is_byte_identical(tmp_path, backend_name):
+    backend = BACKENDS[backend_name]
+    log_dir = tmp_path / "log"
+    cold = _cold_run(log_dir, backend=backend)
+    assert _decision_lines(log_dir) == cold
+    replayed = replay_event_log(log_dir, backend=backend)
+    assert replayed.incidents == []  # every decision byte-compared inside
+
+
+def test_backends_agree_on_the_decision_log(tmp_path):
+    logs = {}
+    for name, backend in BACKENDS.items():
+        logs[name] = _cold_run(tmp_path / name, backend=backend)
+    assert logs["default"] == logs["python"]
+
+
+def test_replay_without_xi_store_is_byte_identical(tmp_path):
+    """REPRO_XI_CACHE=off equivalent: the ambient store disabled.  The
+    xi tables are recomputed instead of loaded, and the decision log must
+    not move by a byte."""
+    log_dir = tmp_path / "log"
+    cold = _cold_run(log_dir)
+    with use_xi_store(None):
+        replayed = replay_event_log(log_dir)
+    assert replayed.incidents == []
+    assert _decision_lines(log_dir) == cold
+
+
+def test_resume_mid_trace_continues_the_same_log(tmp_path):
+    """Replay the first half with ``attach``, serve the second half live:
+    the combined decision log must equal the cold run's byte for byte."""
+    cold_dir = tmp_path / "cold"
+    cold = _cold_run(cold_dir)
+    trace = generate_trace(_TRACE)
+    half = len(trace) // 2
+
+    # First half served "yesterday"...
+    partial_dir = tmp_path / "partial"
+    with AdmissionService(_CONFIG, log_dir=partial_dir) as first:
+        first.run_trace(trace[:half])
+
+    # ...process restarts: replay the log, re-attach, serve the rest.
+    resumed = replay_event_log(partial_dir, attach=True)
+    assert resumed.incidents == []
+    assert resumed._last_seq == trace[half - 1].seq
+    with resumed:
+        resumed.run_trace(trace[half:])
+    assert _decision_lines(partial_dir) == cold
+
+
+def test_resume_rejects_out_of_order_continuation(tmp_path):
+    log_dir = tmp_path / "log"
+    trace = generate_trace(_TRACE)
+    with AdmissionService(_CONFIG, log_dir=log_dir) as service:
+        service.run_trace(trace[:10])
+    resumed = replay_event_log(log_dir, attach=True)
+    with resumed:
+        decision = resumed.handle(trace[3])  # stale seq
+    assert decision.verdict == "error"
+
+
+def test_read_event_log_round_trips(tmp_path):
+    log_dir = tmp_path / "log"
+    _cold_run(log_dir)
+    config, events = read_event_log(log_dir)
+    assert config == _CONFIG
+    assert len(events) == _TRACE.events
+    requests = [request for request, _ in events]
+    assert [r.to_json() for r in requests] == [
+        r.to_json() for r in generate_trace(_TRACE)
+    ]

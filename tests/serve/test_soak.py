@@ -1,0 +1,70 @@
+"""Soak: a 50k-event city-scale trace with periodic engine-vs-oracle
+digest checks and a decision-latency p99 assertion.
+
+Excluded from the tier-1 fast path; run with::
+
+    pytest -m slow tests/serve/test_soak.py
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.core.feasibility import check_feasibility
+from repro.obs.instruments import Telemetry
+from repro.serve.service import AdmissionService, ServeConfig
+from repro.serve.traces import TraceConfig, generate_trace
+
+_EVENTS = 50_000
+_CHECK_EVERY = 5_000
+#: Generous wall-clock ceiling: the bench sustains >1k decisions/s on a
+#: 128-class set, so 50 ms p99 flags only pathological regressions
+#: (the histogram's quantile() reports bucket upper edges, in us).
+_P99_CEILING_US = 50_000
+
+
+@pytest.mark.slow
+def test_city_scale_soak():
+    config = ServeConfig(static_q=512)
+    telemetry = Telemetry()
+    service = AdmissionService(config, telemetry=telemetry)
+    trace = generate_trace(TraceConfig(
+        events=_EVENTS, stations=400, seed=99, template="city", churn=0.5,
+    ))
+    medium = config.medium_profile()
+    trees = config.trees()
+    checks = 0
+    for request in trace:
+        service.handle(request)
+        if (request.seq + 1) % _CHECK_EVERY:
+            continue
+        # Engine-vs-oracle digest on the live admitted set.
+        checks += 1
+        if service.class_count == 0:
+            continue
+        oracle = check_feasibility(service.engine.to_problem(), medium,
+                                   trees)
+        mine = service.engine.report()
+        assert len(mine.classes) == len(oracle.classes)
+        for row, expected in zip(mine.classes, oracle.classes):
+            assert pickle.dumps(row) == pickle.dumps(expected), (
+                f"engine diverged from oracle at seq {request.seq} "
+                f"on {expected.class_name}"
+            )
+        assert mine.feasible  # the service never keeps an infeasible set
+    assert checks == _EVENTS // _CHECK_EVERY
+
+    histogram = telemetry.histogram("serve/decision_latency_us")
+    assert histogram.count == _EVENTS
+    p99 = histogram.quantile(0.99)
+    assert p99 is not None and p99 <= _P99_CEILING_US, (
+        f"decision latency p99 {p99} us exceeds {_P99_CEILING_US} us"
+    )
+
+    # The trace really exercised the service at city scale.
+    requests = telemetry.counter("serve/requests").value
+    admits = telemetry.counter("serve/admit").value
+    assert requests == _EVENTS
+    assert admits > 1_000

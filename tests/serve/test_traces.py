@@ -1,0 +1,81 @@
+"""Trace generator: determinism, validation, shape of the event mix."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve.model import REQUEST_KINDS
+from repro.serve.traces import TEMPLATES, TraceConfig, generate_trace
+
+
+class TestDeterminism:
+    def test_same_config_same_trace(self):
+        config = TraceConfig(events=200, stations=16, seed=42)
+        first = generate_trace(config)
+        second = generate_trace(config)
+        assert [r.to_json() for r in first] == [r.to_json() for r in second]
+
+    def test_different_seeds_differ(self):
+        a = generate_trace(TraceConfig(events=100, seed=0))
+        b = generate_trace(TraceConfig(events=100, seed=1))
+        assert [r.to_json() for r in a] != [r.to_json() for r in b]
+
+
+class TestShape:
+    def test_seqs_are_contiguous(self):
+        trace = generate_trace(TraceConfig(events=150, seed=3))
+        assert [r.seq for r in trace] == list(range(150))
+
+    def test_only_known_kinds(self):
+        trace = generate_trace(TraceConfig(events=300, seed=5))
+        assert {r.kind for r in trace} <= set(REQUEST_KINDS)
+
+    def test_all_kinds_appear_on_long_traces(self):
+        trace = generate_trace(TraceConfig(events=600, seed=1))
+        assert {r.kind for r in trace} == set(REQUEST_KINDS)
+
+    def test_join_names_are_globally_unique(self):
+        trace = generate_trace(TraceConfig(events=500, seed=9))
+        names = [r.name for r in trace if r.kind == "join"]
+        assert len(names) == len(set(names))
+
+    def test_joins_carry_full_class_shape(self):
+        trace = generate_trace(TraceConfig(events=200, seed=2, nu=3))
+        joins = [r for r in trace if r.kind == "join"]
+        assert joins
+        for request in joins:
+            assert request.length >= 1 and request.deadline >= 1
+            assert request.a >= 1 and request.w >= 1
+            assert request.nu == 3
+
+    def test_sources_stay_in_station_range(self):
+        config = TraceConfig(events=300, stations=7, seed=4)
+        for request in generate_trace(config):
+            if request.source_id is not None:
+                assert 0 <= request.source_id < 7
+
+    @pytest.mark.parametrize("template", sorted(TEMPLATES))
+    def test_templates_generate(self, template):
+        trace = generate_trace(
+            TraceConfig(events=50, seed=0, template=template)
+        )
+        keys = {r.name.split("-")[0] for r in trace if r.kind == "join"}
+        assert keys <= {t.key for t in TEMPLATES[template]}
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"events": 0},
+            {"stations": 0},
+            {"template": "metropolis"},
+            {"nu": 0},
+            {"churn": 1.5},
+            {"rescale_rate": -0.1},
+            {"burst": 2.0},
+        ],
+    )
+    def test_bad_config_raises(self, kwargs):
+        with pytest.raises(ValueError):
+            TraceConfig(**kwargs)

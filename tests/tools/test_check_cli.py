@@ -64,7 +64,7 @@ class TestCheckCLI:
 
 class TestCIFastPath:
     """--ci resolves the suite through the runtime cache (stubbed here:
-    executing all 19 experiments for real is the benchmark suite's job)."""
+    executing every experiment for real is the benchmark suite's job)."""
 
     @pytest.fixture
     def warm_cache(self, tmp_path):
@@ -98,12 +98,15 @@ class TestCIFastPath:
             )
             == 0
         )
+        from repro.experiments.registry import EXPERIMENTS
+
         out = capsys.readouterr().out
         assert "all repro modules import cleanly" in out
-        assert "0 executed, 19 from cache" in out
+        assert f"0 executed, {len(EXPERIMENTS)} from cache" in out
         assert "obs-smoke: telemetry round-trip ok" in out
         assert "perf-trend: not enough history" in out
         assert "sweep-smoke:" in out
+        assert "serve-smoke:" in out
         assert "0 resubmissions" in out
         assert "verdict: OK" in out
         assert history.exists()  # the run was recorded for next time
