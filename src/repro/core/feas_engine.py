@@ -122,6 +122,12 @@ class FeasibilityEngine:
         self._sources: list[_SourceState] = []
         self._report: FeasibilityReport | None = None
         self._scale = 1.0
+        #: Optional flight recorder (:class:`repro.obs.tracer.FlightRecorder`)
+        #: mutations emit structured events into; ``None`` (the default)
+        #: costs one attribute read per mutation.  Held as a plain
+        #: attribute rather than a constructor kwarg so the core layer
+        #: never imports :mod:`repro.obs` — the admission service arms it.
+        self.tracer = None
 
     @classmethod
     def from_problem(
@@ -365,6 +371,14 @@ class FeasibilityEngine:
             sum(_rank_term(added.deadline, c) for c in source.classes) - 1
         )
         self._report = None
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.emit(
+                "engine/add_class",
+                source=source_id,
+                name=message_class.name,
+                classes=self.class_count,
+            )
 
     def remove_class(self, source_id: int, class_name: str) -> MessageClass:
         """Retire a class; drops the source once its last class goes."""
@@ -379,6 +393,14 @@ class FeasibilityEngine:
         if not source.classes:
             self._sources.remove(source)
         self._report = None
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.emit(
+                "engine/remove_class",
+                source=source_id,
+                name=class_name,
+                classes=self.class_count,
+            )
         return _to_message_class(removed)
 
     def rescale_class(
@@ -429,6 +451,15 @@ class FeasibilityEngine:
         target.w = new_w
         target.w0 = new_w0
         self._report = None
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.emit(
+                "engine/rescale_class",
+                source=source_id,
+                name=class_name,
+                a=new_a,
+                w=new_w,
+            )
 
     def rescale_density(self, scale: float) -> None:
         """Scale every class's arrival density, exactly like the workloads.
@@ -445,6 +476,13 @@ class FeasibilityEngine:
             state.w = max(1, math.ceil(state.w0 / scale))
         self._scale = scale
         self._recompute_all()
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.emit(
+                "engine/rescale_density",
+                scale=scale,
+                classes=self.class_count,
+            )
 
     def max_feasible_density(
         self, lo: float = 0.01, hi: float = 1.0, tolerance: float = 1e-3

@@ -42,7 +42,9 @@ import typing
 
 from repro.net.frames import Frame
 from repro.net.phy import MediumProfile
+from repro.obs.context import current_tracer
 from repro.obs.instruments import LATENCY_EDGES, NULL_TELEMETRY, Telemetry
+from repro.obs.tracer import FlightRecorder
 from repro.protocols.base import ChannelState, SlotObservation
 from repro.sim.engine import Environment
 from repro.sim.process import ProcessGenerator
@@ -117,6 +119,8 @@ class _RoundDriver:
         "check",
         "telemetry",
         "telemetry_on",
+        "tracer",
+        "tracer_on",
         "ctr_silence",
         "ctr_success",
         "ctr_collision",
@@ -158,6 +162,10 @@ class _RoundDriver:
         telemetry = channel.telemetry
         self.telemetry = telemetry
         self.telemetry_on = telemetry.enabled
+        # Flight recorder, hoisted like the telemetry gate: zero per-round
+        # cost when disabled (the common case).
+        self.tracer = channel.tracer
+        self.tracer_on = channel.tracer.enabled
         if self.telemetry_on:
             prefix = channel.telemetry_prefix
             self.ctr_silence = telemetry.counter(f"{prefix}slots/silence")
@@ -270,6 +278,10 @@ class _RoundDriver:
                     now, "slot", state="corrupted", duration=slot_time,
                     source=None, msg=None,
                 )
+            if self.tracer_on:
+                self.tracer.emit(
+                    "channel/slot", t=now, state="corrupted", wire=wire,
+                )
             if self.check:
                 channel._assert_lockstep(now)
             return slot_time
@@ -361,6 +373,18 @@ class _RoundDriver:
                 source=None if frame is None else frame.station_id,
                 msg=None if frame is None else frame.message.msg_class.name,
             )
+        if self.tracer_on:
+            if frame is None:
+                self.tracer.emit(
+                    "channel/slot", t=now, state=state.value,
+                    duration=duration,
+                )
+            else:
+                self.tracer.emit(
+                    "channel/slot", t=now, state=state.value,
+                    duration=duration, source=frame.station_id,
+                    msg=frame.message.msg_class.name,
+                )
         if self.check:
             channel._assert_lockstep(now)
         return duration
@@ -380,6 +404,7 @@ class BroadcastChannel:
         noise_rng: random.Random | None = None,
         telemetry: Telemetry | None = None,
         telemetry_prefix: str = "",
+        tracer: FlightRecorder | None = None,
     ) -> None:
         """``noise_rate`` injects *common-mode* slot corruption: with this
         per-slot probability a silence or success is garbled into a
@@ -403,7 +428,15 @@ class BroadcastChannel:
         :data:`~repro.obs.instruments.NULL_TELEMETRY`, zero-cost);
         ``telemetry_prefix`` namespaces instrument names, so a dual-bus
         topology can share one registry with per-bus instruments
-        (``bus0/slots/...``)."""
+        (``bus0/slots/...``).
+
+        ``tracer`` is a :class:`~repro.obs.tracer.FlightRecorder` the
+        round driver emits per-slot trace events into (default: the
+        ambient :func:`~repro.obs.context.current_tracer`, normally the
+        disabled :data:`~repro.obs.tracer.NULL_TRACER`).  Picking up the
+        ambient recorder at construction lets the SERVE-CHECK simulation
+        parent its slot outcomes under a serve request's trace root
+        without threading a parameter through every layer."""
         if not 0.0 <= noise_rate < 1.0:
             raise ValueError(f"noise_rate must be in [0, 1), got {noise_rate}")
         self.env = env
@@ -416,6 +449,7 @@ class BroadcastChannel:
         )
         self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self.telemetry_prefix = telemetry_prefix
+        self.tracer = tracer if tracer is not None else current_tracer()
         self.stations: list["Station"] = []
         self.stats = ChannelStats()
         self.observations: int = 0

@@ -19,8 +19,14 @@ from __future__ import annotations
 
 from repro.context import ScopedValue
 from repro.obs.instruments import NULL_TELEMETRY, Telemetry
+from repro.obs.tracer import NULL_TRACER, FlightRecorder
 
-__all__ = ["current_telemetry", "use_telemetry"]
+__all__ = [
+    "current_telemetry",
+    "current_tracer",
+    "use_telemetry",
+    "use_tracer",
+]
 
 _SCOPE: ScopedValue[Telemetry] = ScopedValue(
     "telemetry",
@@ -34,3 +40,19 @@ current_telemetry = _SCOPE.current
 #: Scope a registry as ambient for the dynamic extent; ``None`` scopes
 #: :data:`NULL_TELEMETRY` (shadowing any outer scope).
 use_telemetry = _SCOPE.using
+
+_TRACER_SCOPE: ScopedValue[FlightRecorder] = ScopedValue(
+    "tracer",
+    default=lambda: NULL_TRACER,
+    coerce=lambda value: NULL_TRACER if value is None else value,
+)
+
+#: The innermost scoped flight recorder (:data:`NULL_TRACER` outside any).
+current_tracer = _TRACER_SCOPE.current
+
+#: Scope a flight recorder as ambient for the dynamic extent; ``None``
+#: scopes :data:`NULL_TRACER` (shadowing any outer scope).  The admission
+#: service scopes its recorder around counter-check executions so the
+#: SERVE-CHECK simulation's round driver parents its slot events into
+#: the serve request's causal tree.
+use_tracer = _TRACER_SCOPE.using

@@ -1,0 +1,280 @@
+"""Streaming metric export: Prometheus text file + JSONL delta stream.
+
+A :class:`StreamExporter` turns a live
+:class:`~repro.obs.instruments.Telemetry` registry into two artifacts a
+long-running service keeps fresh *while it serves*:
+
+* a **Prometheus text-exposition file**, atomically rewritten on every
+  export (``mkstemp`` + ``os.replace``, the same idiom the xi store
+  uses), so a node-exporter-style textfile collector — or ``python -m
+  repro.tools.obs top`` — always reads a complete, consistent snapshot;
+* a **JSONL delta stream**, appended one record per export tick,
+  carrying only the instruments that changed since the previous tick —
+  ``python -m repro.tools.obs tail`` follows it like ``tail -f``.
+
+Determinism: export records carry the export *tick* (a simple counter),
+never wall-clock timestamps, so a replayed request stream produces a
+byte-identical delta stream — consistent with the decision-log
+contract.  Prometheus scrapers stamp samples at scrape time anyway.
+
+Readers of live JSONL files must tolerate a truncated final line (the
+writer may be mid-append when the reader polls); :func:`iter_jsonl_tail`
+is the shared tolerant reader ``obs tail``, the incident replayer and
+tests all use.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import tempfile
+import typing
+
+from repro.obs.instruments import Counter, Gauge, Histogram, Telemetry
+
+__all__ = [
+    "StreamExporter",
+    "iter_jsonl_tail",
+    "parse_prometheus",
+    "prometheus_name",
+    "render_prometheus",
+    "write_atomic",
+]
+
+#: Quantiles the delta stream summarises changed histograms with.
+_STREAM_QUANTILES: tuple[tuple[str, float], ...] = (
+    ("p50", 0.50),
+    ("p99", 0.99),
+)
+
+
+def prometheus_name(name: str, prefix: str = "repro_") -> str:
+    """Sanitise an instrument name into a Prometheus metric name."""
+    sanitised = "".join(
+        ch if ch.isalnum() or ch == "_" else "_" for ch in name
+    )
+    if sanitised and sanitised[0].isdigit():
+        sanitised = "_" + sanitised
+    return prefix + sanitised
+
+
+def render_prometheus(telemetry: Telemetry) -> str:
+    """The registry as Prometheus text exposition format (one snapshot).
+
+    Counters render as ``counter``, gauges as ``gauge``, histograms as
+    the standard cumulative ``_bucket{le=...}`` / ``_sum`` / ``_count``
+    triple with a closing ``le="+Inf"`` bucket.
+    """
+    lines: list[str] = []
+    for instrument in telemetry.instruments():
+        metric = prometheus_name(instrument.name)
+        if isinstance(instrument, Counter):
+            lines.append(f"# TYPE {metric} counter")
+            lines.append(f"{metric} {instrument.value}")
+        elif isinstance(instrument, Gauge):
+            lines.append(f"# TYPE {metric} gauge")
+            lines.append(f"{metric} {instrument.value}")
+        elif isinstance(instrument, Histogram):
+            lines.append(f"# TYPE {metric} histogram")
+            cumulative = 0
+            for edge, count in zip(instrument.edges, instrument.counts):
+                cumulative += count
+                lines.append(
+                    f'{metric}_bucket{{le="{edge}"}} {cumulative}'
+                )
+            lines.append(
+                f'{metric}_bucket{{le="+Inf"}} {instrument.count}'
+            )
+            lines.append(f"{metric}_sum {instrument.total}")
+            lines.append(f"{metric}_count {instrument.count}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def parse_prometheus(text: str) -> dict[str, dict]:
+    """Parse exposition text back into ``{metric: {...}}`` (for ``obs top``).
+
+    Counters/gauges map to ``{"type", "value"}``; histograms to
+    ``{"type", "buckets": [(le, cumulative), ...], "sum", "count"}``.
+    Unknown lines are skipped — the parser reads what
+    :func:`render_prometheus` writes, not the whole exposition grammar.
+    """
+    metrics: dict[str, dict] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith("# TYPE "):
+            _, _, rest = line.partition("# TYPE ")
+            parts = rest.split()
+            if len(parts) == 2:
+                metrics[parts[0]] = {"type": parts[1]}
+                if parts[1] == "histogram":
+                    metrics[parts[0]]["buckets"] = []
+            continue
+        if line.startswith("#"):
+            continue
+        name, _, value = line.rpartition(" ")
+        if not name:
+            continue
+        if '_bucket{le="' in name:
+            base, _, tail = name.partition('_bucket{le="')
+            le = tail.rstrip('"}')
+            entry = metrics.setdefault(
+                base, {"type": "histogram", "buckets": []}
+            )
+            entry.setdefault("buckets", []).append((le, float(value)))
+        elif name.endswith("_sum") and name[:-4] in metrics:
+            metrics[name[:-4]]["sum"] = float(value)
+        elif name.endswith("_count") and name[:-6] in metrics:
+            metrics[name[:-6]]["count"] = float(value)
+        else:
+            entry = metrics.setdefault(name, {"type": "untyped"})
+            entry["value"] = float(value)
+    return metrics
+
+
+def write_atomic(path: "str | pathlib.Path", text: str) -> None:
+    """Atomically replace ``path`` with ``text`` (mkstemp + os.replace)."""
+    target = pathlib.Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=target.parent, prefix=target.name + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        os.replace(tmp_name, target)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
+def iter_jsonl_tail(
+    path: "str | pathlib.Path",
+) -> typing.Iterator[dict]:
+    """Yield JSON objects from a live JSONL file, tolerating a torn tail.
+
+    A truncated (unparsable) **final** line is silently skipped — the
+    writer may be mid-append when we read.  An unparsable line anywhere
+    *before* the end is real corruption and raises ``ValueError``.
+    Missing files yield nothing (the stream just has not started yet).
+    """
+    try:
+        handle = open(path, encoding="utf-8")
+    except OSError:
+        return
+    with handle:
+        pending: tuple[int, str] | None = None
+        for line_number, line in enumerate(handle, start=1):
+            if pending is not None:
+                number, text = pending
+                raise ValueError(
+                    f"{path}:{number}: corrupt JSONL line: {text[:80]!r}"
+                )
+            stripped = line.strip()
+            if not stripped:
+                continue
+            try:
+                doc = json.loads(stripped)
+            except json.JSONDecodeError:
+                # Defer judgement: only fatal if another line follows.
+                pending = (line_number, stripped)
+                continue
+            if isinstance(doc, dict):
+                yield doc
+
+
+class StreamExporter:
+    """Periodic snapshot-delta export of one telemetry registry.
+
+    ``tick()`` is the cheap per-request hook: it counts calls and runs a
+    full :meth:`export` every ``every`` ticks (``every=1`` exports each
+    tick).  Each export atomically rewrites the Prometheus file and
+    appends one delta record — ``{"tick": N, "counters": {name: [delta,
+    total]}, "gauges": {name: value}, "histograms": {name: {"count",
+    "delta", quantiles...}}}`` — containing only instruments that
+    changed since the previous export, so an idle service appends
+    nothing.
+    """
+
+    def __init__(
+        self,
+        telemetry: Telemetry,
+        prom_path: "str | pathlib.Path",
+        stream_path: "str | pathlib.Path",
+        every: int = 1,
+    ) -> None:
+        if every < 1:
+            raise ValueError(f"every must be >= 1, got {every}")
+        self.telemetry = telemetry
+        self.prom_path = pathlib.Path(prom_path)
+        self.stream_path = pathlib.Path(stream_path)
+        self.every = every
+        self.ticks = 0
+        self.exports = 0
+        self._last_counters: dict[str, int] = {}
+        self._last_gauges: dict[str, float] = {}
+        self._last_hist_counts: dict[str, int] = {}
+
+    def tick(self) -> bool:
+        """Count one unit of work; export on cadence.  True if exported."""
+        self.ticks += 1
+        if self.ticks % self.every:
+            return False
+        self.export()
+        return True
+
+    def _delta_record(self) -> dict[str, object]:
+        counters: dict[str, list] = {}
+        gauges: dict[str, float] = {}
+        histograms: dict[str, dict] = {}
+        for instrument in self.telemetry.instruments():
+            name = instrument.name
+            if isinstance(instrument, Counter):
+                previous = self._last_counters.get(name, 0)
+                if instrument.value != previous:
+                    counters[name] = [
+                        instrument.value - previous, instrument.value
+                    ]
+                    self._last_counters[name] = instrument.value
+            elif isinstance(instrument, Gauge):
+                previous = self._last_gauges.get(name)
+                if instrument.value != previous:
+                    gauges[name] = instrument.value
+                    self._last_gauges[name] = instrument.value
+            elif isinstance(instrument, Histogram):
+                previous = self._last_hist_counts.get(name, 0)
+                if instrument.count != previous:
+                    summary: dict[str, object] = {
+                        "count": instrument.count,
+                        "delta": instrument.count - previous,
+                    }
+                    for label, q in _STREAM_QUANTILES:
+                        summary[label] = instrument.quantile(q)
+                    histograms[name] = summary
+                    self._last_hist_counts[name] = instrument.count
+        record: dict[str, object] = {"tick": self.ticks}
+        if counters:
+            record["counters"] = counters
+        if gauges:
+            record["gauges"] = gauges
+        if histograms:
+            record["histograms"] = histograms
+        return record
+
+    def export(self) -> dict[str, object]:
+        """One export: rewrite the Prometheus file, append the delta."""
+        self.exports += 1
+        write_atomic(self.prom_path, render_prometheus(self.telemetry))
+        record = self._delta_record()
+        with open(self.stream_path, "a", encoding="utf-8") as handle:
+            handle.write(
+                json.dumps(record, sort_keys=True, separators=(",", ":"))
+                + "\n"
+            )
+            handle.flush()
+        return record

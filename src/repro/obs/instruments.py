@@ -141,11 +141,24 @@ class Histogram:
             self.max = value
 
     def quantile(self, q: float) -> float | None:
-        """Upper-edge estimate of the ``q``-quantile (``0 <= q <= 1``)."""
+        """Upper-edge estimate of the ``q``-quantile (``0 <= q <= 1``).
+
+        Edge cases are pinned down (the SLO engine leans on them):
+        out-of-range ``q`` (including NaN) raises ``ValueError``; an
+        empty histogram returns ``None``; ``q=0.0`` and ``q=1.0`` return
+        the *exact* observed min/max (both are tracked exactly, so no
+        bucket estimate is needed); interior quantiles return the upper
+        edge of the bucket holding the target rank, with the overflow
+        bucket reporting the exact max — a quantile never under-reports.
+        """
         if not 0.0 <= q <= 1.0:
             raise ValueError(f"quantile must be in [0, 1], got {q}")
         if self.count == 0:
             return None
+        if q == 0.0:
+            return self.min
+        if q == 1.0:
+            return self.max
         rank = q * (self.count - 1)
         seen = 0
         for index, bucket in enumerate(self.counts):

@@ -1,0 +1,306 @@
+"""Declarative SLOs evaluated as multi-window burn rates.
+
+An :class:`Objective` names *what good looks like* over instruments that
+already exist — no new measurement paths:
+
+* ``latency`` objectives bound a histogram quantile: "``q`` of
+  ``serve/decision_latency_us`` samples must be <= ``threshold``".  The
+  implied error budget is ``1 - q`` (a p99 objective tolerates 1% of
+  samples over the threshold).
+* ``ratio`` objectives bound a bad/total counter pair: "at most
+  ``threshold`` of ``serve/requests`` may be ``serve/incidents``" — the
+  shape deadline-miss budgets and incident-rate budgets share.
+
+The :class:`SloEngine` is ticked once per unit of work (the admission
+service ticks it per request).  Each tick snapshots every objective's
+cumulative (bad, total) pair into a bounded ring and evaluates the
+**burn rate** — bad-fraction divided by the budget — over a *short* and
+a *long* trailing window.  A breach fires only when **both** windows
+burn above ``burn_threshold``, the standard multi-window rule: the long
+window keeps one transient spike from paging, the short window makes
+sure the alert clears quickly once the system recovers.  Breaches latch
+per objective (one :class:`Breach` per excursion, not one per tick)
+until both windows drop back under the threshold.
+
+A breach is *data*, never an exception: the caller (the admission
+service) converts it into a structured ``slo-breach``
+:class:`~repro.serve.model.Incident` through its normal
+``_record_incident`` path, black-box trace snapshot attached.
+
+Bucket alignment: histogram badness is counted as samples in buckets
+whose upper edge lies *above* the threshold, so a threshold that is not
+a bucket edge over-reports badness by at most one bucket — conservative
+in the alerting direction.  Pick thresholds from the instrument's edge
+set (powers of two for ``serve/decision_latency_us``) for exact counts.
+"""
+
+from __future__ import annotations
+
+import collections
+import dataclasses
+import json
+import pathlib
+import typing
+
+from repro.obs.instruments import Histogram, Telemetry
+
+__all__ = [
+    "Breach",
+    "Objective",
+    "SloEngine",
+    "default_serve_objectives",
+    "load_objectives",
+]
+
+#: Objective kinds: ``latency`` (histogram quantile bound) and ``ratio``
+#: (bad/total counter pair bound).
+OBJECTIVE_KINDS = ("latency", "ratio")
+
+
+@dataclasses.dataclass(frozen=True)
+class Objective:
+    """One declarative service-level objective.
+
+    ``latency`` kind: ``instrument`` names a histogram, ``q`` the
+    quantile, ``threshold`` the largest acceptable value at that
+    quantile; the error budget is ``1 - q``.
+
+    ``ratio`` kind: ``instrument`` names the *bad* counter, ``total``
+    the denominator counter, ``threshold`` the budget itself (largest
+    acceptable bad fraction).
+
+    ``short_window``/``long_window`` are trailing tick counts;
+    ``burn_threshold`` is the burn-rate multiple both windows must
+    exceed to breach (1.0 = burning budget exactly as fast as allowed).
+    """
+
+    name: str
+    kind: str
+    instrument: str
+    threshold: float
+    q: float = 0.99
+    total: str | None = None
+    short_window: int = 32
+    long_window: int = 256
+    burn_threshold: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in OBJECTIVE_KINDS:
+            raise ValueError(
+                f"kind must be one of {OBJECTIVE_KINDS}, got {self.kind!r}"
+            )
+        if self.kind == "latency" and not 0.0 < self.q < 1.0:
+            raise ValueError(f"q must be in (0, 1), got {self.q}")
+        if self.kind == "ratio":
+            if self.total is None:
+                raise ValueError(f"ratio objective {self.name!r} needs total")
+            if not 0.0 <= self.threshold < 1.0:
+                raise ValueError(
+                    f"ratio threshold must be in [0, 1), got {self.threshold}"
+                )
+        if not 1 <= self.short_window < self.long_window:
+            raise ValueError(
+                f"need 1 <= short_window < long_window, got "
+                f"{self.short_window} / {self.long_window}"
+            )
+        if self.burn_threshold <= 0:
+            raise ValueError(
+                f"burn_threshold must be > 0, got {self.burn_threshold}"
+            )
+
+    @property
+    def budget(self) -> float:
+        """The tolerated bad fraction (``1 - q`` for latency objectives)."""
+        return 1.0 - self.q if self.kind == "latency" else self.threshold
+
+    def to_dict(self) -> dict[str, object]:
+        doc = dataclasses.asdict(self)
+        return {key: value for key, value in doc.items() if value is not None}
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "Objective":
+        known = {field.name for field in dataclasses.fields(cls)}
+        unknown = set(doc) - known
+        if unknown:
+            raise ValueError(
+                f"unknown objective field(s): {sorted(unknown)}"
+            )
+        return cls(**doc)  # type: ignore[arg-type]
+
+
+@dataclasses.dataclass(frozen=True)
+class Breach:
+    """One latched burn-rate excursion, ready to become an Incident."""
+
+    objective: str
+    tick: int
+    burn_short: float
+    burn_long: float
+    burn_threshold: float
+
+    def describe(self) -> str:
+        return (
+            f"SLO {self.objective}: burn rate "
+            f"short={self.burn_short:.2f} long={self.burn_long:.2f} "
+            f"over threshold {self.burn_threshold:.2f} "
+            f"at tick {self.tick}"
+        )
+
+
+class _ObjectiveState:
+    """Per-objective evaluation state: the snapshot ring and the latch."""
+
+    __slots__ = ("objective", "ring", "breached")
+
+    def __init__(self, objective: Objective) -> None:
+        self.objective = objective
+        #: (bad, total) cumulative snapshots, one per tick; long_window+1
+        #: entries give exactly long_window trailing deltas.
+        self.ring: collections.deque[tuple[int, int]] = collections.deque(
+            maxlen=objective.long_window + 1
+        )
+        self.breached = False
+
+
+def _histogram_bad(hist: Histogram, threshold: float) -> int:
+    """Samples in buckets wholly or partly above ``threshold``."""
+    good = 0
+    for edge, count in zip(hist.edges, hist.counts):
+        if edge <= threshold:
+            good += count
+        else:
+            break
+    return hist.count - good
+
+
+class SloEngine:
+    """Evaluate objectives over a live registry, one tick at a time."""
+
+    def __init__(self, objectives: typing.Sequence[Objective]) -> None:
+        names = [objective.name for objective in objectives]
+        duplicates = {name for name in names if names.count(name) > 1}
+        if duplicates:
+            raise ValueError(
+                f"duplicate objective name(s): {sorted(duplicates)}"
+            )
+        self.objectives = tuple(objectives)
+        self._states = [
+            _ObjectiveState(objective) for objective in self.objectives
+        ]
+        self.ticks = 0
+
+    def _measure(
+        self, objective: Objective, telemetry: Telemetry
+    ) -> tuple[int, int]:
+        """Cumulative (bad, total) for one objective, right now."""
+        if objective.kind == "latency":
+            hist = telemetry.histogram(objective.instrument)
+            return _histogram_bad(hist, objective.threshold), hist.count
+        bad = telemetry.counter(objective.instrument).value
+        total = telemetry.counter(objective.total).value
+        return bad, total
+
+    @staticmethod
+    def _burn(
+        now: tuple[int, int], then: tuple[int, int], budget: float
+    ) -> float:
+        """Burn rate over one window: bad fraction / budget."""
+        d_total = now[1] - then[1]
+        if d_total <= 0:
+            return 0.0
+        bad_fraction = (now[0] - then[0]) / d_total
+        if budget <= 0.0:
+            # A zero budget means *any* badness is an immediate breach.
+            return float("inf") if bad_fraction > 0 else 0.0
+        return bad_fraction / budget
+
+    def tick(self, telemetry: Telemetry) -> list[Breach]:
+        """Snapshot every objective; returns newly latched breaches."""
+        self.ticks += 1
+        breaches: list[Breach] = []
+        for state in self._states:
+            objective = state.objective
+            sample = self._measure(objective, telemetry)
+            state.ring.append(sample)
+            # Evaluate only once the long window is fully populated: a
+            # half-filled window would alias startup transients into
+            # inflated burn rates.
+            if len(state.ring) <= objective.long_window:
+                continue
+            window = state.ring
+            short_then = window[-(objective.short_window + 1)]
+            long_then = window[0]
+            burn_short = self._burn(sample, short_then, objective.budget)
+            burn_long = self._burn(sample, long_then, objective.budget)
+            over = (
+                burn_short > objective.burn_threshold
+                and burn_long > objective.burn_threshold
+            )
+            if over and not state.breached:
+                state.breached = True
+                breaches.append(
+                    Breach(
+                        objective=objective.name,
+                        tick=self.ticks,
+                        burn_short=burn_short,
+                        burn_long=burn_long,
+                        burn_threshold=objective.burn_threshold,
+                    )
+                )
+            elif not over and state.breached:
+                state.breached = False
+        return breaches
+
+    @property
+    def breached(self) -> tuple[str, ...]:
+        """Names of objectives currently latched as breached."""
+        return tuple(
+            state.objective.name
+            for state in self._states
+            if state.breached
+        )
+
+
+def default_serve_objectives(
+    latency_p99_us: float = 4096.0,
+    incident_budget: float = 0.01,
+    short_window: int = 32,
+    long_window: int = 256,
+) -> list[Objective]:
+    """The admission service's stock objectives.
+
+    * decision latency: p99 of ``serve/decision_latency_us`` under
+      ``latency_p99_us`` (default 4096 us — a power-of-two bucket edge,
+      so badness counts are exact);
+    * incident rate: at most ``incident_budget`` of requests may
+      coincide with a recorded incident.
+    """
+    return [
+        Objective(
+            name="decision-latency-p99",
+            kind="latency",
+            instrument="serve/decision_latency_us",
+            q=0.99,
+            threshold=latency_p99_us,
+            short_window=short_window,
+            long_window=long_window,
+        ),
+        Objective(
+            name="incident-rate",
+            kind="ratio",
+            instrument="serve/incidents",
+            total="serve/requests",
+            threshold=incident_budget,
+            short_window=short_window,
+            long_window=long_window,
+        ),
+    ]
+
+
+def load_objectives(path: "str | pathlib.Path") -> list[Objective]:
+    """Parse a JSON objectives file: a list of :class:`Objective` dicts."""
+    with open(path, encoding="utf-8") as handle:
+        doc = json.load(handle)
+    if not isinstance(doc, list):
+        raise ValueError(f"{path}: objectives file must be a JSON list")
+    return [Objective.from_dict(entry) for entry in doc]

@@ -26,7 +26,7 @@ import time
 import typing
 from collections.abc import Callable, Sequence
 
-from repro.obs.context import use_telemetry
+from repro.obs.context import current_tracer, use_telemetry
 from repro.obs.instruments import Telemetry
 from repro.obs.manifest import RunTelemetry, fault_plan_hash, git_rev
 from repro.runtime.cache import ResultCache
@@ -87,11 +87,21 @@ def execute_spec(
     from repro.experiments.registry import run_spec
 
     started = time.perf_counter()
+    # The ambient flight recorder (if any) gets one span per execution;
+    # simulations built inside pick the same recorder up at construction,
+    # so their slot events parent under this span.  NULL_TRACER's span is
+    # a no-op, and this is per-spec (not per-slot), so no gate is hoisted.
+    tracer = current_tracer()
     if not collect_telemetry:
-        result = run_spec(spec)
+        with tracer.span(
+            "executor/execute", spec=spec.experiment_id, engine=spec.engine
+        ):
+            result = run_spec(spec)
         return result, time.perf_counter() - started, None
     telemetry = Telemetry()
-    with use_telemetry(telemetry), telemetry.span("run"):
+    with use_telemetry(telemetry), telemetry.span("run"), tracer.span(
+        "executor/execute", spec=spec.experiment_id, engine=spec.engine
+    ):
         result = run_spec(spec)
     duration = time.perf_counter() - started
     manifest = RunTelemetry.from_registry(
@@ -141,6 +151,7 @@ class ParallelExecutor:
         total = len(specs)
         records: list[RunRecord | None] = [None] * total
         pending: list[tuple[int, RunSpec]] = []
+        tracer = current_tracer()
         for index, spec in enumerate(specs):
             cached = None
             lookup_started = time.perf_counter()
@@ -148,6 +159,10 @@ class ParallelExecutor:
                 cached = self.cache.get_entry(spec)
             lookup_seconds = time.perf_counter() - lookup_started
             if cached is not None:
+                if tracer.enabled:
+                    tracer.emit(
+                        "executor/cache_hit", spec=spec.experiment_id
+                    )
                 manifest = None
                 if self.collect_telemetry:
                     if cached.telemetry is not None:

@@ -65,6 +65,27 @@ def _service_options() -> argparse.ArgumentParser:
     return parent
 
 
+def _obs2_options() -> argparse.ArgumentParser:
+    parent = argparse.ArgumentParser(add_help=False)
+    group = parent.add_argument_group("observability v2")
+    group.add_argument("--flight-recorder", type=positive_int, default=None,
+                       metavar="N",
+                       help="arm a flight recorder keeping the last N "
+                       "trace events; dumped to flightrec.jsonl in the "
+                       "log directory (default: off)")
+    group.add_argument("--export-every", type=positive_int, default=None,
+                       metavar="N",
+                       help="rewrite metrics.prom and append to "
+                       "metrics.jsonl in the log directory every N "
+                       "requests (default: off)")
+    group.add_argument("--slos", default=None, metavar="FILE",
+                       help="evaluate SLO burn rates from this objectives "
+                       "JSON file ('default' for the built-in serve "
+                       "objectives); breaches land as slo-breach "
+                       "incidents (default: off)")
+    return parent
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.serve",
@@ -82,7 +103,7 @@ def _build_parser() -> argparse.ArgumentParser:
     run = commands.add_parser(
         "run",
         parents=[_trace_options(), _service_options(),
-                 execution_options(), cache_options()],
+                 execution_options(), cache_options(), _obs2_options()],
         help="drive a trace through the service, persisting the log",
     )
     run.add_argument("log_dir", help="event-log directory to create")
@@ -143,7 +164,7 @@ def _summary(service: AdmissionService, decisions) -> str:
 
 def _write_manifest(args: argparse.Namespace, service: AdmissionService,
                     registry, command: str, wall: float) -> None:
-    if registry is None:
+    if registry is None or getattr(args, "telemetry", None) is None:
         return
     from repro.obs.manifest import RunTelemetry, write_manifests
 
@@ -192,6 +213,51 @@ def _telemetry_registry(args: argparse.Namespace):
     return Telemetry()
 
 
+def _obs2_plane(args: argparse.Namespace, registry):
+    """Build the (tracer, exporter, slos, registry) quadruple from flags.
+
+    The exporter and SLO engine read live instruments, so requesting
+    either without ``--telemetry`` still allocates a real registry (the
+    manifest is only written when ``--telemetry`` was given).
+    """
+    tracer = None
+    if args.flight_recorder is not None:
+        from repro.obs.tracer import FlightRecorder
+
+        tracer = FlightRecorder(capacity=args.flight_recorder)
+    exporter = None
+    slos = None
+    if args.export_every is not None or args.slos is not None:
+        if registry is None:
+            from repro.obs.instruments import Telemetry
+
+            registry = Telemetry()
+        if args.export_every is not None:
+            from repro.obs.export import StreamExporter
+
+            log_dir = pathlib.Path(args.log_dir)
+            exporter = StreamExporter(
+                registry,
+                log_dir / "metrics.prom",
+                log_dir / "metrics.jsonl",
+                every=args.export_every,
+            )
+        if args.slos is not None:
+            from repro.obs.slo import (
+                SloEngine,
+                default_serve_objectives,
+                load_objectives,
+            )
+
+            objectives = (
+                default_serve_objectives()
+                if args.slos == "default"
+                else load_objectives(args.slos)
+            )
+            slos = SloEngine(objectives)
+    return tracer, exporter, slos, registry
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     if args.trace_file is not None:
         trace = _load_trace(args.trace_file)
@@ -205,16 +271,26 @@ def _cmd_run(args: argparse.Namespace) -> int:
         check_every=args.check_every,
     )
     registry = _telemetry_registry(args)
+    tracer, exporter, slos, registry = _obs2_plane(args, registry)
     started = time.perf_counter()
     with AdmissionService(
         config,
         telemetry=registry,
         executor=_make_executor(args),
         log_dir=args.log_dir,
+        tracer=tracer,
+        exporter=exporter,
+        slos=slos,
     ) as service:
         decisions = service.run_trace(trace)
         service.counter_check()
         print(_summary(service, decisions))
+        if tracer is not None:
+            dump = pathlib.Path(args.log_dir) / "flightrec.jsonl"
+            written = tracer.dump_jsonl(dump)
+            print(f"flight recorder: wrote {written} event(s) to {dump}")
+        if exporter is not None:
+            exporter.export()  # final snapshot, even off-cadence
         _write_manifest(args, service, registry, "run",
                         time.perf_counter() - started)
         return _exit_code(service)

@@ -173,18 +173,30 @@ class Incident:
     ``kind`` is one of ``oracle-divergence`` (engine report != scalar
     ``check_feasibility`` on the materialised class set),
     ``sim-check-failed`` (the background SERVE-CHECK simulation's checks
-    failed on an admitted-as-feasible set) or ``replay-mismatch`` (a
-    replayed decision differs from the logged one).  ``at_seq`` is the
-    last decision applied when the check ran.
+    failed on an admitted-as-feasible set), ``replay-mismatch`` (a
+    replayed decision differs from the logged one) or ``slo-breach``
+    (a declarative objective's burn rate crossed its multi-window
+    threshold, :mod:`repro.obs.slo`).  ``at_seq`` is the last decision
+    applied when the check ran.
+
+    ``trace`` is the optional black-box snapshot: the flight recorder's
+    last events at the moment the incident landed, as JSON-ready event
+    dicts (:meth:`repro.obs.tracer.TraceEvent.to_dict`).  It is attached
+    only when a recorder was armed and omitted from the JSON form when
+    absent, so incident streams from untraced runs are unchanged.
     """
 
     kind: str
     at_seq: int
     detail: str
+    trace: tuple[dict, ...] | None = None
 
     def to_dict(self) -> dict[str, object]:
-        return {"kind": self.kind, "at_seq": self.at_seq,
-                "detail": self.detail}
+        doc: dict[str, object] = {"kind": self.kind, "at_seq": self.at_seq,
+                                  "detail": self.detail}
+        if self.trace is not None:
+            doc["trace"] = [dict(event) for event in self.trace]
+        return doc
 
     def to_json(self) -> str:
         return json.dumps(self.to_dict(), sort_keys=True,
@@ -192,8 +204,14 @@ class Incident:
 
     @classmethod
     def from_dict(cls, doc: dict[str, object]) -> "Incident":
+        trace = doc.get("trace")
         return cls(
             kind=str(doc["kind"]),
             at_seq=int(doc["at_seq"]),  # type: ignore[arg-type]
             detail=str(doc["detail"]),
+            trace=(
+                tuple(dict(event) for event in trace)  # type: ignore[union-attr]
+                if trace is not None
+                else None
+            ),
         )

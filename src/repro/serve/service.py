@@ -32,6 +32,7 @@ keeps serving and the operator (or CI) inspects ``incidents``.
 
 from __future__ import annotations
 
+import dataclasses
 import json
 import pathlib
 import pickle
@@ -47,10 +48,16 @@ from repro.net.phy import (
     GIGABIT_ETHERNET,
     MediumProfile,
 )
+from repro.obs.context import use_tracer
+from repro.obs.export import iter_jsonl_tail
 from repro.obs.instruments import DECISION_LATENCY_EDGES, NULL_TELEMETRY
+from repro.obs.tracer import NULL_TRACER
 from repro.serve.model import Decision, Incident, Request
 
 if typing.TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.export import StreamExporter
+    from repro.obs.slo import SloEngine
+    from repro.obs.tracer import FlightRecorder
     from repro.runtime.executor import ParallelExecutor
     from repro.runtime.spec import RunSpec
 
@@ -59,6 +66,7 @@ __all__ = [
     "MEDIA",
     "ServeConfig",
     "read_event_log",
+    "read_incidents",
     "replay_event_log",
 ]
 
@@ -74,6 +82,10 @@ LOG_SCHEMA = 1
 EVENTS_FILE = "events.jsonl"
 DECISIONS_FILE = "decisions.jsonl"
 INCIDENTS_FILE = "incidents.jsonl"
+BLACKBOX_FILE = "blackbox.jsonl"
+
+#: How many flight-recorder events an incident's black-box snapshot keeps.
+BLACKBOX_EVENTS = 64
 
 
 class ServeConfig(typing.NamedTuple):
@@ -130,7 +142,24 @@ class AdmissionService:
         telemetry=None,
         executor: "ParallelExecutor | None" = None,
         log_dir: "str | pathlib.Path | None" = None,
+        tracer: "FlightRecorder | None" = None,
+        exporter: "StreamExporter | None" = None,
+        slos: "SloEngine | None" = None,
     ) -> None:
+        """``tracer``/``exporter``/``slos`` arm the v2 ops plane:
+
+        * ``tracer`` — a :class:`~repro.obs.tracer.FlightRecorder`; each
+          request becomes a ``serve/request`` trace root whose children
+          span engine mutations, speculative rollbacks and (for
+          counter-checks) the SERVE-CHECK simulation's slot outcomes.
+          Incidents get a black-box snapshot of the recorder's last
+          events attached.  Default: the disabled ``NULL_TRACER``.
+        * ``exporter`` — a :class:`~repro.obs.export.StreamExporter`
+          ticked once per handled request.
+        * ``slos`` — a :class:`~repro.obs.slo.SloEngine` evaluated once
+          per handled request; a burn-rate breach lands as a structured
+          ``slo-breach`` incident, never an exception.
+        """
         self.config = config if config is not None else ServeConfig()
         # Validate eagerly: a bad medium/tree shape must fail at
         # construction, not at the first decision.
@@ -139,6 +168,12 @@ class AdmissionService:
         self.engine = FeasibilityEngine(medium, trees, backend=backend)
         self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self.executor = executor
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        # Arm the engine's (layering-safe, plain-attribute) tracer hook
+        # only when recording — core code checks `is not None` per call.
+        self.engine.tracer = self.tracer if self.tracer.enabled else None
+        self.exporter = exporter
+        self.slos = slos
         self.incidents: list[Incident] = []
         #: (source_id, name) in admission order — the reconfigure
         #: eviction policy pops from the tail (LIFO).
@@ -213,6 +248,23 @@ class AdmissionService:
             self._decisions_handle.flush()
 
     def _record_incident(self, incident: Incident) -> None:
+        tracer = self.tracer
+        if tracer.enabled:
+            # Mark the moment inside the trace, then freeze the black
+            # box: the recorder's last events (including the marker) ride
+            # along on the incident and are dumped beside the logs.
+            tracer.emit(
+                "serve/incident", kind=incident.kind, at_seq=incident.at_seq
+            )
+            incident = dataclasses.replace(
+                incident,
+                trace=tuple(
+                    event.to_dict()
+                    for event in tracer.last(BLACKBOX_EVENTS)
+                ),
+            )
+            if self._log_dir is not None:
+                tracer.dump_jsonl(self._log_dir / BLACKBOX_FILE)
         self.incidents.append(incident)
         self.telemetry.counter("serve/incidents").inc()
         if self._log_dir is not None:
@@ -220,6 +272,7 @@ class AdmissionService:
                 self._log_dir / INCIDENTS_FILE, "a", encoding="utf-8"
             ) as handle:
                 handle.write(incident.to_json() + "\n")
+                handle.flush()
 
     # -- introspection -----------------------------------------------------
 
@@ -248,24 +301,43 @@ class AdmissionService:
 
     # -- the decision loop -------------------------------------------------
 
+    def _dispatch(self, request: Request) -> Decision:
+        """Route one request to its per-kind decision procedure."""
+        if request.seq <= self._last_seq:
+            return self._decide_error(
+                request,
+                f"out-of-order seq {request.seq} (last {self._last_seq})",
+            )
+        handler = {
+            "join": self._decide_join,
+            "leave": self._decide_leave,
+            "rescale": self._decide_rescale,
+            "reconfigure": self._decide_reconfigure,
+        }[request.kind]
+        decision = handler(request)
+        self._last_seq = request.seq
+        return decision
+
     def handle(self, request: Request) -> Decision:
         """Decide one request; logs, counts and (periodically) checks."""
         enabled = self.telemetry.enabled
         started = time.perf_counter() if enabled else 0.0
-        if request.seq <= self._last_seq:
-            decision = self._decide_error(
-                request,
-                f"out-of-order seq {request.seq} (last {self._last_seq})",
-            )
+        tracer = self.tracer
+        if tracer.enabled:
+            # The request becomes a trace root: engine mutations,
+            # rollbacks and counter-check slots parent under this span.
+            with tracer.span(
+                "serve/request", seq=request.seq, kind=request.kind
+            ):
+                decision = self._dispatch(request)
+                tracer.emit(
+                    "serve/decision",
+                    seq=decision.seq,
+                    verdict=decision.verdict,
+                    classes=decision.class_count,
+                )
         else:
-            handler = {
-                "join": self._decide_join,
-                "leave": self._decide_leave,
-                "rescale": self._decide_rescale,
-                "reconfigure": self._decide_reconfigure,
-            }[request.kind]
-            decision = handler(request)
-            self._last_seq = request.seq
+            decision = self._dispatch(request)
         self.handled += 1
         if enabled:
             elapsed_us = (time.perf_counter() - started) * 1e6
@@ -284,6 +356,17 @@ class AdmissionService:
             and self.handled % self.config.check_every == 0
         ):
             self.counter_check()
+        if self.slos is not None:
+            for breach in self.slos.tick(self.telemetry):
+                self._record_incident(
+                    Incident(
+                        kind="slo-breach",
+                        at_seq=self._last_seq,
+                        detail=breach.describe(),
+                    )
+                )
+        if self.exporter is not None:
+            self.exporter.tick()
         return decision
 
     def run_trace(self, requests: typing.Iterable[Request]) -> list[Decision]:
@@ -364,6 +447,11 @@ class AdmissionService:
             self._admission_order.append((request.source_id, request.name))
             return self._finish(request, "admit")
         worst = report.worst
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "serve/rollback", seq=request.seq, kind="join",
+                name=request.name,
+            )
         self.engine.remove_class(request.source_id, request.name)
         return self._finish(
             request,
@@ -405,6 +493,11 @@ class AdmissionService:
         if self.engine.report().feasible:
             return self._finish(request, "admit")
         worst = self.engine.report().worst
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "serve/rollback", seq=request.seq, kind="rescale",
+                name=request.name,
+            )
         # Exact rollback: effective bound and rebase base both restored.
         self.engine.rescale_class(
             request.source_id, request.name, a=old_a, w=old_w, w0=old_w0
@@ -486,7 +579,18 @@ class AdmissionService:
                     )
                 )
             if self.executor is not None:
-                records = self.executor.run([self.sim_spec()])
+                tracer = self.tracer
+                if tracer.enabled:
+                    # Scope the recorder ambiently: the SERVE-CHECK
+                    # channel picks it up at construction, so its slot
+                    # outcomes parent under this check's span (serial
+                    # executor; pool workers record in-process only).
+                    with tracer.span(
+                        "serve/counter_check", at_seq=self._last_seq
+                    ), use_tracer(tracer):
+                        records = self.executor.run([self.sim_spec()])
+                else:
+                    records = self.executor.run([self.sim_spec()])
                 result = records[0].result
                 if not result.all_checks_pass:
                     raised.append(
@@ -544,6 +648,19 @@ def read_event_log(
     return config, events
 
 
+def read_incidents(log_dir: "str | pathlib.Path") -> list[Incident]:
+    """Parse ``incidents.jsonl``, tolerating a truncated final line.
+
+    The incident journal is append-per-event with a flush after each
+    line, so a crash mid-write can only ever leave the *last* line
+    incomplete — :func:`~repro.obs.export.iter_jsonl_tail` skips exactly
+    that case and still raises on interior corruption.  A missing file
+    means no incidents.
+    """
+    path = pathlib.Path(log_dir) / INCIDENTS_FILE
+    return [Incident.from_dict(doc) for doc in iter_jsonl_tail(path)]
+
+
 def replay_event_log(
     log_dir: "str | pathlib.Path",
     *,
@@ -552,6 +669,8 @@ def replay_event_log(
     executor: "ParallelExecutor | None" = None,
     upto: int | None = None,
     attach: bool = False,
+    tracer: "FlightRecorder | None" = None,
+    slos: "SloEngine | None" = None,
 ) -> AdmissionService:
     """Rebuild a service by re-deciding the logged requests.
 
@@ -570,6 +689,8 @@ def replay_event_log(
         backend=backend,
         telemetry=telemetry,
         executor=executor,
+        tracer=tracer,
+        slos=slos,
     )
     if upto is not None:
         events = events[:upto]

@@ -27,6 +27,7 @@ import json
 import pathlib
 from collections.abc import Callable, Mapping, Sequence
 
+from repro.obs.context import current_tracer
 from repro.obs.manifest import RunTelemetry
 from repro.runtime.cache import ResultCache
 from repro.runtime.executor import ParallelExecutor, RunRecord
@@ -321,6 +322,10 @@ def run_campaign(
     outcomes: list[PointOutcome | None] = [None] * len(points)
     executed_shards = 0
     replayed_shards = 0
+    # Per-shard progress lands in the ambient flight recorder (if one is
+    # armed), so a long campaign's black box shows which shard it was in.
+    tracer = current_tracer()
+    tracer_on = tracer.enabled
     for shard_index, shard in enumerate(shards):
         if shard_index in completed and not force:
             replayed = _replay_shard(cache, shard)
@@ -328,11 +333,23 @@ def run_campaign(
                 for outcome in replayed:
                     outcomes[outcome.index] = outcome
                 replayed_shards += 1
+                if tracer_on:
+                    tracer.emit(
+                        "sweep/shard", index=shard_index,
+                        points=len(shard), source="journal",
+                    )
                 continue
             # The cache lost an entry the journal promised: re-run.
         if max_shards is not None and executed_shards >= max_shards:
             continue  # budget spent; later journaled shards still replay
-        records = executor.run([point.spec for point in shard])
+        if tracer_on:
+            with tracer.span(
+                "sweep/shard", index=shard_index, points=len(shard),
+                source="executor",
+            ):
+                records = executor.run([point.spec for point in shard])
+        else:
+            records = executor.run([point.spec for point in shard])
         shard_ok = True
         for point, record in zip(shard, records):
             outcome = _outcome_from_record(point, record)

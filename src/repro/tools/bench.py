@@ -281,9 +281,12 @@ def _channel_slot_rate(
     smoke: bool,
     monitors: bool = False,
     telemetry: bool = False,
+    tracer: bool = False,
     seed: int = 0,
 ) -> tuple[float, str]:
     """DDCR simulation throughput, in channel rounds per second."""
+    import contextlib
+
     from repro.model.workloads import uniform_problem
     from repro.net.network import NetworkSimulation
     from repro.net.phy import ideal_medium
@@ -301,22 +304,37 @@ def _channel_slot_rate(
         from repro.obs.instruments import Telemetry
 
         registry = Telemetry()
-    simulation = NetworkSimulation(
-        problem,
-        ideal_medium(slot_time=64),
-        protocol_factory=lambda s: DDCRProtocol(config),
-        root_seed=seed,
-        engine=engine,
-        monitors=monitors,
-        telemetry=registry,
-    )
-    result = simulation.run(200_000 if smoke else 1_000_000)
+    scope = contextlib.nullcontext()
+    recorder = None
+    if tracer:
+        # The channel picks the flight recorder up ambiently at
+        # construction (NetworkSimulation has no tracer parameter), so
+        # scope it around build+run — the same way a traced serve
+        # session's counter-check arms it.
+        from repro.obs.context import use_tracer
+        from repro.obs.tracer import FlightRecorder
+
+        recorder = FlightRecorder()
+        scope = use_tracer(recorder)
+    with scope:
+        simulation = NetworkSimulation(
+            problem,
+            ideal_medium(slot_time=64),
+            protocol_factory=lambda s: DDCRProtocol(config),
+            root_seed=seed,
+            engine=engine,
+            monitors=monitors,
+            telemetry=registry,
+        )
+        result = simulation.run(200_000 if smoke else 1_000_000)
     assert result.delivered > 0
     if monitors:
         assert result.invariants is not None and result.invariants.ok
     if telemetry:
         assert result.telemetry is not None
         assert result.telemetry.counters["slots/success"] > 0
+    if tracer:
+        assert recorder is not None and recorder.emitted > 0
     return float(result.stats.rounds), "rounds"
 
 
@@ -449,6 +467,15 @@ def _bench_telemetry_overhead(smoke: bool, seed: int = 0) -> tuple[float, str]:
     return _channel_slot_rate(16, "fastloop", smoke, telemetry=True, seed=seed)
 
 
+def _bench_tracer_overhead(smoke: bool, seed: int = 0) -> tuple[float, str]:
+    """The 16-station fastloop workload with an armed flight recorder
+    (one ``channel/slot`` event appended to the bounded ring every
+    round); compare against ``channel_slot_rate_16_fastloop`` for the
+    per-round cost of enabled tracing.  As with telemetry, the disabled
+    case *is* the baseline bench — the NULL_TRACER hoisted gate."""
+    return _channel_slot_rate(16, "fastloop", smoke, tracer=True, seed=seed)
+
+
 #: name -> (engine or None, bench callable).  A bench callable performs one
 #: measured operation batch — ``(smoke, seed)`` in, ``(ops_done, unit)``
 #: out; analytic benches ignore the seed.
@@ -486,6 +513,7 @@ BENCHES: dict[
     },
     "invariant_overhead": ("fastloop", _bench_invariant_overhead),
     "telemetry_overhead": ("fastloop", _bench_telemetry_overhead),
+    "tracer_overhead": ("fastloop", _bench_tracer_overhead),
 }
 
 

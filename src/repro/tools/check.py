@@ -34,7 +34,12 @@ on the warm cache, asserting zero resubmissions and a byte-identical
 aggregate, :mod:`repro.sweep`; ``--no-sweep`` skips it), a serve-smoke
 step (a short admission trace served with counter-checks, replayed
 byte-identically, and re-checked with zero executor resubmissions,
-:mod:`repro.serve`; ``--no-serve`` skips it), and finishes
+:mod:`repro.serve`; ``--no-serve`` skips it), an obs2-smoke step (a
+*traced* serve session: flight-recorder dump valid JSONL with connected
+causal parents, Prometheus snapshot + JSONL delta stream consumable and
+consistent, and a deliberately unmeetable SLO breaching as exactly one
+structured ``slo-breach`` incident with a black-box trace attached,
+:mod:`repro.obs`; ``--no-obs2`` skips it), and finishes
 with a perf-smoke step: one quick pass of the micro benchmarks
 (:mod:`repro.tools.bench` ``--smoke``), printing throughput so
 regressions surface next to correctness (``--no-perf`` skips it).  The
@@ -129,6 +134,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-serve",
         action="store_true",
         help="skip the --ci serve-smoke (admission service) step",
+    )
+    parser.add_argument(
+        "--no-obs2",
+        action="store_true",
+        help=(
+            "skip the --ci obs2-smoke (flight recorder / export / SLO "
+            "breach) step"
+        ),
     )
     parser.add_argument(
         "--no-batch",
@@ -629,6 +642,153 @@ def _run_serve_smoke(cache_dir: str, jobs: int, use_cache: bool = True) -> list[
     return failures
 
 
+def _run_obs2_smoke(cache_dir: str, use_cache: bool = True) -> list[str]:
+    """A traced serve session exercising the v2 ops plane end to end.
+
+    Serves a short trace with the flight recorder, streaming exporter
+    and a deliberately unmeetable SLO armed, then asserts the three
+    contracts: (1) the flight-recorder dump is valid JSONL whose causal
+    parents all resolve inside the dumped window (or point below it,
+    i.e. at ring-evicted ancestors); (2) the Prometheus snapshot and the
+    JSONL delta stream are consumable and consistent with the request
+    count; (3) the forced latency SLO (threshold 0 us — every sample is
+    bad by construction) breaches exactly once (multi-window burn-rate
+    breaches latch) and lands as a structured ``slo-breach`` incident
+    with a black-box trace attached.  Returns failure lines.
+    """
+    from repro.obs.export import iter_jsonl_tail, parse_prometheus
+    from repro.obs.instruments import Telemetry
+    from repro.obs.slo import Objective, SloEngine
+    from repro.obs.tracer import FlightRecorder, load_trace
+    from repro.runtime import ParallelExecutor, ResultCache
+    from repro.serve import (
+        AdmissionService,
+        ServeConfig,
+        TraceConfig,
+        generate_trace,
+    )
+
+    failures: list[str] = []
+    trace = generate_trace(
+        TraceConfig(events=48, stations=10, seed=11, template="city")
+    )
+    recorder = FlightRecorder(capacity=2048)
+    telemetry = Telemetry()
+    slos = SloEngine([
+        Objective(
+            name="forced-latency",
+            kind="latency",
+            instrument="serve/decision_latency_us",
+            threshold=0.0,
+            q=0.99,
+            short_window=4,
+            long_window=8,
+        ),
+    ])
+    config = ServeConfig(static_q=64, check_every=16, sim_horizon=500_000)
+    with tempfile.TemporaryDirectory() as tmp:
+        log_dir = os.path.join(tmp, "obs2-log")
+        from repro.obs.export import StreamExporter
+
+        exporter = StreamExporter(
+            telemetry,
+            os.path.join(tmp, "metrics.prom"),
+            os.path.join(tmp, "metrics.jsonl"),
+            every=4,
+        )
+        executor = (
+            ParallelExecutor(cache=ResultCache(cache_dir))
+            if use_cache
+            else None
+        )
+        with AdmissionService(
+            config,
+            telemetry=telemetry,
+            executor=executor,
+            log_dir=log_dir,
+            tracer=recorder,
+            exporter=exporter,
+            slos=slos,
+        ) as service:
+            service.run_trace(trace)
+            service.counter_check()
+            breaches = [
+                i for i in service.incidents if i.kind == "slo-breach"
+            ]
+            others = [
+                i for i in service.incidents if i.kind != "slo-breach"
+            ]
+            if len(breaches) != 1:
+                failures.append(
+                    f"obs2-smoke: forced SLO produced "
+                    f"{len(breaches)} slo-breach incident(s), wanted "
+                    f"exactly 1 (breaches latch)"
+                )
+            elif breaches[0].trace is None or not breaches[0].trace:
+                failures.append(
+                    "obs2-smoke: slo-breach incident carries no "
+                    "black-box trace"
+                )
+            if others:
+                failures.append(
+                    f"obs2-smoke: unexpected incident(s): "
+                    f"{[i.kind for i in others]}"
+                )
+        # (1) Flight-recorder dump: valid JSONL, connected parents.
+        dump = os.path.join(tmp, "flightrec.jsonl")
+        recorder.dump_jsonl(dump)
+        events = load_trace(dump)
+        if not events:
+            failures.append("obs2-smoke: flight-recorder dump is empty")
+        else:
+            ids = {event.id for event in events}
+            first = min(ids)
+            dangling = [
+                event.id
+                for event in events
+                if event.parent is not None
+                and event.parent not in ids
+                and event.parent >= first
+            ]
+            if dangling:
+                failures.append(
+                    f"obs2-smoke: {len(dangling)} event(s) have parents "
+                    f"inside the dumped window that are missing from it"
+                )
+            kinds = {event.kind for event in events}
+            wanted = {"serve/request", "serve/decision"}
+            if use_cache:
+                wanted.add("channel/slot")
+            missing = wanted - kinds
+            if missing:
+                failures.append(
+                    f"obs2-smoke: dump lacks {sorted(missing)} event(s)"
+                )
+        # (2) Export artifacts: snapshot + delta stream consistency.
+        metrics = parse_prometheus(
+            open(exporter.prom_path, encoding="utf-8").read()
+        )
+        requests = metrics.get("repro_serve_requests", {}).get("value")
+        if requests != len(trace):
+            failures.append(
+                f"obs2-smoke: Prometheus snapshot reports "
+                f"{requests} requests, served {len(trace)}"
+            )
+        records = list(iter_jsonl_tail(exporter.stream_path))
+        if not records:
+            failures.append("obs2-smoke: delta stream is empty")
+        ticks = [record.get("tick") for record in records]
+        if ticks != sorted(ticks):
+            failures.append("obs2-smoke: delta-stream ticks not monotone")
+    if not failures:
+        print(
+            f"obs2-smoke: traced serve session ok ({len(events)} trace "
+            f"event(s) dumped, {len(records)} export record(s), "
+            "1 latched slo-breach with black box)"
+        )
+    return failures
+
+
 def _run_perf_smoke(batch: bool = True) -> "list | None":
     """One quick micro-benchmark pass; returns results (None = skipped)."""
     from repro.tools.bench import BENCHES, run_benches
@@ -713,6 +873,7 @@ def run_ci(
     feas: bool = True,
     sweep: bool = True,
     serve: bool = True,
+    obs2: bool = True,
     batch: bool = True,
     perf_trend: bool = True,
     history: "str | None" = None,
@@ -797,6 +958,9 @@ def run_ci(
         serve_failures = _run_serve_smoke(
             cache_dir, jobs, use_cache=not no_cache
         )
+    obs2_failures: list[str] = []
+    if obs2:
+        obs2_failures = _run_obs2_smoke(cache_dir, use_cache=not no_cache)
     trend_failures: list[str] = []
     if perf:
         results = _run_perf_smoke(batch=batch)
@@ -824,6 +988,8 @@ def run_ci(
         print(f"FAILED sweep: {failure}", file=sys.stderr)
     for failure in serve_failures:
         print(f"FAILED serve: {failure}", file=sys.stderr)
+    for failure in obs2_failures:
+        print(f"FAILED obs2: {failure}", file=sys.stderr)
     for failure in trend_failures:
         print(f"FAILED perf-trend: {failure}", file=sys.stderr)
     if (
@@ -833,6 +999,7 @@ def run_ci(
         or obs_failures
         or sweep_failures
         or serve_failures
+        or obs2_failures
         or trend_failures
     ):
         return 2
@@ -855,6 +1022,7 @@ def main(argv: list[str] | None = None) -> int:
                 feas=not args.no_feas,
                 sweep=not args.no_sweep,
                 serve=not args.no_serve,
+                obs2=not args.no_obs2,
                 batch=not args.no_batch,
                 perf_trend=not args.no_perf_trend,
                 history=args.history,

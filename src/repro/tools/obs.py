@@ -5,11 +5,14 @@ Usage::
     python -m repro.tools.obs summarize run.jsonl
     python -m repro.tools.obs diff baseline.jsonl current.jsonl
     python -m repro.tools.obs diff base.jsonl cur.jsonl --fail-over 25
+    python -m repro.tools.obs tail logdir/metrics.jsonl
+    python -m repro.tools.obs top logdir/metrics.prom
 
 ``summarize`` renders each :class:`~repro.obs.manifest.RunTelemetry`
-document in a manifest file as text: provenance header, counters and
-gauges, histogram quantiles (p50/p90/p99 via the conservative upper-edge
-estimate), and the span call tree with wall-clock timings.
+document in a manifest file as text: provenance header (including any
+engine fallback the run took), counters and gauges, histogram quantiles
+(p50/p90/p99 via the conservative upper-edge estimate), and the span
+call tree with wall-clock timings.
 
 ``diff`` pairs documents by ``run_id`` across two manifest files and
 reports counter deltas, histogram quantile shifts and span-time ratios.
@@ -17,6 +20,12 @@ With ``--fail-over PCT`` it exits 2 when any matched span slowed down by
 more than PCT percent (spans shorter than ``--min-seconds`` in the
 baseline are ignored as timing noise) — the building block the perf-trend
 gate and ad-hoc before/after comparisons share.
+
+``tail`` and ``top`` read the live artifacts a serve run with
+``--export-every`` keeps fresh (:mod:`repro.obs.export`): ``tail``
+renders the JSONL delta stream one line per export tick (tolerating a
+torn final line, since the writer may be mid-append), ``top`` renders
+the Prometheus snapshot file as a sorted table.
 """
 
 from __future__ import annotations
@@ -25,12 +34,15 @@ import argparse
 import sys
 from collections.abc import Iterator
 
+from repro.obs.export import iter_jsonl_tail, parse_prometheus
 from repro.obs.manifest import RunTelemetry, read_manifests
 
 __all__ = [
     "build_parser",
     "diff_manifests",
     "main",
+    "render_delta_record",
+    "render_top",
     "snapshot_quantile",
     "summarize_manifest",
 ]
@@ -50,11 +62,19 @@ def snapshot_quantile(snap: dict, q: float) -> float | None:
     """Upper-edge quantile estimate from a histogram snapshot dict.
 
     Mirrors :meth:`repro.obs.instruments.Histogram.quantile`, but works
-    on the serialised form found in manifests (no live instrument).
+    on the serialised form found in manifests (no live instrument) —
+    including the edge cases: out-of-range ``q`` raises ``ValueError``,
+    empty returns ``None``, ``q=0``/``q=1`` return the exact min/max.
     """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
     count = snap["count"]
     if count == 0:
         return None
+    if q == 0.0:
+        return snap["min"]
+    if q == 1.0:
+        return snap["max"]
     edges = snap["edges"]
     rank = q * (count - 1)
     seen = 0
@@ -94,6 +114,12 @@ def summarize_manifest(doc: RunTelemetry) -> str:
         f"  faults={doc.fault_plan or '-'}"
         f"  wall={doc.wall_seconds:.3f}s"
     ]
+    if doc.engine_fallback is not None:
+        # Execution-provenance note: the run did not execute on the
+        # engine it asked for (batch kernel ineligible, numpy missing...)
+        # — worth its own loud line, since quietly slower runs are
+        # exactly what perf triage goes hunting for.
+        lines.append(f"  engine fallback: {doc.engine_fallback}")
     if doc.counters:
         lines.append("  counters:")
         for name, value in sorted(doc.counters.items()):
@@ -149,8 +175,15 @@ def diff_manifests(
     caller decides what an exit code owes them.
     """
     lines = [f"run {baseline.run_id}:"]
-    names = sorted(set(baseline.counters) | set(current.counters))
     changed = False
+    if baseline.engine_fallback != current.engine_fallback:
+        changed = True
+        lines.append(
+            f"  engine fallback: "
+            f"{baseline.engine_fallback or '-'} -> "
+            f"{current.engine_fallback or '-'}"
+        )
+    names = sorted(set(baseline.counters) | set(current.counters))
     for name in names:
         a = baseline.counters.get(name, 0)
         b = current.counters.get(name, 0)
@@ -214,6 +247,81 @@ def diff_manifests(
     return "\n".join(lines), regressions
 
 
+def render_delta_record(record: dict) -> str:
+    """One ``obs tail`` line for one delta-stream record."""
+    parts = [f"tick {record.get('tick', '?')}"]
+    for name, (delta, total) in sorted(
+        record.get("counters", {}).items()
+    ):
+        parts.append(f"{name} +{delta}={total}")
+    for name, value in sorted(record.get("gauges", {}).items()):
+        parts.append(f"{name}={_format_value(value)}")
+    for name, summary in sorted(record.get("histograms", {}).items()):
+        quantiles = "  ".join(
+            f"{label}={_format_value(summary[label])}"
+            for label in ("p50", "p99")
+            if label in summary
+        )
+        parts.append(
+            f"{name} n={summary.get('count')} "
+            f"(+{summary.get('delta')})  {quantiles}".rstrip()
+        )
+    return "  ".join(parts)
+
+
+def render_top(metrics: dict[str, dict]) -> list[str]:
+    """``obs top`` table lines for one parsed Prometheus snapshot."""
+    lines: list[str] = []
+    for name in sorted(metrics):
+        entry = metrics[name]
+        if entry.get("type") == "histogram":
+            count = entry.get("count")
+            total = entry.get("sum")
+            mean = (
+                total / count
+                if count and total is not None
+                else None
+            )
+            lines.append(
+                f"{name:<48} histogram  n={_format_value(count)}  "
+                f"sum={_format_value(total)}  "
+                f"mean={_format_value(mean)}"
+            )
+        else:
+            lines.append(
+                f"{name:<48} {entry.get('type', 'untyped'):<9}  "
+                f"{_format_value(entry.get('value'))}"
+            )
+    return lines
+
+
+def _cmd_tail(args: argparse.Namespace) -> int:
+    try:
+        records = list(iter_jsonl_tail(args.stream))
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if args.last is not None:
+        records = records[-args.last:]
+    for record in records:
+        print(render_delta_record(record))
+    print(f"{len(records)} export record(s) in {args.stream}")
+    return 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    try:
+        text = open(args.prom_file, encoding="utf-8").read()
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    metrics = parse_prometheus(text)
+    for line in render_top(metrics):
+        print(line)
+    print(f"{len(metrics)} metric(s) in {args.prom_file}")
+    return 0
+
+
 def _pair_by_run_id(
     baseline: list[RunTelemetry], current: list[RunTelemetry]
 ) -> list[tuple[RunTelemetry, RunTelemetry]]:
@@ -268,12 +376,28 @@ def build_parser() -> argparse.ArgumentParser:
             "(timing noise; default: %(default)s)"
         ),
     )
+    tail = commands.add_parser(
+        "tail", help="render a live metrics delta stream (metrics.jsonl)"
+    )
+    tail.add_argument("stream", help="JSONL delta-stream file")
+    tail.add_argument(
+        "--last", type=int, default=None, metavar="N",
+        help="only the newest N export records (default: all)",
+    )
+    top = commands.add_parser(
+        "top", help="render a Prometheus snapshot file (metrics.prom)"
+    )
+    top.add_argument("prom_file", help="Prometheus text-exposition file")
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.command == "tail":
+        return _cmd_tail(args)
+    if args.command == "top":
+        return _cmd_top(args)
     if args.command == "summarize":
         try:
             documents = read_manifests(args.path)

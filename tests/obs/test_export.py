@@ -1,0 +1,181 @@
+"""Unit tests for streaming metric export (Prometheus + delta stream)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.export import (
+    StreamExporter,
+    iter_jsonl_tail,
+    parse_prometheus,
+    prometheus_name,
+    render_prometheus,
+    write_atomic,
+)
+from repro.obs.instruments import Telemetry
+
+
+def _registry() -> Telemetry:
+    telemetry = Telemetry()
+    telemetry.counter("serve/requests").inc(3)
+    telemetry.gauge("cache/entries").set(7.5)
+    hist = telemetry.histogram("serve/decision_latency_us", (10, 100))
+    for value in (5, 50, 500):
+        hist.record(value)
+    return telemetry
+
+
+class TestPrometheusNames:
+    def test_sanitises_and_prefixes(self):
+        assert prometheus_name("serve/requests") == "repro_serve_requests"
+        assert prometheus_name("a-b.c") == "repro_a_b_c"
+
+    def test_digit_leading_gets_underscore(self):
+        assert prometheus_name("9lives", prefix="") == "_9lives"
+
+
+class TestRenderParse:
+    def test_counter_gauge_histogram_render(self):
+        text = render_prometheus(_registry())
+        assert "# TYPE repro_serve_requests counter" in text
+        assert "repro_serve_requests 3" in text
+        assert "repro_cache_entries 7.5" in text
+        # Cumulative buckets with a closing +Inf.
+        assert 'repro_serve_decision_latency_us_bucket{le="10"} 1' in text
+        assert 'repro_serve_decision_latency_us_bucket{le="100"} 2' in text
+        assert 'repro_serve_decision_latency_us_bucket{le="+Inf"} 3' in text
+        assert "repro_serve_decision_latency_us_sum 555" in text
+        assert "repro_serve_decision_latency_us_count 3" in text
+
+    def test_parse_round_trip(self):
+        metrics = parse_prometheus(render_prometheus(_registry()))
+        assert metrics["repro_serve_requests"] == {
+            "type": "counter", "value": 3.0,
+        }
+        hist = metrics["repro_serve_decision_latency_us"]
+        assert hist["type"] == "histogram"
+        assert ("10", 1.0) in hist["buckets"]
+        assert hist["count"] == 3.0
+        assert hist["sum"] == 555.0
+
+    def test_empty_registry_renders_empty(self):
+        assert render_prometheus(Telemetry()) == ""
+        assert parse_prometheus("") == {}
+
+
+class TestWriteAtomic:
+    def test_replaces_content(self, tmp_path):
+        path = tmp_path / "sub" / "m.prom"
+        write_atomic(path, "one\n")
+        write_atomic(path, "two\n")
+        assert path.read_text() == "two\n"
+        # No temp droppings left behind.
+        assert [p.name for p in path.parent.iterdir()] == ["m.prom"]
+
+
+class TestIterJsonlTail:
+    def test_missing_file_yields_nothing(self, tmp_path):
+        assert list(iter_jsonl_tail(tmp_path / "absent.jsonl")) == []
+
+    def test_reads_clean_stream(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        path.write_text('{"tick":1}\n{"tick":2}\n')
+        assert [doc["tick"] for doc in iter_jsonl_tail(path)] == [1, 2]
+
+    def test_truncated_final_line_is_skipped(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        path.write_text('{"tick":1}\n{"tick":2,"coun')
+        assert [doc["tick"] for doc in iter_jsonl_tail(path)] == [1]
+
+    def test_interior_corruption_raises(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        path.write_text('{"tick":1}\ngarbage\n{"tick":3}\n')
+        with pytest.raises(ValueError, match="corrupt"):
+            list(iter_jsonl_tail(path))
+
+
+class TestStreamExporter:
+    def test_every_validated(self, tmp_path):
+        with pytest.raises(ValueError, match="every"):
+            StreamExporter(
+                Telemetry(), tmp_path / "m.prom", tmp_path / "m.jsonl",
+                every=0,
+            )
+
+    def test_tick_cadence(self, tmp_path):
+        exporter = StreamExporter(
+            _registry(), tmp_path / "m.prom", tmp_path / "m.jsonl", every=3,
+        )
+        assert [exporter.tick() for _ in range(7)] == [
+            False, False, True, False, False, True, False,
+        ]
+        assert exporter.exports == 2
+
+    def test_delta_records_only_changes(self, tmp_path):
+        telemetry = Telemetry()
+        counter = telemetry.counter("serve/requests")
+        exporter = StreamExporter(
+            telemetry, tmp_path / "m.prom", tmp_path / "m.jsonl",
+        )
+        counter.inc(2)
+        exporter.tick()
+        exporter.tick()  # idle tick: nothing changed
+        counter.inc()
+        exporter.tick()
+        records = list(iter_jsonl_tail(tmp_path / "m.jsonl"))
+        assert records[0]["counters"] == {"serve/requests": [2, 2]}
+        assert "counters" not in records[1]
+        assert records[2]["counters"] == {"serve/requests": [1, 3]}
+
+    def test_histogram_delta_summary(self, tmp_path):
+        telemetry = Telemetry()
+        hist = telemetry.histogram("lat", (10, 100))
+        exporter = StreamExporter(
+            telemetry, tmp_path / "m.prom", tmp_path / "m.jsonl",
+        )
+        for value in (5, 50):
+            hist.record(value)
+        exporter.tick()
+        (record,) = iter_jsonl_tail(tmp_path / "m.jsonl")
+        summary = record["histograms"]["lat"]
+        assert summary["count"] == 2
+        assert summary["delta"] == 2
+        assert summary["p50"] == 10
+        assert "p99" in summary
+
+    def test_records_carry_tick_never_timestamps(self, tmp_path):
+        exporter = StreamExporter(
+            _registry(), tmp_path / "m.prom", tmp_path / "m.jsonl",
+        )
+        exporter.tick()
+        (record,) = iter_jsonl_tail(tmp_path / "m.jsonl")
+        assert record["tick"] == 1
+        assert set(record) <= {"tick", "counters", "gauges", "histograms"}
+
+    def test_prom_file_rewritten_each_export(self, tmp_path):
+        telemetry = Telemetry()
+        counter = telemetry.counter("c")
+        exporter = StreamExporter(
+            telemetry, tmp_path / "m.prom", tmp_path / "m.jsonl",
+        )
+        counter.inc()
+        exporter.tick()
+        first = (tmp_path / "m.prom").read_text()
+        counter.inc()
+        exporter.tick()
+        second = (tmp_path / "m.prom").read_text()
+        assert "repro_c 1" in first
+        assert "repro_c 2" in second
+
+    def test_stream_is_deterministic_json(self, tmp_path):
+        exporter = StreamExporter(
+            _registry(), tmp_path / "m.prom", tmp_path / "m.jsonl",
+        )
+        exporter.tick()
+        line = (tmp_path / "m.jsonl").read_text().splitlines()[0]
+        doc = json.loads(line)
+        assert line == json.dumps(
+            doc, sort_keys=True, separators=(",", ":")
+        )

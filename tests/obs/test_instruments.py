@@ -53,23 +53,45 @@ class TestHistogram:
         hist = Histogram("h", edges=(10, 20, 30))
         for value in (1, 2, 3, 15):
             hist.record(value)
-        # Conservative: the estimate is an upper bound on the true value.
-        assert hist.quantile(0.0) == 10
+        # Conservative: the interior estimate is an upper bound on the
+        # true value; the extremes are tracked exactly.
+        assert hist.quantile(0.0) == 1
         assert hist.quantile(0.5) == 10
-        assert hist.quantile(1.0) == 20
+        assert hist.quantile(1.0) == 15
+
+    def test_quantile_extremes_are_exact(self):
+        # q=0/q=1 bypass the bucket estimate entirely: even when every
+        # sample shares one bucket, min/max come back exact.
+        hist = Histogram("h", edges=(100,))
+        for value in (7, 42, 99):
+            hist.record(value)
+        assert hist.quantile(0.0) == 7
+        assert hist.quantile(1.0) == 99
+
+    def test_quantile_single_bucket(self):
+        hist = Histogram("h", edges=(10,))
+        hist.record(4)
+        assert hist.quantile(0.5) == 10  # upper-edge estimate
+        assert hist.quantile(0.0) == 4
+        assert hist.quantile(1.0) == 4
 
     def test_quantile_overflow_reports_observed_max(self):
         hist = Histogram("h", edges=(10,))
         hist.record(500)
         assert hist.quantile(0.99) == 500
 
-    def test_quantile_empty_and_bad_q(self):
+    def test_quantile_empty_returns_none_for_any_q(self):
         hist = Histogram("h", edges=(10,))
-        assert hist.quantile(0.5) is None
+        for q in (0.0, 0.5, 1.0):
+            assert hist.quantile(q) is None
         assert hist.mean is None
+
+    def test_quantile_out_of_range_raises(self):
+        hist = Histogram("h", edges=(10,))
         hist.record(1)
-        with pytest.raises(ValueError, match="quantile"):
-            hist.quantile(1.5)
+        for q in (-0.01, 1.5, float("nan")):
+            with pytest.raises(ValueError, match="quantile"):
+                hist.quantile(q)
 
     def test_default_edge_tables(self):
         assert LATENCY_EDGES[0] == 64

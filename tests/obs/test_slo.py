@@ -1,0 +1,269 @@
+"""Unit tests for declarative SLOs and multi-window burn-rate alerts."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.instruments import Telemetry
+from repro.obs.slo import (
+    Breach,
+    Objective,
+    SloEngine,
+    _histogram_bad,
+    default_serve_objectives,
+    load_objectives,
+)
+
+
+def _latency_objective(**overrides) -> Objective:
+    base = dict(
+        name="lat",
+        kind="latency",
+        instrument="lat_us",
+        threshold=10.0,
+        q=0.9,
+        short_window=2,
+        long_window=4,
+    )
+    base.update(overrides)
+    return Objective(**base)
+
+
+def _ratio_objective(**overrides) -> Objective:
+    base = dict(
+        name="inc",
+        kind="ratio",
+        instrument="bad",
+        total="all",
+        threshold=0.1,
+        short_window=2,
+        long_window=4,
+    )
+    base.update(overrides)
+    return Objective(**base)
+
+
+class TestObjectiveValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="kind"):
+            _latency_objective(kind="availability")
+
+    def test_latency_q_must_be_open_interval(self):
+        for q in (0.0, 1.0, -0.5, 2.0):
+            with pytest.raises(ValueError, match="q must be"):
+                _latency_objective(q=q)
+
+    def test_ratio_needs_total(self):
+        with pytest.raises(ValueError, match="total"):
+            _ratio_objective(total=None)
+
+    def test_ratio_threshold_range(self):
+        for threshold in (-0.1, 1.0, 1.5):
+            with pytest.raises(ValueError, match="ratio threshold"):
+                _ratio_objective(threshold=threshold)
+        # Zero budget is legal: any badness breaches immediately.
+        assert _ratio_objective(threshold=0.0).budget == 0.0
+
+    def test_window_ordering(self):
+        with pytest.raises(ValueError, match="short_window"):
+            _latency_objective(short_window=4, long_window=4)
+        with pytest.raises(ValueError, match="short_window"):
+            _latency_objective(short_window=0, long_window=4)
+
+    def test_burn_threshold_positive(self):
+        with pytest.raises(ValueError, match="burn_threshold"):
+            _latency_objective(burn_threshold=0.0)
+
+    def test_budget_property(self):
+        assert _latency_objective(q=0.99).budget == pytest.approx(0.01)
+        assert _ratio_objective(threshold=0.25).budget == 0.25
+
+
+class TestObjectiveSerialization:
+    def test_round_trip(self):
+        objective = _ratio_objective()
+        again = Objective.from_dict(objective.to_dict())
+        assert again == objective
+
+    def test_latency_to_dict_drops_none_total(self):
+        assert "total" not in _latency_objective().to_dict()
+
+    def test_unknown_fields_rejected(self):
+        doc = _latency_objective().to_dict()
+        doc["severity"] = "page"
+        with pytest.raises(ValueError, match="severity"):
+            Objective.from_dict(doc)
+
+
+class TestBreach:
+    def test_describe_is_readable(self):
+        breach = Breach(
+            objective="lat", tick=7, burn_short=3.5, burn_long=2.25,
+            burn_threshold=1.0,
+        )
+        text = breach.describe()
+        assert "SLO lat" in text
+        assert "short=3.50" in text
+        assert "long=2.25" in text
+        assert "tick 7" in text
+
+
+class TestHistogramBad:
+    def test_counts_samples_above_threshold(self):
+        telemetry = Telemetry()
+        hist = telemetry.histogram("h", edges=(10, 20, 30))
+        for value in (5, 10, 15, 25, 100):
+            hist.record(value)
+        assert _histogram_bad(hist, 10.0) == 3
+        assert _histogram_bad(hist, 30.0) == 1
+        # The overflow bucket has no upper edge, so its samples count
+        # bad at any threshold — conservative in the alerting direction.
+        assert _histogram_bad(hist, 1000.0) == 1
+
+    def test_off_edge_threshold_is_conservative(self):
+        telemetry = Telemetry()
+        hist = telemetry.histogram("h", edges=(10, 20))
+        hist.record(11)  # lands in the (10, 20] bucket
+        # Threshold 15 cannot split the bucket: the whole bucket counts bad.
+        assert _histogram_bad(hist, 15.0) == 1
+
+
+class TestSloEngine:
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            SloEngine([_latency_objective(), _latency_objective()])
+
+    def test_no_breach_before_long_window_fills(self):
+        telemetry = Telemetry()
+        bad = telemetry.counter("bad")
+        total = telemetry.counter("all")
+        engine = SloEngine([_ratio_objective()])
+        # Every request bad — but the window must fill first.
+        for _ in range(4):  # long_window=4 needs 5 snapshots
+            bad.inc()
+            total.inc()
+            assert engine.tick(telemetry) == []
+        bad.inc()
+        total.inc()
+        (breach,) = engine.tick(telemetry)
+        assert breach.objective == "inc"
+        assert breach.tick == 5
+
+    def test_breach_latches_once_per_excursion(self):
+        telemetry = Telemetry()
+        bad = telemetry.counter("bad")
+        total = telemetry.counter("all")
+        engine = SloEngine([_ratio_objective()])
+        breaches = []
+        for _ in range(10):
+            bad.inc()
+            total.inc()
+            breaches.extend(engine.tick(telemetry))
+        assert len(breaches) == 1
+        assert engine.breached == ("inc",)
+
+    def test_latch_clears_on_recovery_then_rebreaches(self):
+        telemetry = Telemetry()
+        bad = telemetry.counter("bad")
+        total = telemetry.counter("all")
+        engine = SloEngine([_ratio_objective()])
+
+        def drive(ticks, badness):
+            fired = []
+            for _ in range(ticks):
+                if badness:
+                    bad.inc()
+                total.inc()
+                fired.extend(engine.tick(telemetry))
+            return fired
+
+        assert len(drive(6, badness=True)) == 1
+        # Recover long enough for both windows to drop under threshold.
+        assert drive(8, badness=False) == []
+        assert engine.breached == ()
+        # A fresh excursion fires a fresh breach.
+        assert len(drive(6, badness=True)) == 1
+
+    def test_short_window_spike_alone_does_not_fire(self):
+        # The multi-window AND: a spike that only trips the short window
+        # must stay quiet until the long window burns too.
+        telemetry = Telemetry()
+        bad = telemetry.counter("bad")
+        total = telemetry.counter("all")
+        engine = SloEngine([_ratio_objective(threshold=0.4, long_window=8)])
+        for _ in range(9):  # fill the long window with clean traffic
+            total.inc()
+            engine.tick(telemetry)
+        bad.inc()
+        total.inc()
+        # short burn = (1/2)/0.4 = 1.25 > 1; long burn = (1/8)/0.4 < 1.
+        assert engine.tick(telemetry) == []
+        assert engine.breached == ()
+
+    def test_latency_objective_counts_histogram_badness(self):
+        telemetry = Telemetry()
+        hist = telemetry.histogram("lat_us", edges=(10, 100))
+        engine = SloEngine([_latency_objective(q=0.9, threshold=10.0)])
+        breaches = []
+        for _ in range(6):
+            hist.record(50)  # every sample over the 10us bound
+            breaches.extend(engine.tick(telemetry))
+        assert len(breaches) == 1
+        # Budget 0.1, bad fraction 1.0 -> burn 10x on both windows.
+        assert breaches[0].burn_short == pytest.approx(10.0)
+        assert breaches[0].burn_long == pytest.approx(10.0)
+
+    def test_zero_budget_breaches_on_any_badness(self):
+        telemetry = Telemetry()
+        bad = telemetry.counter("bad")
+        total = telemetry.counter("all")
+        engine = SloEngine([_ratio_objective(threshold=0.0)])
+        for _ in range(5):
+            total.inc()
+            assert engine.tick(telemetry) == []
+        bad.inc()
+        total.inc()
+        (breach,) = engine.tick(telemetry)
+        assert breach.burn_short == float("inf")
+
+    def test_idle_ticks_burn_nothing(self):
+        telemetry = Telemetry()
+        telemetry.counter("bad")
+        telemetry.counter("all")
+        engine = SloEngine([_ratio_objective()])
+        for _ in range(10):
+            assert engine.tick(telemetry) == []
+
+
+class TestDefaults:
+    def test_default_serve_objectives_shape(self):
+        objectives = default_serve_objectives()
+        assert [objective.name for objective in objectives] == [
+            "decision-latency-p99", "incident-rate",
+        ]
+        latency, incidents = objectives
+        assert latency.kind == "latency"
+        assert latency.instrument == "serve/decision_latency_us"
+        assert incidents.kind == "ratio"
+        assert incidents.total == "serve/requests"
+        # All defaults must construct a valid engine.
+        SloEngine(objectives)
+
+
+class TestLoadObjectives:
+    def test_loads_json_list(self, tmp_path):
+        path = tmp_path / "slos.json"
+        path.write_text(json.dumps([
+            _latency_objective().to_dict(),
+            _ratio_objective().to_dict(),
+        ]))
+        objectives = load_objectives(path)
+        assert [objective.name for objective in objectives] == ["lat", "inc"]
+
+    def test_rejects_non_list(self, tmp_path):
+        path = tmp_path / "slos.json"
+        path.write_text('{"name": "lat"}')
+        with pytest.raises(ValueError, match="JSON list"):
+            load_objectives(path)

@@ -1,0 +1,174 @@
+"""Incident journal durability: per-event flush, crash-tolerant reads,
+and byte-identical incident streams across cold runs and resume."""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs.instruments import Telemetry
+from repro.obs.slo import Objective, SloEngine
+from repro.obs.tracer import FlightRecorder, load_trace
+from repro.serve.model import Incident, Request
+from repro.serve.service import (
+    INCIDENTS_FILE,
+    AdmissionService,
+    ServeConfig,
+    read_incidents,
+    replay_event_log,
+)
+
+_MS = 1_000_000
+_CONFIG = ServeConfig(static_q=64, check_every=0)
+
+
+def _join(seq: int) -> Request:
+    return Request(seq=seq, kind="join", source_id=seq, name=f"c{seq}",
+                   nu=1, length=8_000, deadline=12 * _MS, a=1, w=4 * _MS)
+
+
+def _forced_slos(short: int = 2, long: int = 4) -> SloEngine:
+    """An objective no run can meet: latency threshold 0 makes every
+    decision sample bad, so the breach tick depends only on the window
+    lengths — deterministic regardless of actual wall-clock latency."""
+    return SloEngine([
+        Objective(name="forced", kind="latency",
+                  instrument="serve/decision_latency_us", threshold=0.0,
+                  q=0.99, short_window=short, long_window=long),
+    ])
+
+
+class TestJournalFlush:
+    def test_incident_line_durable_before_handle_returns(self, tmp_path):
+        """The journal must be readable mid-run, after every incident —
+        the whole point of a black box is surviving the crash that comes
+        next."""
+        with AdmissionService(
+            _CONFIG, telemetry=Telemetry(), slos=_forced_slos(),
+            log_dir=tmp_path,
+        ) as service:
+            for seq in range(5):  # long_window=4 -> breach on tick 5
+                service.handle(_join(seq))
+                # Read the file *while the service is still open*.
+                on_disk = read_incidents(tmp_path)
+                if seq < 4:
+                    assert on_disk == []
+                else:
+                    (incident,) = on_disk
+                    assert incident.kind == "slo-breach"
+                    assert incident.at_seq == 4
+                    assert "SLO forced" in incident.detail
+            assert len(service.incidents) == 1
+
+    def test_untraced_incidents_carry_no_trace_field(self, tmp_path):
+        with AdmissionService(
+            _CONFIG, telemetry=Telemetry(), slos=_forced_slos(),
+            log_dir=tmp_path,
+        ) as service:
+            for seq in range(5):
+                service.handle(_join(seq))
+        line = (tmp_path / INCIDENTS_FILE).read_text().splitlines()[0]
+        assert "trace" not in json.loads(line)
+
+
+class TestReadIncidents:
+    def test_missing_file_means_no_incidents(self, tmp_path):
+        assert read_incidents(tmp_path) == []
+
+    def test_round_trips_clean_journal(self, tmp_path):
+        incidents = [
+            Incident(kind="oracle-divergence", at_seq=3, detail="d0"),
+            Incident(kind="slo-breach", at_seq=7, detail="d1"),
+        ]
+        (tmp_path / INCIDENTS_FILE).write_text(
+            "".join(incident.to_json() + "\n" for incident in incidents)
+        )
+        assert read_incidents(tmp_path) == incidents
+
+    def test_tolerates_truncated_final_line(self, tmp_path):
+        """A crash mid-append can only truncate the last line; the
+        journal up to that point must still parse."""
+        whole = Incident(kind="slo-breach", at_seq=1, detail="kept")
+        half = Incident(kind="slo-breach", at_seq=2, detail="lost")
+        (tmp_path / INCIDENTS_FILE).write_text(
+            whole.to_json() + "\n" + half.to_json()[:-7]
+        )
+        assert read_incidents(tmp_path) == [whole]
+
+    def test_interior_corruption_still_raises(self, tmp_path):
+        whole = Incident(kind="slo-breach", at_seq=1, detail="kept")
+        (tmp_path / INCIDENTS_FILE).write_text(
+            "garbage\n" + whole.to_json() + "\n"
+        )
+        try:
+            read_incidents(tmp_path)
+        except ValueError as error:
+            assert "corrupt" in str(error)
+        else:  # pragma: no cover - the assertion we are testing
+            raise AssertionError("interior corruption must not be skipped")
+
+
+class TestColdVsResume:
+    def test_incident_stream_byte_identical_after_crash_recovery(
+        self, tmp_path
+    ):
+        """Serve half the trace, 'crash', replay-and-attach, serve the
+        rest: incidents.jsonl must equal the cold run's byte for byte.
+        The forced objective breaches (and latches) inside the first
+        half, so the resumed run must neither lose nor duplicate it."""
+        trace = [_join(seq) for seq in range(12)]
+        half = len(trace) // 2
+
+        cold_dir = tmp_path / "cold"
+        with AdmissionService(
+            _CONFIG, telemetry=Telemetry(), slos=_forced_slos(),
+            log_dir=cold_dir,
+        ) as cold:
+            cold.run_trace(trace)
+        assert [i.kind for i in cold.incidents] == ["slo-breach"]
+
+        crash_dir = tmp_path / "crash"
+        with AdmissionService(
+            _CONFIG, telemetry=Telemetry(), slos=_forced_slos(),
+            log_dir=crash_dir,
+        ) as first:
+            first.run_trace(trace[:half])
+
+        # Process restarts: replay rebuilds engine + SLO latch state
+        # (the replayed breach stays in memory — the journal already has
+        # it), then the survivor serves the second half live.
+        resumed = replay_event_log(
+            crash_dir, attach=True, telemetry=Telemetry(),
+            slos=_forced_slos(),
+        )
+        assert [i.kind for i in resumed.incidents] == ["slo-breach"]
+        with resumed:
+            resumed.run_trace(trace[half:])
+        # Latch held across the resume: still exactly one breach.
+        assert [i.kind for i in resumed.incidents] == ["slo-breach"]
+
+        assert (
+            (crash_dir / INCIDENTS_FILE).read_bytes()
+            == (cold_dir / INCIDENTS_FILE).read_bytes()
+        )
+
+
+class TestBlackBox:
+    def test_traced_incident_carries_black_box(self, tmp_path):
+        recorder = FlightRecorder()
+        with AdmissionService(
+            _CONFIG, telemetry=Telemetry(), slos=_forced_slos(),
+            tracer=recorder, log_dir=tmp_path,
+        ) as service:
+            for seq in range(5):
+                service.handle(_join(seq))
+        (incident,) = service.incidents
+        assert incident.trace  # the last events rode along
+        kinds = {event["kind"] for event in incident.trace}
+        assert "serve/request" in kinds
+        assert "serve/incident" in kinds  # the moment itself is marked
+        # The journal line carries the same snapshot...
+        (on_disk,) = read_incidents(tmp_path)
+        assert on_disk.trace == incident.trace
+        # ...and the full ring was dumped beside it.
+        dumped = load_trace(tmp_path / "blackbox.jsonl")
+        assert {event.kind for event in dumped} >= kinds

@@ -15,6 +15,7 @@ def test_list_names(capsys):
     assert "xi_dp_table" in out
     assert "channel_slot_rate_16_fastloop" in out
     assert "telemetry_overhead" in out
+    assert "tracer_overhead" in out
     assert "(engine: fastloop)" in out
 
 
@@ -197,3 +198,17 @@ def test_telemetry_overhead_within_budget():
         repeats=2,
     )
     assert instrumented.ops_per_sec > plain.ops_per_sec * 0.70
+
+
+def test_tracer_overhead_within_budget():
+    """An armed flight recorder must stay within a modest fraction of the
+    plain fastloop throughput (the ISSUE budget is <=10%; the assertion
+    allows 3x that for CI scheduling noise).  The disabled path needs no
+    separate bench: the hoisted ``tracer_on`` gate makes it the plain
+    ``channel_slot_rate`` bench itself."""
+    plain, traced = bench.run_benches(
+        names=["channel_slot_rate_16_fastloop", "tracer_overhead"],
+        smoke=True,
+        repeats=2,
+    )
+    assert traced.ops_per_sec > plain.ops_per_sec * 0.70

@@ -107,9 +107,29 @@ class TestCIFastPath:
         assert "perf-trend: not enough history" in out
         assert "sweep-smoke:" in out
         assert "serve-smoke:" in out
+        assert "obs2-smoke: traced serve session ok" in out
         assert "0 resubmissions" in out
         assert "verdict: OK" in out
         assert history.exists()  # the run was recorded for next time
+
+    def test_no_obs2_skips_the_smoke(self, warm_cache, capsys):
+        assert (
+            main(
+                [
+                    "--ci",
+                    "--cache-dir", str(warm_cache.directory),
+                    "--no-perf",
+                    "--no-invariants",
+                    "--no-obs",
+                    "--no-sweep",
+                    "--no-feas",
+                    "--no-serve",
+                    "--no-obs2",
+                ]
+            )
+            == 0
+        )
+        assert "obs2-smoke" not in capsys.readouterr().out
 
     def test_ci_runs_invariants_smoke(self, warm_cache, capsys):
         assert (

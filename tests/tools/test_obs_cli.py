@@ -4,9 +4,16 @@ from __future__ import annotations
 
 import pytest
 
+import json
+
 from repro.obs.instruments import Telemetry
 from repro.obs.manifest import RunTelemetry, write_manifests
-from repro.tools.obs import main, snapshot_quantile
+from repro.tools.obs import (
+    main,
+    render_delta_record,
+    render_top,
+    snapshot_quantile,
+)
 
 
 def make_manifest(
@@ -14,6 +21,7 @@ def make_manifest(
     success: int = 100,
     latencies: tuple[int, ...] = (100, 200, 5_000),
     run_seconds: float = 2.0,
+    engine_fallback: str | None = None,
 ) -> RunTelemetry:
     telemetry = Telemetry()
     telemetry.counter("slots/success").inc(success)
@@ -26,7 +34,8 @@ def make_manifest(
         with telemetry.span("spec/execute"):
             pass
     doc = RunTelemetry.from_registry(
-        telemetry, run_id=run_id, engine="fastloop", seed=3
+        telemetry, run_id=run_id, engine="fastloop", seed=3,
+        engine_fallback=engine_fallback,
     )
     # deterministic span timings for diff/ratio tests
     doc.spans[0]["seconds"] = run_seconds
@@ -49,6 +58,19 @@ class TestSnapshotQuantile:
         assert snapshot_quantile(
             {"edges": [10], "counts": [0, 0], "count": 0, "max": None}, 0.5
         ) is None
+
+    def test_extremes_are_exact_min_max(self):
+        snap = {"edges": [10], "counts": [2, 0], "count": 2,
+                "min": 3, "max": 7}
+        assert snapshot_quantile(snap, 0.0) == 3
+        assert snapshot_quantile(snap, 1.0) == 7
+
+    def test_out_of_range_raises(self):
+        snap = {"edges": [10], "counts": [1, 0], "count": 1,
+                "min": 1, "max": 1}
+        for q in (-0.01, 1.01, float("nan")):
+            with pytest.raises(ValueError, match="quantile"):
+                snapshot_quantile(snap, q)
 
 
 class TestSummarize:
@@ -146,3 +168,144 @@ class TestDiff:
     def test_usage_requires_a_command(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestEngineFallback:
+    def test_summarize_surfaces_fallback_note(self, tmp_path, capsys):
+        path = tmp_path / "run.jsonl"
+        write_manifests(
+            path,
+            [make_manifest(engine_fallback="numpy unavailable")],
+        )
+        assert main(["summarize", str(path)]) == 0
+        assert "engine fallback: numpy unavailable" in capsys.readouterr().out
+
+    def test_summarize_silent_without_fallback(self, tmp_path, capsys):
+        path = tmp_path / "run.jsonl"
+        write_manifests(path, [make_manifest()])
+        assert main(["summarize", str(path)]) == 0
+        assert "engine fallback" not in capsys.readouterr().out
+
+    def test_diff_reports_fallback_change(self, tmp_path, capsys):
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        write_manifests(a, [make_manifest()])
+        write_manifests(
+            b, [make_manifest(engine_fallback="numpy unavailable")]
+        )
+        assert main(["diff", str(a), str(b)]) == 0
+        out = capsys.readouterr().out
+        assert "engine fallback: - -> numpy unavailable" in out
+
+    def test_diff_silent_when_fallback_unchanged(self, tmp_path, capsys):
+        path = tmp_path / "a.jsonl"
+        write_manifests(
+            path, [make_manifest(engine_fallback="numpy unavailable")]
+        )
+        assert main(["diff", str(path), str(path)]) == 0
+        assert "engine fallback" not in capsys.readouterr().out
+
+
+def _stream_record(tick: int = 3) -> dict:
+    return {
+        "tick": tick,
+        "counters": {"serve/requests": [2, 10]},
+        "gauges": {"cache/entries": 5.0},
+        "histograms": {
+            "serve/decision_latency_us": {
+                "count": 10, "delta": 2, "p50": 128, "p99": 4096,
+            },
+        },
+    }
+
+
+class TestRenderDeltaRecord:
+    def test_renders_all_sections(self):
+        line = render_delta_record(_stream_record())
+        assert line.startswith("tick 3")
+        assert "serve/requests +2=10" in line
+        assert "cache/entries=5" in line
+        assert "serve/decision_latency_us n=10 (+2)" in line
+        assert "p50=128" in line and "p99=4096" in line
+
+    def test_idle_record_is_just_the_tick(self):
+        assert render_delta_record({"tick": 9}) == "tick 9"
+
+
+class TestRenderTop:
+    def test_table_sorted_with_histogram_summary(self):
+        metrics = {
+            "repro_b_count_total": {"type": "counter", "value": 4.0},
+            "repro_a_lat": {
+                "type": "histogram", "count": 2.0, "sum": 10.0,
+                "buckets": [("10", 2.0)],
+            },
+        }
+        lines = render_top(metrics)
+        assert lines[0].startswith("repro_a_lat")
+        assert "n=2" in lines[0] and "mean=5" in lines[0]
+        assert lines[1].startswith("repro_b_count_total")
+        assert "counter" in lines[1] and lines[1].rstrip().endswith("4")
+
+
+class TestTailCommand:
+    def test_tail_renders_stream(self, tmp_path, capsys):
+        stream = tmp_path / "metrics.jsonl"
+        stream.write_text(
+            "".join(
+                json.dumps(_stream_record(tick)) + "\n" for tick in (1, 2)
+            )
+        )
+        assert main(["tail", str(stream)]) == 0
+        out = capsys.readouterr().out
+        assert "tick 1" in out and "tick 2" in out
+        assert "2 export record(s)" in out
+
+    def test_tail_last_window(self, tmp_path, capsys):
+        stream = tmp_path / "metrics.jsonl"
+        stream.write_text(
+            "".join(
+                json.dumps({"tick": tick}) + "\n" for tick in range(5)
+            )
+        )
+        assert main(["tail", str(stream), "--last", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "tick 3" in out and "tick 4" in out
+        assert "tick 2" not in out
+
+    def test_tail_tolerates_truncated_final_line(self, tmp_path, capsys):
+        stream = tmp_path / "metrics.jsonl"
+        stream.write_text('{"tick":1}\n{"tick":2,"coun')
+        assert main(["tail", str(stream)]) == 0
+        out = capsys.readouterr().out
+        assert "tick 1" in out
+        assert "1 export record(s)" in out
+
+    def test_tail_interior_corruption_exits_one(self, tmp_path, capsys):
+        stream = tmp_path / "metrics.jsonl"
+        stream.write_text('{"tick":1}\ngarbage\n{"tick":3}\n')
+        assert main(["tail", str(stream)]) == 1
+        assert "corrupt" in capsys.readouterr().err
+
+    def test_tail_missing_stream_is_empty_not_fatal(self, tmp_path, capsys):
+        assert main(["tail", str(tmp_path / "absent.jsonl")]) == 0
+        assert "0 export record(s)" in capsys.readouterr().out
+
+
+class TestTopCommand:
+    def test_top_renders_prometheus_snapshot(self, tmp_path, capsys):
+        from repro.obs.export import render_prometheus
+
+        telemetry = Telemetry()
+        telemetry.counter("serve/requests").inc(7)
+        telemetry.histogram("serve/decision_latency_us", (64,)).record(10)
+        prom = tmp_path / "metrics.prom"
+        prom.write_text(render_prometheus(telemetry))
+        assert main(["top", str(prom)]) == 0
+        out = capsys.readouterr().out
+        assert "repro_serve_requests" in out
+        assert "repro_serve_decision_latency_us" in out
+        assert "2 metric(s)" in out
+
+    def test_top_missing_file_exits_one(self, tmp_path, capsys):
+        assert main(["top", str(tmp_path / "absent.prom")]) == 1
+        assert "error" in capsys.readouterr().err
