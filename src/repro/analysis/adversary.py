@@ -27,7 +27,7 @@ from repro.core.search_cost import xi_exact, xi_nondestructive
 from repro.model.message import DensityBound, MessageClass
 from repro.model.problem import HRTDMProblem
 from repro.model.source import SourceSpec
-from repro.net.network import NetworkSimulation
+from repro.net.network import NetworkSimulation, Scenario
 from repro.net.phy import MediumProfile, ideal_medium
 from repro.protocols.ddcr.config import DDCRConfig
 from repro.protocols.ddcr.protocol import DDCRProtocol
@@ -120,11 +120,13 @@ def build_static_collision_scenario(
         alpha=0,
         theta_factor=1.0,
     )
-    simulation = NetworkSimulation(
-        problem,
-        medium,
-        protocol_factory=lambda src: DDCRProtocol(config),
-        check_consistency=True,
+    simulation = NetworkSimulation.from_scenario(
+        Scenario(
+            problem=problem,
+            medium=medium,
+            protocol_factory=lambda src: DDCRProtocol(config),
+            check_consistency=True,
+        )
     )
     # The leaf collision is the root probe; xi(k, q) includes that root
     # collision slot, so the STs record must equal xi exactly.
@@ -210,11 +212,13 @@ def build_time_spread_scenario(
         alpha=0,
         theta_factor=1.0,
     )
-    simulation = NetworkSimulation(
-        problem,
-        medium,
-        protocol_factory=lambda src: DDCRProtocol(config),
-        check_consistency=True,
+    simulation = NetworkSimulation.from_scenario(
+        Scenario(
+            problem=problem,
+            medium=medium,
+            protocol_factory=lambda src: DDCRProtocol(config),
+            check_consistency=True,
+        )
     )
     k = len(class_indices)
     expected = xi_exact(k, time_f, time_m)

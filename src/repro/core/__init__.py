@@ -40,6 +40,12 @@ from repro.core.divide_conquer import (
     xi_two,
 )
 from repro.core import xi_store
+from repro.core.composition import (
+    HopBound,
+    RouteBound,
+    SegmentAnalysis,
+    compose_route_bound,
+)
 from repro.core.feas_engine import FeasibilityEngine
 from repro.core.feas_grid import (
     BatchEvaluator,
@@ -157,6 +163,11 @@ __all__ = [
     "max_feasible_scale",
     "queue_rank_bound",
     "static_tree_count",
+    # multi-hop composition
+    "HopBound",
+    "RouteBound",
+    "SegmentAnalysis",
+    "compose_route_bound",
     # feasibility fast path
     "BatchEvaluator",
     "FeasibilityEngine",

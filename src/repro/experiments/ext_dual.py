@@ -22,7 +22,7 @@ from repro.experiments.catalog import register
 from repro.experiments.harness import ddcr_factory, default_ddcr_config
 from repro.model.workloads import uniform_problem
 from repro.net.dualbus import DualBusSimulation, suggested_jam_threshold
-from repro.net.network import NetworkSimulation, RunResult
+from repro.net.network import NetworkSimulation, RunResult, Scenario
 from repro.net.phy import GIGABIT_ETHERNET, MediumProfile
 from repro.sim.trace import TraceLog
 
@@ -51,8 +51,12 @@ def run(
     checks: dict[str, bool] = {}
 
     # Single healthy bus (reference).
-    reference = NetworkSimulation(
-        problem, medium, ddcr_factory(config)
+    reference = NetworkSimulation.from_scenario(
+        Scenario(
+            problem=problem,
+            medium=medium,
+            protocol_factory=ddcr_factory(config),
+        )
     ).run(horizon)
     reference_metrics = summarize(reference)
     rows.append(

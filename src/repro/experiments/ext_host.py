@@ -33,7 +33,7 @@ from repro.model.arrival import TraceArrivals
 from repro.model.message import DensityBound, MessageClass
 from repro.model.problem import HRTDMProblem
 from repro.model.source import SourceSpec, allocate_static_indices
-from repro.net.network import NetworkSimulation
+from repro.net.network import NetworkSimulation, Scenario
 from repro.net.phy import GIGABIT_ETHERNET, MediumProfile
 
 __all__ = ["run"]
@@ -157,12 +157,14 @@ def run(
     problem = HRTDMProblem(sources=tuple(sources), static_q=4, static_m=2)
     config = default_ddcr_config(problem, medium)
     report = check_feasibility(problem, medium, config.tree_parameters())
-    simulation = NetworkSimulation(
-        problem,
-        medium,
-        protocol_factory=ddcr_factory(config),
-        arrivals=arrivals,
-        check_consistency=True,
+    simulation = NetworkSimulation.from_scenario(
+        Scenario(
+            problem=problem,
+            medium=medium,
+            protocol_factory=ddcr_factory(config),
+            arrivals=arrivals,
+            check_consistency=True,
+        )
     )
     metrics = summarize(simulation.run(horizon))
     checks["certified instance passes the FCs"] = report.feasible

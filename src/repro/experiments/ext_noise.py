@@ -24,7 +24,7 @@ from repro.experiments.base import ExperimentResult
 from repro.experiments.catalog import register
 from repro.experiments.harness import PROTOCOL_FACTORIES
 from repro.model.workloads import uniform_problem
-from repro.net.network import NetworkSimulation
+from repro.net.network import NetworkSimulation, Scenario
 from repro.net.phy import GIGABIT_ETHERNET, MediumProfile
 
 __all__ = ["run", "DEFAULT_NOISE_RATES"]
@@ -55,13 +55,15 @@ def run(
     ddcr_misses: dict[float, int] = {}
     for rate in noise_rates:
         for name, factory in PROTOCOL_FACTORIES(problem, medium, seed).items():
-            simulation = NetworkSimulation(
-                problem,
-                medium,
-                protocol_factory=factory,
-                check_consistency=name != "CSMA-CD/BEB",
-                noise_rate=rate,
-                noise_seed=seed,
+            simulation = NetworkSimulation.from_scenario(
+                Scenario(
+                    problem=problem,
+                    medium=medium,
+                    protocol_factory=factory,
+                    check_consistency=name != "CSMA-CD/BEB",
+                    noise_rate=rate,
+                    noise_seed=seed,
+                )
             )
             result = simulation.run(horizon)
             metrics = summarize(result)

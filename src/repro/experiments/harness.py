@@ -9,16 +9,21 @@ from __future__ import annotations
 
 import math
 
+from repro.core.feasibility import TreeParameters
 from repro.core.trees import BalancedTree
 from repro.model.problem import HRTDMProblem
 from repro.model.source import SourceSpec
+from repro.model.workloads import relay_chain_problems
 from repro.net.network import NetworkSimulation, ProtocolFactory
-from repro.net.phy import MediumProfile
+from repro.net.phy import GIGABIT_ETHERNET, MediumProfile
+from repro.net.scenario import Scenario
+from repro.net.topology import BridgeSpec, SegmentSpec, Topology
 from repro.protocols.base import MACProtocol
 from repro.protocols.csma_cd import CSMACDProtocol
 from repro.protocols.dcr import DCRProtocol
 from repro.protocols.ddcr.config import DDCRConfig
 from repro.protocols.ddcr.protocol import DDCRProtocol
+from repro.protocols.slotted_aloha import SlottedAlohaProtocol
 from repro.protocols.tdma import TDMAProtocol
 
 __all__ = [
@@ -26,10 +31,14 @@ __all__ = [
     "ddcr_factory",
     "csma_cd_factory",
     "dcr_factory",
+    "slotted_aloha_factory",
     "tdma_factory",
     "PROTOCOL_FACTORIES",
     "build_simulation",
+    "build_chain_topology",
 ]
+
+_MS = 1_000_000
 
 
 def default_ddcr_config(
@@ -91,6 +100,20 @@ def dcr_factory(problem: HRTDMProblem) -> ProtocolFactory:
     return build
 
 
+def slotted_aloha_factory(
+    seed: int = 0, transmit_probability: float = 0.25
+) -> ProtocolFactory:
+    """Independent, deterministic retry stream per station."""
+
+    def build(source: SourceSpec) -> MACProtocol:
+        return SlottedAlohaProtocol(
+            transmit_probability=transmit_probability,
+            seed=seed * 1_000_003 + source.source_id,
+        )
+
+    return build
+
+
 def tdma_factory(problem: HRTDMProblem) -> ProtocolFactory:
     """Round-robin TDMA over the problem's source roster."""
     roster = tuple(source.source_id for source in problem.sources)
@@ -110,8 +133,76 @@ def PROTOCOL_FACTORIES(
         "CSMA/DDCR": ddcr_factory(config),
         "CSMA-CD/BEB": csma_cd_factory(seed),
         "CSMA/DCR": dcr_factory(problem),
+        "S-ALOHA": slotted_aloha_factory(seed),
         "TDMA": tdma_factory(problem),
     }
+
+
+def build_chain_topology(
+    segments: int = 3,
+    z: int = 4,
+    scale: float = 1.0,
+    medium: MediumProfile = GIGABIT_ETHERNET,
+    forwarding_latency: int = 2_048,
+    queue_capacity: int = 64,
+    deadline: int = 10 * _MS,
+    a: int = 1,
+    w: int = 5 * _MS,
+    engine: str | None = None,
+    trace: bool = False,
+    root_seed: int = 0,
+    monitors: object = None,
+    telemetry: object = None,
+) -> tuple[Topology, dict[str, TreeParameters]]:
+    """A bridged DDCR chain: the fabric experiments' standard topology.
+
+    ``segments`` homogeneous busses (``z`` local stations each, workload
+    from :func:`~repro.model.workloads.relay_chain_problems`) joined in
+    a line; bridge k forwards segment k's head class onto the relay
+    class owned by station 0 of segment k+1, so ``local-0`` of segment
+    0 traverses the whole chain.  Returns the topology plus the
+    name-keyed :class:`TreeParameters` that
+    :meth:`~repro.net.fabric.Fabric.route_bounds` consumes (each
+    segment's DDCR config is derived with :func:`default_ddcr_config`,
+    so the analysis matches what actually runs).
+    """
+    problems = relay_chain_problems(
+        segments, z=z, deadline=deadline, a=a, w=w, scale=scale
+    )
+    specs = []
+    trees: dict[str, TreeParameters] = {}
+    for k, problem in enumerate(problems):
+        config = default_ddcr_config(problem, medium)
+        specs.append(
+            SegmentSpec(
+                name=f"seg{k}",
+                problem=problem,
+                medium=medium,
+                protocol_factory=ddcr_factory(config),
+            )
+        )
+        trees[f"seg{k}"] = config.tree_parameters()
+    bridges = tuple(
+        BridgeSpec(
+            source=f"seg{k}",
+            target=f"seg{k + 1}",
+            station_id=0,
+            class_map={("local-0" if k == 0 else f"relay-{k}"): f"relay-{k + 1}"},
+            forwarding_latency=forwarding_latency,
+            queue_capacity=queue_capacity,
+        )
+        for k in range(segments - 1)
+    )
+    topology = Topology(
+        segments=tuple(specs),
+        bridges=bridges,
+        trace=trace,
+        root_seed=root_seed,
+        engine=engine,
+        monitors=monitors,  # type: ignore[arg-type]
+        telemetry=telemetry,  # type: ignore[arg-type]
+    )
+    return topology, trees
 
 
 def build_simulation(
@@ -121,9 +212,11 @@ def build_simulation(
     check_consistency: bool = False,
 ) -> NetworkSimulation:
     """A simulation under the default peak-load (greedy adversary) arrivals."""
-    return NetworkSimulation(
-        problem,
-        medium,
-        protocol_factory=factory,
-        check_consistency=check_consistency,
+    return NetworkSimulation.from_scenario(
+        Scenario(
+            problem=problem,
+            medium=medium,
+            protocol_factory=factory,
+            check_consistency=check_consistency,
+        )
     )

@@ -27,6 +27,7 @@ from repro.experiments import (  # noqa: F401
     ext_noise,
     ext_util,
     ext_xor,
+    fabric_bound,
     fc_validation,
     feasibility_sweep,
     fig1,
@@ -74,6 +75,7 @@ _ORDER: tuple[str, ...] = (
     "EXT-HOST",
     "EXT-NOISE",
     "EXT-UTIL",
+    "FABRIC",
     "SERVE-CHECK",
 )
 

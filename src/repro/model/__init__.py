@@ -19,6 +19,7 @@ from repro.model.arrival import (
 )
 from repro.model.message import DensityBound, MessageClass, MessageInstance
 from repro.model.problem import HRTDMProblem, ProblemValidationError
+from repro.model.route import Hop, Route
 from repro.model.source import SourceSpec, allocate_static_indices
 from repro.model.units import (
     GIGABIT_PER_SECOND,
@@ -49,6 +50,8 @@ __all__ = [
     "MessageInstance",
     "HRTDMProblem",
     "ProblemValidationError",
+    "Hop",
+    "Route",
     "SourceSpec",
     "allocate_static_indices",
     "BitTime",

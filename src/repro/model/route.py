@@ -1,0 +1,86 @@
+"""Per-hop routes for messages crossing a multi-segment fabric.
+
+The HRTDM model of the paper lives on one broadcast domain; a fabric of
+bridged segments (:mod:`repro.net.fabric`) adds a *routing* dimension: a
+message that originates on one segment may be relayed, store-and-forward,
+across several.  A :class:`Route` records that journey as the ordered
+list of :class:`Hop` s — on each segment the message travels as some
+message class of that segment's HRTDM instance (the bridge re-classes it
+on ingress), so end-to-end analysis composes the per-segment ``B_DDCR``
+bounds of exactly those (segment, class) pairs
+(:func:`repro.core.composition.compose_route_bound`).
+
+Routes are frozen values: the topology layer derives one per forwarded
+class chain and stamps it on the fabric's end-to-end records, keeping
+:class:`~repro.model.message.MessageInstance` itself untouched (instances
+stay pure single-segment objects; the fabric tracks identity across hops
+via its bridge journals).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+__all__ = ["Hop", "Route"]
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class Hop:
+    """One traversal of one segment, as one of its message classes."""
+
+    segment: str
+    class_name: str
+
+    def __post_init__(self) -> None:
+        if not self.segment:
+            raise ValueError("hop needs a non-empty segment name")
+        if not self.class_name:
+            raise ValueError("hop needs a non-empty class name")
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class Route:
+    """An ordered chain of hops from origin segment to final segment.
+
+    Adjacent hops must change segment (a bridge never forwards back onto
+    the segment it heard the frame on — broadcast already delivered it
+    there), and the chain must not revisit a segment (store-and-forward
+    loops would forward forever).
+    """
+
+    hops: tuple[Hop, ...]
+
+    def __post_init__(self) -> None:
+        if not self.hops:
+            raise ValueError("route needs at least one hop")
+        seen: set[str] = set()
+        for hop in self.hops:
+            if hop.segment in seen:
+                raise ValueError(
+                    f"route revisits segment {hop.segment!r}: "
+                    f"{[h.segment for h in self.hops]}"
+                )
+            seen.add(hop.segment)
+
+    @property
+    def origin(self) -> Hop:
+        return self.hops[0]
+
+    @property
+    def destination(self) -> Hop:
+        return self.hops[-1]
+
+    @property
+    def bridge_count(self) -> int:
+        """Bridges crossed: one fewer than the segments traversed."""
+        return len(self.hops) - 1
+
+    def next_hop(self, segment: str) -> Hop | None:
+        """The hop after ``segment`` on this route, or None at the end."""
+        for i, hop in enumerate(self.hops):
+            if hop.segment == segment:
+                return self.hops[i + 1] if i + 1 < len(self.hops) else None
+        raise KeyError(f"route does not traverse segment {segment!r}")
+
+    def describe(self) -> str:
+        return " -> ".join(f"{h.segment}:{h.class_name}" for h in self.hops)

@@ -24,6 +24,7 @@ __all__ = [
     "trading_floor_problem",
     "air_traffic_control_problem",
     "uniform_problem",
+    "relay_chain_problems",
 ]
 
 _US = 1_000
@@ -201,6 +202,73 @@ def uniform_problem(
     return _assemble(
         per_source, static_q=q, static_m=static_m, nu_per_source=nu
     )
+
+
+def relay_chain_problems(
+    segments: int,
+    z: int = 4,
+    length: int = 8_000,
+    deadline: int = 10 * _MS,
+    a: int = 1,
+    w: int = 5 * _MS,
+    scale: float = 1.0,
+    static_m: int = 2,
+    relay_deadline: int | None = None,
+) -> list[HRTDMProblem]:
+    """Per-segment instances for a bridged chain fabric.
+
+    Segment 0 is a plain :func:`uniform_problem`-shaped instance with
+    classes ``local-{i}``; every later segment k additionally gives its
+    station 0 (the bridge's station) a relay class ``relay-{k}`` that
+    carries the traffic forwarded from segment k-1.  The intended
+    bridge chain forwards ``local-0`` of segment 0 onto ``relay-1``,
+    then ``relay-1`` onto ``relay-2``, and so on.
+
+    The relay bound must dominate the forwarded *completion* stream,
+    not the origin arrival stream: messages arriving ``a`` per window
+    ``w`` but finishing anywhere within their residence bound ``d`` can
+    compress — every completion in a window of length ``w`` arrived
+    within the preceding ``w + d``, so at most ``a * ceil((w + d) / w)``
+    of them exist.  That burst-amplification factor compounds per hop,
+    which is why deep chains want sparse origin classes (the FC margin
+    pays for the compounding).
+    """
+    if segments < 1:
+        raise ValueError("need at least one segment")
+    if z < 1:
+        raise ValueError("need at least one source per segment")
+    relay_deadline = deadline if relay_deadline is None else relay_deadline
+    window = _scaled_bound(a, w, scale).w
+    problems: list[HRTDMProblem] = []
+    relay_a = _scaled_bound(a, w, scale).a
+    q = _next_power(static_m, max(z, static_m))
+    for k in range(segments):
+        per_source = [
+            [
+                MessageClass(
+                    name=f"local-{i}",
+                    length=length,
+                    deadline=deadline,
+                    bound=_scaled_bound(a, w, scale),
+                )
+            ]
+            for i in range(z)
+        ]
+        if k > 0:
+            residence = deadline if k == 1 else relay_deadline
+            relay_a *= math.ceil((window + residence) / window)
+            per_source[0].append(
+                MessageClass(
+                    name=f"relay-{k}",
+                    length=length,
+                    deadline=relay_deadline,
+                    bound=DensityBound(a=relay_a, w=window),
+                )
+            )
+        problems.append(
+            _assemble(per_source, static_q=q, static_m=static_m, nu_per_source=1)
+        )
+    return problems
 
 
 def _next_power(base: int, at_least: int) -> int:

@@ -14,9 +14,22 @@ from repro.net.dualbus import (
     DualBusSimulation,
     suggested_jam_threshold,
 )
+from repro.net.fabric import (
+    BridgeReport,
+    EndToEndRecord,
+    Fabric,
+    FabricResult,
+    HopCompletion,
+)
 from repro.net.frames import Frame
 from repro.net.network import NetworkSimulation, ProtocolFactory, RunResult
 from repro.net.scenario import Scenario
+from repro.net.topology import (
+    BridgeSpec,
+    SegmentSpec,
+    Topology,
+    TopologyError,
+)
 from repro.net.phy import (
     ATM_BUS,
     CLASSIC_ETHERNET,
@@ -39,6 +52,15 @@ __all__ = [
     "ProtocolFactory",
     "RunResult",
     "Scenario",
+    "BridgeReport",
+    "BridgeSpec",
+    "EndToEndRecord",
+    "Fabric",
+    "FabricResult",
+    "HopCompletion",
+    "SegmentSpec",
+    "Topology",
+    "TopologyError",
     "ATM_BUS",
     "CLASSIC_ETHERNET",
     "GIGABIT_ETHERNET",

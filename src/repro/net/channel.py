@@ -8,24 +8,32 @@ as in half-duplex Gigabit Ethernet), and feeds the identical
 :class:`~repro.protocols.base.SlotObservation` back to every station — the
 common-knowledge substrate all protocols rely on.
 
-The round semantics live in one place — :class:`_RoundDriver` — and three
-engines turn the crank:
+The round semantics live in one place — :class:`_RoundDriver` — and one
+entry point turns the crank: :meth:`BroadcastChannel.run` resolves the
+engine request (explicit argument, ambient :func:`~repro.net.engine.use_engine`
+scope, ``REPRO_ENGINE``, default ``auto``) through
+:func:`~repro.net.engine.resolve_engine` — the single place engine
+resolution happens — and dispatches to one of three internal tiers:
 
-* :meth:`BroadcastChannel.run` is the general-DES path: a generator
-  process on :class:`~repro.sim.engine.Environment` that yields one
-  timeout per round.  It composes with arbitrary foreign processes
-  (dual-bus topologies run two channels on one clock this way).
-* :meth:`BroadcastChannel.run_fast` is the slot-synchronous fast path: a
-  direct Python loop that owns the clock and advances ``env.now`` itself,
-  skipping the event heap, the generator suspend/resume and the per-round
-  timeout allocation.  The moment any foreign event appears on the queue
-  it rejoins the DES mid-run, so it is always safe to select.
-* :meth:`BroadcastChannel.run_batch` is the struct-of-arrays kernel
-  (:mod:`repro.net.batch`): per-station state lives in array columns and
-  one shadow protocol replica digests each slot, so the per-slot cost is
-  near-constant in the station count.  It is structurally limited to
-  plain single-bus CSMA/DDCR runs; anything else auto-falls-back to
-  ``run_fast`` with the reason reported (and recorded in run manifests).
+* the general-DES path: a generator process on
+  :class:`~repro.sim.engine.Environment` that yields one timeout per
+  round.  It composes with arbitrary foreign processes; multi-channel
+  topologies (dual bus, the fabric) obtain the raw generator via
+  :meth:`BroadcastChannel.process` and register it themselves.
+* the slot-synchronous fast path (``fastloop``/``auto``): a direct Python
+  loop that owns the clock and advances ``env.now`` itself, skipping the
+  event heap, the generator suspend/resume and the per-round timeout
+  allocation.  The moment any foreign event appears on the queue it
+  rejoins the DES mid-run, so it is always safe to select.
+* the struct-of-arrays batch kernel (:mod:`repro.net.batch`):
+  per-station state lives in array columns and one shadow protocol
+  replica digests each slot, so the per-slot cost is near-constant in
+  the station count.  It is structurally limited to plain single-bus
+  CSMA/DDCR runs; anything else auto-falls-back to the fast loop with
+  the reason reported (and recorded in run manifests).
+
+The historical per-engine entry points ``run_fast``/``run_batch`` remain
+as thin deprecated aliases of ``run(horizon, engine=...)``.
 
 All engines draw from the same RNG in the same order, so their results
 are byte-identical (the differential tests assert this, three ways).  The
@@ -39,7 +47,9 @@ from __future__ import annotations
 import dataclasses
 import random
 import typing
+import warnings
 
+from repro.net.engine import resolve_engine
 from repro.net.frames import Frame
 from repro.net.phy import MediumProfile
 from repro.obs.context import current_tracer
@@ -480,12 +490,53 @@ class BroadcastChannel:
         if not self.stations:
             raise RuntimeError("channel has no stations attached")
 
-    def run(self, horizon: int) -> ProcessGenerator:
-        """The channel process: round loop until ``horizon`` bit-times.
+    def run(self, horizon: int, engine: str | None = None) -> str | None:
+        """Run the round loop to ``horizon`` bit-times; returns a fallback note.
 
-        This is the general-DES engine; start it with
-        ``env.process(channel.run(horizon))``.  For the slot-synchronous
-        fast path, call :meth:`run_fast` instead.
+        The one entry point behind which every engine tier sits.
+        ``engine`` accepts any name from :data:`~repro.net.engine.ENGINES`;
+        ``None`` (default) defers to the ambient
+        :func:`~repro.net.engine.use_engine` scope, the ``REPRO_ENGINE``
+        environment variable, or ``auto`` — resolution happens in exactly
+        one place, :func:`~repro.net.engine.resolve_engine`.
+
+        * ``"des"`` registers the channel's generator process
+          (:meth:`process`) on the environment and drives the event heap
+          to the horizon.
+        * ``"fastloop"`` / ``"auto"`` run the slot-synchronous fast path,
+          which rejoins the DES automatically if foreign events appear.
+        * ``"batch"`` runs the struct-of-arrays kernel, delegating to the
+          fast loop on structurally ineligible runs.
+
+        The return value is ``None`` except when a requested tier
+        degraded: the batch kernel's backend note, or the reason a batch
+        run delegated to the fast loop (the simulation layer records it
+        in the run manifest as ``engine_fallback``).  Results are
+        byte-identical across engines either way.
+
+        Multi-channel topologies that need several channels on one clock
+        should register each channel's :meth:`process` generator instead
+        of calling ``run`` per channel.
+        """
+        engine_name = resolve_engine(engine)
+        if engine_name == "des":
+            self._check_runnable(horizon)
+            env = self.env
+            env.process(self.process(horizon))
+            env.run(until=horizon)
+            return None
+        if engine_name == "batch":
+            return self._run_batch(horizon)
+        return self._run_fast(horizon)
+
+    def process(self, horizon: int) -> ProcessGenerator:
+        """The channel as a raw DES generator: one timeout yield per round.
+
+        The composition seam for multi-channel topologies: start it with
+        ``env.process(channel.process(horizon))`` alongside any other
+        processes sharing the clock.  ``run(horizon, engine="des")`` is
+        the single-channel convenience that registers it and drives the
+        environment itself.
         """
         self._check_runnable(horizon)
         driver = _RoundDriver(self)
@@ -493,7 +544,7 @@ class BroadcastChannel:
         while env.now < horizon:
             yield env.timeout(driver.round(int(env.now)))
 
-    def run_fast(self, horizon: int) -> None:
+    def _run_fast(self, horizon: int) -> None:
         """Run the round loop to ``horizon`` as a direct loop owning the clock.
 
         The slot-loop fast path: while this channel is the only
@@ -512,7 +563,7 @@ class BroadcastChannel:
         self._check_runnable(horizon)
         env = self.env
         if env.pending:
-            env.process(self.run(horizon))
+            env.process(self.process(horizon))
             env.run(until=horizon)
             return
         driver = _RoundDriver(self)
@@ -527,35 +578,55 @@ class BroadcastChannel:
             now += duration
             env.advance_to(now if now < horizon else horizon)
 
-    def run_batch(self, horizon: int) -> str | None:
+    def _run_batch(self, horizon: int) -> str | None:
         """Run to ``horizon`` on the batch kernel; returns a fallback note.
 
         Structural eligibility is decided up front
         (:func:`repro.net.batch.batch_unavailable_reason`): ineligible runs
-        delegate to :meth:`run_fast` — behavior-identical, just slower —
+        delegate to the fast loop — behavior-identical, just slower —
         and the reason is returned so callers can surface it (the
         simulation layer records it in the run manifest as
         ``engine_fallback``).  Eligible runs return the kernel's backend
         note: ``None`` on the vectorized backend, or why the pure-Python
         one was used (numpy missing).  Either way the result is
         byte-identical to the other engines, and a foreign event appearing
-        mid-run rejoins the general DES exactly as ``run_fast`` does.
+        mid-run rejoins the general DES exactly as the fast loop does.
         """
         self._check_runnable(horizon)
         from repro.net.batch import BatchKernel, batch_unavailable_reason
 
         reason = batch_unavailable_reason(self)
         if reason is not None:
-            self.run_fast(horizon)
+            self._run_fast(horizon)
             return f"batch engine unavailable ({reason}): ran fastloop"
         kernel = BatchKernel(self)
         kernel.run(horizon)
         return kernel.backend_note
 
+    def run_fast(self, horizon: int) -> None:
+        """Deprecated alias of ``run(horizon, engine="fastloop")``."""
+        warnings.warn(
+            "BroadcastChannel.run_fast() is deprecated; call "
+            "run(horizon, engine=\"fastloop\") instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        self.run(horizon, engine="fastloop")
+
+    def run_batch(self, horizon: int) -> str | None:
+        """Deprecated alias of ``run(horizon, engine="batch")``."""
+        warnings.warn(
+            "BroadcastChannel.run_batch() is deprecated; call "
+            "run(horizon, engine=\"batch\") instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.run(horizon, engine="batch")
+
     def _rejoin_des(self, horizon: int, delay: int) -> ProcessGenerator:
         """Resume the round loop on the event heap after ``delay``."""
         yield self.env.timeout(delay)
-        yield from self.run(horizon)
+        yield from self.process(horizon)
 
     def _assert_lockstep(self, now: int) -> None:
         """All stations running the same protocol class must agree on the

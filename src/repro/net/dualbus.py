@@ -204,7 +204,7 @@ class DualBusSimulation:
     clock, so the slot-loop fast path cannot own it: whatever ``engine``
     is requested, the run executes on the general DES.  With
     ``fastloop``/``auto`` this happens through the fast path's own
-    foreign-process fallback (bus B's ``run_fast`` finds bus A's process
+    foreign-process fallback (bus B's fast loop finds bus A's process
     already registered and rejoins the heap), which keeps that fallback
     exercised by real traffic rather than only by tests.
 
@@ -319,25 +319,16 @@ class DualBusSimulation:
             bus_stations[0].append(station_a)
             bus_stations[1].append(station_b)
         engine_name = resolve_engine(self.engine)
-        engine_fallback = None
-        if engine_name == "des":
-            env.process(busses[0].run(horizon))
-            env.process(busses[1].run(horizon))
-            env.run(until=horizon)
-        elif engine_name == "batch":
-            # Two channels on one clock: bus A's process is a foreign
-            # process to bus B's batch kernel, so eligibility fails at
-            # entry and the run delegates through the fast loop to the
-            # DES — the structural fallback the engine contract promises,
-            # with the reason surfaced in the manifest.
-            env.process(busses[0].run(horizon))
-            engine_fallback = busses[1].run_batch(horizon)
-        else:
-            # Bus A is a registered process, so bus B's fast loop detects
-            # a foreign process at entry and falls back to the DES —
-            # registering its own generator second, exactly as above.
-            env.process(busses[0].run(horizon))
-            busses[1].run_fast(horizon)
+        # Two channels on one clock: bus A runs as a raw generator
+        # process, and bus B goes through the unified entry point.  Under
+        # ``des`` it registers its own generator and drives the heap;
+        # under ``fastloop``/``auto`` the fast path detects bus A's
+        # foreign process at entry and rejoins the DES; under ``batch``
+        # structural eligibility fails for the same reason and the run
+        # delegates through the fast loop — the engine contract's
+        # fallback, with the reason surfaced in the manifest.
+        env.process(busses[0].process(horizon))
+        engine_fallback = busses[1].run(horizon, engine=engine_name)
         invariants = None
         if suites is not None:
             invariants = tuple(

@@ -22,6 +22,8 @@ import dataclasses
 import functools
 import itertools
 import time
+import typing
+import warnings
 from collections.abc import Mapping
 
 from repro.faults.context import current_fault_plan
@@ -41,6 +43,10 @@ from repro.sim.engine import Environment
 from repro.sim.invariants import InvariantReport, MonitorSuite, standard_suite
 from repro.sim.rng import SeedSequenceRegistry
 from repro.sim.trace import TraceLog
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.net.fabric import Fabric
+    from repro.net.topology import Topology
 
 __all__ = ["RunResult", "NetworkSimulation", "ProtocolFactory", "Scenario"]
 
@@ -151,10 +157,12 @@ class NetworkSimulation:
     both engines.
 
     The full configuration also exists as one immutable value:
-    :class:`~repro.net.scenario.Scenario`.  This constructor is a thin
-    shim that freezes its keywords into a scenario and delegates to
-    :meth:`from_scenario`; sweep code should build scenarios directly
-    and derive grid points with :meth:`Scenario.replace`.
+    :class:`~repro.net.scenario.Scenario`.  The keyword constructor is a
+    *deprecated* thin shim that freezes its keywords into a scenario and
+    delegates to :meth:`from_scenario` (it warns ``DeprecationWarning``);
+    build scenarios directly and derive grid points with
+    :meth:`Scenario.replace`, or describe multi-segment networks with a
+    :class:`~repro.net.topology.Topology` and :meth:`from_topology`.
     """
 
     def __init__(
@@ -173,6 +181,15 @@ class NetworkSimulation:
         monitors: bool | MonitorSuite | None = None,
         telemetry: Telemetry | None = None,
     ) -> None:
+        warnings.warn(
+            "the keyword constructor NetworkSimulation(problem, medium, "
+            "...) is deprecated; build a Scenario and use "
+            "NetworkSimulation.from_scenario(scenario) — or a Topology "
+            "and NetworkSimulation.from_topology(topology) for "
+            "multi-segment fabrics",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         self._configure(
             Scenario(
                 problem=problem,
@@ -198,6 +215,20 @@ class NetworkSimulation:
         simulation._configure(scenario)
         return simulation
 
+    @staticmethod
+    def from_topology(topology: "Topology") -> "Fabric":
+        """Build a (possibly multi-segment) fabric from a topology.
+
+        The other half of the unified entry surface: scenarios describe
+        one segment, topologies describe one or many.  Returns a
+        :class:`~repro.net.fabric.Fabric`; for a single-segment
+        topology its results are byte-identical to
+        ``from_scenario(...)`` on the equivalent scenario.
+        """
+        from repro.net.fabric import Fabric
+
+        return Fabric(topology)
+
     def _configure(self, scenario: Scenario) -> None:
         """Unpack a scenario onto the historical attribute names."""
         self.scenario = scenario
@@ -214,6 +245,11 @@ class NetworkSimulation:
         self.faults = scenario.faults
         self.monitors = scenario.monitors
         self.telemetry = scenario.telemetry
+        self.telemetry_prefix = scenario.telemetry_prefix
+        #: Extra invariant monitors appended to whatever ``monitors``
+        #: resolves to — the fabric's seam for arming bridge monitors on
+        #: a segment run without re-deriving the standard suite.
+        self.extra_monitors: tuple = ()
 
     def _arrival_process(self, class_name: str, source: SourceSpec):
         if class_name in self.arrivals:
@@ -253,6 +289,7 @@ class NetworkSimulation:
             noise_rate=self.noise_rate,
             noise_rng=rng.stream(f"channel/noise/{self.noise_seed}"),
             telemetry=telemetry,
+            telemetry_prefix=self.telemetry_prefix,
         )
         stations: list[Station] = []
         sources_by_station: dict[int, SourceSpec] = {}
@@ -312,20 +349,14 @@ class NetworkSimulation:
         suite = self._resolve_monitors(stations, faulted=injector is not None)
         if suite is not None:
             channel.monitors = suite
-        engine_fallback = None
-        if engine_name == "des":
-            env.process(channel.run(horizon))
-            env.run(until=horizon)
-        elif engine_name == "batch":
-            # Structurally ineligible runs (foreign MACs, bursting, armed
-            # faults, ...) delegate to the fast loop; either way the note
-            # says what actually executed and lands in the manifest.
-            engine_fallback = channel.run_batch(horizon)
-        else:
-            # auto / fastloop: the slot loop detects foreign processes on
-            # the environment (pre-registered or appearing mid-run) and
-            # rejoins the general DES by itself.
-            channel.run_fast(horizon)
+        # The channel's unified entry point owns all engine dispatch:
+        # ``des`` registers the round process and drives the heap,
+        # ``fastloop``/``auto`` runs the direct slot loop (rejoining the
+        # DES when foreign processes share the environment), ``batch``
+        # runs the struct-of-arrays kernel with fast-loop fallback on
+        # structurally ineligible runs.  Whatever degraded is returned
+        # as the fallback note and lands in the manifest.
+        engine_fallback = channel.run(horizon, engine=engine_name)
         invariants = None
         if suite is not None:
             invariants = suite.finalize(
@@ -335,7 +366,9 @@ class NetworkSimulation:
             )
         manifest = None
         if telemetry.enabled:
-            _finalize_telemetry(telemetry, stations, injector)
+            _finalize_telemetry(
+                telemetry, stations, injector, prefix=self.telemetry_prefix
+            )
             if self.telemetry is not None:
                 manifest = RunTelemetry.from_registry(
                     telemetry,
@@ -359,19 +392,30 @@ class NetworkSimulation:
     def _resolve_monitors(
         self, stations: list[Station], faulted: bool
     ) -> MonitorSuite | None:
-        """``monitors=None`` auto-arms the standard suite on faulted runs."""
+        """``monitors=None`` auto-arms the standard suite on faulted runs.
+
+        :attr:`extra_monitors` (if any) ride along with whatever the
+        ``monitors`` setting resolves to; when it resolves to nothing
+        they form a suite of their own.
+        """
         monitors = self.monitors
+        suite: MonitorSuite | None = None
         if isinstance(monitors, MonitorSuite):
-            return monitors
-        if monitors is True or (monitors is None and faulted):
-            return standard_suite(stations)
-        return None
+            suite = monitors
+        elif monitors is True or (monitors is None and faulted):
+            suite = standard_suite(stations)
+        extra = tuple(self.extra_monitors)
+        if extra:
+            base = suite.monitors if suite is not None else ()
+            suite = MonitorSuite(tuple(base) + extra)
+        return suite
 
 
 def _finalize_telemetry(
     telemetry: Telemetry,
     stations: list[Station],
     injector,
+    prefix: str = "",
 ) -> None:
     """Fold end-of-run state into the registry.
 
@@ -387,14 +431,14 @@ def _finalize_telemetry(
     )
     if has_search:
         tts_hist = telemetry.histogram(
-            "search/tts_wasted_slots", SEARCH_DEPTH_EDGES
+            f"{prefix}search/tts_wasted_slots", SEARCH_DEPTH_EDGES
         )
         sts_hist = telemetry.histogram(
-            "search/sts_wasted_slots", SEARCH_DEPTH_EDGES
+            f"{prefix}search/sts_wasted_slots", SEARCH_DEPTH_EDGES
         )
-        tts_runs = telemetry.counter("search/tts_runs")
-        sts_runs = telemetry.counter("search/sts_runs")
-        empty_runs = telemetry.counter("search/empty_tts_runs")
+        tts_runs = telemetry.counter(f"{prefix}search/tts_runs")
+        sts_runs = telemetry.counter(f"{prefix}search/sts_runs")
+        empty_runs = telemetry.counter(f"{prefix}search/empty_tts_runs")
         for station in stations:
             mac = station.mac
             if not hasattr(mac, "tts_records"):
@@ -410,4 +454,4 @@ def _finalize_telemetry(
         for kind in sorted(injector.fire_counts):
             count = injector.fire_counts[kind]
             if count:
-                telemetry.counter(f"faults/{kind}").inc(count)
+                telemetry.counter(f"{prefix}faults/{kind}").inc(count)

@@ -35,6 +35,7 @@ if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.model.problem import HRTDMProblem
     from repro.model.source import SourceSpec
     from repro.net.phy import MediumProfile
+    from repro.net.topology import Topology
     from repro.obs.instruments import Telemetry
     from repro.protocols.base import MACProtocol
     from repro.sim.invariants import MonitorSuite
@@ -70,6 +71,10 @@ class Scenario:
     faults: "FaultPlan | None" = None
     monitors: "bool | MonitorSuite | None" = None
     telemetry: "Telemetry | None" = None
+    #: Namespace prefix for the run's telemetry instruments (the fabric
+    #: gives each segment its own — ``seg0/slots/...``); the empty default
+    #: keeps single-segment runs byte-identical to the historical names.
+    telemetry_prefix: str = ""
 
     def __post_init__(self) -> None:
         if self.engine is not None:
@@ -89,3 +94,36 @@ class Scenario:
     def field_names(self) -> tuple[str, ...]:
         """The sweepable field names, in declaration order."""
         return tuple(field.name for field in dataclasses.fields(self))
+
+    def as_topology(self, name: str = "seg0") -> "Topology":
+        """This scenario as a one-segment :class:`~repro.net.topology.Topology`.
+
+        The single-segment sugar of the fabric API: a
+        :class:`~repro.net.fabric.Fabric` built from the result is
+        byte-identical to ``NetworkSimulation.from_scenario(self)`` —
+        stats, traces, telemetry content — under every engine (the
+        differential suite holds the two surfaces together).
+        """
+        from repro.net.topology import SegmentSpec, Topology
+
+        return Topology(
+            segments=(
+                SegmentSpec(
+                    name=name,
+                    problem=self.problem,
+                    medium=self.medium,
+                    protocol_factory=self.protocol_factory,
+                    arrivals=self.arrivals,
+                    noise_rate=self.noise_rate,
+                    noise_seed=self.noise_seed,
+                ),
+            ),
+            bridges=(),
+            trace=self.trace,
+            check_consistency=self.check_consistency,
+            root_seed=self.root_seed,
+            engine=self.engine,
+            faults=self.faults,
+            monitors=self.monitors,
+            telemetry=self.telemetry,
+        )

@@ -131,6 +131,18 @@ class Station:
     def undelivered_arrivals(self) -> int:
         return len(self._pending_arrivals)
 
+    def pending_arrivals_of(self, class_names) -> int:
+        """Scheduled-but-undelivered arrivals of the named classes.
+
+        The bridge-conservation monitor's accounting seam: frames a
+        bridge enqueued near the horizon may still sit here, neither
+        forwarded nor backlogged, and must not count as lost.
+        """
+        names = set(class_names)
+        return sum(
+            1 for _, _, cls in self._pending_arrivals if cls.name in names
+        )
+
     # -- state accessors (the seam engines read through) ---------------------
 
     def peek_next_arrival(self) -> int | None:

@@ -12,6 +12,7 @@ from repro.protocols.csma_cd import CSMACDProtocol
 from repro.protocols.dcr import DCRMode, DCRProtocol
 from repro.protocols.ddcr import DDCRConfig, DDCRMode, DDCRProtocol
 from repro.protocols.edf_queue import EDFQueue
+from repro.protocols.slotted_aloha import SlottedAlohaProtocol
 from repro.protocols.tdma import TDMAProtocol
 from repro.protocols.treesearch import SplittingSearch
 
@@ -26,6 +27,7 @@ __all__ = [
     "DDCRMode",
     "DDCRProtocol",
     "EDFQueue",
+    "SlottedAlohaProtocol",
     "TDMAProtocol",
     "SplittingSearch",
 ]

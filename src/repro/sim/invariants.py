@@ -46,6 +46,7 @@ if typing.TYPE_CHECKING:  # pragma: no cover - layering guard
     from repro.protocols.ddcr.config import DDCRConfig
 
 __all__ = [
+    "BridgeConservationMonitor",
     "DeadlineMonitor",
     "InvariantMonitor",
     "InvariantReport",
@@ -416,6 +417,159 @@ class SearchLengthMonitor(InvariantMonitor):
             # divergence for free.  (Stations that crashed taint the run.)
 
 
+class BridgeConservationMonitor(InvariantMonitor):
+    """Store-and-forward correctness of one fabric bridge.
+
+    The fabric (:mod:`repro.net.fabric`) stages segment runs: a bridge's
+    enqueue schedule — which relayed frame becomes ready on the target
+    segment at which time — is fully known before the target segment
+    runs, so this monitor checks the bridge's three properties *online*
+    against that schedule, on the target segment's channel:
+
+    * **no loss** — every enqueued frame is forwarded, still queued, or
+      still pending at the horizon (drops across a bridge are loss and
+      are reported);
+    * **per-class FIFO** — relayed frames of one class leave the bridge
+      in enqueue order (the EDF queue tie-breaks by (arrival, seq), so
+      a healthy bridge can never reorder within a class);
+    * **bounded queue** — instantaneous occupancy (entered minus
+      forwarded) never exceeds the declared capacity.  Violations are
+      reported, not silently dropped: at FC-feasible loads the composed
+      route bound keeps occupancy low, and past it an oracle violation
+      is the honest outcome.
+    """
+
+    name = "bridge_conservation"
+
+    def __init__(
+        self,
+        bridge: str,
+        station_id: int,
+        schedule: typing.Mapping[str, typing.Sequence[int]],
+        capacity: int,
+    ) -> None:
+        super().__init__()
+        self.bridge = bridge
+        self.station_id = station_id
+        self.capacity = capacity
+        self._expected = {
+            name: tuple(times) for name, times in sorted(schedule.items())
+        }
+        self._cursor = {name: 0 for name in self._expected}
+        self._entries = sorted(
+            t for times in self._expected.values() for t in times
+        )
+        self._entered = 0
+        self._forwarded = 0
+        self._over_reported = False
+
+    def on_slot(
+        self, now, duration, state, wire, frame, corrupted, jammed,
+        stations, down,
+    ) -> None:
+        entries = self._entries
+        n = self._entered
+        while n < len(entries) and entries[n] <= now:
+            n += 1
+        self._entered = n
+        if (
+            state is _SUCCESS
+            and frame is not None
+            and frame.station_id == self.station_id
+        ):
+            message = frame.message
+            name = message.msg_class.name
+            expected = self._expected.get(name)
+            if expected is not None:
+                i = self._cursor[name]
+                if i >= len(expected):
+                    self.record(
+                        now,
+                        "bridge forwarded a frame it never enqueued",
+                        bridge=self.bridge,
+                        msg_class=name,
+                        arrival=message.arrival,
+                    )
+                elif expected[i] != message.arrival:
+                    self.record(
+                        now,
+                        "bridge forwarded out of enqueue (FIFO) order",
+                        bridge=self.bridge,
+                        msg_class=name,
+                        expected=expected[i],
+                        forwarded=message.arrival,
+                    )
+                    # Resync past the frame actually forwarded, if known.
+                    try:
+                        j = expected.index(message.arrival, i)
+                    except ValueError:
+                        j = i - 1
+                    self._cursor[name] = max(i, j + 1)
+                else:
+                    self._cursor[name] = i + 1
+                self._forwarded += 1
+        occupancy = self._entered - self._forwarded
+        if occupancy > self.capacity:
+            if not self._over_reported:
+                self._over_reported = True
+                self.record(
+                    now,
+                    f"bridge queue occupancy {occupancy} exceeds capacity "
+                    f"{self.capacity}",
+                    bridge=self.bridge,
+                    occupancy=occupancy,
+                    capacity=self.capacity,
+                )
+        else:
+            self._over_reported = False
+
+    def finalize(self, horizon, stations, down) -> None:
+        station = None
+        for candidate in stations:
+            if candidate.station_id == self.station_id:
+                station = candidate
+                break
+        if station is None:
+            self.record(
+                horizon,
+                "bridge station absent from the target segment",
+                bridge=self.bridge,
+                station=self.station_id,
+            )
+            return
+        relay_names = set(self._expected)
+        expected_total = sum(1 for t in self._entries if t < horizon)
+        backlog = sum(
+            1 for m in station.backlog() if m.msg_class.name in relay_names
+        )
+        pending = station.pending_arrivals_of(relay_names)
+        dropped = sum(
+            1
+            for record in station.completions
+            if record.dropped and record.message.msg_class.name in relay_names
+        )
+        if dropped:
+            self.record(
+                horizon,
+                f"bridge dropped {dropped} relayed frames",
+                bridge=self.bridge,
+                dropped=dropped,
+            )
+        accounted = self._forwarded + backlog + pending + dropped
+        if accounted != expected_total:
+            self.record(
+                horizon,
+                f"bridge frame conservation broken: enqueued "
+                f"{expected_total}, accounted {accounted}",
+                bridge=self.bridge,
+                enqueued=expected_total,
+                forwarded=self._forwarded,
+                backlog=backlog,
+                pending=pending,
+                dropped=dropped,
+            )
+
+
 class MonitorSuite:
     """The set of monitors armed on one channel.
 
@@ -491,6 +645,7 @@ def standard_suite(
     """
     from repro.protocols.csma_cd import CSMACDProtocol
     from repro.protocols.ddcr.protocol import DDCRProtocol
+    from repro.protocols.slotted_aloha import SlottedAlohaProtocol
 
     monitors: list[InvariantMonitor] = [MutualExclusionMonitor()]
     macs = [station.mac for station in stations]
@@ -509,6 +664,9 @@ def standard_suite(
                 )
     if work_conservation_limit is None:
         work_conservation_limit = 512
-    if not any(isinstance(mac, CSMACDProtocol) for mac in macs):
+    if not any(
+        isinstance(mac, (CSMACDProtocol, SlottedAlohaProtocol))
+        for mac in macs
+    ):
         monitors.append(WorkConservationMonitor(work_conservation_limit))
     return MonitorSuite(monitors)

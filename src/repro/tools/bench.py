@@ -288,7 +288,7 @@ def _channel_slot_rate(
     import contextlib
 
     from repro.model.workloads import uniform_problem
-    from repro.net.network import NetworkSimulation
+    from repro.net.network import NetworkSimulation, Scenario
     from repro.net.phy import ideal_medium
     from repro.protocols.ddcr import DDCRConfig, DDCRProtocol
 
@@ -317,14 +317,16 @@ def _channel_slot_rate(
         recorder = FlightRecorder()
         scope = use_tracer(recorder)
     with scope:
-        simulation = NetworkSimulation(
-            problem,
-            ideal_medium(slot_time=64),
-            protocol_factory=lambda s: DDCRProtocol(config),
-            root_seed=seed,
-            engine=engine,
-            monitors=monitors,
-            telemetry=registry,
+        simulation = NetworkSimulation.from_scenario(
+            Scenario(
+                problem=problem,
+                medium=ideal_medium(slot_time=64),
+                protocol_factory=lambda s: DDCRProtocol(config),
+                root_seed=seed,
+                engine=engine,
+                monitors=monitors,
+                telemetry=registry,
+            )
         )
         result = simulation.run(200_000 if smoke else 1_000_000)
     assert result.delivered > 0
@@ -476,6 +478,32 @@ def _bench_tracer_overhead(smoke: bool, seed: int = 0) -> tuple[float, str]:
     return _channel_slot_rate(16, "fastloop", smoke, tracer=True, seed=seed)
 
 
+def _bench_fabric_end_to_end(smoke: bool, seed: int = 0) -> tuple[float, str]:
+    """Staged fabric throughput: a 4-segment bridged DDCR chain, 64
+    local stations per segment, in channel rounds per second summed
+    over the segments.  Measures the whole staged pipeline — per-segment
+    runs (batch kernel eligible), bridge journaling and journey
+    matching — so regressions anywhere in the fabric path surface here."""
+    from repro.experiments.harness import build_chain_topology
+    from repro.net.fabric import Fabric
+    from repro.net.phy import ideal_medium
+
+    topology, _ = build_chain_topology(
+        segments=4,
+        z=64,
+        medium=ideal_medium(slot_time=64),
+        deadline=2_000_000,
+        a=1,
+        w=1_000_000,
+        forwarding_latency=2_048,
+        root_seed=seed,
+    )
+    result = Fabric(topology).run(1_000_000 if smoke else 4_000_000)
+    assert result.delivered(), "no journey traversed the chain"
+    rounds = sum(seg.stats.rounds for seg in result.segments.values())
+    return float(rounds), "rounds"
+
+
 #: name -> (engine or None, bench callable).  A bench callable performs one
 #: measured operation batch — ``(smoke, seed)`` in, ``(ops_done, unit)``
 #: out; analytic benches ignore the seed.
@@ -514,6 +542,9 @@ BENCHES: dict[
     "invariant_overhead": ("fastloop", _bench_invariant_overhead),
     "telemetry_overhead": ("fastloop", _bench_telemetry_overhead),
     "tracer_overhead": ("fastloop", _bench_tracer_overhead),
+    # End-to-end fabric throughput: the staged multi-segment pipeline
+    # (4 bridged segments x 64 stations) including bridge bookkeeping.
+    "fabric_end_to_end": (None, _bench_fabric_end_to_end),
 }
 
 

@@ -39,7 +39,11 @@ byte-identically, and re-checked with zero executor resubmissions,
 causal parents, Prometheus snapshot + JSONL delta stream consumable and
 consistent, and a deliberately unmeetable SLO breaching as exactly one
 structured ``slo-breach`` incident with a black-box trace attached,
-:mod:`repro.obs`; ``--no-obs2`` skips it), and finishes
+:mod:`repro.obs`; ``--no-obs2`` skips it), a fabric-smoke step (a
+3-segment bridged DDCR chain run through :class:`repro.net.fabric.
+Fabric`: invariants — including the bridge-conservation monitors —
+must stay clean and the composed end-to-end bound must dominate the
+observed worst journey latency; ``--no-fabric`` skips it), and finishes
 with a perf-smoke step: one quick pass of the micro benchmarks
 (:mod:`repro.tools.bench` ``--smoke``), printing throughput so
 regressions surface next to correctness (``--no-perf`` skips it).  The
@@ -134,6 +138,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-serve",
         action="store_true",
         help="skip the --ci serve-smoke (admission service) step",
+    )
+    parser.add_argument(
+        "--no-fabric",
+        action="store_true",
+        help="skip the --ci fabric-smoke (multi-segment bound) step",
     )
     parser.add_argument(
         "--no-obs2",
@@ -251,7 +260,7 @@ def _run_invariants_smoke(batch: bool = True) -> list[str]:
         StationCrash,
     )
     from repro.model.workloads import uniform_problem
-    from repro.net.network import NetworkSimulation
+    from repro.net.network import NetworkSimulation, Scenario
     from repro.net.phy import ideal_medium
     from repro.sim.invariants import (
         DeadlineMonitor,
@@ -310,15 +319,18 @@ def _run_invariants_smoke(batch: bool = True) -> list[str]:
     ]
 
     def execute(factory, plan, monitors, engine=None):
-        simulation = NetworkSimulation(
-            problem,
-            medium,
-            protocol_factory=factory,
-            # Monitor suites are stateful, so scenarios supply them as
-            # factories — each engine run gets its own fresh suite.
-            faults=plan,
-            monitors=monitors() if callable(monitors) else monitors,
-            engine=engine,
+        simulation = NetworkSimulation.from_scenario(
+            Scenario(
+                problem=problem,
+                medium=medium,
+                protocol_factory=factory,
+                # Monitor suites are stateful, so scenarios supply them
+                # as factories — each engine run gets its own fresh
+                # suite.
+                faults=plan,
+                monitors=monitors() if callable(monitors) else monitors,
+                engine=engine,
+            )
         )
         return simulation.run(_SMOKE_HORIZON)
 
@@ -459,6 +471,55 @@ def _run_feas_smoke() -> list[str]:
         print(
             f"feas-smoke: scalar, vectorized (2 backends) and incremental "
             f"paths agree on {points} grid points + 1 mutation"
+        )
+    return failures
+
+
+def _run_fabric_smoke() -> list[str]:
+    """A 3-segment bridged chain: invariants clean, bound dominates.
+
+    Builds the standard fabric chain topology (3 DDCR segments joined
+    by store-and-forward bridges, bridge-conservation monitors armed),
+    runs it, and requires: every monitor clean, no bridge losses,
+    journeys traversing the whole chain, and the composed end-to-end
+    bound (sum of per-hop B_DDCR plus forwarding latencies) at or above
+    the worst observed journey latency.  Returns failure lines.
+    """
+    from repro.experiments.harness import build_chain_topology
+    from repro.net.fabric import Fabric
+
+    topology, trees = build_chain_topology(segments=3, z=4, monitors=True)
+    fabric = Fabric(topology)
+    (route_bound,) = fabric.route_bounds(trees)
+    failures: list[str] = []
+    if not route_bound.feasible:
+        failures.append("fabric chain workload must be FC-feasible")
+    result = fabric.run(40 * _MS)
+    if not result.invariants_ok:
+        broken = [
+            f"{name}: {violation}"
+            for name, seg in result.segments.items()
+            if seg.invariants is not None and not seg.invariants.ok
+            for violation in seg.invariants.violations[:2]
+        ]
+        failures.append("fabric invariants violated (" + "; ".join(broken) + ")")
+    dropped = sum(report.dropped for report in result.bridges)
+    if dropped:
+        failures.append(f"bridges dropped {dropped} relayed frame(s)")
+    delivered = result.delivered()
+    if not delivered:
+        failures.append("no journey traversed the chain before the horizon")
+    worst = result.worst_latency(route_bound.route)
+    if worst is not None and worst > route_bound.bound:
+        failures.append(
+            f"observed end-to-end latency {worst} exceeds the composed "
+            f"bound {route_bound.bound:.0f}"
+        )
+    if not failures:
+        print(
+            f"fabric-smoke: 3-segment chain ok — {len(delivered)} "
+            f"journey(s) delivered, worst {worst} <= composed bound "
+            f"{route_bound.bound:,.0f}, invariants clean"
         )
     return failures
 
@@ -696,8 +757,12 @@ def _run_obs2_smoke(cache_dir: str, use_cache: bool = True) -> list[str]:
             os.path.join(tmp, "metrics.jsonl"),
             every=4,
         )
+        # force=True: a cache *replay* of the counter-check leg cannot
+        # emit the channel/slot trace events this smoke asserts on, so
+        # the leg must execute live on warm caches too (it still writes
+        # through, keeping the cache interplay exercised).
         executor = (
-            ParallelExecutor(cache=ResultCache(cache_dir))
+            ParallelExecutor(cache=ResultCache(cache_dir), force=True)
             if use_cache
             else None
         )
@@ -874,6 +939,7 @@ def run_ci(
     sweep: bool = True,
     serve: bool = True,
     obs2: bool = True,
+    fabric: bool = True,
     batch: bool = True,
     perf_trend: bool = True,
     history: "str | None" = None,
@@ -961,6 +1027,9 @@ def run_ci(
     obs2_failures: list[str] = []
     if obs2:
         obs2_failures = _run_obs2_smoke(cache_dir, use_cache=not no_cache)
+    fabric_failures: list[str] = []
+    if fabric:
+        fabric_failures = _run_fabric_smoke()
     trend_failures: list[str] = []
     if perf:
         results = _run_perf_smoke(batch=batch)
@@ -990,6 +1059,8 @@ def run_ci(
         print(f"FAILED serve: {failure}", file=sys.stderr)
     for failure in obs2_failures:
         print(f"FAILED obs2: {failure}", file=sys.stderr)
+    for failure in fabric_failures:
+        print(f"FAILED fabric: {failure}", file=sys.stderr)
     for failure in trend_failures:
         print(f"FAILED perf-trend: {failure}", file=sys.stderr)
     if (
@@ -1000,6 +1071,7 @@ def run_ci(
         or sweep_failures
         or serve_failures
         or obs2_failures
+        or fabric_failures
         or trend_failures
     ):
         return 2
@@ -1023,6 +1095,7 @@ def main(argv: list[str] | None = None) -> int:
                 sweep=not args.no_sweep,
                 serve=not args.no_serve,
                 obs2=not args.no_obs2,
+                fabric=not args.no_fabric,
                 batch=not args.no_batch,
                 perf_trend=not args.no_perf_trend,
                 history=args.history,

@@ -113,6 +113,7 @@ class TestRegistry:
             "EXT-HOST",
             "EXT-NOISE",
             "EXT-UTIL",
+            "FABRIC",
             "SERVE-CHECK",
         }
         assert set(EXPERIMENTS) == expected

@@ -182,12 +182,12 @@ def test_run_batch_falls_back_and_reports_why():
         trace=True,
         mac_factory=lambda source: CSMACDProtocol(seed=source.source_id),
     )
-    fast.run_fast(_HORIZON)
+    fast.run(_HORIZON, engine="fastloop")
     batched = _build_channel(
         trace=True,
         mac_factory=lambda source: CSMACDProtocol(seed=source.source_id),
     )
-    note = batched.run_batch(_HORIZON)
+    note = batched.run(_HORIZON, engine="batch")
     assert "batch engine unavailable" in note
     assert "not plain DDCRProtocol" in note
     assert _digest(batched) == _digest(fast)
@@ -198,7 +198,7 @@ def test_run_batch_falls_back_and_reports_why():
 
 def test_pure_python_backend_is_byte_identical():
     reference = _build_channel(trace=True)
-    reference.run_fast(_HORIZON)
+    reference.run(_HORIZON, engine="fastloop")
     forced = _build_channel(trace=True)
     kernel = BatchKernel(forced, force_python=True)
     assert kernel.backend_note == "pure-python backend (forced)"
@@ -299,14 +299,9 @@ def _run_with_monitor_process(engine):
     channel.monitors = MonitorSuite(
         [_ProcessRegisteringMonitor(env, ticks)]
     )
-    if engine == "des":
-        env.process(channel.run(_HORIZON))
-        env.run(until=_HORIZON)
-    elif engine == "batch":
-        note = channel.run_batch(_HORIZON)
+    note = channel.run(_HORIZON, engine=engine)
+    if engine == "batch":
         assert note == batch_capability()  # eligible: the kernel itself ran
-    else:
-        channel.run_fast(_HORIZON)
     assert env.now == _HORIZON
     return ticks, _digest(channel)
 
@@ -335,13 +330,7 @@ def _run_untraced(engine, config=None, jam=None, load=True, problem=None):
     )
     if jam is not None:
         channel.jam_from, channel.jam_until = jam
-    if engine == "des":
-        channel.env.process(channel.run(_HORIZON))
-        channel.env.run(until=_HORIZON)
-    elif engine == "batch":
-        channel.run_batch(_HORIZON)
-    else:
-        channel.run_fast(_HORIZON)
+    channel.run(_HORIZON, engine=engine)
     assert channel.env.now == _HORIZON
     return _digest(channel)
 

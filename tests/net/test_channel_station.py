@@ -73,8 +73,7 @@ class TestChannelAccounting:
         env = Environment()
         channel = BroadcastChannel(env, ideal_medium())
         with pytest.raises(RuntimeError):
-            env.process(channel.run(1000))
-            env.run()
+            channel.run(1000)
 
     def test_trace_records_slots(self):
         from repro.sim.trace import TraceLog
@@ -85,7 +84,7 @@ class TestChannelAccounting:
         station = Station(0, TDMAProtocol((0,)))
         station.load_arrivals(make_class(), TraceArrivals(trace=(0,)), 10_000)
         channel.attach(station)
-        env.process(channel.run(10_000))
+        env.process(channel.process(10_000))
         env.run(until=10_000)
         kinds = {record["state"] for record in trace.records("slot")}
         assert "success" in kinds

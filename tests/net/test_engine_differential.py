@@ -149,13 +149,8 @@ def _run_manual_channel(engine, jam_from=None, noise=0.0):
         channel.attach(station)
         stations.append(station)
     channel.jam_from = jam_from
-    if engine == "des":
-        env.process(channel.run(_HORIZON))
-        env.run(until=_HORIZON)
-    elif engine == "batch":
-        channel.run_batch(_HORIZON)
-    else:
-        channel.run_fast(_HORIZON)
+    # The unified entry point owns the dispatch for all three engines.
+    channel.run(_HORIZON, engine=engine)
     assert env.now == _HORIZON
     completions = [
         record for station in stations for record in station.completions
@@ -249,15 +244,10 @@ def _run_with_foreign_process(engine):
             )
         channel.attach(station)
         stations.append(station)
-    if engine == "des":
-        env.process(channel.run(_HORIZON))
-        env.run(until=_HORIZON)
-    elif engine == "batch":
-        # Station 0's MAC is a wrapper type, so batch structurally falls
-        # back (through the fast loop, into the mid-run DES rejoin).
-        channel.run_batch(_HORIZON)
-    else:
-        channel.run_fast(_HORIZON)
+    # Station 0's MAC is a wrapper type, so under ``batch`` the kernel
+    # structurally falls back (through the fast loop, into the mid-run
+    # DES rejoin); the unified entry point hides all of that.
+    channel.run(_HORIZON, engine=engine)
     assert env.now == _HORIZON
     completions = [
         record for station in stations for record in station.completions

@@ -106,4 +106,4 @@ class TestInvariants:
     def test_field_names_cover_the_constructor(self):
         names = _scenario().field_names()
         assert names[:3] == ("problem", "medium", "protocol_factory")
-        assert len(names) == 13
+        assert len(names) == 14  # + telemetry_prefix (fabric segments)

@@ -63,7 +63,7 @@ def run_network(
             )
         channel.attach(station)
         stations.append(station)
-    env.process(channel.run(horizon))
+    env.process(channel.process(horizon))
     env.run(until=horizon)
     return channel, stations
 

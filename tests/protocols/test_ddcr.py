@@ -148,7 +148,7 @@ class TestCollisionEntry:
             station.load_arrivals(cls, TraceArrivals(trace=(0,)), 2_000_000)
             channel.attach(station)
             stations.append(station)
-        env.process(channel.run(2_000_000))
+        env.process(channel.process(2_000_000))
         env.run(until=2_000_000)
         assert sum(len(s.completions) for s in stations) == 2
         assert macs[0].sts_records == []
